@@ -1,0 +1,387 @@
+package gps_test
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation, plus ablation benches for the design choices
+// DESIGN.md calls out and micro-benchmarks for the hot substrates.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment bench reports its headline result as custom metrics
+// (coverage, savings-x, precision and so on) so a bench run doubles as a
+// results table. Absolute values are compared against the paper in
+// EXPERIMENTS.md.
+
+import (
+	"sync"
+	"testing"
+
+	"gps/internal/dataset"
+	"gps/internal/engine"
+	"gps/internal/experiments"
+	"gps/internal/metrics"
+
+	"gps"
+	"gps/internal/netmodel"
+	"gps/internal/predict"
+	"gps/internal/priors"
+	"gps/internal/probmodel"
+	"gps/internal/scanner"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSetup *experiments.Setup
+)
+
+func setupBench(b *testing.B) *experiments.Setup {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSetup = experiments.NewSetup(experiments.SmallScale(2024))
+	})
+	return benchSetup
+}
+
+// --- Figure 2: service discovery vs bandwidth -----------------------------
+
+func benchFigure2(b *testing.B, v experiments.Fig2Variant) {
+	s := setupBench(b)
+	var r *experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure2(s, v)
+	}
+	b.ReportMetric(r.FinalGPS, "coverage")
+	b.ReportMetric(r.SavingsAtFinal, "savings-x")
+}
+
+func BenchmarkFigure2a(b *testing.B) { benchFigure2(b, experiments.Fig2Variant{Censys: true}) }
+func BenchmarkFigure2b(b *testing.B) { benchFigure2(b, experiments.Fig2Variant{}) }
+func BenchmarkFigure2c(b *testing.B) {
+	benchFigure2(b, experiments.Fig2Variant{Censys: true, Normalized: true})
+}
+func BenchmarkFigure2d(b *testing.B) {
+	benchFigure2(b, experiments.Fig2Variant{Normalized: true})
+}
+
+// --- Figure 3: precision ---------------------------------------------------
+
+func BenchmarkFigure3(b *testing.B) {
+	s := setupBench(b)
+	var r *experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure3(s)
+	}
+	b.ReportMetric(r.PrecisionRatioMid, "precision-ratio-x")
+}
+
+// --- Figure 4: GPS vs the XGBoost scanner ----------------------------------
+
+func BenchmarkFigure4(b *testing.B) {
+	s := setupBench(b)
+	var r *experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure4(s)
+	}
+	b.ReportMetric(r.AvgPriorSavings, "avg-prior-savings-x")
+	b.ReportMetric(r.BestPriorSavings, "best-prior-savings-x")
+}
+
+// --- Figure 5 / 6: parameter sweeps ----------------------------------------
+
+func BenchmarkFigure5(b *testing.B) {
+	s := setupBench(b)
+	var r *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure5(s, []uint8{0, 12, 16, 20})
+	}
+	b.ReportMetric(r.Curves[0].Final().FracNorm, "norm-coverage-step0")
+	b.ReportMetric(r.Curves[len(r.Curves)-1].Final().FracNorm, "norm-coverage-step20")
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	s := setupBench(b)
+	var r *experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure6(s, nil)
+	}
+	b.ReportMetric(r.FinalNorm[0], "norm-coverage-smallest-seed")
+	b.ReportMetric(r.FinalNorm[len(r.FinalNorm)-1], "norm-coverage-largest-seed")
+}
+
+// --- Tables -----------------------------------------------------------------
+
+func BenchmarkTable1FeatureDimensionality(b *testing.B) {
+	s := setupBench(b)
+	var t experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.Table1(s)
+	}
+	b.ReportMetric(float64(len(t.Rows)), "features")
+}
+
+// BenchmarkTable2SingleCore and BenchmarkTable2Parallel time the pure
+// prediction computation (model + priors list + MPF + predictions list) at
+// the two parallelism levels Table 2 contrasts.
+func benchTable2(b *testing.B, workers int) {
+	s := setupBench(b)
+	seedSet, _ := experiments.SplitEval(s.LZR, s.Scale.SeedMid, true, 31)
+	hosts := seedSet.ByHost()
+	eng := engine.Config{Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := probmodel.Build(probmodel.Config{Engine: eng}, hosts)
+		pl := priors.Build(m, hosts, 16, eng)
+		mpf := predict.BuildMPF(m, hosts, eng)
+		_ = pl
+		_ = mpf
+	}
+}
+
+func BenchmarkTable2SingleCore(b *testing.B) { benchTable2(b, 1) }
+func BenchmarkTable2Parallel(b *testing.B)   { benchTable2(b, 0) }
+
+func BenchmarkTable3(b *testing.B) {
+	s := setupBench(b)
+	var r *experiments.Table3Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Table3(s)
+	}
+	b.ReportMetric(float64(r.UniqueRules), "mpf-rules")
+	b.ReportMetric(float64(r.UniqueKinds), "tuple-kinds")
+}
+
+func BenchmarkTable4(b *testing.B) {
+	s := setupBench(b)
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table4(s)
+	}
+}
+
+// --- Baselines and appendix experiments -------------------------------------
+
+func BenchmarkTGABaseline(b *testing.B) {
+	s := setupBench(b)
+	var r *experiments.TGAResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.TGAExperiment(s)
+	}
+	b.ReportMetric(r.TGA.FracAll, "coverage")
+}
+
+func BenchmarkRecommenderBaseline(b *testing.B) {
+	s := setupBench(b)
+	var r *experiments.RecommenderResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.RecommenderExperiment(s)
+	}
+	b.ReportMetric(r.Rec.FracAll, "coverage")
+	b.ReportMetric(r.Rec.FracNorm, "norm-coverage")
+}
+
+func BenchmarkPseudoServiceFilter(b *testing.B) {
+	s := setupBench(b)
+	var r *experiments.AppendixBResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AppendixB(s)
+	}
+	b.ReportMetric(r.Recall, "recall")
+	b.ReportMetric(r.Precision, "precision")
+}
+
+func BenchmarkSection7(b *testing.B) {
+	s := setupBench(b)
+	var r *experiments.Section7Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Section7Limits(s)
+	}
+	b.ReportMetric(r.NormCoverage, "ideal-norm-coverage")
+}
+
+func BenchmarkChurn(b *testing.B) {
+	s := setupBench(b)
+	var r *experiments.ChurnResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.ChurnStudy(s)
+	}
+	b.ReportMetric(r.ServicesLost, "services-lost")
+	b.ReportMetric(r.NormalizedLost, "norm-services-lost")
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+// benchPipelineCoverage runs GPS with cfg against the all-port split and
+// reports coverage and precision.
+func benchPipelineCoverage(b *testing.B, mutate func(*gps.Config), seedSet, testSet *gps.Dataset) {
+	s := setupBench(b)
+	cfg := gps.Config{StepBits: 16, Seed: 77}
+	mutate(&cfg)
+	var point metrics.Point
+	for i := 0; i < b.N; i++ {
+		res, err := gps.Run(s.Universe, seedSet, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		point, _ = gps.Evaluate(res, testSet, s.Universe.SpaceSize())
+	}
+	b.ReportMetric(point.FracAll, "coverage")
+	b.ReportMetric(point.FracNorm, "norm-coverage")
+	b.ReportMetric(point.Precision*1000, "hits-per-kprobe")
+}
+
+func ablationSplit(b *testing.B) (*gps.Dataset, *gps.Dataset) {
+	s := setupBench(b)
+	return experiments.SplitEval(s.LZR, s.Scale.SeedSmall, true, 71)
+}
+
+// BenchmarkAblationProbabilityFloor contrasts the paper's 1e-5 floor with
+// no floor at all: without it, GPS wastes probes on patterns no better
+// than random.
+func BenchmarkAblationProbabilityFloor(b *testing.B) {
+	seedSet, testSet := ablationSplit(b)
+	b.Run("floor=1e-5", func(b *testing.B) {
+		benchPipelineCoverage(b, func(c *gps.Config) {}, seedSet, testSet)
+	})
+	b.Run("floor=off", func(b *testing.B) {
+		benchPipelineCoverage(b, func(c *gps.Config) {
+			c.Floor = -1
+			c.MinSupport = -1 // admit singleton patterns too
+		}, seedSet, testSet)
+	})
+}
+
+// BenchmarkAblationFeatureFamilies contrasts all four conditional
+// probability families (Expressions 4-7) with the transport-only model.
+func BenchmarkAblationFeatureFamilies(b *testing.B) {
+	seedSet, testSet := ablationSplit(b)
+	b.Run("families=all", func(b *testing.B) {
+		benchPipelineCoverage(b, func(c *gps.Config) {}, seedSet, testSet)
+	})
+	b.Run("families=transport-only", func(b *testing.B) {
+		benchPipelineCoverage(b, func(c *gps.Config) { c.Families = probmodel.TransportOnly }, seedSet, testSet)
+	})
+}
+
+// BenchmarkAblationPriorsOrdering contrasts the §5.3 maximal-coverage
+// ordering of the priors scan with a random ordering, under a tight
+// budget where ordering matters.
+func BenchmarkAblationPriorsOrdering(b *testing.B) {
+	seedSet, testSet := ablationSplit(b)
+	s := setupBench(b)
+	budget := 3 * s.Universe.SpaceSize()
+	b.Run("order=coverage", func(b *testing.B) {
+		benchPipelineCoverage(b, func(c *gps.Config) { c.Budget = budget }, seedSet, testSet)
+	})
+	b.Run("order=random", func(b *testing.B) {
+		benchPipelineCoverage(b, func(c *gps.Config) {
+			c.Budget = budget
+			c.RandomPriorsOrder = true
+		}, seedSet, testSet)
+	})
+}
+
+// BenchmarkAblationPseudoFilter contrasts seed sets with and without the
+// Appendix B pseudo-service filter.
+func BenchmarkAblationPseudoFilter(b *testing.B) {
+	s := setupBench(b)
+	mkSplit := func(filter bool) (*gps.Dataset, *gps.Dataset) {
+		full := dataset.SnapshotLZROpts(s.Universe, s.Scale.LZRFraction, 73, filter)
+		seedSet, _ := full.Split(s.Scale.SeedSmall, 74)
+		eligible := seedSet.EligiblePorts(2)
+		// Evaluate against the *filtered* truth either way: pseudo
+		// services are never legitimate discoveries.
+		cleanFull := dataset.SnapshotLZR(s.Universe, s.Scale.LZRFraction, 73)
+		_, cleanTest := cleanFull.Split(s.Scale.SeedSmall, 74)
+		return seedSet.FilterPorts(eligible), cleanTest.FilterPorts(eligible)
+	}
+	b.Run("filter=on", func(b *testing.B) {
+		seedSet, testSet := mkSplit(true)
+		benchPipelineCoverage(b, func(c *gps.Config) {}, seedSet, testSet)
+	})
+	b.Run("filter=off", func(b *testing.B) {
+		seedSet, testSet := mkSplit(false)
+		benchPipelineCoverage(b, func(c *gps.Config) {}, seedSet, testSet)
+	})
+}
+
+// --- Micro-benchmarks on the substrates --------------------------------------
+
+func BenchmarkModelBuild(b *testing.B) {
+	s := setupBench(b)
+	seedSet, _ := experiments.SplitEval(s.LZR, s.Scale.SeedMid, true, 81)
+	hosts := seedSet.ByHost()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := probmodel.Build(probmodel.Config{}, hosts)
+		_ = m
+	}
+}
+
+func BenchmarkProbLookup(b *testing.B) {
+	s := setupBench(b)
+	seedSet, _ := experiments.SplitEval(s.LZR, s.Scale.SeedMid, true, 81)
+	hosts := seedSet.ByHost()
+	m := probmodel.Build(probmodel.Config{}, hosts)
+	c := probmodel.Cond{Port: 80}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Prob(c, 443)
+	}
+}
+
+func BenchmarkCyclicIterator(b *testing.B) {
+	it, err := scanner.NewCyclicIterator(1<<20, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := it.Next(); !ok {
+			it.Reset()
+		}
+	}
+}
+
+func BenchmarkScanPrefixFast(b *testing.B) {
+	s := setupBench(b)
+	sc := scanner.New(s.Universe)
+	pfx := s.Universe.Prefixes()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sc.ScanPrefixFast(pfx, 80, int64(i))
+	}
+}
+
+func BenchmarkEngineGroupCount(b *testing.B) {
+	items := make([]int, 1<<16)
+	for i := range items {
+		items[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = engine.GroupCount(engine.Config{}, nil, items,
+			func(v int, emit engine.Emit[int, uint64]) { emit(v%1024, 1) })
+	}
+}
+
+func BenchmarkUniverseGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = netmodel.Generate(netmodel.TestParams(int64(i)))
+	}
+}
+
+func BenchmarkPredictionThroughput(b *testing.B) {
+	s := setupBench(b)
+	seedSet, _ := experiments.SplitEval(s.LZR, s.Scale.SeedMid, true, 83)
+	hosts := seedSet.ByHost()
+	m := probmodel.Build(probmodel.Config{}, hosts)
+	mpf := predict.BuildMPF(m, hosts, engine.Config{})
+	var anchors []dataset.Record
+	for _, h := range hosts {
+		anchors = append(anchors, h.Records...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = predict.Predict(m, mpf, anchors, nil, engine.Config{})
+	}
+}

@@ -1,0 +1,72 @@
+// Baseline comparison: GPS vs every alternative the paper evaluates.
+//
+// One universe, one seed budget, four strategies: GPS's conditional
+// probabilities, exhaustive optimal-port-order probing, the sequential
+// XGBoost scanner (§6.4), and an Entropy/IP-style target generation
+// algorithm (§2). Prints coverage and bandwidth side by side.
+//
+//	go run ./examples/compare-baselines
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gps"
+	"gps/internal/baselines/exhaustive"
+	"gps/internal/baselines/tga"
+	"gps/internal/baselines/xgboost"
+)
+
+func main() {
+	u := gps.GenerateUniverse(gps.SmallUniverseParams(17))
+	full := gps.SnapshotCensys(u, 200) // popular ports, 100% scanned
+	seedSet, testSet := full.Split(0.02, 18)
+	space := u.SpaceSize()
+	gt := gps.NewGroundTruth(testSet)
+
+	fmt.Printf("universe: %d hosts; ground truth: %d services on %d ports\n\n",
+		u.NumHosts(), gt.Total(), gt.NumPorts())
+	fmt.Printf("%-28s %10s %12s %10s\n", "strategy", "found", "probes", "coverage")
+	row := func(name string, found int, probes uint64) {
+		fmt.Printf("%-28s %10d %12d %9.1f%%\n", name, found, probes,
+			100*float64(found)/float64(gt.Total()))
+	}
+
+	// GPS.
+	res, err := gps.Run(u, seedSet, gps.Config{StepBits: 16, Seed: 19})
+	if err != nil {
+		log.Fatal(err)
+	}
+	point, _ := gps.Evaluate(res, testSet, space)
+	row("GPS", point.Found, res.TotalScanProbes())
+
+	// Exhaustive optimal port order, cut at GPS's bandwidth.
+	exCurve := exhaustive.Curve(testSet, space)
+	exAtBudget := 0
+	for _, p := range exCurve {
+		if p.Probes <= res.TotalScanProbes() {
+			exAtBudget = p.Found
+		}
+	}
+	row("exhaustive (same budget)", exAtBudget, res.TotalScanProbes())
+	final := exCurve.Final()
+	row("exhaustive (all ports)", final.Found, final.Probes)
+
+	// Sequential XGBoost scanner on the popular-port sequence.
+	xgb := xgboost.RunSequential(u, seedSet, testSet, xgboost.ScanConfig{Coverage: 0.95})
+	xgbFound := xgb.Curve.Final().Found
+	row("XGBoost (sequential)", xgbFound, xgb.TotalProbes)
+
+	// Entropy/IP-style target generation.
+	tg := tga.Run(u, seedSet, testSet, tga.Config{
+		CandidatesPerPort: int(space / 50),
+		MinTrainIPs:       8,
+		Seed:              20,
+	})
+	row("TGA (Entropy/IP-style)", tg.Found, tg.Probes)
+
+	fmt.Println("\nGPS reaches the highest coverage per probe; the XGBoost scanner needs")
+	fmt.Println("sequential full scans to build features, and TGAs only re-find address")
+	fmt.Println("structure, not services.")
+}

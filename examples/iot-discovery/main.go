@@ -1,0 +1,96 @@
+// IoT discovery: find services hiding on unassigned ports under a tight
+// probe budget.
+//
+// The paper's motivation: scanning port 23 alone misses 95% of Telnet
+// services, and IoT devices are five times more likely to live on
+// non-standard ports. This example runs GPS with a constrained bandwidth
+// budget and reports what it finds *off* the standard port list — the
+// services an assigned-ports-only scanner never sees.
+//
+//	go run ./examples/iot-discovery
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"gps"
+)
+
+// standardPorts is what a conventional scanner would cover.
+var standardPorts = map[uint16]bool{
+	21: true, 22: true, 23: true, 25: true, 80: true, 110: true, 143: true,
+	443: true, 445: true, 465: true, 587: true, 993: true, 995: true,
+	3306: true, 3389: true, 5432: true, 5900: true, 8080: true, 8443: true,
+}
+
+func main() {
+	u := gps.GenerateUniverse(gps.SmallUniverseParams(7))
+
+	full := gps.SnapshotAllPorts(u, 0.4, 8)
+	seedSet, testSet := full.Split(0.02, 9)
+	eligible := seedSet.EligiblePorts(2)
+	seedSet = seedSet.FilterPorts(eligible)
+	testSet = testSet.FilterPorts(eligible)
+
+	// Budget: the probes of five full single-port passes. An exhaustive
+	// scanner would cover five ports; GPS covers the whole port space.
+	budget := 5 * u.SpaceSize()
+	res, err := gps.Run(u, seedSet, gps.Config{StepBits: 20, Budget: budget, Seed: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gt := gps.NewGroundTruth(testSet)
+	type portStat struct {
+		port  uint16
+		found int
+	}
+	offStandard := map[uint16]int{}
+	onStandard := 0
+	telnetOff := 0
+	for _, d := range res.Discoveries {
+		if !gt.Contains(d.Key) {
+			continue
+		}
+		if standardPorts[d.Key.Port] {
+			onStandard++
+			continue
+		}
+		offStandard[d.Key.Port]++
+		if svc, ok := u.ServiceAt(d.Key.IP, d.Key.Port); ok && svc.Proto.String() == "telnet" {
+			telnetOff++
+		}
+	}
+	var stats []portStat
+	total := 0
+	for p, n := range offStandard {
+		stats = append(stats, portStat{p, n})
+		total += n
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].found > stats[j].found })
+
+	fmt.Printf("budget: %d probes (5 full-scan units)\n", budget)
+	fmt.Printf("ground-truth services found: %d on standard ports, %d on non-standard ports\n",
+		onStandard, total)
+	fmt.Printf("telnet services on non-standard ports: %d\n\n", telnetOff)
+	fmt.Println("top non-standard ports discovered:")
+	for i, s := range stats {
+		if i >= 15 {
+			break
+		}
+		proto := "?"
+		for _, d := range res.Discoveries {
+			if d.Key.Port == s.port {
+				if svc, ok := u.ServiceAt(d.Key.IP, d.Key.Port); ok {
+					proto = svc.Proto.String()
+				}
+				break
+			}
+		}
+		fmt.Printf("  port %5d: %4d services (%s)\n", s.port, s.found, proto)
+	}
+	fmt.Printf("\nAn exhaustive scanner with the same budget sees at most 5 ports;\n"+
+		"GPS found services on %d distinct non-standard ports.\n", len(stats))
+}

@@ -1,0 +1,124 @@
+package gps
+
+import (
+	"gps/internal/asndb"
+	"gps/internal/dataset"
+	"gps/internal/features"
+	"gps/internal/metrics"
+	"gps/internal/netmodel"
+	"gps/internal/predict"
+	"gps/internal/priors"
+	"gps/internal/probmodel"
+	"gps/internal/scanner"
+)
+
+// This file re-exports the library's supporting types through the root
+// package so that downstream users can drive the full pipeline — universe
+// generation, dataset snapshots, evaluation metrics — without importing
+// internal packages. The aliases are the public API surface; the internal
+// packages remain free to reorganize behind them.
+
+// IP is an IPv4 address in host byte order.
+type IP = asndb.IP
+
+// Prefix is a CIDR block.
+type Prefix = asndb.Prefix
+
+// ASN is an autonomous system number.
+type ASN = asndb.ASN
+
+// Universe is the synthetic IPv4 Internet GPS scans; it stands in for the
+// live address space.
+type Universe = netmodel.Universe
+
+// UniverseParams configures universe generation.
+type UniverseParams = netmodel.Params
+
+// ServiceKey identifies one service as an (IP, port) pair.
+type ServiceKey = netmodel.Key
+
+// Dataset is a collection of observed services: seed sets, test sets, and
+// ground-truth snapshots.
+type Dataset = dataset.Dataset
+
+// Record is one observed service.
+type Record = dataset.Record
+
+// FeatureKey identifies one of the 25 features of Table 1.
+type FeatureKey = features.Key
+
+// Protocol identifies an application-layer protocol.
+type Protocol = features.Protocol
+
+// Model is the trained conditional-probability model (Expressions 4-7).
+type Model = probmodel.Model
+
+// FamilySet selects which conditional-probability families to use.
+type FamilySet = probmodel.FamilySet
+
+// PriorsList is the ordered (port, subnet) scan list of phase 3.
+type PriorsList = priors.List
+
+// Prediction is one predicted (IP, port) pair with its probability.
+type Prediction = predict.Prediction
+
+// GroundTruth indexes a dataset for evaluation.
+type GroundTruth = metrics.GroundTruth
+
+// Tracker accumulates discoveries into coverage curves.
+type Tracker = metrics.Tracker
+
+// Curve is a coverage-vs-bandwidth curve.
+type Curve = metrics.Curve
+
+// Rate models a scanning link rate for wall-time estimates.
+type Rate = scanner.Rate
+
+// GenerateUniverse builds a deterministic synthetic Internet.
+func GenerateUniverse(p UniverseParams) *Universe { return netmodel.Generate(p) }
+
+// DefaultUniverseParams returns a mid-sized universe configuration.
+func DefaultUniverseParams(seed int64) UniverseParams { return netmodel.DefaultParams(seed) }
+
+// SmallUniverseParams returns a small universe configuration suitable for
+// examples and tests.
+func SmallUniverseParams(seed int64) UniverseParams { return netmodel.TestParams(seed) }
+
+// SnapshotCensys captures a Censys-style ground truth: 100% scans of the
+// top-k most popular ports.
+func SnapshotCensys(u *Universe, k int) *Dataset { return dataset.SnapshotCensys(u, k) }
+
+// SnapshotAllPorts captures an LZR-style ground truth: a uniform random
+// sample of the address space scanned across all 65K ports.
+func SnapshotAllPorts(u *Universe, fraction float64, seed int64) *Dataset {
+	return dataset.SnapshotLZR(u, fraction, seed)
+}
+
+// NewGroundTruth indexes a dataset for evaluation.
+func NewGroundTruth(d *Dataset) *GroundTruth { return metrics.NewGroundTruth(d) }
+
+// NewTracker creates a coverage tracker against a ground truth.
+func NewTracker(gt *GroundTruth, spaceSize uint64) *Tracker {
+	return metrics.NewTracker(gt, spaceSize)
+}
+
+// Evaluate replays a result's discovery log against a held-out test set
+// and returns the final coverage point plus the sampled curve.
+func Evaluate(res *Result, testSet *Dataset, spaceSize uint64) (metrics.Point, Curve) {
+	gt := metrics.NewGroundTruth(testSet)
+	tr := metrics.NewTracker(gt, spaceSize)
+	tr.Snapshot()
+	var last uint64
+	for _, d := range res.Discoveries {
+		if d.Probes > last {
+			tr.Spend(d.Probes - last)
+			last = d.Probes
+		}
+		tr.Record(d.Key)
+	}
+	if total := res.TotalScanProbes(); total > last {
+		tr.Spend(total - last)
+	}
+	p := tr.Snapshot()
+	return p, tr.Curve()
+}

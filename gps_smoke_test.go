@@ -1,0 +1,51 @@
+package gps
+
+import (
+	"testing"
+
+	"gps/internal/dataset"
+	"gps/internal/metrics"
+	"gps/internal/netmodel"
+)
+
+// TestPipelineSmoke runs the full GPS pipeline on a small universe and
+// checks it finds a substantial majority of held-out services with far
+// fewer probes than exhaustive scanning — the paper's headline claim in
+// miniature.
+func TestPipelineSmoke(t *testing.T) {
+	u := netmodel.Generate(netmodel.TestParams(1))
+	t.Logf("universe: %d hosts, %d services, space %d", u.NumHosts(), u.NumServices(), u.SpaceSize())
+
+	full := dataset.SnapshotLZR(u, 0.5, 2)
+	seedSet, testSet := full.Split(0.05, 3)
+	eligible := seedSet.EligiblePorts(2)
+	testSet = testSet.FilterPorts(eligible)
+	t.Logf("seed: %d services on %d ports; test: %d services", seedSet.NumServices(), len(eligible), testSet.NumServices())
+
+	res, err := Run(u, seedSet, Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("model: %d conds, %d pairs; priors targets: %d; anchors: %d; predictions: %d",
+		res.Model.NumConds(), res.Model.NumPairs(), len(res.PriorsList.Targets),
+		len(res.Anchors), len(res.Predictions))
+	t.Logf("probes: priors=%d predict=%d (space=%d)", res.PriorsProbes, res.PredictProbes, u.SpaceSize())
+
+	gt := metrics.NewGroundTruth(testSet)
+	tr := metrics.NewTracker(gt, u.SpaceSize())
+	for _, d := range res.Discoveries {
+		tr.Record(d.Key)
+	}
+	tr.Spend(res.TotalScanProbes())
+	p := tr.Snapshot()
+	t.Logf("coverage: all=%.3f norm=%.3f precision=%.5f found=%d/%d",
+		p.FracAll, p.FracNorm, p.Precision, p.Found, gt.Total())
+
+	if p.FracAll < 0.5 {
+		t.Errorf("GPS found only %.1f%% of held-out services; want > 50%%", 100*p.FracAll)
+	}
+	exhaustiveProbes := u.SpaceSize() * netmodel.NumPorts
+	if res.TotalScanProbes() > exhaustiveProbes/10 {
+		t.Errorf("GPS used %d probes; want far less than exhaustive %d", res.TotalScanProbes(), exhaustiveProbes)
+	}
+}

@@ -1,0 +1,196 @@
+package gps_test
+
+// Integration tests spanning the full stack: universe generation, the
+// wire-level scanner, LZR fingerprinting, the GPS pipeline, persistence,
+// and evaluation — the paths a downstream user composes.
+
+import (
+	"bytes"
+	"testing"
+
+	"gps"
+	"gps/internal/asndb"
+	"gps/internal/dataset"
+	"gps/internal/features"
+	"gps/internal/lzr"
+	"gps/internal/netmodel"
+	"gps/internal/scanner"
+	"gps/internal/store"
+	"gps/internal/zgrab"
+)
+
+// TestIntegrationWireDiscovery drives one discovery end to end at the
+// packet level: SYN probe bytes out, SYN-ACK bytes back, LZR protocol
+// bytes exchanged, ZGrab features extracted — and the features must match
+// what the dataset layer records for the same service.
+func TestIntegrationWireDiscovery(t *testing.T) {
+	u := netmodel.Generate(netmodel.TestParams(201))
+	wire := scanner.NewWireScanner(scanner.New(u), asndb.MustParseIP("192.0.2.1"), 0xfeed)
+	fp := lzr.New(u)
+	gr := zgrab.New(u)
+
+	// Pick a fleet host with a banner-bearing service.
+	var target *netmodel.Host
+	var port uint16
+	for _, h := range u.Hosts() {
+		if h.Middlebox {
+			continue
+		}
+		for p, svc := range h.Services() {
+			if svc.Proto != features.ProtocolUnknown && len(svc.Feats) > 1 {
+				target, port = h, p
+				break
+			}
+		}
+		if target != nil {
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("no suitable host")
+	}
+
+	ok, err := wire.Probe(target.IP, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("live service did not acknowledge at the wire level")
+	}
+	res := fp.Fingerprint(target.IP, port)
+	if res.Status != lzr.StatusService {
+		t.Fatalf("LZR status %v", res.Status)
+	}
+	svc, _ := target.ServiceAt(port)
+	if res.Proto != svc.Proto {
+		t.Fatalf("LZR identified %v; service is %v", res.Proto, svc.Proto)
+	}
+	g, ok := gr.Grab(target.IP, port)
+	if !ok {
+		t.Fatal("grab failed")
+	}
+	for k, v := range svc.Feats {
+		if g.Feats[k] != v {
+			t.Errorf("grab lost feature %v", k)
+		}
+	}
+}
+
+// TestIntegrationPersistedPipeline runs GPS on a dataset that has been
+// round-tripped through the binary store, verifying persistence preserves
+// everything training needs.
+func TestIntegrationPersistedPipeline(t *testing.T) {
+	u := gps.GenerateUniverse(gps.SmallUniverseParams(202))
+	full := gps.SnapshotAllPorts(u, 0.4, 203)
+	seedSet, testSet := full.Split(0.02, 204)
+	eligible := seedSet.EligiblePorts(2)
+	seedSet = seedSet.FilterPorts(eligible)
+	testSet = testSet.FilterPorts(eligible)
+
+	// Round-trip the seed through the binary format.
+	var buf bytes.Buffer
+	if _, err := store.WriteDatasetBinary(&buf, seedSet); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := store.ReadDatasetBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct, err := gps.Run(u, seedSet, gps.Config{StepBits: 16, Seed: 205})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaStore, err := gps.Run(u, restored, gps.Config{StepBits: 16, Seed: 205})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Discoveries) != len(viaStore.Discoveries) {
+		t.Fatalf("persisted seed changed results: %d vs %d discoveries",
+			len(direct.Discoveries), len(viaStore.Discoveries))
+	}
+	p1, _ := gps.Evaluate(direct, testSet, u.SpaceSize())
+	p2, _ := gps.Evaluate(viaStore, testSet, u.SpaceSize())
+	if p1.FracAll != p2.FracAll {
+		t.Errorf("coverage differs after persistence: %f vs %f", p1.FracAll, p2.FracAll)
+	}
+}
+
+// TestIntegrationChurnDegradesPredictions verifies the §3 motivation: a
+// model trained before churn finds fewer services after it.
+func TestIntegrationChurnDegradesPredictions(t *testing.T) {
+	u := gps.GenerateUniverse(gps.SmallUniverseParams(206))
+	full := gps.SnapshotAllPorts(u, 0.4, 207)
+	seedSet, testSet := full.Split(0.02, 208)
+	eligible := seedSet.EligiblePorts(2)
+	seedSet = seedSet.FilterPorts(eligible)
+	testSet = testSet.FilterPorts(eligible)
+
+	fresh, err := gps.Run(u, seedSet, gps.Config{StepBits: 16, Seed: 209})
+	if err != nil {
+		t.Fatal(err)
+	}
+	churned := netmodel.Churn(u, netmodel.DefaultChurn(210))
+	stale, err := gps.Run(churned, seedSet, gps.Config{StepBits: 16, Seed: 209})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFresh, _ := gps.Evaluate(fresh, testSet, u.SpaceSize())
+	pStale, _ := gps.Evaluate(stale, testSet, u.SpaceSize())
+	if pStale.FracAll >= pFresh.FracAll {
+		t.Errorf("stale scan coverage %.3f not below fresh %.3f; churn should cost coverage",
+			pStale.FracAll, pFresh.FracAll)
+	}
+}
+
+// TestIntegrationBlocklistedOperatorIsInvisible verifies the ethics
+// mechanism end to end: a network that blocks the GPS fingerprint appears
+// in no phase of the pipeline output.
+func TestIntegrationBlocklistedOperatorIsInvisible(t *testing.T) {
+	u := netmodel.Generate(netmodel.TestParams(211))
+	blocked := u.Prefixes()[0]
+
+	sc := scanner.New(u)
+	sc.Blocklist().Add(blocked)
+	found := sc.ScanPrefixFast(blocked, 80, 1)
+	if len(found) != 0 {
+		t.Fatalf("blocklisted prefix yielded %d responders", len(found))
+	}
+	if sc.Probes() != 0 {
+		t.Error("probes were sent into blocklisted space")
+	}
+
+	// The same prefix scanned without the blocklist has hosts, proving
+	// the blocklist (not emptiness) hid them.
+	sc2 := scanner.New(u)
+	if len(sc2.ScanPrefixFast(blocked, 80, 1)) == 0 {
+		t.Skip("prefix happens to be empty on port 80")
+	}
+}
+
+// TestIntegrationDatasetConsistency cross-checks the dataset layer against
+// the universe: every record corresponds to a live, fingerprintable
+// service with identical features.
+func TestIntegrationDatasetConsistency(t *testing.T) {
+	u := netmodel.Generate(netmodel.TestParams(212))
+	d := dataset.SnapshotLZR(u, 0.3, 213)
+	fp := lzr.New(u)
+	for i, r := range d.Records {
+		if i >= 500 {
+			break
+		}
+		if !u.Responsive(r.IP, r.Port) {
+			t.Fatalf("record %v:%d not responsive", r.IP, r.Port)
+		}
+		res := fp.Fingerprint(r.IP, r.Port)
+		if res.Status != lzr.StatusService {
+			t.Fatalf("record %v:%d fingerprints as %v", r.IP, r.Port, res.Status)
+		}
+		if res.Proto != r.Proto {
+			t.Fatalf("record %v:%d protocol mismatch: %v vs %v", r.IP, r.Port, res.Proto, r.Proto)
+		}
+		if asn, _ := u.ASNOf(r.IP); asn != r.ASN {
+			t.Fatalf("record %v ASN mismatch", r.IP)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package asndb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// String renders the conventional "AS1234" form.
+func (a ASN) String() string { return fmt.Sprintf("AS%d", uint32(a)) }
+
+// Table is a longest-prefix-match routing table mapping prefixes to ASNs.
+// It is implemented as a binary (unibit) trie. The zero value is an empty
+// table ready for use. Tables are not safe for concurrent mutation, but are
+// safe for concurrent lookups once built.
+type Table struct {
+	root *node
+	n    int
+}
+
+type node struct {
+	child [2]*node
+	asn   ASN
+	set   bool
+}
+
+// Insert adds a route. Inserting the same prefix twice overwrites the
+// previous ASN.
+func (t *Table) Insert(p Prefix, asn ASN) {
+	if t.root == nil {
+		t.root = &node{}
+	}
+	cur := t.root
+	for i := uint8(0); i < p.Bits; i++ {
+		b := (uint32(p.Addr) >> (31 - i)) & 1
+		if cur.child[b] == nil {
+			cur.child[b] = &node{}
+		}
+		cur = cur.child[b]
+	}
+	if !cur.set {
+		t.n++
+	}
+	cur.asn = asn
+	cur.set = true
+}
+
+// Lookup returns the ASN of the longest matching prefix for ip, and whether
+// any route matched.
+func (t *Table) Lookup(ip IP) (ASN, bool) {
+	if t.root == nil {
+		return 0, false
+	}
+	var (
+		best   ASN
+		found  bool
+		cur    = t.root
+		addr   = uint32(ip)
+		bitpos = 31
+	)
+	if cur.set {
+		best, found = cur.asn, true
+	}
+	for cur != nil && bitpos >= 0 {
+		cur = cur.child[(addr>>bitpos)&1]
+		bitpos--
+		if cur != nil && cur.set {
+			best, found = cur.asn, true
+		}
+	}
+	return best, found
+}
+
+// Len returns the number of routes in the table.
+func (t *Table) Len() int { return t.n }
+
+// Route is one table entry, used for enumeration.
+type Route struct {
+	Prefix Prefix
+	ASN    ASN
+}
+
+// Routes returns all entries sorted by network address then prefix length.
+func (t *Table) Routes() []Route {
+	var out []Route
+	var walk func(n *node, addr uint32, depth uint8)
+	walk = func(n *node, addr uint32, depth uint8) {
+		if n == nil {
+			return
+		}
+		if n.set {
+			out = append(out, Route{Prefix: Prefix{Addr: IP(addr), Bits: depth}, ASN: n.asn})
+		}
+		walk(n.child[0], addr, depth+1)
+		walk(n.child[1], addr|1<<(31-depth), depth+1)
+	}
+	walk(t.root, 0, 0)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prefix.Addr != out[j].Prefix.Addr {
+			return out[i].Prefix.Addr < out[j].Prefix.Addr
+		}
+		return out[i].Prefix.Bits < out[j].Prefix.Bits
+	})
+	return out
+}

@@ -1,0 +1,101 @@
+// Package exhaustive implements the paper's two reference probing
+// strategies (§6.2):
+//
+//   - Optimal port-order probing: exhaustively scan the whole address
+//     space one port at a time, visiting ports in descending ground-truth
+//     popularity. This is the tightest non-predictive baseline — the
+//     minimum set of whole-port scans that maximizes services found per
+//     probe.
+//   - Oracle: a predictor with perfect knowledge that spends exactly one
+//     probe per service. This lower-bounds the bandwidth of any scanner.
+package exhaustive
+
+import (
+	"sort"
+
+	"gps/internal/dataset"
+	"gps/internal/metrics"
+	"gps/internal/netmodel"
+)
+
+// OptimalOrder returns the dataset's ports in descending service count
+// (ties toward the lower port), the order an omniscient exhaustive scanner
+// would choose.
+func OptimalOrder(d *dataset.Dataset) []uint16 {
+	pop := d.PortPopulation()
+	type pc struct {
+		port  uint16
+		count int
+	}
+	var all []pc
+	for p, c := range pop {
+		if c > 0 {
+			all = append(all, pc{uint16(p), c})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].port < all[j].port
+	})
+	out := make([]uint16, len(all))
+	for i, e := range all {
+		out[i] = e.port
+	}
+	return out
+}
+
+// Curve returns the coverage-vs-bandwidth curve of optimal port-order
+// probing against the test dataset: each step costs one full pass over
+// the address space (spaceSize probes) and finds every ground-truth
+// service on that port.
+func Curve(test *dataset.Dataset, spaceSize uint64) metrics.Curve {
+	gt := metrics.NewGroundTruth(test)
+	tr := metrics.NewTracker(gt, spaceSize)
+	byPort := make(map[uint16][]netmodel.Key)
+	for _, r := range test.Records {
+		byPort[r.Port] = append(byPort[r.Port], r.Key())
+	}
+	tr.Snapshot()
+	for _, port := range OptimalOrder(test) {
+		tr.Spend(spaceSize)
+		for _, k := range byPort[port] {
+			tr.Record(k)
+		}
+		tr.Snapshot()
+	}
+	return tr.Curve()
+}
+
+// OracleCurve returns the oracle's curve: one probe per ground-truth
+// service, sampled at `points` evenly spaced steps. The oracle visits
+// ports in optimal order too, so its normalized curve is comparable.
+func OracleCurve(test *dataset.Dataset, spaceSize uint64, points int) metrics.Curve {
+	gt := metrics.NewGroundTruth(test)
+	tr := metrics.NewTracker(gt, spaceSize)
+	byPort := make(map[uint16][]netmodel.Key)
+	for _, r := range test.Records {
+		byPort[r.Port] = append(byPort[r.Port], r.Key())
+	}
+	var ordered []netmodel.Key
+	for _, port := range OptimalOrder(test) {
+		ordered = append(ordered, byPort[port]...)
+	}
+	if points < 1 {
+		points = 1
+	}
+	step := len(ordered) / points
+	if step < 1 {
+		step = 1
+	}
+	tr.Snapshot()
+	for i, k := range ordered {
+		tr.Spend(1)
+		tr.Record(k)
+		if (i+1)%step == 0 || i == len(ordered)-1 {
+			tr.Snapshot()
+		}
+	}
+	return tr.Curve()
+}

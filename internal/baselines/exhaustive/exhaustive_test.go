@@ -1,0 +1,76 @@
+package exhaustive
+
+import (
+	"testing"
+
+	"gps/internal/dataset"
+)
+
+func tiny() *dataset.Dataset {
+	return &dataset.Dataset{Records: []dataset.Record{
+		{IP: 1, Port: 80}, {IP: 2, Port: 80}, {IP: 3, Port: 80},
+		{IP: 1, Port: 443}, {IP: 2, Port: 443},
+		{IP: 9, Port: 7777},
+	}}
+}
+
+func TestOptimalOrder(t *testing.T) {
+	order := OptimalOrder(tiny())
+	want := []uint16{80, 443, 7777}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Errorf("order[%d] = %d; want %d", i, order[i], want[i])
+		}
+	}
+}
+
+func TestCurveSemantics(t *testing.T) {
+	const space = 1000
+	c := Curve(tiny(), space)
+	// One initial point plus one per port.
+	if len(c) != 4 {
+		t.Fatalf("curve has %d points; want 4", len(c))
+	}
+	// After the first scan: 3/6 services, 1000 probes.
+	if c[1].Found != 3 || c[1].Probes != space {
+		t.Errorf("point 1 = %+v", c[1])
+	}
+	// Final: everything found at 3 full scans.
+	if f := c.Final(); f.Found != 6 || f.Probes != 3*space || f.FracAll != 1 {
+		t.Errorf("final = %+v", f)
+	}
+	// Normalized after port 80 only: (3/3)/3 = 1/3.
+	if got := c[1].FracNorm; got < 0.33 || got > 0.34 {
+		t.Errorf("norm after first port = %f", got)
+	}
+}
+
+func TestOracleCurve(t *testing.T) {
+	const space = 1000
+	c := OracleCurve(tiny(), space, 3)
+	f := c.Final()
+	if f.Found != 6 || f.Probes != 6 {
+		t.Errorf("oracle final = %+v; want 6 services in 6 probes", f)
+	}
+	if f.Precision != 1 {
+		t.Errorf("oracle precision = %f; want 1", f.Precision)
+	}
+}
+
+func TestOracleAlwaysCheaper(t *testing.T) {
+	ex := Curve(tiny(), 1000)
+	or := OracleCurve(tiny(), 1000, 6)
+	for _, frac := range []float64{0.3, 0.6, 1.0} {
+		eb, okE := ex.BandwidthFor(frac)
+		ob, okO := or.BandwidthFor(frac)
+		if !okE || !okO {
+			t.Fatalf("curves did not reach %.1f", frac)
+		}
+		if ob > eb {
+			t.Errorf("oracle spent more than exhaustive at %.1f: %d vs %d", frac, ob, eb)
+		}
+	}
+}

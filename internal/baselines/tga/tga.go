@@ -1,0 +1,208 @@
+// Package tga implements a Target Generation Algorithm baseline in the
+// style of Entropy/IP and EIP, adapted to IPv4 as §2 of the GPS paper
+// does: the model learns the structure of the addresses known to respond
+// on a port (one octet at a time instead of one IPv6 nibble) and generates
+// candidate addresses with similar structure. The paper finds TGAs
+// recover only ~19% of services because (1) they need a separate model per
+// port, (2) most ports lack enough training addresses, and (3) address
+// structure alone is weakly predictive on uncommon ports. This package
+// reproduces that negative result.
+package tga
+
+import (
+	"math/rand"
+	"sort"
+
+	"gps/internal/asndb"
+	"gps/internal/dataset"
+)
+
+// Model is a first-order Markov chain over address octets: P(o1) and
+// P(o_k | o_{k-1}) for k in 2..4, learned from a port's responsive
+// addresses. This captures the same prefix-structure signal Entropy/IP's
+// Bayesian network mines, in a compact form.
+type Model struct {
+	first [256]float64
+	trans [3][256][256]float64
+}
+
+// TrainPort fits the model on the addresses responsive on one port.
+func TrainPort(ips []asndb.IP) *Model {
+	m := &Model{}
+	var firstCount [256]int
+	var transCount [3][256][256]int
+	for _, ip := range ips {
+		o := [4]byte{ip.Octet(0), ip.Octet(1), ip.Octet(2), ip.Octet(3)}
+		firstCount[o[0]]++
+		for k := 0; k < 3; k++ {
+			transCount[k][o[k]][o[k+1]]++
+		}
+	}
+	n := len(ips)
+	for v, c := range firstCount {
+		if n > 0 {
+			m.first[v] = float64(c) / float64(n)
+		}
+	}
+	for k := 0; k < 3; k++ {
+		for prev := 0; prev < 256; prev++ {
+			total := 0
+			for _, c := range transCount[k][prev] {
+				total += c
+			}
+			if total == 0 {
+				continue
+			}
+			for v, c := range transCount[k][prev] {
+				m.trans[k][prev][v] = float64(c) / float64(total)
+			}
+		}
+	}
+	return m
+}
+
+func sample(dist *[256]float64, rng *rand.Rand) (byte, bool) {
+	r := rng.Float64()
+	acc := 0.0
+	for v := 0; v < 256; v++ {
+		acc += dist[v]
+		if r < acc {
+			return byte(v), true
+		}
+	}
+	return 0, acc > 0
+}
+
+// exploreRate is the per-octet probability of sampling uniformly instead
+// of from the learned distribution, rising toward the low octets. This
+// mirrors Entropy/IP's generation of novel values inside high-entropy
+// segments: without it, a chain trained on a handful of addresses can only
+// re-emit (recombinations of) its training set.
+var exploreRate = [4]float64{0.0, 0.02, 0.15, 0.35}
+
+// Generate produces up to n distinct candidate addresses by sampling the
+// octet chain.
+func (m *Model) Generate(n int, rng *rand.Rand) []asndb.IP {
+	seen := make(map[asndb.IP]bool, n)
+	out := make([]asndb.IP, 0, n)
+	// Cap attempts: sparse chains may not support n distinct addresses.
+	for attempts := 0; attempts < n*8 && len(out) < n; attempts++ {
+		var o0 byte
+		var ok bool
+		o0, ok = sample(&m.first, rng)
+		if !ok {
+			break
+		}
+		ip := uint32(o0) << 24
+		prev := o0
+		valid := true
+		for k := 0; k < 3; k++ {
+			var v byte
+			if rng.Float64() < exploreRate[k+1] {
+				v = byte(rng.Intn(256))
+			} else {
+				v, ok = sample(&m.trans[k][prev], rng)
+				if !ok {
+					valid = false
+					break
+				}
+			}
+			ip |= uint32(v) << (16 - 8*k)
+			prev = v
+		}
+		if !valid {
+			continue
+		}
+		addr := asndb.IP(ip)
+		if !seen[addr] {
+			seen[addr] = true
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+// Universe is the probe target.
+type Universe interface {
+	Responsive(ip asndb.IP, port uint16) bool
+}
+
+// Config parameterizes a TGA evaluation run.
+type Config struct {
+	// CandidatesPerPort is how many addresses each per-port model
+	// generates (the paper uses 1M per port; scale to the universe).
+	CandidatesPerPort int
+	// MinTrainIPs is the minimum responsive addresses needed to train a
+	// port's model; ports below it are skipped, as they would be in a
+	// real deployment (Entropy/IP needs ~1,000 addresses).
+	MinTrainIPs int
+	Seed        int64
+}
+
+// Result aggregates the evaluation.
+type Result struct {
+	PortsTrained int
+	PortsSkipped int
+	Probes       uint64
+	Found        int
+	GTTotal      int
+	FracAll      float64
+	FracNorm     float64
+}
+
+// Run trains one model per eligible port on the seed set, generates and
+// probes candidates, and measures coverage of the test set.
+func Run(u Universe, seedSet, testSet *dataset.Dataset, cfg Config) *Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	seedByPort := make(map[uint16][]asndb.IP)
+	for _, r := range seedSet.Records {
+		seedByPort[r.Port] = append(seedByPort[r.Port], r.IP)
+	}
+	gtByPort := make(map[uint16]map[asndb.IP]bool)
+	for _, r := range testSet.Records {
+		m := gtByPort[r.Port]
+		if m == nil {
+			m = make(map[asndb.IP]bool)
+			gtByPort[r.Port] = m
+		}
+		m[r.IP] = true
+	}
+
+	res := &Result{GTTotal: testSet.NumServices()}
+	ports := make([]uint16, 0, len(seedByPort))
+	for p := range seedByPort {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+
+	var normAcc float64
+	normPorts := len(gtByPort)
+	for _, port := range ports {
+		train := seedByPort[port]
+		if len(train) < cfg.MinTrainIPs {
+			res.PortsSkipped++
+			continue
+		}
+		res.PortsTrained++
+		model := TrainPort(train)
+		foundThisPort := 0
+		for _, ip := range model.Generate(cfg.CandidatesPerPort, rng) {
+			res.Probes++
+			if u.Responsive(ip, port) && gtByPort[port][ip] {
+				delete(gtByPort[port], ip) // count each service once
+				res.Found++
+				foundThisPort++
+			}
+		}
+		if gtTotal := foundThisPort + len(gtByPort[port]); gtTotal > 0 {
+			normAcc += float64(foundThisPort) / float64(gtTotal)
+		}
+	}
+	if res.GTTotal > 0 {
+		res.FracAll = float64(res.Found) / float64(res.GTTotal)
+	}
+	if normPorts > 0 {
+		res.FracNorm = normAcc / float64(normPorts)
+	}
+	return res
+}

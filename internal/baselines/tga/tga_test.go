@@ -1,0 +1,85 @@
+package tga
+
+import (
+	"math/rand"
+	"testing"
+
+	"gps/internal/asndb"
+	"gps/internal/dataset"
+	"gps/internal/netmodel"
+)
+
+func TestTrainPortAndGenerate(t *testing.T) {
+	// Train on a tight /24 population: generated candidates must stay
+	// mostly within the learned prefix structure.
+	var ips []asndb.IP
+	for i := 0; i < 100; i++ {
+		ips = append(ips, asndb.MustParseIP("10.1.2.0")+asndb.IP(i))
+	}
+	m := TrainPort(ips)
+	rng := rand.New(rand.NewSource(1))
+	cands := m.Generate(200, rng)
+	if len(cands) == 0 {
+		t.Fatal("no candidates generated")
+	}
+	inPrefix := 0
+	p := asndb.MustPrefix(asndb.MustParseIP("10.1.0.0"), 16)
+	for _, c := range cands {
+		if p.Contains(c) {
+			inPrefix++
+		}
+	}
+	// The exploration noise sends some candidates astray, but the bulk
+	// must respect the learned structure.
+	if frac := float64(inPrefix) / float64(len(cands)); frac < 0.6 {
+		t.Errorf("only %.2f of candidates inside the trained /16", frac)
+	}
+}
+
+func TestGenerateDedupes(t *testing.T) {
+	ips := []asndb.IP{asndb.MustParseIP("10.0.0.1")}
+	m := TrainPort(ips)
+	rng := rand.New(rand.NewSource(2))
+	cands := m.Generate(1000, rng)
+	seen := map[asndb.IP]bool{}
+	for _, c := range cands {
+		if seen[c] {
+			t.Fatal("duplicate candidate emitted")
+		}
+		seen[c] = true
+	}
+}
+
+func TestGenerateEmptyModel(t *testing.T) {
+	m := TrainPort(nil)
+	rng := rand.New(rand.NewSource(3))
+	if got := m.Generate(10, rng); len(got) != 0 {
+		t.Errorf("untrained model generated %d candidates", len(got))
+	}
+}
+
+func TestRunUnderperformsGPSShape(t *testing.T) {
+	u := netmodel.Generate(netmodel.TestParams(21))
+	full := dataset.SnapshotCensys(u, 100)
+	seed, test := full.Split(0.05, 22)
+	res := Run(u, seed, test, Config{
+		CandidatesPerPort: int(u.SpaceSize() / 50),
+		MinTrainIPs:       8,
+		Seed:              23,
+	})
+	if res.PortsTrained == 0 {
+		t.Fatal("no ports trained")
+	}
+	if res.PortsSkipped == 0 {
+		t.Error("no ports skipped; the training-data gate should bite")
+	}
+	if res.FracAll <= 0 {
+		t.Error("TGA found nothing at all; the structure signal should recover some services")
+	}
+	if res.FracAll > 0.5 {
+		t.Errorf("TGA found %.2f of services; the paper's point is that TGAs perform poorly", res.FracAll)
+	}
+	if res.FracNorm >= res.FracAll {
+		t.Error("TGA normalized coverage should trail overall coverage (it only finds dense ports)")
+	}
+}

@@ -1,0 +1,110 @@
+package xgboost
+
+import (
+	"gps/internal/asndb"
+	"gps/internal/dataset"
+)
+
+// featureSpace derives model inputs for the sequential scanner. The
+// feature vector for predicting port p at sequence position `pos` is:
+//
+//	[0, pos)   binary: the address responded on sequence[j]
+//	pos+0      the /16's seed density on port p
+//	pos+1      the /16's overall seed responsiveness
+//
+// Training instances come from the seed set, where all port responses are
+// known; deployment instances use the responses the scanner itself has
+// collected so far (the sequential dependency that makes the system
+// unparallelizable, per §2).
+type featureSpace struct {
+	seq     []uint16
+	seqPos  map[uint16]int
+	seedIPs []asndb.IP
+	// seedPorts[i] is the bitmask of sequence ports open on seedIPs[i].
+	seedPorts []uint32
+	// seedHas[port] marks seed hosts with the port open, for labels.
+	seedHas map[uint16]map[asndb.IP]bool
+	// subnetPortDensity is the fraction of a /16's seed hosts with a
+	// port open, keyed by subnet16<<16 | port; netDensity is the /16's
+	// seed host count. These are the network-layer features.
+	subnetPortDensity map[uint64]float32
+	netDensity        map[asndb.IP]float32
+}
+
+func newFeatureSpace(seq []uint16, seedSet *dataset.Dataset) *featureSpace {
+	fs := &featureSpace{
+		seq:               seq,
+		seqPos:            make(map[uint16]int, len(seq)),
+		seedHas:           make(map[uint16]map[asndb.IP]bool),
+		subnetPortDensity: make(map[uint64]float32),
+		netDensity:        make(map[asndb.IP]float32),
+	}
+	for i, p := range seq {
+		fs.seqPos[p] = i
+		fs.seedHas[p] = make(map[asndb.IP]bool)
+	}
+
+	hostMask := make(map[asndb.IP]uint32)
+	subnetHosts := make(map[asndb.IP]int)
+	subnetPort := make(map[uint64]int)
+	seen := make(map[asndb.IP]bool)
+	for _, r := range seedSet.Records {
+		if !seen[r.IP] {
+			seen[r.IP] = true
+			subnetHosts[asndb.SubnetOf(r.IP, 16).Addr]++
+			hostMask[r.IP] = 0
+		}
+		if pos, ok := fs.seqPos[r.Port]; ok {
+			hostMask[r.IP] |= 1 << uint(pos)
+			fs.seedHas[r.Port][r.IP] = true
+			sub := asndb.SubnetOf(r.IP, 16).Addr
+			subnetPort[uint64(sub)<<16|uint64(r.Port)]++
+		}
+	}
+	for ip, mask := range hostMask {
+		fs.seedIPs = append(fs.seedIPs, ip)
+		fs.seedPorts = append(fs.seedPorts, mask)
+	}
+	for sub, n := range subnetHosts {
+		fs.netDensity[sub] = float32(n)
+	}
+	for key, c := range subnetPort {
+		sub := asndb.IP(key >> 16)
+		if n := fs.netDensity[sub]; n > 0 {
+			fs.subnetPortDensity[key] = float32(c) / n
+		}
+	}
+	return fs
+}
+
+func (fs *featureSpace) dim() int { return len(fs.seq) + 2 }
+
+// fill writes the feature vector for an address with known response mask
+// `mask`, predicting `port` at sequence position `pos`. Features for
+// positions >= pos are zeroed (those scans have not happened yet).
+func (fs *featureSpace) fill(x []float32, ip asndb.IP, mask uint32, pos int, port uint16) {
+	for j := range fs.seq {
+		if j < pos && mask&(1<<uint(j)) != 0 {
+			x[j] = 1
+		} else {
+			x[j] = 0
+		}
+	}
+	sub := asndb.SubnetOf(ip, 16).Addr
+	x[len(fs.seq)] = fs.subnetPortDensity[uint64(sub)<<16|uint64(port)]
+	x[len(fs.seq)+1] = fs.netDensity[sub]
+}
+
+// train builds the matrix for one port from the seed set and fits a model.
+func (fs *featureSpace) train(pos int, port uint16, p Params) *Model {
+	X := make([][]float32, len(fs.seedIPs))
+	y := make([]bool, len(fs.seedIPs))
+	has := fs.seedHas[port]
+	for i, ip := range fs.seedIPs {
+		x := make([]float32, fs.dim())
+		fs.fill(x, ip, fs.seedPorts[i], pos, port)
+		X[i] = x
+		y[i] = has[ip]
+	}
+	return Train(X, y, p)
+}

@@ -1,0 +1,97 @@
+package xgboost
+
+import (
+	"testing"
+
+	"gps/internal/dataset"
+	"gps/internal/netmodel"
+)
+
+func setup(t *testing.T) (*netmodel.Universe, *dataset.Dataset, *dataset.Dataset) {
+	t.Helper()
+	u := netmodel.Generate(netmodel.TestParams(11))
+	full := dataset.SnapshotCensys(u, 100)
+	seed, test := full.Split(0.03, 12)
+	return u, seed, test
+}
+
+func TestRunSequentialShape(t *testing.T) {
+	u, seed, test := setup(t)
+	seq := []uint16{80, 443, 22, 7547}
+	res := RunSequential(u, seed, test, ScanConfig{Sequence: seq, Coverage: 0.9})
+	if len(res.Ports) != len(seq) {
+		t.Fatalf("got %d port outcomes; want %d", len(res.Ports), len(seq))
+	}
+	// Prior bandwidth is cumulative: the first port has none, later
+	// ports accumulate everything before them.
+	if res.Ports[0].PriorProbes != 0 {
+		t.Errorf("first port prior probes = %d; want 0", res.Ports[0].PriorProbes)
+	}
+	var cum uint64
+	for i, p := range res.Ports {
+		if p.Port != seq[i] {
+			t.Errorf("outcome %d port %d; want %d", i, p.Port, seq[i])
+		}
+		if p.PriorProbes != cum {
+			t.Errorf("port %d prior = %d; want %d", p.Port, p.PriorProbes, cum)
+		}
+		cum += p.ScanProbes
+		if p.GT > 0 && p.Found == 0 {
+			t.Errorf("port %d found nothing of %d GT services", p.Port, p.GT)
+		}
+	}
+	if res.TotalProbes != cum {
+		t.Errorf("TotalProbes = %d; want %d", res.TotalProbes, cum)
+	}
+	if len(res.Curve) == 0 {
+		t.Error("no curve points")
+	}
+}
+
+func TestRunSequentialReachesCoverage(t *testing.T) {
+	u, seed, test := setup(t)
+	res := RunSequential(u, seed, test, ScanConfig{Sequence: []uint16{80, 443}, Coverage: 0.85})
+	for _, p := range res.Ports {
+		if p.GT == 0 {
+			continue
+		}
+		cov := float64(p.Found) / float64(p.GT)
+		if cov < 0.85 {
+			t.Errorf("port %d coverage %.3f below target (space may be exhausted)", p.Port, cov)
+		}
+	}
+}
+
+func TestRunSequentialBeatsRandomOnLaterPorts(t *testing.T) {
+	u, seed, test := setup(t)
+	res := RunSequential(u, seed, test, ScanConfig{Sequence: []uint16{80, 443, 22}, Coverage: 0.9})
+	// Port 22 (third in sequence) has port-response features available;
+	// its probes-per-found must be far better than random probing, which
+	// needs space/GT probes per service.
+	p := res.Ports[2]
+	if p.Found == 0 || p.GT == 0 {
+		t.Skip("no SSH services in this split")
+	}
+	perFound := float64(p.ScanProbes) / float64(p.Found)
+	randomPerFound := float64(u.SpaceSize()) / float64(p.GT)
+	if perFound > randomPerFound/1.25 {
+		t.Errorf("sequential model barely beats random: %.0f vs %.0f probes/service",
+			perFound, randomPerFound)
+	}
+}
+
+func TestCoveragePerPortOverride(t *testing.T) {
+	u, seed, test := setup(t)
+	res := RunSequential(u, seed, test, ScanConfig{
+		Sequence:        []uint16{80},
+		Coverage:        0.99,
+		CoveragePerPort: map[uint16]float64{80: 0.5},
+	})
+	p := res.Ports[0]
+	if p.GT > 10 {
+		cov := float64(p.Found) / float64(p.GT)
+		if cov > 0.7 {
+			t.Errorf("override ignored: coverage %.2f with 0.5 target", cov)
+		}
+	}
+}

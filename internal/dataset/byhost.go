@@ -1,0 +1,32 @@
+package dataset
+
+import (
+	"sort"
+
+	"gps/internal/asndb"
+)
+
+// HostGroup is one host's records: the unit the probabilistic model trains
+// over, since every conditional probability in §5.2 is a statement about
+// co-occurrence on a single host.
+type HostGroup struct {
+	IP      asndb.IP
+	Records []Record
+}
+
+// ByHost groups the dataset's records per IP, sorted by IP and, within a
+// host, by port. The result is deterministic for a given dataset.
+func (d *Dataset) ByHost() []HostGroup {
+	d.index()
+	out := make([]HostGroup, 0, len(d.byIP))
+	for ip, idxs := range d.byIP {
+		g := HostGroup{IP: ip, Records: make([]Record, len(idxs))}
+		for i, idx := range idxs {
+			g.Records[i] = d.Records[idx]
+		}
+		sort.Slice(g.Records, func(i, j int) bool { return g.Records[i].Port < g.Records[j].Port })
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IP < out[j].IP })
+	return out
+}

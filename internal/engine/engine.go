@@ -1,0 +1,177 @@
+// Package engine is a small parallel aggregation engine: the stand-in for
+// Google BigQuery in the GPS pipeline (§5.5). The paper's key systems
+// claim is that GPS's conditional-probability computation is
+// embarrassingly parallel — a map/shuffle/reduce over (feature, port)
+// pairs — so a serverless warehouse executes it in minutes while a single
+// core needs days. This engine implements exactly that shape: workers map
+// input shards to key/value pairs, a hash shuffle routes pairs to
+// reducers, and reducers merge concurrently. Setting Workers to 1 gives
+// the paper's single-core comparison point (§6.5, Table 2).
+package engine
+
+import (
+	"hash/maphash"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Config controls execution.
+type Config struct {
+	// Workers is the mapper/reducer parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Resolve returns the effective worker count.
+func (c Config) Resolve() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stats accumulates engine work counters, the analogue of BigQuery's
+// "data processed / shuffled" accounting in Table 2.
+type Stats struct {
+	RecordsIn    atomic.Uint64 // input records mapped
+	PairsEmitted atomic.Uint64 // key/value pairs shuffled
+}
+
+// Emit is the callback mappers use to produce a key/value pair.
+type Emit[K comparable, V any] func(K, V)
+
+// MapReduce runs mapFn over items in parallel, shuffles emitted pairs by
+// key hash, and folds values per key with reduceFn. The result map holds
+// one entry per distinct key. Deterministic given deterministic callbacks:
+// reduceFn must be commutative and associative.
+func MapReduce[T any, K comparable, V any](
+	cfg Config, stats *Stats, items []T,
+	mapFn func(T, Emit[K, V]),
+	reduceFn func(V, V) V,
+) map[K]V {
+	workers := cfg.Resolve()
+	if workers > len(items) && len(items) > 0 {
+		workers = len(items)
+	}
+	if len(items) == 0 {
+		return map[K]V{}
+	}
+	// Each mapper owns `shards` maps; reducer s merges shard s of every
+	// mapper. The shard count equals the worker count so reduce
+	// parallelism matches map parallelism.
+	shards := workers
+	seed := maphash.MakeSeed()
+	local := make([][]map[K]V, workers)
+
+	var wg sync.WaitGroup
+	chunk := (len(items) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		if lo >= hi {
+			local[w] = make([]map[K]V, shards)
+			for s := range local[w] {
+				local[w][s] = map[K]V{}
+			}
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			mine := make([]map[K]V, shards)
+			for s := range mine {
+				mine[s] = make(map[K]V)
+			}
+			var pairs, recs uint64
+			emit := func(k K, v V) {
+				s := int(maphash.Comparable(seed, k) % uint64(shards))
+				m := mine[s]
+				if old, ok := m[k]; ok {
+					m[k] = reduceFn(old, v)
+				} else {
+					m[k] = v
+				}
+				pairs++
+			}
+			for i := lo; i < hi; i++ {
+				mapFn(items[i], emit)
+				recs++
+			}
+			local[w] = mine
+			if stats != nil {
+				stats.RecordsIn.Add(recs)
+				stats.PairsEmitted.Add(pairs)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Reduce phase: merge shard s across all mappers, in parallel.
+	merged := make([]map[K]V, shards)
+	var rg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		rg.Add(1)
+		go func(s int) {
+			defer rg.Done()
+			dst := local[0][s]
+			for w := 1; w < workers; w++ {
+				for k, v := range local[w][s] {
+					if old, ok := dst[k]; ok {
+						dst[k] = reduceFn(old, v)
+					} else {
+						dst[k] = v
+					}
+				}
+			}
+			merged[s] = dst
+		}(s)
+	}
+	rg.Wait()
+
+	// Collapse shards into one map for the caller.
+	total := 0
+	for _, m := range merged {
+		total += len(m)
+	}
+	out := make(map[K]V, total)
+	for _, m := range merged {
+		for k, v := range m {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// GroupCount is MapReduce specialized to counting keys.
+func GroupCount[T any, K comparable](cfg Config, stats *Stats, items []T, keysOf func(T, Emit[K, uint64])) map[K]uint64 {
+	return MapReduce(cfg, stats, items, keysOf, func(a, b uint64) uint64 { return a + b })
+}
+
+// ParallelFor splits [0, n) into contiguous chunks and runs body on each
+// chunk concurrently.
+func ParallelFor(cfg Config, n int, body func(lo, hi int)) {
+	workers := cfg.Resolve()
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

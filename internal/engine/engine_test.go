@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestGroupCountBasic(t *testing.T) {
+	items := []string{"a", "b", "a", "c", "a", "b"}
+	got := GroupCount(Config{}, nil, items, func(s string, emit Emit[string, uint64]) {
+		emit(s, 1)
+	})
+	want := map[string]uint64{"a": 3, "b": 2, "c": 1}
+	if len(got) != len(want) {
+		t.Fatalf("got %d keys; want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("count[%q] = %d; want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestGroupCountEmpty(t *testing.T) {
+	got := GroupCount(Config{}, nil, nil, func(int, Emit[int, uint64]) {})
+	if len(got) != 0 {
+		t.Errorf("empty input produced %d keys", len(got))
+	}
+}
+
+// TestMapReduceParallelMatchesSerial property: results are identical for
+// 1 worker and N workers, for random inputs.
+func TestMapReduceParallelMatchesSerial(t *testing.T) {
+	f := func(data []uint16) bool {
+		mapFn := func(v uint16, emit Emit[uint16, uint64]) {
+			emit(v%64, uint64(v))
+			emit(v%7, 1)
+		}
+		add := func(a, b uint64) uint64 { return a + b }
+		serial := MapReduce(Config{Workers: 1}, nil, data, mapFn, add)
+		parallel := MapReduce(Config{Workers: 8}, nil, data, mapFn, add)
+		if len(serial) != len(parallel) {
+			return false
+		}
+		for k, v := range serial {
+			if parallel[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapReduceMaxReduce(t *testing.T) {
+	items := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	got := MapReduce(Config{}, nil, items, func(v int, emit Emit[string, int]) {
+		emit("max", v)
+	}, func(a, b int) int {
+		if a > b {
+			return a
+		}
+		return b
+	})
+	if got["max"] != 9 {
+		t.Errorf("max = %d; want 9", got["max"])
+	}
+}
+
+func TestMapReduceStats(t *testing.T) {
+	var stats Stats
+	items := make([]int, 100)
+	MapReduce(Config{Workers: 4}, &stats, items, func(v int, emit Emit[int, uint64]) {
+		emit(v, 1)
+		emit(v+1, 1)
+	}, func(a, b uint64) uint64 { return a + b })
+	if got := stats.RecordsIn.Load(); got != 100 {
+		t.Errorf("RecordsIn = %d; want 100", got)
+	}
+	if got := stats.PairsEmitted.Load(); got != 200 {
+		t.Errorf("PairsEmitted = %d; want 200", got)
+	}
+}
+
+func TestParallelForCoversAll(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		n := 1000
+		var covered [1000]atomic.Bool
+		ParallelFor(Config{Workers: workers}, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if covered[i].Swap(true) {
+					t.Errorf("index %d visited twice", i)
+				}
+			}
+		})
+		for i := range covered {
+			if !covered[i].Load() {
+				t.Fatalf("workers=%d: index %d not visited", workers, i)
+			}
+		}
+	}
+}
+
+func TestParallelForEmpty(t *testing.T) {
+	called := false
+	ParallelFor(Config{}, 0, func(lo, hi int) { called = true })
+	if called {
+		t.Error("body called for n=0")
+	}
+}
+
+func TestConfigResolve(t *testing.T) {
+	if (Config{Workers: 3}).Resolve() != 3 {
+		t.Error("explicit workers not honored")
+	}
+	if (Config{}).Resolve() < 1 {
+		t.Error("default workers must be >= 1")
+	}
+}
+
+func TestMapReduceMoreWorkersThanItems(t *testing.T) {
+	got := MapReduce(Config{Workers: 64}, nil, []int{1, 2}, func(v int, emit Emit[int, uint64]) {
+		emit(v, 1)
+	}, func(a, b uint64) uint64 { return a + b })
+	if len(got) != 2 || got[1] != 1 || got[2] != 1 {
+		t.Errorf("got %v", got)
+	}
+}

@@ -1,0 +1,129 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6, §7, Appendices) against the synthetic universe. Each
+// experiment is a function returning a renderable result; the gpseval
+// command and the repository's benchmarks drive them. Absolute numbers
+// differ from the paper (the substrate is a synthetic Internet, not the
+// 2021 IPv4 space) but each experiment asserts the paper's qualitative
+// shape and EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"gps"
+	"gps/internal/dataset"
+	"gps/internal/metrics"
+	"gps/internal/netmodel"
+)
+
+// Scale selects how large a universe the experiments run against.
+type Scale struct {
+	Name string
+	// Params generates the universe.
+	Params netmodel.Params
+	// CensysPorts is how many top ports the Censys-style snapshot scans
+	// (the paper's ~2K, scaled to the universe's port population).
+	CensysPorts int
+	// LZRFraction is the address sample of the LZR-style snapshot (the
+	// paper's 1%). Scaled up because the synthetic universe is smaller.
+	LZRFraction float64
+	// SeedFractions used by the individual experiments, expressed as
+	// fractions of the full address space (the paper's 2%, 1%, 0.5%,
+	// 0.1%). Scaled up for the smaller universe so seeds hold enough
+	// hosts to learn from.
+	SeedLarge, SeedMid, SeedSmall, SeedTiny float64
+	// CurvePoints is how many samples each coverage curve keeps.
+	CurvePoints int
+}
+
+// SmallScale is sized for unit tests: sub-second experiments.
+func SmallScale(seed int64) Scale {
+	return Scale{
+		Name:        "small",
+		Params:      netmodel.TestParams(seed),
+		CensysPorts: 200,
+		LZRFraction: 0.30,
+		SeedLarge:   0.08, SeedMid: 0.04, SeedSmall: 0.02, SeedTiny: 0.005,
+		CurvePoints: 60,
+	}
+}
+
+// DefaultScale is the benchmark size: a few seconds per experiment.
+func DefaultScale(seed int64) Scale {
+	return Scale{
+		Name:        "default",
+		Params:      netmodel.DefaultParams(seed),
+		CensysPorts: 2000,
+		LZRFraction: 0.10,
+		SeedLarge:   0.02, SeedMid: 0.01, SeedSmall: 0.005, SeedTiny: 0.001,
+		CurvePoints: 120,
+	}
+}
+
+// Setup bundles a universe with the two ground-truth snapshots of §6.1.
+type Setup struct {
+	Scale    Scale
+	Universe *netmodel.Universe
+	// Censys is the Censys-style dataset: 100% scans of the top ports.
+	Censys *dataset.Dataset
+	// LZR is the LZR-style dataset: a random sample across all ports.
+	LZR *dataset.Dataset
+}
+
+// NewSetup generates the universe and snapshots once; experiments share it.
+func NewSetup(sc Scale) *Setup {
+	u := netmodel.Generate(sc.Params)
+	return &Setup{
+		Scale:    sc,
+		Universe: u,
+		Censys:   dataset.SnapshotCensys(u, sc.CensysPorts),
+		LZR:      dataset.SnapshotLZR(u, sc.LZRFraction, sc.Params.Seed^0x11),
+	}
+}
+
+// SplitEval prepares a seed/test evaluation pair from a dataset following
+// §6.1: split by IP, then (for all-port datasets) filter both sides to
+// ports with more than two responsive seed IPs.
+func SplitEval(d *dataset.Dataset, seedFraction float64, filterPorts bool, seed int64) (seedSet, testSet *dataset.Dataset) {
+	seedSet, testSet = d.Split(seedFraction, seed)
+	if filterPorts {
+		eligible := seedSet.EligiblePorts(2)
+		seedSet = seedSet.FilterPorts(eligible)
+		testSet = testSet.FilterPorts(eligible)
+	}
+	return seedSet, testSet
+}
+
+// GPSCurve converts a GPS run's discovery log into a coverage curve
+// against the test ground truth, sampled at `points` positions. When
+// includeSeed is true the seed collection bandwidth is prepended (Figure 6
+// includes it; Figure 2 does not).
+func GPSCurve(res *gps.Result, testSet *dataset.Dataset, space uint64, points int, includeSeed bool) metrics.Curve {
+	gt := metrics.NewGroundTruth(testSet)
+	tr := metrics.NewTracker(gt, space)
+	if includeSeed {
+		tr.Spend(res.SeedProbes)
+	}
+	tr.Snapshot()
+	if points < 1 {
+		points = 1
+	}
+	step := len(res.Discoveries)/points + 1
+	last := uint64(0)
+	for i, d := range res.Discoveries {
+		// Advance spend to the discovery's cumulative probe count.
+		if d.Probes > last {
+			tr.Spend(d.Probes - last)
+			last = d.Probes
+		}
+		tr.Record(d.Key)
+		if (i+1)%step == 0 || i == len(res.Discoveries)-1 {
+			tr.Snapshot()
+		}
+	}
+	// Account the full scan bandwidth even if the tail found nothing.
+	total := res.TotalScanProbes()
+	if total > last {
+		tr.Spend(total - last)
+	}
+	tr.Snapshot()
+	return tr.Curve()
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+)
+
+// sharedSetup builds the small-scale setup once per test binary; the
+// experiments are read-only against it.
+var (
+	setupOnce sync.Once
+	setupVal  *Setup
+)
+
+func testSetup(t *testing.T) *Setup {
+	t.Helper()
+	setupOnce.Do(func() { setupVal = NewSetup(SmallScale(99)) })
+	return setupVal
+}
+
+func TestFigure2Panels(t *testing.T) {
+	s := testSetup(t)
+	for _, v := range []Fig2Variant{
+		{Censys: true}, {Censys: false},
+		{Censys: true, Normalized: true}, {Censys: false, Normalized: true},
+	} {
+		v := v
+		t.Run(v.PanelName(), func(t *testing.T) {
+			r := Figure2(s, v)
+			t.Log(r.Figure().Render())
+			if r.FinalGPS < 0.3 {
+				t.Errorf("GPS final coverage %.2f too low", r.FinalGPS)
+			}
+			if r.SavingsAtFinal < 1 {
+				t.Errorf("GPS should beat optimal port-order probing; savings %.2fx", r.SavingsAtFinal)
+			}
+			// The oracle must lower-bound everyone's bandwidth.
+			ob, okO := r.Oracle.BandwidthFor(r.FinalGPS * 0.9)
+			gb, okG := r.GPS.BandwidthFor(r.FinalGPS * 0.9)
+			if okO && okG && ob > gb {
+				t.Errorf("oracle used more bandwidth (%d) than GPS (%d)", ob, gb)
+			}
+		})
+	}
+}
+
+func TestFigure3Precision(t *testing.T) {
+	s := testSetup(t)
+	r := Figure3(s)
+	t.Log(r.Figure().Render())
+	if r.PrecisionRatioMid < 5 {
+		t.Errorf("GPS precision advantage %.1fx; want order(s) of magnitude", r.PrecisionRatioMid)
+	}
+}
+
+func TestFigure4XGBoost(t *testing.T) {
+	s := testSetup(t)
+	r := Figure4(s)
+	for _, tb := range r.Tables(s.Universe.SpaceSize()) {
+		t.Log(tb.Render())
+	}
+	t.Log(r.FigureC().Render())
+	if r.AvgPriorSavings < 1 {
+		t.Errorf("GPS prior-bandwidth savings %.2fx; paper reports 5.7x average", r.AvgPriorSavings)
+	}
+	if len(r.Ports) == 0 {
+		t.Fatal("no per-port results")
+	}
+}
+
+func TestFigure5StepSize(t *testing.T) {
+	s := testSetup(t)
+	r := Figure5(s, []uint8{0, 12, 16, 20})
+	t.Log(r.Figure().Render())
+	// Smaller steps (longer prefixes) must not use more bandwidth than
+	// /0 whole-space scanning at the priors stage; and /0 should reach
+	// at least as much normalized coverage as /20.
+	cov0 := r.Curves[0].Final().FracNorm
+	cov20 := r.Curves[len(r.Curves)-1].Final().FracNorm
+	if cov0+1e-9 < cov20 {
+		t.Errorf("/0 step coverage %.3f below /20 step %.3f; larger steps should recall more", cov0, cov20)
+	}
+	bw0 := r.Curves[0].Final().Probes
+	bw20 := r.Curves[len(r.Curves)-1].Final().Probes
+	if bw20 > bw0 {
+		t.Errorf("/20 step used more bandwidth (%d) than /0 (%d)", bw20, bw0)
+	}
+}
+
+func TestFigure6SeedSize(t *testing.T) {
+	s := testSetup(t)
+	r := Figure6(s, nil)
+	for _, f := range r.Figures() {
+		t.Log(f.Render())
+	}
+	n := len(r.SeedFractions)
+	if r.FinalNorm[n-1] < r.FinalNorm[0] {
+		t.Errorf("largest seed %.3f norm coverage below smallest %.3f; larger seeds should find more normalized services",
+			r.FinalNorm[n-1], r.FinalNorm[0])
+	}
+}
+
+func TestTables(t *testing.T) {
+	s := testSetup(t)
+	t1 := Table1(s)
+	t.Log(t1.Render())
+	if len(t1.Rows) != 25 {
+		t.Errorf("Table 1 has %d rows; want 25 features", len(t1.Rows))
+	}
+	t2 := Table2(s)
+	t.Log(t2.Table(s.Universe.SpaceSize()).Render())
+	if t2.SingleCore < t2.Parallel {
+		t.Logf("warning: single-core compute (%v) faster than parallel (%v) at this scale", t2.SingleCore, t2.Parallel)
+	}
+	t3 := Table3(s)
+	t.Log(t3.Table(5).Render())
+	if len(t3.Rows) == 0 || t3.UniqueRules == 0 {
+		t.Error("Table 3 found no predictive tuples")
+	}
+	t4 := Table4(s)
+	t.Log(t4.Render())
+	if len(t4.Rows) == 0 {
+		t.Error("Table 4 empty")
+	}
+}
+
+func TestBaselineExperiments(t *testing.T) {
+	s := testSetup(t)
+	tgaRes := TGAExperiment(s)
+	t.Log(tgaRes.Table().Render())
+	if tgaRes.TGA.FracAll > 0.6 {
+		t.Errorf("TGA found %.2f of services; paper says TGAs perform poorly (~19%%)", tgaRes.TGA.FracAll)
+	}
+	rec := RecommenderExperiment(s)
+	t.Log(rec.Table().Render())
+	if rec.Rec.FracNorm > 0.3 {
+		t.Errorf("recommender normalized coverage %.2f; paper reports ~1.5%%", rec.Rec.FracNorm)
+	}
+}
+
+func TestMiscExperiments(t *testing.T) {
+	s := testSetup(t)
+	ab := AppendixB(s)
+	t.Log(ab.Table().Render())
+	if ab.Recall < 0.999 {
+		t.Errorf("pseudo filter recall %.3f; paper reports 100%%", ab.Recall)
+	}
+	if ab.Precision < 0.9 {
+		t.Errorf("pseudo filter precision %.3f; paper reports 99%%", ab.Precision)
+	}
+
+	s7 := Section7Limits(s)
+	t.Log(s7.Table().Render())
+	if s7.NormCoverage < 0.5 {
+		t.Errorf("ideal-conditions normalized coverage %.2f; paper reports ~80%%", s7.NormCoverage)
+	}
+
+	ch := ChurnStudy(s)
+	t.Log(ch.Table().Render())
+	if ch.ServicesLost <= 0 || ch.ServicesLost > 0.3 {
+		t.Errorf("service churn %.3f outside plausible range", ch.ServicesLost)
+	}
+	if ch.NormalizedLost < ch.ServicesLost {
+		t.Errorf("normalized churn %.3f below overall churn %.3f; uncommon ports should churn faster",
+			ch.NormalizedLost, ch.ServicesLost)
+	}
+
+	s4 := Section4Properties(s)
+	t.Log(s4.Table().Render())
+	if s4.CoOccurrence25 < 0.5 {
+		t.Errorf("only %.2f of ports show 25%% second-port co-occurrence", s4.CoOccurrence25)
+	}
+	if s4.SameSubnetShare < s4.UncommonSameSubnet {
+		t.Errorf("subnet clustering should weaken on uncommon ports (%.2f overall vs %.2f uncommon)",
+			s4.SameSubnetShare, s4.UncommonSameSubnet)
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gps"
+	"gps/internal/baselines/exhaustive"
+	"gps/internal/dataset"
+	"gps/internal/metrics"
+)
+
+// Fig2Variant selects one of Figure 2's four panels.
+type Fig2Variant struct {
+	// Censys selects the Censys-style dataset (panels a/c); otherwise
+	// the LZR-style all-port dataset (panels b/d).
+	Censys bool
+	// Normalized plots Equation 2 (panels c/d) instead of Equation 1.
+	Normalized bool
+}
+
+// PanelName returns the paper's panel label.
+func (v Fig2Variant) PanelName() string {
+	switch {
+	case v.Censys && !v.Normalized:
+		return "2a"
+	case !v.Censys && !v.Normalized:
+		return "2b"
+	case v.Censys && v.Normalized:
+		return "2c"
+	default:
+		return "2d"
+	}
+}
+
+// Fig2Result carries the three curves of one panel.
+type Fig2Result struct {
+	Variant    Fig2Variant
+	GPS        metrics.Curve
+	Exhaustive metrics.Curve
+	Oracle     metrics.Curve
+	// FinalGPS is GPS's terminal coverage on the panel's metric.
+	FinalGPS float64
+	// SavingsAtFinal is how many times less bandwidth GPS used than
+	// optimal port-order probing to reach its own final coverage.
+	SavingsAtFinal float64
+}
+
+// Figure2 reproduces one panel of Figure 2: GPS vs exhaustive optimal
+// port-order probing vs the oracle, as coverage-vs-bandwidth curves.
+func Figure2(s *Setup, v Fig2Variant) *Fig2Result {
+	var seedSet, testSet *dataset.Dataset
+	var cfg gps.Config
+	if v.Censys {
+		seedSet, testSet = SplitEval(s.Censys, s.Scale.SeedLarge, false, 7)
+		cfg = gps.Config{StepBits: 16, Seed: 7}
+	} else {
+		seedSet, testSet = SplitEval(s.LZR, s.Scale.SeedSmall, true, 7)
+		cfg = gps.Config{StepBits: 16, Seed: 7}
+	}
+	res, err := gps.Run(s.Universe, seedSet, cfg)
+	if err != nil {
+		panic(err)
+	}
+	space := s.Universe.SpaceSize()
+	out := &Fig2Result{
+		Variant:    v,
+		GPS:        GPSCurve(res, testSet, space, s.Scale.CurvePoints, false),
+		Exhaustive: exhaustive.Curve(testSet, space),
+		Oracle:     exhaustive.OracleCurve(testSet, space, s.Scale.CurvePoints),
+	}
+	final := out.GPS.Final()
+	if v.Normalized {
+		out.FinalGPS = final.FracNorm
+		if bw, ok := out.Exhaustive.BandwidthForNorm(out.FinalGPS); ok && final.Probes > 0 {
+			out.SavingsAtFinal = float64(bw) / float64(final.Probes)
+		}
+	} else {
+		out.FinalGPS = final.FracAll
+		if bw, ok := out.Exhaustive.BandwidthFor(out.FinalGPS); ok && final.Probes > 0 {
+			out.SavingsAtFinal = float64(bw) / float64(final.Probes)
+		}
+	}
+	return out
+}
+
+// Figure returns the renderable form.
+func (r *Fig2Result) Figure() Figure {
+	yl := "fraction of services (Eq. 1)"
+	ysel := func(p metrics.Point) float64 { return p.FracAll }
+	if r.Variant.Normalized {
+		yl = "fraction of normalized services (Eq. 2)"
+		ysel = func(p metrics.Point) float64 { return p.FracNorm }
+	}
+	return Figure{
+		Title:  "Figure " + r.Variant.PanelName() + ": service discovery vs bandwidth",
+		XLabel: "bandwidth (# of 100% scans)",
+		YLabel: yl,
+		Series: []Series{
+			{Name: "GPS", Curve: r.GPS, Y: ysel},
+			{Name: "exhaustive, optimal order", Curve: r.Exhaustive, Y: ysel},
+			{Name: "oracle", Curve: r.Oracle, Y: ysel},
+		},
+		Notes: []string{
+			fmt.Sprintf("GPS final coverage %s using %.1fx less bandwidth than optimal port-order probing",
+				fmtPct(r.FinalGPS), r.SavingsAtFinal),
+		},
+	}
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gps"
+	"gps/internal/baselines/exhaustive"
+	"gps/internal/metrics"
+)
+
+// Fig5Result carries the step-size sweep of Figure 5 / Appendix D.1.
+type Fig5Result struct {
+	// Curves maps each step size (prefix bits; 0 = /0) to GPS's
+	// normalized-coverage curve.
+	Steps      []uint8
+	Curves     []metrics.Curve
+	Exhaustive metrics.Curve
+}
+
+// Figure5 sweeps the scanning step size on the Censys-style dataset. The
+// paper's finding: smaller steps (longer prefixes) save bandwidth early
+// but plateau at lower coverage; larger steps find more services at much
+// higher cost.
+func Figure5(s *Setup, steps []uint8) *Fig5Result {
+	if steps == nil {
+		steps = []uint8{0, 4, 8, 12, 16, 20}
+	}
+	seedSet, testSet := SplitEval(s.Censys, s.Scale.SeedMid, false, 21)
+	space := s.Universe.SpaceSize()
+	out := &Fig5Result{Steps: steps, Exhaustive: exhaustive.Curve(testSet, space)}
+	for _, bits := range steps {
+		cfg := gps.Config{StepBits: bits, Seed: 21}
+		if bits == 0 {
+			cfg.StepZero = true
+		}
+		res, err := gps.Run(s.Universe, seedSet, cfg)
+		if err != nil {
+			panic(err)
+		}
+		out.Curves = append(out.Curves, GPSCurve(res, testSet, space, s.Scale.CurvePoints, false))
+	}
+	return out
+}
+
+// Figure returns the renderable form.
+func (r *Fig5Result) Figure() Figure {
+	ysel := func(p metrics.Point) float64 { return p.FracNorm }
+	f := Figure{
+		Title:  "Figure 5: varying scanning step size (Censys)",
+		XLabel: "fraction of normalized services found -> bandwidth",
+		YLabel: "bandwidth (100% scans) to reach coverage",
+	}
+	for i, bits := range r.Steps {
+		f.Series = append(f.Series, Series{
+			Name:  fmt.Sprintf("/%d step", bits),
+			Curve: r.Curves[i],
+			Y:     ysel,
+		})
+	}
+	f.Series = append(f.Series, Series{Name: "exhaustive", Curve: r.Exhaustive, Y: ysel})
+	return f
+}
+
+// Fig6Result carries the seed-size sweep of Figure 6 / Appendix D.2. The
+// curves include seed collection bandwidth, as the paper's Figure 6 does.
+type Fig6Result struct {
+	SeedFractions []float64
+	Curves        []metrics.Curve
+	Exhaustive    metrics.Curve
+	// FinalNorm/FinalAll record terminal coverage per seed size.
+	FinalNorm []float64
+	FinalAll  []float64
+}
+
+// Figure6 sweeps the seed size on the Censys-style dataset. The paper's
+// finding: larger seeds lift normalized coverage (rare patterns need more
+// samples) but barely move overall coverage.
+func Figure6(s *Setup, fractions []float64) *Fig6Result {
+	if fractions == nil {
+		fractions = []float64{s.Scale.SeedTiny, s.Scale.SeedSmall, s.Scale.SeedMid, s.Scale.SeedLarge}
+	}
+	space := s.Universe.SpaceSize()
+	out := &Fig6Result{SeedFractions: fractions}
+	for _, frac := range fractions {
+		seedSet, testSet := SplitEval(s.Censys, frac, false, 23)
+		// Seed collection cost: a fresh random sample scan across the
+		// dataset's ports (Censys-style seeds only scan those ports).
+		seedSet.CollectionProbes = uint64(frac * float64(space) * float64(len(s.Censys.Ports)))
+		res, err := gps.Run(s.Universe, seedSet, gps.Config{StepBits: 16, Seed: 23})
+		if err != nil {
+			panic(err)
+		}
+		c := GPSCurve(res, testSet, space, s.Scale.CurvePoints, true)
+		out.Curves = append(out.Curves, c)
+		out.FinalNorm = append(out.FinalNorm, c.Final().FracNorm)
+		out.FinalAll = append(out.FinalAll, c.Final().FracAll)
+		if out.Exhaustive == nil {
+			out.Exhaustive = exhaustive.Curve(testSet, space)
+		}
+	}
+	return out
+}
+
+// Figures returns the two renderable panels (normalized, all).
+func (r *Fig6Result) Figures() []Figure {
+	norm := Figure{
+		Title:  "Figure 6a: varying seed size, normalized service discovery (Censys)",
+		XLabel: "bandwidth incl. seed collection (# of 100% scans)",
+		YLabel: "fraction of normalized services",
+	}
+	all := Figure{
+		Title:  "Figure 6b: varying seed size, service discovery (Censys)",
+		XLabel: "bandwidth incl. seed collection (# of 100% scans)",
+		YLabel: "fraction of services",
+	}
+	for i, frac := range r.SeedFractions {
+		name := fmt.Sprintf("seed %.2f%%", 100*frac)
+		norm.Series = append(norm.Series, Series{Name: name, Curve: r.Curves[i],
+			Y: func(p metrics.Point) float64 { return p.FracNorm }})
+		all.Series = append(all.Series, Series{Name: name, Curve: r.Curves[i],
+			Y: func(p metrics.Point) float64 { return p.FracAll }})
+	}
+	ex := Series{Name: "exhaustive", Curve: r.Exhaustive,
+		Y: func(p metrics.Point) float64 { return p.FracNorm }}
+	norm.Series = append(norm.Series, ex)
+	return []Figure{norm, all}
+}

@@ -1,0 +1,149 @@
+package features
+
+import "testing"
+
+func TestAllKeysCount(t *testing.T) {
+	keys := AllKeys()
+	if len(keys) != 25 {
+		t.Fatalf("AllKeys() = %d keys; Table 1 defines 25", len(keys))
+	}
+	if NumKeys != 25 {
+		t.Fatalf("NumKeys = %d; want 25", NumKeys)
+	}
+	seen := map[Key]bool{}
+	for _, k := range keys {
+		if !k.Valid() {
+			t.Errorf("key %v invalid", k)
+		}
+		if seen[k] {
+			t.Errorf("key %v duplicated", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestKeyClassification(t *testing.T) {
+	app, net := 0, 0
+	for _, k := range AllKeys() {
+		switch {
+		case k.IsApplication():
+			app++
+		case k.IsNetwork():
+			net++
+		default:
+			t.Errorf("key %v neither application nor network", k)
+		}
+	}
+	// 23 transport/application features plus /16 and ASN.
+	if app != 23 || net != 2 {
+		t.Errorf("app=%d net=%d; want 23/2", app, net)
+	}
+	if KeyNone.Valid() {
+		t.Error("KeyNone must be invalid")
+	}
+}
+
+func TestExtendedSubnetKeys(t *testing.T) {
+	for _, k := range CandidateNetworkKeys() {
+		if !k.Valid() {
+			t.Errorf("candidate key %v invalid", k)
+		}
+		if !k.IsNetwork() {
+			t.Errorf("candidate key %v not network", k)
+		}
+	}
+	cases := []struct {
+		k    Key
+		bits uint8
+		ok   bool
+	}{
+		{KeySubnet16, 16, true},
+		{KeySubnet17, 17, true},
+		{KeySubnet20, 20, true},
+		{KeySubnet23, 23, true},
+		{KeyASN, 0, false},
+		{KeyHTTPServer, 0, false},
+	}
+	for _, c := range cases {
+		bits, ok := c.k.SubnetBits()
+		if ok != c.ok || bits != c.bits {
+			t.Errorf("SubnetBits(%v) = %d,%v; want %d,%v", c.k, bits, ok, c.bits, c.ok)
+		}
+	}
+}
+
+func TestKeyNames(t *testing.T) {
+	if KeyProtocol.String() != "Protocol" {
+		t.Errorf("KeyProtocol name %q", KeyProtocol)
+	}
+	if KeySubnet16.String() != "IP's /16 subnetwork" {
+		t.Errorf("KeySubnet16 name %q", KeySubnet16)
+	}
+	if Key(200).String() == "" {
+		t.Error("out-of-range key must render something")
+	}
+}
+
+func TestSetValuesOrderedAndCloned(t *testing.T) {
+	s := Set{KeySSHBanner: "b", KeyProtocol: "ssh", KeyHTTPServer: "n"}
+	vals := s.Values()
+	if len(vals) != 3 {
+		t.Fatalf("Values() = %d entries", len(vals))
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i-1].Key >= vals[i].Key {
+			t.Error("Values() not sorted by key")
+		}
+	}
+	if v, ok := s.Get(KeyProtocol); !ok || v != "ssh" {
+		t.Error("Get failed")
+	}
+	if _, ok := s.Get(KeyVNCDesktopName); ok {
+		t.Error("Get returned absent key")
+	}
+	c := s.Clone()
+	c[KeyProtocol] = "changed"
+	if s[KeyProtocol] != "ssh" {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	v := Value{Key: KeyHTTPServer, Val: "nginx"}
+	if v.String() != "HTTP: Server=nginx" {
+		t.Errorf("Value.String() = %q", v.String())
+	}
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	if NumProtocols != 15 {
+		t.Fatalf("NumProtocols = %d; the paper names 15 banner protocols", NumProtocols)
+	}
+	for _, p := range AllProtocols() {
+		if ParseProtocol(p.String()) != p {
+			t.Errorf("ParseProtocol(%q) != %v", p.String(), p)
+		}
+	}
+	if ParseProtocol("nosuch") != ProtocolUnknown {
+		t.Error("unknown protocol must parse to Unknown")
+	}
+	if Protocol(99).String() != "unknown" {
+		t.Error("out-of-range protocol must be unknown")
+	}
+}
+
+func TestBannerKeys(t *testing.T) {
+	for _, p := range AllProtocols() {
+		k, ok := p.BannerKey()
+		if !ok {
+			t.Errorf("protocol %v has no banner key", p)
+			continue
+		}
+		if !k.IsApplication() {
+			t.Errorf("banner key %v of %v is not an application feature", k, p)
+		}
+	}
+	if _, ok := ProtocolUnknown.BannerKey(); ok {
+		t.Error("Unknown protocol must not have a banner key")
+	}
+}

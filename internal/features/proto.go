@@ -1,0 +1,118 @@
+package features
+
+// Protocol identifies the application-layer protocol a service speaks.
+// GPS's feature set spans the 15 TCP protocols for which Censys exposes a
+// banner (§5.2); ProtocolUnknown covers everything else.
+type Protocol uint8
+
+// The 15 banner-bearing protocols of Table 1, plus Unknown.
+const (
+	ProtocolUnknown Protocol = iota
+	ProtocolHTTP
+	ProtocolTLS
+	ProtocolSSH
+	ProtocolVNC
+	ProtocolSMTP
+	ProtocolFTP
+	ProtocolIMAP
+	ProtocolPOP3
+	ProtocolCWMP
+	ProtocolTelnet
+	ProtocolPPTP
+	ProtocolMySQL
+	ProtocolMemcached
+	ProtocolMSSQL
+	ProtocolIPMI
+
+	numProtocols
+)
+
+// NumProtocols is the number of named protocols, excluding Unknown.
+const NumProtocols = int(numProtocols) - 1
+
+var protoNames = [...]string{
+	ProtocolUnknown:   "unknown",
+	ProtocolHTTP:      "http",
+	ProtocolTLS:       "tls",
+	ProtocolSSH:       "ssh",
+	ProtocolVNC:       "vnc",
+	ProtocolSMTP:      "smtp",
+	ProtocolFTP:       "ftp",
+	ProtocolIMAP:      "imap",
+	ProtocolPOP3:      "pop3",
+	ProtocolCWMP:      "cwmp",
+	ProtocolTelnet:    "telnet",
+	ProtocolPPTP:      "pptp",
+	ProtocolMySQL:     "mysql",
+	ProtocolMemcached: "memcached",
+	ProtocolMSSQL:     "mssql",
+	ProtocolIPMI:      "ipmi",
+}
+
+// String returns the protocol's lowercase name.
+func (p Protocol) String() string {
+	if int(p) < len(protoNames) {
+		return protoNames[p]
+	}
+	return "unknown"
+}
+
+// ParseProtocol maps a name back to a Protocol; unknown names return
+// ProtocolUnknown.
+func ParseProtocol(name string) Protocol {
+	for p, n := range protoNames {
+		if n == name {
+			return Protocol(p)
+		}
+	}
+	return ProtocolUnknown
+}
+
+// AllProtocols returns the 15 named protocols.
+func AllProtocols() []Protocol {
+	out := make([]Protocol, 0, NumProtocols)
+	for p := ProtocolHTTP; p < numProtocols; p++ {
+		out = append(out, p)
+	}
+	return out
+}
+
+// BannerKey returns the application-layer feature key that carries this
+// protocol's primary banner, and whether one exists. HTTP and TLS carry
+// several features; this returns the most identifying one (Server header
+// and certificate hash, respectively).
+func (p Protocol) BannerKey() (Key, bool) {
+	switch p {
+	case ProtocolHTTP:
+		return KeyHTTPServer, true
+	case ProtocolTLS:
+		return KeyTLSCertHash, true
+	case ProtocolSSH:
+		return KeySSHBanner, true
+	case ProtocolVNC:
+		return KeyVNCDesktopName, true
+	case ProtocolSMTP:
+		return KeySMTPBanner, true
+	case ProtocolFTP:
+		return KeyFTPBanner, true
+	case ProtocolIMAP:
+		return KeyIMAPBanner, true
+	case ProtocolPOP3:
+		return KeyPOP3Banner, true
+	case ProtocolCWMP:
+		return KeyCWMPHeader, true
+	case ProtocolTelnet:
+		return KeyTelnetBanner, true
+	case ProtocolPPTP:
+		return KeyPPTPVendor, true
+	case ProtocolMySQL:
+		return KeyMySQLVersion, true
+	case ProtocolMemcached:
+		return KeyMemcachedVersion, true
+	case ProtocolMSSQL:
+		return KeyMSSQLVersion, true
+	case ProtocolIPMI:
+		return KeyIPMIBanner, true
+	}
+	return KeyNone, false
+}

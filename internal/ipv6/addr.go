@@ -1,0 +1,162 @@
+// Package ipv6 implements the paper's IPv6 extension (§7): GPS cannot
+// bootstrap itself on IPv6 — the 2^128 space rules out the random seed
+// scan and the subnet-exhaustive priors scan — but *given* known IPv6
+// addresses that respond on at least one port (a hitlist), GPS's
+// prediction phase applies unchanged: the known service's application
+// features index the most-predictive-feature-values list and the predicted
+// ports are probed directly on the known addresses.
+//
+// The package provides a 128-bit address type, a synthetic dual-stack
+// universe (v6 mirrors of v4 fleet hosts), and the hitlist predictor.
+package ipv6
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is a 128-bit IPv6 address.
+type Addr struct {
+	Hi, Lo uint64
+}
+
+// ParseAddr parses the full or ::-compressed textual form (no embedded
+// IPv4 dotted quads).
+func ParseAddr(s string) (Addr, error) {
+	var groups [8]uint16
+	di := strings.Index(s, "::")
+	fill := func(parts []string, dst []uint16) error {
+		for i, p := range parts {
+			if p == "" {
+				return fmt.Errorf("ipv6: empty group in %q", s)
+			}
+			v, err := strconv.ParseUint(p, 16, 16)
+			if err != nil {
+				return fmt.Errorf("ipv6: bad group %q in %q", p, s)
+			}
+			dst[i] = uint16(v)
+		}
+		return nil
+	}
+	if di >= 0 {
+		leftS, rightS := s[:di], s[di+2:]
+		var left, right []string
+		if leftS != "" {
+			left = strings.Split(leftS, ":")
+		}
+		if rightS != "" {
+			right = strings.Split(rightS, ":")
+		}
+		if len(left)+len(right) > 7 {
+			return Addr{}, fmt.Errorf("ipv6: too many groups in %q", s)
+		}
+		if err := fill(left, groups[:len(left)]); err != nil {
+			return Addr{}, err
+		}
+		if err := fill(right, groups[8-len(right):]); err != nil {
+			return Addr{}, err
+		}
+	} else {
+		parts := strings.Split(s, ":")
+		if len(parts) != 8 {
+			return Addr{}, fmt.Errorf("ipv6: want 8 groups in %q", s)
+		}
+		if err := fill(parts, groups[:]); err != nil {
+			return Addr{}, err
+		}
+	}
+	var b [16]byte
+	for i, g := range groups {
+		binary.BigEndian.PutUint16(b[2*i:], g)
+	}
+	return Addr{
+		Hi: binary.BigEndian.Uint64(b[:8]),
+		Lo: binary.BigEndian.Uint64(b[8:]),
+	}, nil
+}
+
+// MustParseAddr is ParseAddr that panics on error.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String renders the RFC 5952 canonical form: lowercase hex, longest run
+// of two or more zero groups compressed to "::".
+func (a Addr) String() string {
+	var groups [8]uint16
+	for i := 0; i < 4; i++ {
+		groups[i] = uint16(a.Hi >> (48 - 16*i))
+		groups[4+i] = uint16(a.Lo >> (48 - 16*i))
+	}
+	// Find the longest zero run of length >= 2.
+	bestStart, bestLen := -1, 1
+	run, runStart := 0, 0
+	for i := 0; i <= 8; i++ {
+		if i < 8 && groups[i] == 0 {
+			if run == 0 {
+				runStart = i
+			}
+			run++
+			continue
+		}
+		if run > bestLen {
+			bestStart, bestLen = runStart, run
+		}
+		run = 0
+	}
+	var b strings.Builder
+	for i := 0; i < 8; {
+		if i == bestStart {
+			b.WriteString("::")
+			i += bestLen
+			continue
+		}
+		if i > 0 && !strings.HasSuffix(b.String(), "::") {
+			b.WriteByte(':')
+		}
+		b.WriteString(strconv.FormatUint(uint64(groups[i]), 16))
+		i++
+	}
+	if b.Len() == 0 {
+		return "::"
+	}
+	return b.String()
+}
+
+// Prefix is an IPv6 CIDR block.
+type Prefix struct {
+	Addr Addr
+	Bits uint8 // 0..128
+}
+
+// Mask returns the network mask as an Addr.
+func Mask(bits uint8) Addr {
+	if bits == 0 {
+		return Addr{}
+	}
+	if bits <= 64 {
+		return Addr{Hi: ^uint64(0) << (64 - bits)}
+	}
+	return Addr{Hi: ^uint64(0), Lo: ^uint64(0) << (128 - bits)}
+}
+
+// SubnetOf masks an address to a prefix of the given length.
+func SubnetOf(a Addr, bits uint8) Prefix {
+	m := Mask(bits)
+	return Prefix{Addr: Addr{Hi: a.Hi & m.Hi, Lo: a.Lo & m.Lo}, Bits: bits}
+}
+
+// Contains reports whether addr falls inside the prefix.
+func (p Prefix) Contains(a Addr) bool {
+	m := Mask(p.Bits)
+	return a.Hi&m.Hi == p.Addr.Hi && a.Lo&m.Lo == p.Addr.Lo
+}
+
+// String renders CIDR notation.
+func (p Prefix) String() string { return fmt.Sprintf("%s/%d", p.Addr, p.Bits) }

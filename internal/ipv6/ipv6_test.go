@@ -1,0 +1,176 @@
+package ipv6
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gps/internal/dataset"
+	"gps/internal/engine"
+	"gps/internal/features"
+	"gps/internal/netmodel"
+	"gps/internal/predict"
+	"gps/internal/probmodel"
+)
+
+func TestParseAddrCases(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"2001:db8::1", "2001:db8::1"},
+		{"2001:0db8:0000:0000:0000:0000:0000:0001", "2001:db8::1"},
+		{"::", "::"},
+		{"::1", "::1"},
+		{"fe80::", "fe80::"},
+		{"1:2:3:4:5:6:7:8", "1:2:3:4:5:6:7:8"},
+		{"2001:db8:0:0:1:0:0:1", "2001:db8::1:0:0:1"},
+	}
+	for _, c := range cases {
+		a, err := ParseAddr(c.in)
+		if err != nil {
+			t.Errorf("ParseAddr(%q): %v", c.in, err)
+			continue
+		}
+		if got := a.String(); got != c.want {
+			t.Errorf("String(%q) = %q; want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseAddrErrors(t *testing.T) {
+	for _, s := range []string{"", "1:2:3", "1:2:3:4:5:6:7:8:9", "xyz::", "1::2::3", ":::"} {
+		if _, err := ParseAddr(s); err == nil {
+			t.Errorf("ParseAddr(%q) succeeded", s)
+		}
+	}
+}
+
+// TestAddrRoundTripQuick property: format/parse round-trips any address.
+func TestAddrRoundTripQuick(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		a := Addr{Hi: hi, Lo: lo}
+		back, err := ParseAddr(a.String())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p := SubnetOf(MustParseAddr("2001:db8:1:2::5"), 64)
+	if p.String() != "2001:db8:1:2::/64" {
+		t.Errorf("prefix = %q", p)
+	}
+	if !p.Contains(MustParseAddr("2001:db8:1:2:ffff::1")) {
+		t.Error("Contains failed inside /64")
+	}
+	if p.Contains(MustParseAddr("2001:db8:1:3::1")) {
+		t.Error("Contains succeeded outside /64")
+	}
+	p32 := SubnetOf(MustParseAddr("2001:db8:1:2::5"), 32)
+	if !p32.Contains(MustParseAddr("2001:db8:ffff::")) {
+		t.Error("/32 Contains failed")
+	}
+	whole := SubnetOf(MustParseAddr("abcd::"), 0)
+	if !whole.Contains(MustParseAddr("::1")) {
+		t.Error("/0 must contain everything")
+	}
+	host := SubnetOf(MustParseAddr("::5"), 128)
+	if !host.Contains(MustParseAddr("::5")) || host.Contains(MustParseAddr("::6")) {
+		t.Error("/128 semantics wrong")
+	}
+}
+
+func mirrorSetup(t *testing.T) (*netmodel.Universe, *Universe) {
+	t.Helper()
+	u4 := netmodel.Generate(netmodel.TestParams(41))
+	u6 := Mirror(u4, Params{DualStackFraction: 0.3, Seed: 42})
+	return u4, u6
+}
+
+func TestMirrorShape(t *testing.T) {
+	u4, u6 := mirrorSetup(t)
+	if u6.NumHosts() == 0 {
+		t.Fatal("no dual-stack hosts")
+	}
+	frac := float64(u6.NumHosts()) / float64(u4.NumHosts())
+	if frac < 0.2 || frac > 0.4 {
+		t.Errorf("dual-stack fraction %.2f; want ~0.3", frac)
+	}
+	for _, h := range u6.Hosts()[:50] {
+		// Services identical across stacks.
+		for port := range h.Services() {
+			if !u6.Responsive(h.Addr, port) {
+				t.Fatalf("v6 host %v unresponsive on own port %d", h.Addr, port)
+			}
+			svc6, _ := u6.ServiceAt(h.Addr, port)
+			svc4, _ := h.V4.ServiceAt(port)
+			if svc6 != svc4 {
+				t.Fatal("v6 service not shared with v4 mirror")
+			}
+		}
+		// Addresses are inside the documentation /32 scheme.
+		if h.Addr.Hi>>32 != 0x20010db8 {
+			t.Errorf("address %v outside 2001:db8::/32", h.Addr)
+		}
+	}
+}
+
+func TestMirrorDeterministic(t *testing.T) {
+	u4 := netmodel.Generate(netmodel.TestParams(41))
+	a := Mirror(u4, Params{DualStackFraction: 0.3, Seed: 42})
+	b := Mirror(u4, Params{DualStackFraction: 0.3, Seed: 42})
+	if a.NumHosts() != b.NumHosts() {
+		t.Fatal("mirror not deterministic")
+	}
+	for i := range a.Hosts() {
+		if a.Hosts()[i].Addr != b.Hosts()[i].Addr {
+			t.Fatal("mirror addresses differ")
+		}
+	}
+}
+
+func TestHitlistPrediction(t *testing.T) {
+	u4, u6 := mirrorSetup(t)
+
+	// Train the ordinary v4 model.
+	full := dataset.SnapshotLZR(u4, 0.4, 43)
+	seedSet, _ := full.Split(0.02, 44)
+	eligible := seedSet.EligiblePorts(2)
+	seedSet = seedSet.FilterPorts(eligible)
+	hosts := seedSet.ByHost()
+	m := probmodel.Build(probmodel.Config{}, hosts)
+	mpf := predict.BuildMPF(m, hosts, engine.Config{})
+
+	hitlist := u6.Hitlist(400, 45)
+	if len(hitlist) == 0 {
+		t.Fatal("empty hitlist")
+	}
+	pred := NewPredictor(m, mpf)
+	preds := pred.Predict(hitlist, func(a Addr, port uint16) (features.Set, bool) {
+		svc, ok := u6.ServiceAt(a, port)
+		if !ok {
+			return nil, false
+		}
+		return svc.Feats, true
+	})
+	if len(preds) == 0 {
+		t.Fatal("no predictions")
+	}
+	// Ordered by probability.
+	for i := 1; i < len(preds); i++ {
+		if preds[i-1].P < preds[i].P {
+			t.Fatal("predictions not sorted")
+		}
+	}
+	res := Evaluate(u6, hitlist, preds)
+	t.Logf("hitlist=%d remaining=%d predictions=%d found=%d coverage=%.2f precision=%.2f",
+		res.Hitlist, res.Remaining, res.Predictions, res.Found, res.Coverage, res.Precision)
+	if res.Coverage < 0.4 {
+		t.Errorf("v6 hitlist coverage %.2f; banner patterns should transfer across stacks", res.Coverage)
+	}
+	if res.Precision < 0.3 {
+		t.Errorf("v6 prediction precision %.2f too low", res.Precision)
+	}
+}

@@ -1,0 +1,146 @@
+package ipv6
+
+import (
+	"sort"
+
+	"gps/internal/features"
+	"gps/internal/predict"
+	"gps/internal/probmodel"
+)
+
+// Prediction is a predicted (address, port) pair.
+type Prediction struct {
+	Addr Addr
+	Port uint16
+	P    float64
+}
+
+// condsForGrab builds the condition tuples a known v6 service contributes.
+// Network-layer features are dropped: the model was trained on IPv4
+// subnets and ASNs whose values do not transfer across address families,
+// so only the transport and application families (Expressions 4 and 5)
+// apply. This is exactly the degradation the paper anticipates for the
+// IPv6 mode.
+func condsForGrab(port uint16, feats features.Set, fams probmodel.FamilySet) []probmodel.Cond {
+	out := []probmodel.Cond{}
+	if fams.Has(probmodel.FamilyT) {
+		out = append(out, probmodel.Cond{Port: port})
+	}
+	if fams.Has(probmodel.FamilyTA) {
+		for _, v := range feats.Values() {
+			out = append(out, probmodel.Cond{Port: port, AppKey: v.Key, AppVal: v.Val})
+		}
+	}
+	return out
+}
+
+// Predictor maps known IPv6 services through a v4-trained model and MPF
+// list.
+type Predictor struct {
+	model *probmodel.Model
+	mpf   *predict.MPF
+}
+
+// NewPredictor wraps a trained model and MPF list. Both come from the
+// ordinary v4 pipeline; banner-level patterns are address-family agnostic.
+func NewPredictor(m *probmodel.Model, mpf *predict.MPF) *Predictor {
+	return &Predictor{model: m, mpf: mpf}
+}
+
+// Predict expands hitlist anchors into predictions for the remaining
+// services on the same hosts. grab returns the known service's feature
+// set (the L7 grab against the v6 address).
+func (p *Predictor) Predict(hitlist []HitlistEntry, grab func(Addr, uint16) (features.Set, bool)) []Prediction {
+	type key struct {
+		addr Addr
+		port uint16
+	}
+	best := make(map[key]float64)
+	for _, e := range hitlist {
+		feats, ok := grab(e.Addr, e.Port)
+		if !ok {
+			continue
+		}
+		for _, c := range condsForGrab(e.Port, feats, p.model.Families()) {
+			for _, rule := range p.mpf.RulesFor(c) {
+				if rule.Port == e.Port {
+					continue
+				}
+				k := key{addr: e.Addr, port: rule.Port}
+				if rule.P > best[k] {
+					best[k] = rule.P
+				}
+			}
+		}
+	}
+	out := make([]Prediction, 0, len(best))
+	for k, pr := range best {
+		out = append(out, Prediction{Addr: k.addr, Port: k.port, P: pr})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P != out[j].P {
+			return out[i].P > out[j].P
+		}
+		if out[i].Addr.Hi != out[j].Addr.Hi {
+			return out[i].Addr.Hi < out[j].Addr.Hi
+		}
+		if out[i].Addr.Lo != out[j].Addr.Lo {
+			return out[i].Addr.Lo < out[j].Addr.Lo
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
+}
+
+// Result summarizes a hitlist prediction run.
+type Result struct {
+	Hitlist     int
+	Predictions int
+	Probes      uint64
+	Found       int
+	// Remaining is the number of ground-truth services on hitlist hosts
+	// beyond the known anchors.
+	Remaining int
+	Coverage  float64
+	Precision float64
+}
+
+// Evaluate probes the predictions against the v6 universe and scores them
+// against the hosts' actual remaining services.
+func Evaluate(u *Universe, hitlist []HitlistEntry, preds []Prediction) *Result {
+	known := make(map[Addr]uint16, len(hitlist))
+	for _, e := range hitlist {
+		known[e.Addr] = e.Port
+	}
+	res := &Result{Hitlist: len(hitlist), Predictions: len(preds)}
+	for _, e := range hitlist {
+		h, ok := u.HostAt(e.Addr)
+		if !ok {
+			continue
+		}
+		for port := range h.Services() {
+			if port != e.Port {
+				res.Remaining++
+			}
+		}
+	}
+	seen := make(map[Prediction]bool)
+	for _, p := range preds {
+		probe := Prediction{Addr: p.Addr, Port: p.Port}
+		if seen[probe] {
+			continue
+		}
+		seen[probe] = true
+		res.Probes++
+		if u.Responsive(p.Addr, p.Port) && known[p.Addr] != p.Port {
+			res.Found++
+		}
+	}
+	if res.Remaining > 0 {
+		res.Coverage = float64(res.Found) / float64(res.Remaining)
+	}
+	if res.Probes > 0 {
+		res.Precision = float64(res.Found) / float64(res.Probes)
+	}
+	return res
+}

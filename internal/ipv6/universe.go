@@ -1,0 +1,138 @@
+package ipv6
+
+import (
+	"math/rand"
+	"sort"
+
+	"gps/internal/asndb"
+	"gps/internal/netmodel"
+)
+
+// Host is a dual-stack mirror of a v4 fleet host: the same device, the
+// same services, reachable at an IPv6 address.
+type Host struct {
+	Addr Addr
+	ASN  asndb.ASN
+	// V4 is the IPv4 identity of the same device; used by tests and by
+	// analyses correlating the stacks.
+	V4 *netmodel.Host
+}
+
+// Services returns the host's services (shared with the v4 mirror).
+func (h *Host) Services() map[uint16]*netmodel.Service { return h.V4.Services() }
+
+// Universe is the synthetic IPv6 side of a dual-stack deployment: a
+// fraction of the v4 universe's hosts, re-addressed into per-AS /32
+// allocations with one customer /64 per host. There is no exhaustive
+// scanning here — the address space is unenumerable by design, matching
+// the real constraint.
+type Universe struct {
+	hosts map[Addr]*Host
+	list  []*Host
+}
+
+// Params configures mirroring.
+type Params struct {
+	// DualStackFraction is the share of v4 hosts that also speak v6.
+	DualStackFraction float64
+	Seed              int64
+}
+
+// Mirror builds the v6 universe from a v4 one. Each AS gets a /32 derived
+// from its number; each dual-stack host gets a stable interface ID inside
+// a per-host /64.
+func Mirror(u *netmodel.Universe, p Params) *Universe {
+	rng := rand.New(rand.NewSource(p.Seed))
+	out := &Universe{hosts: make(map[Addr]*Host)}
+	for _, h := range u.Hosts() {
+		if h.Middlebox {
+			continue
+		}
+		if rng.Float64() >= p.DualStackFraction {
+			continue
+		}
+		addr := addrFor(h)
+		v6 := &Host{Addr: addr, ASN: h.ASN, V4: h}
+		out.hosts[addr] = v6
+		out.list = append(out.list, v6)
+	}
+	sort.Slice(out.list, func(i, j int) bool {
+		a, b := out.list[i].Addr, out.list[j].Addr
+		if a.Hi != b.Hi {
+			return a.Hi < b.Hi
+		}
+		return a.Lo < b.Lo
+	})
+	return out
+}
+
+// addrFor derives a deterministic v6 address for a v4 host: 2001:db8
+// documentation space, AS number in the /32, the host's v4 address
+// spread across the customer /64, and a stable interface ID.
+func addrFor(h *netmodel.Host) Addr {
+	hi := uint64(0x20010db8)<<32 | uint64(uint32(h.ASN))<<16 | uint64(uint32(h.IP)>>16)
+	lo := uint64(uint32(h.IP))<<32 | 0x1 // ::1 interface ID within the /64
+	return Addr{Hi: hi, Lo: lo}
+}
+
+// NumHosts returns the dual-stack population size.
+func (u *Universe) NumHosts() int { return len(u.list) }
+
+// Hosts returns the hosts sorted by address.
+func (u *Universe) Hosts() []*Host { return u.list }
+
+// HostAt returns the host at an address.
+func (u *Universe) HostAt(a Addr) (*Host, bool) {
+	h, ok := u.hosts[a]
+	return h, ok
+}
+
+// Responsive reports whether a probe to (addr, port) would be answered.
+func (u *Universe) Responsive(a Addr, port uint16) bool {
+	h, ok := u.hosts[a]
+	return ok && h.V4.Responsive(port)
+}
+
+// ServiceAt returns the service at (addr, port).
+func (u *Universe) ServiceAt(a Addr, port uint16) (*netmodel.Service, bool) {
+	h, ok := u.hosts[a]
+	if !ok {
+		return nil, false
+	}
+	return h.V4.ServiceAt(port)
+}
+
+// Hitlist samples known (address, port) anchor services: the starting
+// point the paper assumes for IPv6 (addresses learned from DNS, traceroute
+// or passive sources, each with one known responsive port).
+type HitlistEntry struct {
+	Addr Addr
+	Port uint16
+}
+
+// Hitlist returns a deterministic sample of n hosts, each contributing its
+// lowest-numbered open port as the known service.
+func (u *Universe) Hitlist(n int, seed int64) []HitlistEntry {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(len(u.list))
+	if n > len(perm) {
+		n = len(perm)
+	}
+	out := make([]HitlistEntry, 0, n)
+	for _, idx := range perm[:n] {
+		h := u.list[idx]
+		ports := h.V4.Ports()
+		if len(ports) == 0 {
+			continue
+		}
+		out = append(out, HitlistEntry{Addr: h.Addr, Port: ports[0]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Addr, out[j].Addr
+		if a.Hi != b.Hi {
+			return a.Hi < b.Hi
+		}
+		return a.Lo < b.Lo
+	})
+	return out
+}

@@ -1,0 +1,169 @@
+package lzr
+
+import (
+	"bytes"
+	"fmt"
+
+	"gps/internal/features"
+	"gps/internal/netmodel"
+)
+
+// This file simulates LZR's protocol interaction at the byte level.
+// Protocols divide into two classes:
+//
+//   - Server-first: the peer volunteers a banner on connect (SSH, FTP,
+//     SMTP, POP3, IMAP, Telnet, VNC, MySQL, MSSQL). One connection
+//     identifies the service, whatever port it runs on.
+//   - Client-first: the peer says nothing until the client speaks (HTTP,
+//     TLS, CWMP, PPTP, Memcached, IPMI). LZR sends a waterfall of trigger
+//     payloads and matches the responses.
+//
+// Responses are synthesized from the service's feature values, so the
+// bytes LZR sees carry the same identifying content ZGrab later extracts.
+
+// serverFirst marks the protocols that speak first.
+var serverFirst = map[features.Protocol]bool{
+	features.ProtocolSSH:    true,
+	features.ProtocolFTP:    true,
+	features.ProtocolSMTP:   true,
+	features.ProtocolPOP3:   true,
+	features.ProtocolIMAP:   true,
+	features.ProtocolTelnet: true,
+	features.ProtocolVNC:    true,
+	features.ProtocolMySQL:  true,
+	features.ProtocolMSSQL:  true,
+}
+
+// trigger is one client-first probe payload.
+type trigger struct {
+	proto   features.Protocol
+	payload []byte
+}
+
+// clientTriggers is the waterfall order for client-first protocols:
+// most common first to minimize expected handshakes.
+var clientTriggers = []trigger{
+	{features.ProtocolHTTP, []byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n")},
+	{features.ProtocolTLS, []byte{0x16, 0x03, 0x01, 0x00, 0x05, 0x01}}, // ClientHello fragment
+	{features.ProtocolCWMP, []byte("POST /cwmp HTTP/1.1\r\nSOAPAction: cwmp\r\n\r\n")},
+	{features.ProtocolMemcached, []byte("version\r\n")},
+	{features.ProtocolPPTP, []byte{0x00, 0x9c, 0x00, 0x01, 0x1a, 0x2b, 0x3c, 0x4d}}, // StartControlConnectionRequest
+	{features.ProtocolIPMI, []byte{0x06, 0x00, 0xff, 0x07}},                         // RMCP ping
+}
+
+// Banner synthesizes the bytes a service sends (either on connect for
+// server-first protocols or in response to its protocol's trigger).
+func Banner(svc *netmodel.Service) []byte {
+	get := func(k features.Key, def string) string {
+		if v, ok := svc.Feats.Get(k); ok {
+			return v
+		}
+		return def
+	}
+	switch svc.Proto {
+	case features.ProtocolSSH:
+		return []byte(get(features.KeySSHBanner, "SSH-2.0-unknown") + "\r\n")
+	case features.ProtocolFTP:
+		return []byte(get(features.KeyFTPBanner, "220 FTP ready") + "\r\n")
+	case features.ProtocolSMTP:
+		return []byte(get(features.KeySMTPBanner, "220 ESMTP") + "\r\n")
+	case features.ProtocolPOP3:
+		return []byte(get(features.KeyPOP3Banner, "+OK POP3") + "\r\n")
+	case features.ProtocolIMAP:
+		return []byte(get(features.KeyIMAPBanner, "* OK IMAP4") + "\r\n")
+	case features.ProtocolTelnet:
+		// IAC DO/WILL negotiation followed by the login banner.
+		return append([]byte{0xff, 0xfd, 0x18, 0xff, 0xfb, 0x01},
+			[]byte(get(features.KeyTelnetBanner, "login:"))...)
+	case features.ProtocolVNC:
+		return []byte("RFB 003.008\n" + get(features.KeyVNCDesktopName, ""))
+	case features.ProtocolMySQL:
+		return append([]byte{0x4a, 0x00, 0x00, 0x00, 0x0a},
+			[]byte(get(features.KeyMySQLVersion, "8.0")+"\x00")...)
+	case features.ProtocolMSSQL:
+		return append([]byte{0x04, 0x01, 0x00, 0x25},
+			[]byte(get(features.KeyMSSQLVersion, "15.0"))...)
+	case features.ProtocolHTTP:
+		return []byte(fmt.Sprintf(
+			"HTTP/1.1 200 OK\r\nServer: %s\r\nContent-Type: text/html\r\n\r\n<html><head><title>%s</title></head></html>",
+			get(features.KeyHTTPServer, "unknown"), get(features.KeyHTTPTitle, "")))
+	case features.ProtocolTLS:
+		// ServerHello + Certificate fragment carrying the cert hash.
+		return append([]byte{0x16, 0x03, 0x03, 0x00, 0x31, 0x02},
+			[]byte(get(features.KeyTLSCertHash, ""))...)
+	case features.ProtocolCWMP:
+		return []byte("HTTP/1.1 200 OK\r\nServer: " + get(features.KeyCWMPHeader, "cwmp") +
+			"\r\nSOAPServer: cwmp\r\n\r\n")
+	case features.ProtocolMemcached:
+		return []byte("VERSION " + get(features.KeyMemcachedVersion, "1.6") + "\r\n")
+	case features.ProtocolPPTP:
+		return append([]byte{0x00, 0x9c, 0x00, 0x01, 0x1a, 0x2b, 0x3c, 0x4d, 0x00, 0x02},
+			[]byte(get(features.KeyPPTPVendor, ""))...)
+	case features.ProtocolIPMI:
+		return append([]byte{0x06, 0x00, 0xff, 0x07, 0x06},
+			[]byte(get(features.KeyIPMIBanner, ""))...)
+	}
+	// Unknown protocols ack and keep the connection open but send
+	// nothing recognizable.
+	return nil
+}
+
+// matchers recognize a protocol from response bytes.
+var matchers = map[features.Protocol]func([]byte) bool{
+	features.ProtocolSSH:    func(b []byte) bool { return bytes.HasPrefix(b, []byte("SSH-")) },
+	features.ProtocolFTP:    func(b []byte) bool { return bytes.HasPrefix(b, []byte("220 ")) && !bytes.Contains(b, []byte("ESMTP")) },
+	features.ProtocolSMTP:   func(b []byte) bool { return bytes.HasPrefix(b, []byte("220")) && bytes.Contains(b, []byte("SMTP")) },
+	features.ProtocolPOP3:   func(b []byte) bool { return bytes.HasPrefix(b, []byte("+OK")) },
+	features.ProtocolIMAP:   func(b []byte) bool { return bytes.HasPrefix(b, []byte("* OK")) },
+	features.ProtocolTelnet: func(b []byte) bool { return len(b) >= 2 && b[0] == 0xff && (b[1] == 0xfd || b[1] == 0xfb) },
+	features.ProtocolVNC:    func(b []byte) bool { return bytes.HasPrefix(b, []byte("RFB ")) },
+	features.ProtocolMySQL:  func(b []byte) bool { return len(b) > 4 && b[4] == 0x0a },
+	features.ProtocolMSSQL:  func(b []byte) bool { return len(b) > 1 && b[0] == 0x04 && b[1] == 0x01 },
+	features.ProtocolHTTP: func(b []byte) bool {
+		return bytes.HasPrefix(b, []byte("HTTP/")) && !bytes.Contains(b, []byte("SOAPServer"))
+	},
+	features.ProtocolTLS:       func(b []byte) bool { return len(b) >= 6 && b[0] == 0x16 && b[5] == 0x02 },
+	features.ProtocolCWMP:      func(b []byte) bool { return bytes.Contains(b, []byte("SOAPServer")) },
+	features.ProtocolMemcached: func(b []byte) bool { return bytes.HasPrefix(b, []byte("VERSION ")) },
+	features.ProtocolPPTP:      func(b []byte) bool { return len(b) >= 10 && b[0] == 0x00 && b[1] == 0x9c && b[9] == 0x02 },
+	features.ProtocolIPMI:      func(b []byte) bool { return len(b) >= 5 && b[0] == 0x06 && b[3] == 0x07 && b[4] == 0x06 },
+}
+
+// identify matches response bytes against every known protocol.
+func identify(resp []byte) (features.Protocol, bool) {
+	if len(resp) == 0 {
+		return features.ProtocolUnknown, false
+	}
+	// Check in a fixed order so ambiguous prefixes resolve
+	// deterministically; CWMP before HTTP since CWMP responses are
+	// HTTP-framed.
+	order := []features.Protocol{
+		features.ProtocolCWMP, features.ProtocolHTTP, features.ProtocolTLS,
+		features.ProtocolSSH, features.ProtocolFTP, features.ProtocolSMTP,
+		features.ProtocolPOP3, features.ProtocolIMAP, features.ProtocolTelnet,
+		features.ProtocolVNC, features.ProtocolMySQL, features.ProtocolMSSQL,
+		features.ProtocolMemcached, features.ProtocolPPTP, features.ProtocolIPMI,
+	}
+	for _, p := range order {
+		if matchers[p](resp) {
+			return p, true
+		}
+	}
+	return features.ProtocolUnknown, false
+}
+
+// respondTo simulates how a service reacts to a client-first trigger: it
+// answers its own protocol's trigger with its banner; HTTP servers also
+// answer any text trigger with an error page; everything else ignores
+// foreign payloads.
+func respondTo(svc *netmodel.Service, tr trigger) []byte {
+	if svc.Proto == tr.proto {
+		return Banner(svc)
+	}
+	if svc.Proto == features.ProtocolHTTP && len(tr.payload) > 0 &&
+		(tr.payload[0]|0x20 >= 'a' && tr.payload[0]|0x20 <= 'z') {
+		// A real web server answers unknown text verbs with 400/405.
+		return []byte("HTTP/1.1 400 Bad Request\r\n\r\n")
+	}
+	return nil
+}

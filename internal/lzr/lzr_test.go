@@ -1,0 +1,156 @@
+package lzr
+
+import (
+	"testing"
+
+	"gps/internal/asndb"
+	"gps/internal/features"
+	"gps/internal/netmodel"
+)
+
+// buildSource creates a universe-like source by hand.
+type handSource struct {
+	hosts map[asndb.IP]*netmodel.Host
+}
+
+func (s *handSource) HostAt(ip asndb.IP) (*netmodel.Host, bool) {
+	h, ok := s.hosts[ip]
+	return h, ok
+}
+
+func (s *handSource) ServiceAt(ip asndb.IP, port uint16) (*netmodel.Service, bool) {
+	h, ok := s.hosts[ip]
+	if !ok {
+		return nil, false
+	}
+	return h.ServiceAt(port)
+}
+
+func newHandSource() *handSource {
+	s := &handSource{hosts: make(map[asndb.IP]*netmodel.Host)}
+
+	web := netmodel.NewHost(asndb.MustParseIP("10.0.0.1"), 1, "web")
+	web.AddService(&netmodel.Service{Port: 80, Proto: features.ProtocolHTTP,
+		Feats: features.Set{features.KeyProtocol: "http"}})
+	web.AddService(&netmodel.Service{Port: 4444, Proto: features.ProtocolSSH,
+		Feats: features.Set{features.KeyProtocol: "ssh"}})
+	web.AddService(&netmodel.Service{Port: 5555, Proto: features.ProtocolUnknown})
+	s.hosts[web.IP] = web
+
+	mb := netmodel.NewHost(asndb.MustParseIP("10.0.0.2"), 1, "middlebox")
+	mb.Middlebox = true
+	s.hosts[mb.IP] = mb
+
+	pseudo := netmodel.NewHost(asndb.MustParseIP("10.0.0.3"), 1, "pseudo")
+	pseudo.SetPseudoBlock(1000, 3000, &netmodel.Service{
+		Proto: features.ProtocolHTTP, Pseudo: true,
+		Feats: features.Set{features.KeyProtocol: "http"},
+	})
+	s.hosts[pseudo.IP] = pseudo
+	return s
+}
+
+func TestFingerprintService(t *testing.T) {
+	f := New(newHandSource())
+	r := f.Fingerprint(asndb.MustParseIP("10.0.0.1"), 80)
+	if r.Status != StatusService || r.Proto != features.ProtocolHTTP {
+		t.Errorf("got %v/%v", r.Status, r.Proto)
+	}
+	// Assigned protocol on assigned port: one handshake.
+	if r.Handshakes != 1 {
+		t.Errorf("handshakes = %d; want 1", r.Handshakes)
+	}
+}
+
+func TestFingerprintUnassignedPort(t *testing.T) {
+	f := New(newHandSource())
+	// SSH on 4444: server-first, so the banner identifies it on the
+	// first connection even though the port is unassigned.
+	r := f.Fingerprint(asndb.MustParseIP("10.0.0.1"), 4444)
+	if r.Status != StatusService || r.Proto != features.ProtocolSSH {
+		t.Fatalf("got %v/%v", r.Status, r.Proto)
+	}
+	if r.Handshakes != 1 {
+		t.Errorf("handshakes = %d; want 1 (server-first banner)", r.Handshakes)
+	}
+	if len(r.Banner) == 0 || r.BytesRx == 0 {
+		t.Error("no banner bytes recorded")
+	}
+	// Unknown protocol exhausts the client-first trigger waterfall.
+	r = f.Fingerprint(asndb.MustParseIP("10.0.0.1"), 5555)
+	if r.Status != StatusService || r.Proto != features.ProtocolUnknown {
+		t.Fatalf("unknown service: %v/%v", r.Status, r.Proto)
+	}
+	if r.Handshakes != len(clientTriggers) {
+		t.Errorf("handshakes = %d; want %d", r.Handshakes, len(clientTriggers))
+	}
+	if r.BytesTx == 0 {
+		t.Error("no trigger bytes counted")
+	}
+}
+
+func TestFingerprintMiddlebox(t *testing.T) {
+	f := New(newHandSource())
+	r := f.Fingerprint(asndb.MustParseIP("10.0.0.2"), 12345)
+	if r.Status != StatusMiddlebox {
+		t.Errorf("middlebox fingerprinted as %v", r.Status)
+	}
+	if r.BytesTx == 0 {
+		t.Error("middlebox detection sent no data")
+	}
+}
+
+func TestFingerprintUnresponsive(t *testing.T) {
+	f := New(newHandSource())
+	if r := f.Fingerprint(asndb.MustParseIP("10.9.9.9"), 80); r.Status != StatusUnresponsive {
+		t.Errorf("missing host fingerprinted as %v", r.Status)
+	}
+	// A real host, but a closed port.
+	if r := f.Fingerprint(asndb.MustParseIP("10.0.0.1"), 9999); r.Status != StatusUnresponsive {
+		t.Errorf("closed port fingerprinted as %v", r.Status)
+	}
+}
+
+func TestFingerprintPseudoBlock(t *testing.T) {
+	f := New(newHandSource())
+	r := f.Fingerprint(asndb.MustParseIP("10.0.0.3"), 2000)
+	// LZR sees a real HTTP handshake — pseudo services complete L7; the
+	// dataset-level Appendix B filter is what removes them.
+	if r.Status != StatusService {
+		t.Errorf("pseudo block port status %v", r.Status)
+	}
+}
+
+func TestIsPseudoHost(t *testing.T) {
+	s := newHandSource()
+	web, _ := s.HostAt(asndb.MustParseIP("10.0.0.1"))
+	if IsPseudoHost(web) {
+		t.Error("3-service host flagged as pseudo")
+	}
+	pseudo, _ := s.HostAt(asndb.MustParseIP("10.0.0.3"))
+	if !IsPseudoHost(pseudo) {
+		t.Error("2001-port pseudo block not flagged")
+	}
+	// Exactly at the threshold: not filtered; one above: filtered.
+	h := netmodel.NewHost(1, 1, "t")
+	for p := uint16(1); p <= MaxRealServicesPerHost; p++ {
+		h.AddService(&netmodel.Service{Port: p})
+	}
+	if IsPseudoHost(h) {
+		t.Error("host at threshold filtered")
+	}
+	h.AddService(&netmodel.Service{Port: 9999})
+	if !IsPseudoHost(h) {
+		t.Error("host above threshold not filtered")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if StatusService.String() != "service" || StatusMiddlebox.String() != "middlebox" ||
+		StatusUnresponsive.String() != "unresponsive" {
+		t.Error("status names wrong")
+	}
+	if Status(99).String() != "unknown" {
+		t.Error("out-of-range status")
+	}
+}

@@ -1,0 +1,79 @@
+package netmodel
+
+import (
+	"math/rand"
+
+	"gps/internal/asndb"
+)
+
+// ChurnParams controls how the universe evolves between two observation
+// points. The paper (§3) measures that over 10 days, 9% of all services and
+// 15% of normalized services disappear — uncommon-port services churn
+// faster because DHCP reassignment and NAT reconfiguration move them.
+type ChurnParams struct {
+	// ServiceLoss is the base probability any service disappears.
+	ServiceLoss float64
+	// ForwardedLoss is the probability a port-forwarded (random-port)
+	// service disappears; these churn fastest.
+	ForwardedLoss float64
+	// HostLoss is the probability an entire host goes dark (address
+	// reassignment).
+	HostLoss float64
+	Seed     int64
+}
+
+// DefaultChurn returns parameters tuned to the paper's 10-day measurement.
+func DefaultChurn(seed int64) ChurnParams {
+	return ChurnParams{ServiceLoss: 0.05, ForwardedLoss: 0.22, HostLoss: 0.025, Seed: seed}
+}
+
+// Churn returns a new universe derived from u with services and hosts
+// removed per the parameters. The input universe is not modified; hosts
+// that survive unchanged are shared between the two universes.
+func Churn(u *Universe, p ChurnParams) *Universe {
+	rng := rand.New(rand.NewSource(p.Seed))
+	out := &Universe{
+		ases:     u.ases,
+		routes:   u.routes,
+		prefixes: u.prefixes,
+		hosts:    make(map[asndb.IP]*Host, len(u.hosts)),
+		seed:     u.seed,
+	}
+	for _, h := range u.hostList {
+		if rng.Float64() < p.HostLoss {
+			continue
+		}
+		var drop []uint16
+		for port, svc := range h.services {
+			loss := p.ServiceLoss
+			if svc.Forwarded {
+				loss = p.ForwardedLoss
+			}
+			if rng.Float64() < loss {
+				drop = append(drop, port)
+			}
+		}
+		if len(drop) == 0 {
+			out.insertHost(h)
+			continue
+		}
+		if len(drop) == len(h.services) && h.pseudoTmpl == nil {
+			continue // every service lost: host is gone
+		}
+		nh := NewHost(h.IP, h.ASN, h.Profile)
+		nh.Middlebox = h.Middlebox
+		nh.pseudoLo, nh.pseudoHi, nh.pseudoTmpl = h.pseudoLo, h.pseudoHi, h.pseudoTmpl
+		dropSet := make(map[uint16]bool, len(drop))
+		for _, d := range drop {
+			dropSet[d] = true
+		}
+		for port, svc := range h.services {
+			if !dropSet[port] {
+				nh.AddService(svc)
+			}
+		}
+		out.insertHost(nh)
+	}
+	out.finalize()
+	return out
+}

@@ -1,0 +1,325 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gps/internal/asndb"
+	"gps/internal/features"
+)
+
+func testUniverse(t *testing.T) *Universe {
+	t.Helper()
+	return Generate(TestParams(5))
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(TestParams(5))
+	b := Generate(TestParams(5))
+	if a.NumHosts() != b.NumHosts() || a.NumServices() != b.NumServices() {
+		t.Fatalf("same seed produced different universes: %d/%d vs %d/%d hosts/services",
+			a.NumHosts(), a.NumServices(), b.NumHosts(), b.NumServices())
+	}
+	ha, hb := a.Hosts(), b.Hosts()
+	for i := range ha {
+		if ha[i].IP != hb[i].IP || ha[i].Profile != hb[i].Profile {
+			t.Fatalf("host %d differs: %v/%s vs %v/%s", i, ha[i].IP, ha[i].Profile, hb[i].IP, hb[i].Profile)
+		}
+		pa, pb := ha[i].Ports(), hb[i].Ports()
+		if len(pa) != len(pb) {
+			t.Fatalf("host %v port count differs", ha[i].IP)
+		}
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("host %v ports differ", ha[i].IP)
+			}
+		}
+	}
+}
+
+func TestGenerateDifferentSeeds(t *testing.T) {
+	a := Generate(TestParams(5))
+	b := Generate(TestParams(6))
+	if a.NumHosts() == b.NumHosts() && a.NumServices() == b.NumServices() {
+		// Counts could coincide, but host placement should not.
+		same := true
+		for i, h := range a.Hosts() {
+			if i >= 100 {
+				break
+			}
+			if bh, ok := b.HostAt(h.IP); !ok || bh.Profile != h.Profile {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical placements")
+		}
+	}
+}
+
+func TestUniverseBasicShape(t *testing.T) {
+	u := testUniverse(t)
+	p := TestParams(5)
+	if got := u.SpaceSize(); got != uint64(p.NumPrefix16)*65536 {
+		t.Errorf("SpaceSize = %d", got)
+	}
+	wantHosts := float64(u.SpaceSize()) * p.HostDensity
+	if float64(u.NumHosts()) < 0.5*wantHosts || float64(u.NumHosts()) > 1.2*wantHosts {
+		t.Errorf("NumHosts = %d; want ~%.0f", u.NumHosts(), wantHosts)
+	}
+	if len(u.ASes()) != p.NumASes {
+		t.Errorf("ASes = %d; want %d", len(u.ASes()), p.NumASes)
+	}
+	// Every host's ASN must agree with the routing table.
+	for _, h := range u.Hosts()[:100] {
+		asn, ok := u.ASNOf(h.IP)
+		if !ok || asn != h.ASN {
+			t.Errorf("host %v ASN mismatch: %v vs %v", h.IP, h.ASN, asn)
+		}
+	}
+}
+
+func TestResponsiveQueries(t *testing.T) {
+	u := testUniverse(t)
+	var sample *Host
+	for _, h := range u.Hosts() {
+		if !h.Middlebox && len(h.Services()) > 0 {
+			sample = h
+			break
+		}
+	}
+	if sample == nil {
+		t.Fatal("no regular host found")
+	}
+	port := sample.Ports()[0]
+	if !u.Responsive(sample.IP, port) {
+		t.Error("host not responsive on its own port")
+	}
+	svc, ok := u.ServiceAt(sample.IP, port)
+	if !ok || svc.Port != port {
+		t.Error("ServiceAt failed")
+	}
+	// An unoccupied address responds to nothing.
+	for off := asndb.IP(0); off < 65536; off++ {
+		ip := u.Prefixes()[0].Addr + off
+		if _, occupied := u.HostAt(ip); !occupied {
+			if u.Responsive(ip, 80) {
+				t.Error("empty address responded")
+			}
+			break
+		}
+	}
+}
+
+func TestAddrAtIndexOfRoundTrip(t *testing.T) {
+	u := testUniverse(t)
+	f := func(raw uint32) bool {
+		i := uint64(raw) % u.SpaceSize()
+		ip := u.AddrAt(i)
+		back, ok := u.IndexOf(ip)
+		return ok && back == i && u.Contains(ip)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	if u.Contains(asndb.MustParseIP("10.0.0.1")) {
+		t.Error("RFC1918 space must not be announced")
+	}
+}
+
+func TestResponsiveInMatchesNaive(t *testing.T) {
+	u := testUniverse(t)
+	pfx := u.Prefixes()[0]
+	sub := asndb.Prefix{Addr: pfx.Addr, Bits: 20}
+	for _, port := range []uint16{80, 22, 7547} {
+		fast := u.ResponsiveIn(sub, port)
+		var naive []asndb.IP
+		for off := asndb.IP(0); off < asndb.IP(sub.Size()); off++ {
+			if u.Responsive(sub.Addr+off, port) {
+				naive = append(naive, sub.Addr+off)
+			}
+		}
+		if len(fast) != len(naive) {
+			t.Fatalf("port %d: fast %d vs naive %d", port, len(fast), len(naive))
+		}
+		for i := range fast {
+			if fast[i] != naive[i] {
+				t.Fatalf("port %d: order differs at %d", port, i)
+			}
+		}
+	}
+}
+
+func TestAnnouncedWithin(t *testing.T) {
+	u := testUniverse(t)
+	whole := u.AnnouncedWithin(asndb.Prefix{Bits: 0})
+	if len(whole) != len(u.Prefixes()) {
+		t.Errorf("/0 covers %d prefixes; want %d", len(whole), len(u.Prefixes()))
+	}
+	first := u.Prefixes()[0]
+	sub := asndb.Prefix{Addr: first.Addr, Bits: 20}
+	in := u.AnnouncedWithin(sub)
+	if len(in) != 1 || in[0] != sub {
+		t.Errorf("announced /20 not returned: %v", in)
+	}
+	if got := u.AnnouncedWithin(asndb.MustPrefix(asndb.MustParseIP("10.0.0.0"), 24)); got != nil {
+		t.Errorf("unannounced space returned %v", got)
+	}
+}
+
+func TestPseudoBlocks(t *testing.T) {
+	u := testUniverse(t)
+	found := false
+	for _, h := range u.Hosts() {
+		lo, hi, ok := h.PseudoBlock()
+		if !ok {
+			continue
+		}
+		found = true
+		if hi < lo {
+			t.Errorf("pseudo block inverted: %d-%d", lo, hi)
+		}
+		svc, ok := h.ServiceAt(lo + (hi-lo)/2)
+		if !ok || !svc.Pseudo {
+			t.Error("pseudo block port did not synthesize a pseudo service")
+		}
+		if h.NumServices() <= int(hi-lo) {
+			t.Error("NumServices must include the pseudo block")
+		}
+		if !h.Responsive(lo) || !h.Responsive(hi) {
+			t.Error("pseudo block edges unresponsive")
+		}
+		break
+	}
+	if !found {
+		t.Error("no pseudo-block hosts generated")
+	}
+}
+
+func TestMiddleboxes(t *testing.T) {
+	u := testUniverse(t)
+	n := 0
+	for _, h := range u.Hosts() {
+		if h.Middlebox {
+			n++
+			if !h.Responsive(1) || !h.Responsive(65535) {
+				t.Error("middlebox must acknowledge every port")
+			}
+			if _, ok := h.ServiceAt(80); ok {
+				t.Error("middlebox must have no services")
+			}
+		}
+	}
+	if n == 0 {
+		t.Error("no middleboxes generated")
+	}
+}
+
+func TestHostPortsSorted(t *testing.T) {
+	u := testUniverse(t)
+	for _, h := range u.Hosts()[:200] {
+		ports := h.Ports()
+		for i := 1; i < len(ports); i++ {
+			if ports[i-1] >= ports[i] {
+				t.Fatalf("host %v ports not sorted: %v", h.IP, ports)
+			}
+		}
+	}
+}
+
+func TestHostAddRemoveService(t *testing.T) {
+	h := NewHost(1, 1, "test")
+	h.AddService(&Service{Port: 80, Proto: features.ProtocolHTTP})
+	h.AddService(&Service{Port: 22, Proto: features.ProtocolSSH})
+	if len(h.Ports()) != 2 || h.Ports()[0] != 22 {
+		t.Errorf("ports = %v", h.Ports())
+	}
+	h.RemoveService(22)
+	if len(h.Ports()) != 1 || h.Ports()[0] != 80 {
+		t.Errorf("after remove: %v", h.Ports())
+	}
+	if h.Responsive(22) {
+		t.Error("removed service still responsive")
+	}
+}
+
+func TestPortPopulationLongTail(t *testing.T) {
+	u := testUniverse(t)
+	pop := u.PortPopulation()
+	open := 0
+	for _, c := range pop {
+		if c > 0 {
+			open++
+		}
+	}
+	// The long tail: far more than the handful of assigned ports, far
+	// fewer than all 65536.
+	if open < 100 {
+		t.Errorf("only %d open ports; want a long tail", open)
+	}
+	if pop[80] < pop[8082] || pop[80] < pop[2323] {
+		t.Error("port 80 must be more popular than uncommon ports")
+	}
+}
+
+func TestChurnShape(t *testing.T) {
+	u := testUniverse(t)
+	after := Churn(u, DefaultChurn(9))
+	if after.NumHosts() >= u.NumHosts() {
+		t.Errorf("churn grew hosts: %d -> %d", u.NumHosts(), after.NumHosts())
+	}
+	// Churn must never add services.
+	for _, h := range after.Hosts()[:300] {
+		orig, ok := u.HostAt(h.IP)
+		if !ok {
+			t.Fatalf("churn invented host %v", h.IP)
+		}
+		for port := range h.Services() {
+			if _, had := orig.ServiceAt(port); !had {
+				t.Fatalf("churn invented service %v:%d", h.IP, port)
+			}
+		}
+	}
+	// And the original universe must be untouched.
+	fresh := Generate(TestParams(5))
+	if fresh.NumServices() != u.NumServices() {
+		t.Error("Churn mutated its input universe")
+	}
+}
+
+func TestGenerateBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Generate with zero params did not panic")
+		}
+	}()
+	Generate(Params{})
+}
+
+func TestFeatureScopes(t *testing.T) {
+	u := testUniverse(t)
+	// Fleet-scoped values repeat across hosts; per-host values are
+	// unique. FRITZ!Box's HTTP server header is fleet-scoped.
+	servers := make(map[string]int)
+	certs := make(map[string]int)
+	for _, h := range u.Hosts() {
+		if h.Profile != "fritzbox" {
+			continue
+		}
+		if svc, ok := h.ServiceAt(80); ok {
+			servers[svc.Feats[features.KeyHTTPServer]]++
+		}
+		if svc, ok := h.ServiceAt(443); ok {
+			certs[svc.Feats[features.KeyTLSCertHash]]++
+		}
+	}
+	if len(servers) != 1 {
+		t.Errorf("fleet-scoped HTTP server has %d values; want 1", len(servers))
+	}
+	for v, n := range certs {
+		if n > 1 {
+			t.Errorf("per-host cert %q repeated %d times", v, n)
+		}
+	}
+}

@@ -1,0 +1,456 @@
+package netmodel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gps/internal/features"
+)
+
+// Scope controls how a feature value varies across the hosts of a fleet.
+// The mix of scopes is what gives each feature its dimensionality (Table 1)
+// and its predictive power: fleet-scoped banners identify the manufacturer
+// (highly predictive of the fleet's other ports), per-AS values identify
+// the operator, and per-host values identify the individual machine.
+type Scope uint8
+
+// Feature value scopes.
+const (
+	ScopeFleet   Scope = iota // identical on every host of the profile
+	ScopePerAS                // one value per (profile, ASN) pair
+	ScopePerHost              // unique per host (keys, cert hashes)
+	ScopeVariant              // a handful of firmware variants per fleet
+)
+
+// FeatureTemplate declares one application-layer feature a service exposes.
+type FeatureTemplate struct {
+	Key   features.Key
+	Scope Scope
+	Base  string // base label; scoped suffixes are appended at generation
+}
+
+// ServiceTemplate declares one service a profile's hosts may run.
+type ServiceTemplate struct {
+	// Ports lists candidate ports. With PickOne the host opens exactly
+	// one of them (chosen uniformly); otherwise it opens all of them.
+	Ports   []uint16
+	PickOne bool
+	// Prob is the per-host probability the service is present at all.
+	// 1.0 means every host of the fleet ships with it.
+	Prob  float64
+	Proto features.Protocol
+	Feats []FeatureTemplate
+	// RandomPort replaces the port with a uniform draw from
+	// [RandomPortMin, 65535]; combined with Forwarded it models the
+	// fundamentally unpredictable port-forwarded services of §7.
+	RandomPort    bool
+	RandomPortMin uint16
+	Forwarded     bool
+}
+
+// Profile is a device fleet: a weighted population of hosts sharing a
+// manufactured port set, banner values, and network placement.
+type Profile struct {
+	Name   string
+	Weight float64 // relative share of the host population
+	// ASTypes lists the AS categories this fleet appears in.
+	ASTypes []ASType
+	// Concentration is the fraction of eligible /16 blocks the fleet
+	// actually occupies. Low values produce the tight subnet clustering
+	// that makes network features predictive (§4); 1.0 spreads the
+	// fleet everywhere (the paper's Android TV example).
+	Concentration float64
+	// SingleAS pins the fleet to exactly one AS (the paper's Freebox
+	// example: Freeboxes appear only in the Free network).
+	SingleAS bool
+	Services []ServiceTemplate
+}
+
+func fleet(key features.Key, base string) FeatureTemplate {
+	return FeatureTemplate{Key: key, Scope: ScopeFleet, Base: base}
+}
+func perHost(key features.Key, base string) FeatureTemplate {
+	return FeatureTemplate{Key: key, Scope: ScopePerHost, Base: base}
+}
+func perAS(key features.Key, base string) FeatureTemplate {
+	return FeatureTemplate{Key: key, Scope: ScopePerAS, Base: base}
+}
+func variant(key features.Key, base string) FeatureTemplate {
+	return FeatureTemplate{Key: key, Scope: ScopeVariant, Base: base}
+}
+
+// httpFeats returns the typical HTTP feature bundle for a fleet-branded
+// device page.
+func httpFeats(brand string) []FeatureTemplate {
+	return []FeatureTemplate{
+		fleet(features.KeyHTTPServer, brand+" httpd"),
+		fleet(features.KeyHTTPTitle, brand+" admin"),
+		variant(features.KeyHTTPBodyHash, brand+"-body"),
+		variant(features.KeyHTTPHeader, brand+"-hdr"),
+	}
+}
+
+// tlsFeats returns the typical TLS feature bundle: per-host certificate
+// hash and subject, per-AS organization.
+func tlsFeats(brand string) []FeatureTemplate {
+	return []FeatureTemplate{
+		perHost(features.KeyTLSCertHash, brand+"-cert"),
+		perAS(features.KeyTLSOrg, brand+"-org"),
+		perHost(features.KeyTLSSubject, brand+"-subj"),
+	}
+}
+
+// sshFeats returns the typical SSH bundle: fleet banner, per-host key.
+func sshFeats(banner string) []FeatureTemplate {
+	return []FeatureTemplate{
+		fleet(features.KeySSHBanner, banner),
+		perHost(features.KeySSHHostKey, "hostkey"),
+	}
+}
+
+// BaseProfiles returns the hand-written major device fleets. Together with
+// the generated vendor models (VendorModelProfiles) they define the default
+// universe population.
+func BaseProfiles() []Profile {
+	return []Profile{
+		{
+			// The paper's most common IoT device: a home router whose
+			// manual says HTTPS is served on a random TCP port.
+			Name: "fritzbox", Weight: 9, ASTypes: []ASType{ASResidential}, Concentration: 0.35,
+			Services: []ServiceTemplate{
+				{Ports: []uint16{80}, Prob: 1, Proto: features.ProtocolHTTP, Feats: httpFeats("FRITZ!Box")},
+				{Ports: []uint16{443}, Prob: 0.85, Proto: features.ProtocolTLS, Feats: tlsFeats("fritz")},
+				{Ports: []uint16{7547}, Prob: 0.9, Proto: features.ProtocolCWMP, Feats: []FeatureTemplate{
+					fleet(features.KeyCWMPHeader, "fritz-cwmp"),
+					fleet(features.KeyCWMPBodyHash, "fritz-cwmp-body"),
+				}},
+				// Security feature: remote HTTPS on a random port.
+				{RandomPort: true, RandomPortMin: 20000, Prob: 0.25, Proto: features.ProtocolTLS,
+					Forwarded: true, Feats: tlsFeats("fritz-rnd")},
+			},
+		},
+		{
+			Name: "generic-cpe", Weight: 10, ASTypes: []ASType{ASResidential, ASMobile}, Concentration: 0.5,
+			Services: []ServiceTemplate{
+				{Ports: []uint16{7547}, Prob: 1, Proto: features.ProtocolCWMP, Feats: []FeatureTemplate{
+					variant(features.KeyCWMPHeader, "cpe-cwmp"),
+					variant(features.KeyCWMPBodyHash, "cpe-cwmp-body"),
+				}},
+				{Ports: []uint16{80}, Prob: 0.55, Proto: features.ProtocolHTTP, Feats: httpFeats("cpe-web")},
+				{Ports: []uint16{23}, Prob: 0.2, Proto: features.ProtocolTelnet, Feats: []FeatureTemplate{
+					variant(features.KeyTelnetBanner, "cpe-telnet"),
+				}},
+				// Forwarded internal service on a random port.
+				{RandomPort: true, RandomPortMin: 1024, Prob: 0.18, Proto: features.ProtocolHTTP,
+					Forwarded: true, Feats: httpFeats("fwd-web")},
+			},
+		},
+		{
+			Name: "mikrotik", Weight: 4, ASTypes: []ASType{ASResidential, ASEnterprise}, Concentration: 0.3,
+			Services: []ServiceTemplate{
+				{Ports: []uint16{8291}, Prob: 1, Proto: features.ProtocolUnknown},
+				{Ports: []uint16{80}, Prob: 0.9, Proto: features.ProtocolHTTP, Feats: httpFeats("MikroTik")},
+				{Ports: []uint16{22}, Prob: 0.7, Proto: features.ProtocolSSH, Feats: sshFeats("SSH-2.0-ROSSSH")},
+				{Ports: []uint16{21}, Prob: 0.35, Proto: features.ProtocolFTP, Feats: []FeatureTemplate{
+					fleet(features.KeyFTPBanner, "220 MikroTik FTP server ready"),
+				}},
+			},
+		},
+		{
+			// The Distributel-style telnet/HTTP pairing of §6.6: a
+			// fleet whose telnet banner on 23 predicts HTTP on 8082.
+			Name: "isp-modem", Weight: 5, ASTypes: []ASType{ASResidential}, Concentration: 0.15,
+			Services: []ServiceTemplate{
+				{Ports: []uint16{23}, Prob: 1, Proto: features.ProtocolTelnet, Feats: []FeatureTemplate{
+					fleet(features.KeyTelnetBanner, "Telnet service is disabled or expired"),
+				}},
+				{Ports: []uint16{8082}, Prob: 0.95, Proto: features.ProtocolHTTP, Feats: httpFeats("isp-modem")},
+			},
+		},
+		{
+			// The Bizland-style IMAP/SSH pairing of §6.6: IMAP on 143
+			// predicting SSH on 2222.
+			Name: "shared-hosting", Weight: 3, ASTypes: []ASType{ASHosting}, Concentration: 0.12,
+			Services: []ServiceTemplate{
+				{Ports: []uint16{143}, Prob: 1, Proto: features.ProtocolIMAP, Feats: []FeatureTemplate{
+					fleet(features.KeyIMAPBanner, "* OK IMAP ready - use TLS"),
+				}},
+				{Ports: []uint16{2222}, Prob: 0.97, Proto: features.ProtocolSSH, Feats: sshFeats("SSH-2.0-OpenSSH_7.4")},
+				{Ports: []uint16{80}, Prob: 0.9, Proto: features.ProtocolHTTP, Feats: httpFeats("shared-host")},
+				{Ports: []uint16{443}, Prob: 0.85, Proto: features.ProtocolTLS, Feats: tlsFeats("shared-host")},
+			},
+		},
+		{
+			Name: "web-server", Weight: 12, ASTypes: []ASType{ASHosting, ASEnterprise, ASAcademic}, Concentration: 0.6,
+			Services: []ServiceTemplate{
+				{Ports: []uint16{80}, Prob: 1, Proto: features.ProtocolHTTP, Feats: []FeatureTemplate{
+					variant(features.KeyHTTPServer, "nginx"),
+					perHost(features.KeyHTTPTitle, "site"),
+					perHost(features.KeyHTTPBodyHash, "body"),
+					variant(features.KeyHTTPHeader, "std-hdr"),
+				}},
+				{Ports: []uint16{443}, Prob: 0.9, Proto: features.ProtocolTLS, Feats: tlsFeats("web")},
+				{Ports: []uint16{22}, Prob: 0.75, Proto: features.ProtocolSSH, Feats: sshFeats("SSH-2.0-OpenSSH_8.2")},
+			},
+		},
+		{
+			Name: "web-server-alt", Weight: 4, ASTypes: []ASType{ASHosting}, Concentration: 0.4,
+			Services: []ServiceTemplate{
+				{Ports: []uint16{8080}, Prob: 1, Proto: features.ProtocolHTTP, Feats: []FeatureTemplate{
+					variant(features.KeyHTTPServer, "Apache-Tomcat"),
+					perHost(features.KeyHTTPBodyHash, "tomcat-body"),
+					fleet(features.KeyHTTPHeader, "tomcat-hdr"),
+				}},
+				{Ports: []uint16{8443}, Prob: 0.7, Proto: features.ProtocolTLS, Feats: tlsFeats("alt-web")},
+				{Ports: []uint16{22}, Prob: 0.8, Proto: features.ProtocolSSH, Feats: sshFeats("SSH-2.0-OpenSSH_8.9")},
+				{Ports: []uint16{8888}, Prob: 0.35, Proto: features.ProtocolHTTP, Feats: httpFeats("alt-admin")},
+			},
+		},
+		{
+			Name: "mail-server", Weight: 4, ASTypes: []ASType{ASHosting, ASEnterprise}, Concentration: 0.5,
+			Services: []ServiceTemplate{
+				{Ports: []uint16{25}, Prob: 1, Proto: features.ProtocolSMTP, Feats: []FeatureTemplate{
+					perAS(features.KeySMTPBanner, "220 mail ESMTP Postfix"),
+				}},
+				{Ports: []uint16{587}, Prob: 0.85, Proto: features.ProtocolSMTP, Feats: []FeatureTemplate{
+					perAS(features.KeySMTPBanner, "220 submission ESMTP"),
+				}},
+				{Ports: []uint16{465}, Prob: 0.7, Proto: features.ProtocolTLS, Feats: tlsFeats("mail")},
+				{Ports: []uint16{110}, Prob: 0.6, Proto: features.ProtocolPOP3, Feats: []FeatureTemplate{
+					variant(features.KeyPOP3Banner, "+OK POP3 ready"),
+				}},
+				{Ports: []uint16{143}, Prob: 0.65, Proto: features.ProtocolIMAP, Feats: []FeatureTemplate{
+					variant(features.KeyIMAPBanner, "* OK IMAP4 ready"),
+				}},
+				{Ports: []uint16{993}, Prob: 0.6, Proto: features.ProtocolTLS, Feats: tlsFeats("imaps")},
+				{Ports: []uint16{995}, Prob: 0.5, Proto: features.ProtocolTLS, Feats: tlsFeats("pop3s")},
+				{Ports: []uint16{22}, Prob: 0.6, Proto: features.ProtocolSSH, Feats: sshFeats("SSH-2.0-OpenSSH_8.4")},
+			},
+		},
+		{
+			Name: "db-server", Weight: 3, ASTypes: []ASType{ASHosting, ASEnterprise}, Concentration: 0.45,
+			Services: []ServiceTemplate{
+				{Ports: []uint16{3306}, Prob: 0.8, Proto: features.ProtocolMySQL, Feats: []FeatureTemplate{
+					variant(features.KeyMySQLVersion, "8.0"),
+				}},
+				{Ports: []uint16{5432}, Prob: 0.45, Proto: features.ProtocolUnknown},
+				{Ports: []uint16{11211}, Prob: 0.2, Proto: features.ProtocolMemcached, Feats: []FeatureTemplate{
+					variant(features.KeyMemcachedVersion, "1.6"),
+				}},
+				{Ports: []uint16{22}, Prob: 0.9, Proto: features.ProtocolSSH, Feats: sshFeats("SSH-2.0-OpenSSH_8.2")},
+			},
+		},
+		{
+			Name: "windows-server", Weight: 3, ASTypes: []ASType{ASEnterprise, ASHosting}, Concentration: 0.5,
+			Services: []ServiceTemplate{
+				{Ports: []uint16{445}, Prob: 1, Proto: features.ProtocolUnknown},
+				{Ports: []uint16{3389}, Prob: 0.75, Proto: features.ProtocolUnknown},
+				{Ports: []uint16{1433}, Prob: 0.35, Proto: features.ProtocolMSSQL, Feats: []FeatureTemplate{
+					variant(features.KeyMSSQLVersion, "15.0"),
+				}},
+				{Ports: []uint16{80}, Prob: 0.5, Proto: features.ProtocolHTTP, Feats: []FeatureTemplate{
+					fleet(features.KeyHTTPServer, "Microsoft-IIS/10.0"),
+					perHost(features.KeyHTTPBodyHash, "iis-body"),
+				}},
+			},
+		},
+		{
+			// The Mirai-style fleet motivating the intro: telnet on the
+			// assigned and the off-by-one-decade port.
+			Name: "telnet-iot", Weight: 6, ASTypes: []ASType{ASResidential, ASMobile}, Concentration: 0.2,
+			Services: []ServiceTemplate{
+				{Ports: []uint16{23, 2323}, PickOne: true, Prob: 1, Proto: features.ProtocolTelnet,
+					Feats: []FeatureTemplate{variant(features.KeyTelnetBanner, "BusyBox login")}},
+				{Ports: []uint16{80}, Prob: 0.4, Proto: features.ProtocolHTTP, Feats: httpFeats("iot-goahead")},
+			},
+		},
+		{
+			Name: "camera-dvr", Weight: 5, ASTypes: []ASType{ASResidential, ASEnterprise}, Concentration: 0.25,
+			Services: []ServiceTemplate{
+				{Ports: []uint16{80}, Prob: 0.9, Proto: features.ProtocolHTTP, Feats: []FeatureTemplate{
+					fleet(features.KeyHTTPServer, "DVRDVS-Webs"),
+					fleet(features.KeyHTTPTitle, "NETSurveillance WEB"),
+					variant(features.KeyHTTPBodyHash, "dvr-body"),
+				}},
+				{Ports: []uint16{554}, Prob: 0.85, Proto: features.ProtocolUnknown},
+				{Ports: []uint16{37777}, Prob: 0.8, Proto: features.ProtocolUnknown},
+				{Ports: []uint16{34567}, Prob: 0.3, Proto: features.ProtocolUnknown},
+			},
+		},
+		{
+			Name: "vnc-host", Weight: 1.5, ASTypes: []ASType{ASEnterprise, ASAcademic}, Concentration: 0.6,
+			Services: []ServiceTemplate{
+				{Ports: []uint16{5900}, Prob: 1, Proto: features.ProtocolVNC, Feats: []FeatureTemplate{
+					perHost(features.KeyVNCDesktopName, "desktop"),
+				}},
+				{Ports: []uint16{22}, Prob: 0.5, Proto: features.ProtocolSSH, Feats: sshFeats("SSH-2.0-OpenSSH_7.9")},
+				{Ports: []uint16{5901}, Prob: 0.25, Proto: features.ProtocolVNC, Feats: []FeatureTemplate{
+					perHost(features.KeyVNCDesktopName, "desktop1"),
+				}},
+			},
+		},
+		{
+			Name: "ipmi-bmc", Weight: 1.2, ASTypes: []ASType{ASHosting, ASEnterprise}, Concentration: 0.3,
+			Services: []ServiceTemplate{
+				{Ports: []uint16{623}, Prob: 1, Proto: features.ProtocolIPMI, Feats: []FeatureTemplate{
+					variant(features.KeyIPMIBanner, "IPMI-2.0"),
+				}},
+				{Ports: []uint16{80}, Prob: 0.8, Proto: features.ProtocolHTTP, Feats: httpFeats("iDRAC")},
+				{Ports: []uint16{443}, Prob: 0.75, Proto: features.ProtocolTLS, Feats: tlsFeats("bmc")},
+			},
+		},
+		{
+			Name: "pptp-vpn", Weight: 1.5, ASTypes: []ASType{ASEnterprise, ASResidential}, Concentration: 0.4,
+			Services: []ServiceTemplate{
+				{Ports: []uint16{1723}, Prob: 1, Proto: features.ProtocolPPTP, Feats: []FeatureTemplate{
+					variant(features.KeyPPTPVendor, "linux-pptpd"),
+				}},
+				{Ports: []uint16{443}, Prob: 0.5, Proto: features.ProtocolTLS, Feats: tlsFeats("vpn")},
+			},
+		},
+		{
+			// Freebox: the paper's single-network fleet; network feature
+			// is maximally predictive here.
+			Name: "freebox", Weight: 4, ASTypes: []ASType{ASResidential}, SingleAS: true, Concentration: 1,
+			Services: []ServiceTemplate{
+				{Ports: []uint16{80}, Prob: 1, Proto: features.ProtocolHTTP, Feats: httpFeats("Freebox")},
+				{Ports: []uint16{443}, Prob: 0.8, Proto: features.ProtocolTLS, Feats: tlsFeats("freebox")},
+				{Ports: []uint16{554}, Prob: 0.6, Proto: features.ProtocolUnknown},
+			},
+		},
+		{
+			// Android TV: spread across every network; the paper's
+			// example of a fleet where the network feature is weak.
+			Name: "android-tv", Weight: 2.5, ASTypes: []ASType{ASResidential, ASMobile, ASEnterprise, ASAcademic}, Concentration: 1,
+			Services: []ServiceTemplate{
+				{Ports: []uint16{5555}, Prob: 1, Proto: features.ProtocolUnknown},
+				{Ports: []uint16{8008}, Prob: 0.8, Proto: features.ProtocolHTTP, Feats: httpFeats("android-tv")},
+				{Ports: []uint16{8443}, Prob: 0.4, Proto: features.ProtocolTLS, Feats: tlsFeats("atv")},
+			},
+		},
+		{
+			Name: "ssh-only", Weight: 3, ASTypes: []ASType{ASHosting, ASAcademic}, Concentration: 0.8,
+			Services: []ServiceTemplate{
+				{Ports: []uint16{22}, Prob: 1, Proto: features.ProtocolSSH, Feats: sshFeats("SSH-2.0-OpenSSH_8.2")},
+			},
+		},
+		{
+			Name: "http-only", Weight: 4, ASTypes: []ASType{ASHosting, ASEnterprise, ASMobile}, Concentration: 0.9,
+			Services: []ServiceTemplate{
+				{Ports: []uint16{80}, Prob: 1, Proto: features.ProtocolHTTP, Feats: []FeatureTemplate{
+					variant(features.KeyHTTPServer, "nginx"),
+					perHost(features.KeyHTTPBodyHash, "body"),
+				}},
+			},
+		},
+		{
+			// NAT gateways forwarding a single internal server on a
+			// random external port, exposing nothing else. These are
+			// the §7 fundamental limit: no feature on the host can
+			// anchor a prediction, so no intelligent scanner finds them
+			// cheaper than exhaustive probing.
+			Name: "nat-hidden", Weight: 3.5, ASTypes: []ASType{ASResidential, ASMobile}, Concentration: 0.6,
+			Services: []ServiceTemplate{
+				{RandomPort: true, RandomPortMin: 1024, Prob: 1, Proto: features.ProtocolHTTP,
+					Forwarded: true, Feats: httpFeats("fwd-hidden")},
+			},
+		},
+		{
+			// A rare many-service host class: triggers the Appendix B
+			// pseudo filter's ~1% false positives (real hosts with >10
+			// services).
+			Name: "kitchen-sink", Weight: 0.08, ASTypes: []ASType{ASAcademic, ASEnterprise}, Concentration: 0.9,
+			Services: []ServiceTemplate{
+				{Ports: []uint16{21}, Prob: 1, Proto: features.ProtocolFTP, Feats: []FeatureTemplate{variant(features.KeyFTPBanner, "220 ProFTPD")}},
+				{Ports: []uint16{22}, Prob: 1, Proto: features.ProtocolSSH, Feats: sshFeats("SSH-2.0-OpenSSH_7.4")},
+				{Ports: []uint16{25}, Prob: 1, Proto: features.ProtocolSMTP, Feats: []FeatureTemplate{variant(features.KeySMTPBanner, "220 ESMTP Sendmail")}},
+				{Ports: []uint16{80}, Prob: 1, Proto: features.ProtocolHTTP, Feats: httpFeats("campus")},
+				{Ports: []uint16{110}, Prob: 1, Proto: features.ProtocolPOP3, Feats: []FeatureTemplate{variant(features.KeyPOP3Banner, "+OK dovecot")}},
+				{Ports: []uint16{143}, Prob: 1, Proto: features.ProtocolIMAP, Feats: []FeatureTemplate{variant(features.KeyIMAPBanner, "* OK dovecot")}},
+				{Ports: []uint16{443}, Prob: 1, Proto: features.ProtocolTLS, Feats: tlsFeats("campus")},
+				{Ports: []uint16{587}, Prob: 1, Proto: features.ProtocolSMTP, Feats: []FeatureTemplate{variant(features.KeySMTPBanner, "220 submission ESMTP")}},
+				{Ports: []uint16{993}, Prob: 1, Proto: features.ProtocolTLS, Feats: tlsFeats("campus-imaps")},
+				{Ports: []uint16{3306}, Prob: 1, Proto: features.ProtocolMySQL, Feats: []FeatureTemplate{variant(features.KeyMySQLVersion, "5.7")}},
+				{Ports: []uint16{5900}, Prob: 1, Proto: features.ProtocolVNC, Feats: []FeatureTemplate{perHost(features.KeyVNCDesktopName, "lab")}},
+				{Ports: []uint16{8080}, Prob: 1, Proto: features.ProtocolHTTP, Feats: httpFeats("campus-alt")},
+			},
+		},
+	}
+}
+
+// commonBasePorts is the pool of popular ports vendor models draw their
+// "standard" service from.
+var commonBasePorts = []uint16{80, 23, 443, 8080, 22, 21}
+
+// VendorModelProfiles programmatically generates n small IoT/CPE vendor
+// fleets. Each model ships 1-2 popular ports plus 1-2 model-specific odd
+// ports drawn deterministically from the unassigned range, with
+// fleet-scoped banners. Model population follows a power law, producing the
+// paper's long tail: thousands of uncommon ports each hosting a small but
+// predictable fleet.
+func VendorModelProfiles(n int, seed int64) []Profile {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Profile, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("vendor-%03d", i)
+		brand := fmt.Sprintf("vnd%03d", i)
+		// Power-law weight: rank-(i+2) with exponent ~1.1, scaled so the
+		// whole collection is comparable to the major profiles.
+		weight := 20.0 / float64(i+2)
+
+		oddPort := func() uint16 { return uint16(1024 + rng.Intn(64512)) }
+		svcs := []ServiceTemplate{
+			// The model-specific management port: the signature of the fleet.
+			{Ports: []uint16{oddPort()}, Prob: 1, Proto: features.ProtocolHTTP, Feats: []FeatureTemplate{
+				fleet(features.KeyHTTPServer, brand+" httpd"),
+				fleet(features.KeyHTTPTitle, brand+" device"),
+				variant(features.KeyHTTPBodyHash, brand+"-body"),
+			}},
+		}
+		// A popular base port with a brand banner.
+		base := commonBasePorts[rng.Intn(len(commonBasePorts))]
+		switch base {
+		case 23:
+			svcs = append(svcs, ServiceTemplate{Ports: []uint16{23}, Prob: 0.8, Proto: features.ProtocolTelnet,
+				Feats: []FeatureTemplate{fleet(features.KeyTelnetBanner, brand+" login")}})
+		case 22:
+			svcs = append(svcs, ServiceTemplate{Ports: []uint16{22}, Prob: 0.8, Proto: features.ProtocolSSH,
+				Feats: sshFeats("SSH-2.0-" + brand)})
+		case 21:
+			svcs = append(svcs, ServiceTemplate{Ports: []uint16{21}, Prob: 0.8, Proto: features.ProtocolFTP,
+				Feats: []FeatureTemplate{fleet(features.KeyFTPBanner, "220 "+brand+" FTP")}})
+		case 443:
+			svcs = append(svcs, ServiceTemplate{Ports: []uint16{443}, Prob: 0.8, Proto: features.ProtocolTLS,
+				Feats: tlsFeats(brand)})
+		default:
+			svcs = append(svcs, ServiceTemplate{Ports: []uint16{base}, Prob: 0.8, Proto: features.ProtocolHTTP,
+				Feats: httpFeats(brand)})
+		}
+		// Half the models have a second odd port (e.g., a data channel).
+		if rng.Intn(2) == 0 {
+			svcs = append(svcs, ServiceTemplate{Ports: []uint16{oddPort()}, Prob: 0.9,
+				Proto: features.ProtocolUnknown})
+		}
+		// A slice of each fleet sits behind NAT with an unpredictable
+		// forwarded port: the §7 limitation.
+		svcs = append(svcs, ServiceTemplate{RandomPort: true, RandomPortMin: 1024, Prob: 0.12,
+			Proto: features.ProtocolHTTP, Forwarded: true, Feats: httpFeats(brand + "-fwd")})
+
+		asTypes := []ASType{ASResidential}
+		if rng.Intn(3) == 0 {
+			asTypes = append(asTypes, ASEnterprise)
+		}
+		out = append(out, Profile{
+			Name: name, Weight: weight, ASTypes: asTypes,
+			Concentration: 0.05 + 0.3*rng.Float64(),
+			Services:      svcs,
+		})
+	}
+	return out
+}
+
+// DefaultProfiles returns the full default population: the hand-written
+// majors plus nVendors generated vendor fleets.
+func DefaultProfiles(nVendors int, seed int64) []Profile {
+	return append(BaseProfiles(), VendorModelProfiles(nVendors, seed)...)
+}

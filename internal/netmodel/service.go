@@ -1,0 +1,167 @@
+// Package netmodel implements a deterministic synthetic IPv4 Internet used
+// as the ground-truth substrate for GPS experiments. The real paper scans
+// the live Internet with ZMap/LZR/ZGrab and evaluates against Censys; this
+// package stands in for all of that data with a generator that reproduces
+// the statistical structure GPS's predictions depend on (§4 of the paper):
+//
+//   - Port usage is correlated on hosts: device fleets are "manufactured"
+//     with a fixed port set, so the presence of one port predicts others.
+//   - Application-layer banners identify the manufacturer/OS/purpose of a
+//     host and therefore its remaining ports.
+//   - Services cluster in networks: fleets concentrate in a small number of
+//     ASNs and /16 subnetworks.
+//   - A long tail of services lives on unassigned ports, both from vendor
+//     model-specific ports and from unpredictable port forwarding.
+//   - Middleboxes and "pseudo services" pollute naive scans (Appendix B).
+package netmodel
+
+import (
+	"fmt"
+
+	"gps/internal/asndb"
+	"gps/internal/features"
+)
+
+// Service is one (port, protocol) endpoint on a host, with its
+// application-layer feature values (banners, certificates, and so on).
+type Service struct {
+	Port  uint16
+	Proto features.Protocol
+	// Feats holds the application-layer features revealed by a full L7
+	// handshake (ZGrab's job). Network-layer features are derived from
+	// the host's IP, not stored here.
+	Feats features.Set
+	// TTL is the IP time-to-live observed on responses. Port-forwarded
+	// services traverse an extra hop, so their TTL differs from the
+	// host's other services; the paper uses this to estimate that 55% of
+	// services on uncommon ports are forwarded (§7).
+	TTL uint8
+	// Forwarded marks services that a router forwards to an internal
+	// device on an effectively random external port. These are the
+	// fundamentally unpredictable services of §7.
+	Forwarded bool
+	// Pseudo marks a pseudo-service: a response that completes a
+	// handshake but serves no real content (Appendix B). Pseudo services
+	// must be filtered from seed sets or GPS learns junk patterns.
+	Pseudo bool
+}
+
+// Key identifies a service globally as an (IP, port) pair, the unit of
+// discovery throughout the paper ("#(IP, p)" in Equations 1-2).
+type Key struct {
+	IP   asndb.IP
+	Port uint16
+}
+
+// String renders "ip:port".
+func (k Key) String() string { return fmt.Sprintf("%s:%d", k.IP, k.Port) }
+
+// Host is one responsive IPv4 address and everything it serves.
+type Host struct {
+	IP       asndb.IP
+	ASN      asndb.ASN
+	Profile  string // generator profile name, for debugging and analysis
+	services map[uint16]*Service
+	ports    []uint16 // sorted port list, built on Finalize
+
+	// pseudoLo/pseudoHi bound a contiguous block of pseudo-service
+	// ports (inclusive); pseudoTmpl is the shared response. Hosts
+	// serving pseudo services respond identically on every port in the
+	// block, which is how Censys-style "pseudo service" hosts behave.
+	pseudoLo, pseudoHi uint16
+	pseudoTmpl         *Service
+
+	// Middlebox marks hosts (e.g., security appliances) that complete a
+	// SYN handshake on every port but never speak a real protocol. LZR
+	// filters these before ZGrab runs.
+	Middlebox bool
+}
+
+// NewHost creates an empty host.
+func NewHost(ip asndb.IP, asn asndb.ASN, profile string) *Host {
+	return &Host{IP: ip, ASN: asn, Profile: profile, services: make(map[uint16]*Service)}
+}
+
+// AddService attaches a service; a second service on the same port
+// overwrites the first.
+func (h *Host) AddService(s *Service) {
+	h.services[s.Port] = s
+	h.ports = nil
+}
+
+// RemoveService drops the service on the given port, if any.
+func (h *Host) RemoveService(port uint16) {
+	delete(h.services, port)
+	h.ports = nil
+}
+
+// SetPseudoBlock makes the host serve the same pseudo service on every
+// port in [lo, hi].
+func (h *Host) SetPseudoBlock(lo, hi uint16, tmpl *Service) {
+	h.pseudoLo, h.pseudoHi, h.pseudoTmpl = lo, hi, tmpl
+}
+
+// PseudoBlock returns the pseudo block bounds and whether one is set.
+func (h *Host) PseudoBlock() (lo, hi uint16, ok bool) {
+	return h.pseudoLo, h.pseudoHi, h.pseudoTmpl != nil
+}
+
+// ServiceAt returns the service on a port. Pseudo blocks synthesize a
+// service on demand so that a block of 1,000+ ports costs one template.
+func (h *Host) ServiceAt(port uint16) (*Service, bool) {
+	if s, ok := h.services[port]; ok {
+		return s, true
+	}
+	if h.pseudoTmpl != nil && port >= h.pseudoLo && port <= h.pseudoHi {
+		s := *h.pseudoTmpl
+		s.Port = port
+		return &s, true
+	}
+	return nil, false
+}
+
+// Responsive reports whether a SYN to the port would be answered.
+// Middleboxes acknowledge everything.
+func (h *Host) Responsive(port uint16) bool {
+	if h.Middlebox {
+		return true
+	}
+	_, ok := h.ServiceAt(port)
+	return ok
+}
+
+// Ports returns the host's real (non-pseudo-block) service ports in
+// ascending order. The slice is cached; callers must not modify it.
+func (h *Host) Ports() []uint16 {
+	if h.ports == nil {
+		h.ports = make([]uint16, 0, len(h.services))
+		for p := range h.services {
+			h.ports = append(h.ports, p)
+		}
+		sortPorts(h.ports)
+	}
+	return h.ports
+}
+
+// NumServices counts the host's services including any pseudo block.
+func (h *Host) NumServices() int {
+	n := len(h.services)
+	if h.pseudoTmpl != nil {
+		n += int(h.pseudoHi) - int(h.pseudoLo) + 1
+	}
+	return n
+}
+
+// Services returns the host's explicit services keyed by port. Callers
+// must not modify the map.
+func (h *Host) Services() map[uint16]*Service { return h.services }
+
+func sortPorts(p []uint16) {
+	// Insertion sort: hosts have a handful of ports, so this beats the
+	// allocation and indirection of sort.Slice on the hot path.
+	for i := 1; i < len(p); i++ {
+		for j := i; j > 0 && p[j-1] > p[j]; j-- {
+			p[j-1], p[j] = p[j], p[j-1]
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package netmodel
+
+import (
+	"sort"
+
+	"gps/internal/asndb"
+)
+
+// NumPorts is the size of the TCP port space GPS predicts over.
+const NumPorts = 65536
+
+// ASInfo describes one synthetic autonomous system.
+type ASInfo struct {
+	Num      asndb.ASN
+	Name     string
+	Type     ASType
+	Prefixes []asndb.Prefix // the /16 blocks announced by this AS
+}
+
+// ASType classifies an AS by the kind of hosts it contains, which drives
+// which device fleets concentrate in it.
+type ASType uint8
+
+// AS categories used by the generator.
+const (
+	ASResidential ASType = iota // consumer ISPs: routers, IoT, CPE
+	ASHosting                   // datacenters: web, mail, DB servers
+	ASEnterprise                // corporate networks: mixed servers
+	ASMobile                    // mobile carriers: sparse CGN-style hosts
+	ASAcademic                  // universities: mixed, lightly filtered
+	numASTypes
+)
+
+var asTypeNames = [...]string{"residential", "hosting", "enterprise", "mobile", "academic"}
+
+// String names the AS type.
+func (t ASType) String() string {
+	if int(t) < len(asTypeNames) {
+		return asTypeNames[t]
+	}
+	return "unknown"
+}
+
+// Universe is the synthetic Internet: an allocated slice of IPv4 space, a
+// routing table, and a population of hosts. It doubles as the scan target:
+// the scanner substrate probes it one (IP, port) at a time.
+//
+// A Universe is immutable after generation except through Churn, and is
+// safe for concurrent reads.
+type Universe struct {
+	ases     []ASInfo
+	routes   *asndb.Table
+	prefixes []asndb.Prefix // all announced /16s, sorted
+	hosts    map[asndb.IP]*Host
+	hostList []*Host // sorted by IP
+	seed     int64
+}
+
+// Seed returns the generator seed that produced this universe.
+func (u *Universe) Seed() int64 { return u.seed }
+
+// ASes returns the autonomous systems of the universe.
+func (u *Universe) ASes() []ASInfo { return u.ases }
+
+// Routes returns the routing table for ASN lookups.
+func (u *Universe) Routes() *asndb.Table { return u.routes }
+
+// Prefixes returns the announced /16 blocks in ascending order. The
+// scannable address space is exactly the union of these blocks.
+func (u *Universe) Prefixes() []asndb.Prefix { return u.prefixes }
+
+// SpaceSize returns the number of scannable addresses. One "100% scan" in
+// the paper's bandwidth unit is SpaceSize probes (one full pass on one
+// port).
+func (u *Universe) SpaceSize() uint64 {
+	var n uint64
+	for _, p := range u.prefixes {
+		n += p.Size()
+	}
+	return n
+}
+
+// NumHosts returns the number of responsive hosts.
+func (u *Universe) NumHosts() int { return len(u.hostList) }
+
+// HostAt returns the host at an address, if any.
+func (u *Universe) HostAt(ip asndb.IP) (*Host, bool) {
+	h, ok := u.hosts[ip]
+	return h, ok
+}
+
+// Hosts returns all hosts sorted by IP. Callers must not modify the slice.
+func (u *Universe) Hosts() []*Host { return u.hostList }
+
+// ServiceAt returns the service at (ip, port), if one exists (including
+// synthesized pseudo-block services).
+func (u *Universe) ServiceAt(ip asndb.IP, port uint16) (*Service, bool) {
+	h, ok := u.hosts[ip]
+	if !ok {
+		return nil, false
+	}
+	return h.ServiceAt(port)
+}
+
+// Responsive reports whether a SYN probe to (ip, port) is acknowledged.
+// This is the scanner's view of the world.
+func (u *Universe) Responsive(ip asndb.IP, port uint16) bool {
+	h, ok := u.hosts[ip]
+	return ok && h.Responsive(port)
+}
+
+// ResponseTTL returns the TTL a response from (ip, port) would carry;
+// forwarded services show a different TTL than the host's other services
+// (§7). ok is false when nothing would respond. Middleboxes answer with a
+// fixed appliance TTL.
+func (u *Universe) ResponseTTL(ip asndb.IP, port uint16) (uint8, bool) {
+	h, ok := u.hosts[ip]
+	if !ok {
+		return 0, false
+	}
+	if svc, okS := h.ServiceAt(port); okS {
+		return svc.TTL, true
+	}
+	if h.Middlebox {
+		return 255, true
+	}
+	return 0, false
+}
+
+// ASNOf returns the ASN announcing ip's prefix.
+func (u *Universe) ASNOf(ip asndb.IP) (asndb.ASN, bool) { return u.routes.Lookup(ip) }
+
+// AddrAt maps a dense index in [0, SpaceSize) to the index-th scannable
+// address. The scanner uses this with a random permutation of the index
+// space to visit every address exactly once in pseudorandom order.
+func (u *Universe) AddrAt(i uint64) asndb.IP {
+	// Prefixes are all /16s, so each holds 65536 addresses.
+	p := u.prefixes[i>>16]
+	return p.Addr + asndb.IP(i&0xffff)
+}
+
+// IndexOf is the inverse of AddrAt; ok is false when ip is outside the
+// announced space.
+func (u *Universe) IndexOf(ip asndb.IP) (uint64, bool) {
+	want := asndb.SubnetOf(ip, 16)
+	i := sort.Search(len(u.prefixes), func(i int) bool { return u.prefixes[i].Addr >= want.Addr })
+	if i == len(u.prefixes) || u.prefixes[i].Addr != want.Addr {
+		return 0, false
+	}
+	return uint64(i)<<16 | uint64(ip&0xffff), true
+}
+
+// Contains reports whether ip is inside the announced address space.
+func (u *Universe) Contains(ip asndb.IP) bool {
+	_, ok := u.IndexOf(ip)
+	return ok
+}
+
+// ResponsiveIn returns every address inside prefix that would acknowledge
+// a SYN on port, in ascending order. It is semantically identical to
+// probing each address in the prefix but runs in time proportional to the
+// hosts present, which lets large prefix scans execute quickly; callers
+// must account the full prefix size as probe bandwidth.
+func (u *Universe) ResponsiveIn(p asndb.Prefix, port uint16) []asndb.IP {
+	lo := sort.Search(len(u.hostList), func(i int) bool { return u.hostList[i].IP >= p.First() })
+	var out []asndb.IP
+	for i := lo; i < len(u.hostList) && u.hostList[i].IP <= p.Last(); i++ {
+		if u.hostList[i].Responsive(port) {
+			out = append(out, u.hostList[i].IP)
+		}
+	}
+	return out
+}
+
+// AnnouncedWithin intersects a prefix with the announced address space,
+// returning the announced /16 blocks (or sub-blocks) it covers. Scanners
+// use this so that a large scanning step (e.g., /0) costs the announced
+// space rather than all 2^32 addresses — unannounced space never receives
+// probes on the real Internet either (ZMap skips bogons and reserved
+// blocks).
+func (u *Universe) AnnouncedWithin(p asndb.Prefix) []asndb.Prefix {
+	if p.Bits >= 16 {
+		// p sits inside a single /16: announced iff that /16 is.
+		want := asndb.SubnetOf(p.First(), 16)
+		for _, pfx := range u.prefixes {
+			if pfx.Addr == want.Addr {
+				return []asndb.Prefix{p}
+			}
+		}
+		return nil
+	}
+	var out []asndb.Prefix
+	for _, pfx := range u.prefixes {
+		if p.Contains(pfx.First()) {
+			out = append(out, pfx)
+		}
+	}
+	return out
+}
+
+// NumServices counts every service in the universe, including pseudo
+// services and forwarded ports.
+func (u *Universe) NumServices() int {
+	n := 0
+	for _, h := range u.hostList {
+		n += h.NumServices()
+	}
+	return n
+}
+
+// PortPopulation counts responsive IPs per port across all real (explicit)
+// services. It ignores pseudo blocks and middleboxes, matching the
+// "real services" filtering of Appendix B.
+func (u *Universe) PortPopulation() []int {
+	pop := make([]int, NumPorts)
+	for _, h := range u.hostList {
+		for p := range h.services {
+			pop[p]++
+		}
+	}
+	return pop
+}
+
+// insertHost registers a host; used by the generator and churn.
+func (u *Universe) insertHost(h *Host) {
+	u.hosts[h.IP] = h
+	u.hostList = append(u.hostList, h)
+}
+
+// finalize sorts internal indexes after generation or churn.
+func (u *Universe) finalize() {
+	sort.Slice(u.hostList, func(i, j int) bool { return u.hostList[i].IP < u.hostList[j].IP })
+	sort.Slice(u.prefixes, func(i, j int) bool { return u.prefixes[i].Addr < u.prefixes[j].Addr })
+}

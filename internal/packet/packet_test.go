@@ -1,0 +1,205 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gps/internal/asndb"
+)
+
+func TestIPv4RoundTrip(t *testing.T) {
+	h := IPv4{
+		TOS: 0x10, TotalLen: 40, ID: GPSProbeIPID, Flags: 2, FragOff: 0,
+		TTL: 64, Protocol: ProtoTCP,
+		Src: asndb.MustParseIP("192.0.2.1"), Dst: asndb.MustParseIP("198.51.100.2"),
+	}
+	var buf [64]byte
+	n, err := h.Marshal(buf[:])
+	if err != nil || n != IPv4HeaderLen {
+		t.Fatalf("Marshal: %d, %v", n, err)
+	}
+	// Self-verifying checksum.
+	if Checksum(buf[:IPv4HeaderLen]) != 0 {
+		t.Error("serialized header fails its own checksum")
+	}
+	got, _, err := ParseIPv4(buf[:40])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("round trip: %+v != %+v", got, h)
+	}
+}
+
+// TestIPv4RoundTripQuick property: any header round-trips bit-exactly.
+func TestIPv4RoundTripQuick(t *testing.T) {
+	f := func(tos uint8, id uint16, ttl uint8, src, dst uint32, payLen uint8) bool {
+		h := IPv4{
+			TOS: tos, TotalLen: uint16(IPv4HeaderLen) + uint16(payLen), ID: id,
+			TTL: ttl, Protocol: ProtoTCP,
+			Src: asndb.IP(src), Dst: asndb.IP(dst),
+		}
+		buf := make([]byte, IPv4HeaderLen+int(payLen))
+		if _, err := h.Marshal(buf); err != nil {
+			return false
+		}
+		got, payload, err := ParseIPv4(buf)
+		return err == nil && got == h && len(payload) == int(payLen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPv4ParseErrors(t *testing.T) {
+	if _, _, err := ParseIPv4(make([]byte, 10)); err != ErrTruncated {
+		t.Errorf("short buffer: %v", err)
+	}
+	var buf [40]byte
+	h := IPv4{TotalLen: 40, TTL: 1, Protocol: ProtoTCP}
+	h.Marshal(buf[:])
+	buf[0] = 0x65 // version 6
+	if _, _, err := ParseIPv4(buf[:]); err != ErrBadVersion {
+		t.Errorf("bad version: %v", err)
+	}
+	h.Marshal(buf[:])
+	buf[8] ^= 0xff // corrupt TTL; checksum now wrong
+	if _, _, err := ParseIPv4(buf[:]); err != ErrBadChecksum {
+		t.Errorf("corruption: %v", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	src, dst := asndb.MustParseIP("192.0.2.1"), asndb.MustParseIP("198.51.100.2")
+	tc := TCP{SrcPort: 43210, DstPort: 80, Seq: 0xdeadbeef, Ack: 0xfeedface,
+		Flags: FlagSYN | FlagACK, Window: 1024, Urgent: 7}
+	payload := []byte("GET / HTTP/1.0\r\n")
+	buf := make([]byte, TCPHeaderLen+len(payload))
+	if _, err := tc.Marshal(buf, src, dst, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, pay, err := ParseTCP(buf, src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tc {
+		t.Errorf("round trip: %+v != %+v", got, tc)
+	}
+	if string(pay) != string(payload) {
+		t.Errorf("payload corrupted: %q", pay)
+	}
+	// Checksum binds to the pseudo header: parsing with wrong endpoints
+	// must fail.
+	if _, _, err := ParseTCP(buf, src, dst+1); err != ErrBadChecksum {
+		t.Errorf("wrong endpoints accepted: %v", err)
+	}
+}
+
+// TestTCPRoundTripQuick property: headers round-trip for arbitrary fields.
+func TestTCPRoundTripQuick(t *testing.T) {
+	f := func(sp, dp uint16, seq, ack uint32, flags uint8, win uint16, src, dst uint32) bool {
+		tc := TCP{SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack, Flags: flags, Window: win}
+		var buf [TCPHeaderLen]byte
+		if _, err := tc.Marshal(buf[:], asndb.IP(src), asndb.IP(dst), nil); err != nil {
+			return false
+		}
+		got, _, err := ParseTCP(buf[:], asndb.IP(src), asndb.IP(dst))
+		return err == nil && got == tc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != 0x220d {
+		t.Errorf("Checksum = %#04x; want 0x220d", got)
+	}
+	// Odd-length data must not panic and must self-verify once embedded.
+	if Checksum([]byte{0xff}) == 0 {
+		t.Error("odd-length checksum degenerate")
+	}
+}
+
+func TestValidatorTokens(t *testing.T) {
+	v := NewValidator(0x1234)
+	dst := asndb.MustParseIP("203.0.113.9")
+	tok := v.Token(dst, 443)
+	if !v.ValidAck(dst, 443, tok+1) {
+		t.Error("valid ack rejected")
+	}
+	if v.ValidAck(dst, 443, tok) || v.ValidAck(dst, 443, tok+2) {
+		t.Error("off-by-one ack accepted")
+	}
+	if v.ValidAck(dst, 444, tok+1) {
+		t.Error("wrong port accepted")
+	}
+	// Different secrets yield different tokens (scan isolation).
+	if NewValidator(0x9999).Token(dst, 443) == tok {
+		t.Error("secrets do not separate token spaces")
+	}
+}
+
+func TestSYNProbeEndToEnd(t *testing.T) {
+	v := NewValidator(42)
+	scanSrc := asndb.MustParseIP("192.0.2.1")
+	target := asndb.MustParseIP("203.0.113.9")
+
+	var probe [64]byte
+	n, err := BuildSYN(probe[:], v, scanSrc, target, 54000, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The probe carries the GPS fingerprint.
+	ip, tcpPayload, err := ParseIPv4(probe[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.ID != GPSProbeIPID {
+		t.Errorf("probe IP-ID = %d; want %d (the blockable fingerprint)", ip.ID, GPSProbeIPID)
+	}
+	syn, _, err := ParseTCP(tcpPayload, ip.Src, ip.Dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !syn.SYN() {
+		t.Error("probe is not a pure SYN")
+	}
+
+	// The service answers; the response validates.
+	var resp [64]byte
+	rn, err := BuildSYNACK(resp[:], target, scanSrc, 80, 54000, syn.Seq, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rtcp, ok, err := ParseResponse(resp[:rn], v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || !rtcp.SYNACK() {
+		t.Error("legitimate SYN-ACK failed validation")
+	}
+
+	// A spoofed response with the wrong ack fails validation.
+	var spoof [64]byte
+	sn, _ := BuildSYNACK(spoof[:], target, scanSrc, 80, 54000, syn.Seq+99, 55)
+	if _, _, ok, _ := ParseResponse(spoof[:sn], v); ok {
+		t.Error("spoofed SYN-ACK validated")
+	}
+
+	// A closed port's RST parses but does not validate as a service.
+	var rst [64]byte
+	kn, _ := BuildRST(rst[:], target, scanSrc, 80, 54000, syn.Seq, 55)
+	_, ktcp, ok, err := ParseResponse(rst[:kn], v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("RST validated as a service")
+	}
+	if !ktcp.RST() {
+		t.Error("RST flag lost")
+	}
+}

@@ -1,0 +1,157 @@
+package packet
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"gps/internal/asndb"
+)
+
+// GPSProbeIPID is the IP identification GPS stamps on every probe; it
+// mirrors scanner.ProbeIPID but lives here so the codec has no dependency
+// on the scanner.
+const GPSProbeIPID = 54321
+
+// ProbeTTL is the initial TTL on outgoing probes.
+const ProbeTTL = 64
+
+// Validator derives and checks ZMap-style stateless validation tokens.
+// ZMap keeps no per-target state: the probe's TCP sequence number is an
+// HMAC-like digest of (secret, dst IP, dst port), and a legitimate SYN-ACK
+// must acknowledge exactly that value plus one. Spoofed or stray responses
+// fail the check.
+type Validator struct {
+	secret uint64
+}
+
+// NewValidator creates a validator with a scan-specific secret.
+func NewValidator(secret uint64) *Validator { return &Validator{secret: secret} }
+
+// Token derives the validation sequence number for a target.
+func (v *Validator) Token(dst asndb.IP, port uint16) uint32 {
+	h := fnv.New64a()
+	var buf [14]byte
+	binary.BigEndian.PutUint64(buf[0:], v.secret)
+	binary.BigEndian.PutUint32(buf[8:], uint32(dst))
+	binary.BigEndian.PutUint16(buf[12:], port)
+	h.Write(buf[:])
+	return uint32(h.Sum64())
+}
+
+// ValidAck reports whether an acknowledged sequence number proves the peer
+// saw our probe to (src of the response, source port of the response).
+func (v *Validator) ValidAck(peer asndb.IP, peerPort uint16, ack uint32) bool {
+	return ack == v.Token(peer, peerPort)+1
+}
+
+// BuildSYN serializes a complete GPS SYN probe (IPv4 + TCP) into buf and
+// returns the bytes written. The probe carries the GPS IP-ID fingerprint
+// and the validation token as its sequence number.
+func BuildSYN(buf []byte, v *Validator, src, dst asndb.IP, srcPort, dstPort uint16) (int, error) {
+	if len(buf) < IPv4HeaderLen+TCPHeaderLen {
+		return 0, ErrTruncated
+	}
+	tcp := TCP{
+		SrcPort: srcPort,
+		DstPort: dstPort,
+		Seq:     v.Token(dst, dstPort),
+		Flags:   FlagSYN,
+		Window:  65535,
+	}
+	tcpLen, err := tcp.Marshal(buf[IPv4HeaderLen:], src, dst, nil)
+	if err != nil {
+		return 0, err
+	}
+	ip := IPv4{
+		TotalLen: uint16(IPv4HeaderLen + tcpLen),
+		ID:       GPSProbeIPID,
+		TTL:      ProbeTTL,
+		Protocol: ProtoTCP,
+		Src:      src,
+		Dst:      dst,
+	}
+	if _, err := ip.Marshal(buf); err != nil {
+		return 0, err
+	}
+	return IPv4HeaderLen + tcpLen, nil
+}
+
+// BuildSYNACK serializes the response a live service would send to a SYN
+// probe: it echoes probe.Seq+1 as the acknowledgment.
+func BuildSYNACK(buf []byte, src, dst asndb.IP, srcPort, dstPort uint16, probeSeq uint32, ttl uint8) (int, error) {
+	if len(buf) < IPv4HeaderLen+TCPHeaderLen {
+		return 0, ErrTruncated
+	}
+	tcp := TCP{
+		SrcPort: srcPort,
+		DstPort: dstPort,
+		Seq:     probeSeq ^ 0x5a5a5a5a, // arbitrary server ISN
+		Ack:     probeSeq + 1,
+		Flags:   FlagSYN | FlagACK,
+		Window:  65535,
+	}
+	tcpLen, err := tcp.Marshal(buf[IPv4HeaderLen:], src, dst, nil)
+	if err != nil {
+		return 0, err
+	}
+	ip := IPv4{
+		TotalLen: uint16(IPv4HeaderLen + tcpLen),
+		ID:       0x1234,
+		TTL:      ttl,
+		Protocol: ProtoTCP,
+		Src:      src,
+		Dst:      dst,
+	}
+	if _, err := ip.Marshal(buf); err != nil {
+		return 0, err
+	}
+	return IPv4HeaderLen + tcpLen, nil
+}
+
+// BuildRST serializes the reset a closed port would send.
+func BuildRST(buf []byte, src, dst asndb.IP, srcPort, dstPort uint16, probeSeq uint32, ttl uint8) (int, error) {
+	if len(buf) < IPv4HeaderLen+TCPHeaderLen {
+		return 0, ErrTruncated
+	}
+	tcp := TCP{
+		SrcPort: srcPort,
+		DstPort: dstPort,
+		Ack:     probeSeq + 1,
+		Flags:   FlagRST | FlagACK,
+	}
+	tcpLen, err := tcp.Marshal(buf[IPv4HeaderLen:], src, dst, nil)
+	if err != nil {
+		return 0, err
+	}
+	ip := IPv4{
+		TotalLen: uint16(IPv4HeaderLen + tcpLen),
+		ID:       0x1234,
+		TTL:      ttl,
+		Protocol: ProtoTCP,
+		Src:      src,
+		Dst:      dst,
+	}
+	if _, err := ip.Marshal(buf); err != nil {
+		return 0, err
+	}
+	return IPv4HeaderLen + tcpLen, nil
+}
+
+// ParseResponse parses a full IPv4+TCP response and classifies it against
+// the validator. It returns the parsed headers and whether the response is
+// a validated SYN-ACK from a probe this validator issued.
+func ParseResponse(buf []byte, v *Validator) (IPv4, TCP, bool, error) {
+	ip, payload, err := ParseIPv4(buf)
+	if err != nil {
+		return IPv4{}, TCP{}, false, err
+	}
+	if ip.Protocol != ProtoTCP {
+		return ip, TCP{}, false, nil
+	}
+	tcp, _, err := ParseTCP(payload, ip.Src, ip.Dst)
+	if err != nil {
+		return ip, TCP{}, false, err
+	}
+	ok := tcp.SYNACK() && v.ValidAck(ip.Src, tcp.SrcPort, tcp.Ack)
+	return ip, tcp, ok, nil
+}

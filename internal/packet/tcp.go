@@ -1,0 +1,107 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gps/internal/asndb"
+)
+
+// TCPHeaderLen is the length of a TCP header without options.
+const TCPHeaderLen = 20
+
+// TCP flag bits.
+const (
+	FlagFIN = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+	FlagURG
+)
+
+// TCP is a parsed or to-be-serialized TCP header (no options).
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Urgent           uint16
+}
+
+// Marshal serializes the header plus payload into buf and returns the
+// bytes written. The checksum covers the pseudo-header, header, and
+// payload, so the IP endpoints are required.
+func (t *TCP) Marshal(buf []byte, src, dst asndb.IP, payload []byte) (int, error) {
+	need := TCPHeaderLen + len(payload)
+	if len(buf) < need {
+		return 0, ErrTruncated
+	}
+	binary.BigEndian.PutUint16(buf[0:], t.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:], t.DstPort)
+	binary.BigEndian.PutUint32(buf[4:], t.Seq)
+	binary.BigEndian.PutUint32(buf[8:], t.Ack)
+	buf[12] = 5 << 4 // data offset: 5 words
+	buf[13] = t.Flags
+	binary.BigEndian.PutUint16(buf[14:], t.Window)
+	buf[16], buf[17] = 0, 0 // checksum
+	binary.BigEndian.PutUint16(buf[18:], t.Urgent)
+	copy(buf[TCPHeaderLen:], payload)
+	sum := tcpChecksum(buf[:need], src, dst)
+	binary.BigEndian.PutUint16(buf[16:], sum)
+	return need, nil
+}
+
+// ParseTCP parses and validates a TCP segment (header + payload) given the
+// IP endpoints for checksum verification.
+func ParseTCP(buf []byte, src, dst asndb.IP) (TCP, []byte, error) {
+	if len(buf) < TCPHeaderLen {
+		return TCP{}, nil, ErrTruncated
+	}
+	off := int(buf[12]>>4) * 4
+	if off < TCPHeaderLen || off > len(buf) {
+		return TCP{}, nil, ErrBadIHL
+	}
+	if tcpChecksum(buf, src, dst) != 0 {
+		return TCP{}, nil, ErrBadChecksum
+	}
+	t := TCP{
+		SrcPort: binary.BigEndian.Uint16(buf[0:]),
+		DstPort: binary.BigEndian.Uint16(buf[2:]),
+		Seq:     binary.BigEndian.Uint32(buf[4:]),
+		Ack:     binary.BigEndian.Uint32(buf[8:]),
+		Flags:   buf[13],
+		Window:  binary.BigEndian.Uint16(buf[14:]),
+		Urgent:  binary.BigEndian.Uint16(buf[18:]),
+	}
+	return t, buf[off:], nil
+}
+
+// tcpChecksum computes the TCP checksum including the pseudo-header.
+func tcpChecksum(segment []byte, src, dst asndb.IP) uint16 {
+	sum := pseudoHeaderSum(src, dst, len(segment))
+	for i := 0; i+1 < len(segment); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(segment[i:]))
+	}
+	if len(segment)%2 == 1 {
+		sum += uint32(segment[len(segment)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// SYN reports whether the segment is a pure SYN.
+func (t *TCP) SYN() bool { return t.Flags&FlagSYN != 0 && t.Flags&FlagACK == 0 }
+
+// SYNACK reports whether the segment is a SYN-ACK.
+func (t *TCP) SYNACK() bool { return t.Flags&FlagSYN != 0 && t.Flags&FlagACK != 0 }
+
+// RST reports whether the segment resets the connection.
+func (t *TCP) RST() bool { return t.Flags&FlagRST != 0 }
+
+// String renders a short human-readable form.
+func (t *TCP) String() string {
+	return fmt.Sprintf("TCP %d -> %d seq=%d ack=%d flags=%#x", t.SrcPort, t.DstPort, t.Seq, t.Ack, t.Flags)
+}

@@ -1,0 +1,169 @@
+// Package predict implements GPS's fourth phase (§5.4): predicting every
+// remaining service once each host has at least one discovered anchor
+// service. It builds the "most predictive feature values" (MPF) list —
+// for every seed service, the feature tuple that best predicts it — and
+// then maps each anchor service's feature values through that list to emit
+// an ordered predictions list of (IP, port) pairs to scan.
+package predict
+
+import (
+	"sort"
+
+	"gps/internal/asndb"
+	"gps/internal/dataset"
+	"gps/internal/engine"
+	"gps/internal/netmodel"
+	"gps/internal/probmodel"
+)
+
+// mpfKey pairs a condition with the port it predicts.
+type mpfKey struct {
+	cond probmodel.Cond
+	port uint16
+}
+
+// Entry is one MPF rule: when a discovered service matches Cond, predict
+// Port on the same host with probability P.
+type Entry struct {
+	Cond probmodel.Cond
+	Port uint16
+	P    float64
+}
+
+// MPF is the most-predictive-feature-values list, indexed by condition for
+// prediction-time lookup.
+type MPF struct {
+	byCond map[probmodel.Cond][]Entry
+	n      int
+}
+
+// BuildMPF runs §5.4 step 1 over the seed hosts: for each seed service
+// (IP, PortA) on a multi-service host, find the feature tuple with maximum
+// P(PortA) and record (tuple → PortA). Probabilities below the model's
+// floor were already discarded by the model. Because *every* seed service
+// contributes its best rule, every predictable pattern seen in the seed is
+// guaranteed representation — the property §5.4 calls crucial.
+func BuildMPF(m *probmodel.Model, hosts []dataset.HostGroup, cfg engine.Config) *MPF {
+	// Shuffle on the (cond, port) pair; reduce keeps the probability
+	// (identical by construction since P is a pure function of the pair).
+	pairs := engine.MapReduce(cfg, nil, hosts,
+		func(h dataset.HostGroup, emit engine.Emit[mpfKey, float64]) {
+			if len(h.Records) < 2 {
+				return
+			}
+			for _, ra := range h.Records {
+				best, p, ok := m.BestCondForHost(h, ra.Port)
+				if !ok {
+					continue
+				}
+				emit(mpfKey{cond: best, port: ra.Port}, p)
+			}
+		},
+		func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+
+	out := &MPF{byCond: make(map[probmodel.Cond][]Entry), n: len(pairs)}
+	for k, p := range pairs {
+		out.byCond[k.cond] = append(out.byCond[k.cond], Entry{Cond: k.cond, Port: k.port, P: p})
+	}
+	for _, entries := range out.byCond {
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].P != entries[j].P {
+				return entries[i].P > entries[j].P
+			}
+			return entries[i].Port < entries[j].Port
+		})
+	}
+	return out
+}
+
+// Len returns the number of MPF rules.
+func (m *MPF) Len() int { return m.n }
+
+// RulesFor returns the rules keyed on a condition, ordered by descending
+// probability. Callers must not modify the slice.
+func (m *MPF) RulesFor(c probmodel.Cond) []Entry { return m.byCond[c] }
+
+// NumConds returns the number of distinct conditions in the list.
+func (m *MPF) NumConds() int { return len(m.byCond) }
+
+// Entries returns every rule, ordered by descending probability. Used by
+// the Table 3 analysis of which features predict the most services.
+func (m *MPF) Entries() []Entry {
+	out := make([]Entry, 0, m.n)
+	for _, es := range m.byCond {
+		out = append(out, es...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P != out[j].P {
+			return out[i].P > out[j].P
+		}
+		if out[i].Port != out[j].Port {
+			return out[i].Port < out[j].Port
+		}
+		return out[i].Cond.String() < out[j].Cond.String()
+	})
+	return out
+}
+
+// Prediction is one (IP, port) pair GPS will probe, with the probability
+// that justified it. The predictions list is scanned in descending P so
+// the most predictable services are found first (§6.3).
+type Prediction struct {
+	IP   asndb.IP
+	Port uint16
+	P    float64
+}
+
+// Key returns the (IP, port) identity.
+func (p Prediction) Key() netmodel.Key { return netmodel.Key{IP: p.IP, Port: p.Port} }
+
+// Predict runs §5.4 steps 2-3: for every anchor service discovered by the
+// priors scan, extract its feature values, look each resulting condition
+// up in the MPF list, and emit the predicted ports on that host. Duplicate
+// (IP, port) predictions keep their maximum probability. known filters out
+// services already discovered (no point re-probing them); it may be nil.
+func Predict(m *probmodel.Model, mpf *MPF, anchors []dataset.Record, known func(netmodel.Key) bool, cfg engine.Config) []Prediction {
+	preds := engine.MapReduce(cfg, nil, anchors,
+		func(r dataset.Record, emit engine.Emit[netmodel.Key, float64]) {
+			for _, c := range m.CondsOf(r) {
+				for _, e := range m2entries(mpf, c) {
+					if e.Port == r.Port {
+						continue
+					}
+					k := netmodel.Key{IP: r.IP, Port: e.Port}
+					if known != nil && known(k) {
+						continue
+					}
+					emit(k, e.P)
+				}
+			}
+		},
+		func(a, b float64) float64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+
+	out := make([]Prediction, 0, len(preds))
+	for k, p := range preds {
+		out = append(out, Prediction{IP: k.IP, Port: k.Port, P: p})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].P != out[j].P {
+			return out[i].P > out[j].P
+		}
+		if out[i].IP != out[j].IP {
+			return out[i].IP < out[j].IP
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
+}
+
+func m2entries(mpf *MPF, c probmodel.Cond) []Entry { return mpf.byCond[c] }

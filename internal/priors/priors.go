@@ -1,0 +1,118 @@
+// Package priors implements GPS's third phase (§5.3): predicting the
+// *first* service on every responsive host. Only network-layer information
+// is available for hosts outside the seed set, so GPS extrapolates each
+// seed service to its surrounding subnetwork: it selects, per seed host,
+// the single most predictive service (the one whose features best predict
+// the host's remaining services), groups the resulting (port, subnet)
+// tuples, and orders them by how many seed services they help predict.
+// Exhaustively scanning that ordered "priors scan list" finds the anchor
+// service on each host that phase four uses to predict everything else.
+package priors
+
+import (
+	"sort"
+	"sync"
+
+	"gps/internal/asndb"
+	"gps/internal/dataset"
+	"gps/internal/engine"
+	"gps/internal/probmodel"
+)
+
+// Target is one entry of the priors scan list: exhaustively scan Subnet on
+// Port. Coverage is how many seed services this tuple helps predict — the
+// list is ordered by it (maximal coverage first).
+type Target struct {
+	Port     uint16
+	Subnet   asndb.Prefix
+	Coverage int
+}
+
+// List is the ordered priors scan list.
+type List struct {
+	Targets []Target
+	// StepBits is the subnet size used ("scanning step size"); /0 means
+	// whole-space scans per port, /20 means small precise steps.
+	StepBits uint8
+}
+
+// ProbeCost returns the number of probes needed to scan the first n
+// targets (each costs one subnet's worth of addresses). n < 0 means all.
+func (l List) ProbeCost(n int) uint64 {
+	if n < 0 || n > len(l.Targets) {
+		n = len(l.Targets)
+	}
+	var total uint64
+	for i := 0; i < n; i++ {
+		total += l.Targets[i].Subnet.Size()
+	}
+	return total
+}
+
+// tupleKey groups targets during construction.
+type tupleKey struct {
+	port   uint16
+	subnet asndb.Prefix
+}
+
+// Build runs the §5.3 algorithm over the seed hosts:
+//
+//  1. Hosts with one service contribute (their port, their subnet).
+//  2. Hosts with several services contribute, for every service A, the
+//     port B whose condition maximizes P(A) — the anchor service.
+//  3. Tuples are grouped and ranked by the number of seed services they
+//     help predict.
+func Build(m *probmodel.Model, hosts []dataset.HostGroup, stepBits uint8, cfg engine.Config) List {
+	workers := cfg.Resolve()
+	locals := make([]map[tupleKey]int, workers)
+	var mu sync.Mutex
+	next := 0
+	engine.ParallelFor(cfg, len(hosts), func(lo, hi int) {
+		mu.Lock()
+		slot := next
+		next++
+		mu.Unlock()
+		counts := make(map[tupleKey]int)
+		for _, h := range hosts[lo:hi] {
+			subnet := asndb.SubnetOf(h.IP, stepBits)
+			if len(h.Records) == 1 {
+				// The sole service is the first and only service
+				// that must be found (§5.3 step 1).
+				counts[tupleKey{port: h.Records[0].Port, subnet: subnet}]++
+				continue
+			}
+			for _, ra := range h.Records {
+				best, _, ok := m.BestCondForHost(h, ra.Port)
+				if !ok {
+					// No pattern reaches the floor; the service
+					// must anchor itself.
+					counts[tupleKey{port: ra.Port, subnet: subnet}]++
+					continue
+				}
+				counts[tupleKey{port: best.Port, subnet: subnet}]++
+			}
+		}
+		locals[slot] = counts
+	})
+
+	merged := make(map[tupleKey]int)
+	for _, lm := range locals {
+		for k, v := range lm {
+			merged[k] += v
+		}
+	}
+	targets := make([]Target, 0, len(merged))
+	for k, v := range merged {
+		targets = append(targets, Target{Port: k.port, Subnet: k.subnet, Coverage: v})
+	}
+	sort.Slice(targets, func(i, j int) bool {
+		if targets[i].Coverage != targets[j].Coverage {
+			return targets[i].Coverage > targets[j].Coverage
+		}
+		if targets[i].Port != targets[j].Port {
+			return targets[i].Port < targets[j].Port
+		}
+		return targets[i].Subnet.Addr < targets[j].Subnet.Addr
+	})
+	return List{Targets: targets, StepBits: stepBits}
+}

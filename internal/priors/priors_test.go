@@ -1,0 +1,138 @@
+package priors
+
+import (
+	"testing"
+
+	"gps/internal/asndb"
+	"gps/internal/dataset"
+	"gps/internal/engine"
+	"gps/internal/features"
+	"gps/internal/probmodel"
+)
+
+// scenario: a fleet where the SSH service on 222 strongly predicts HTTP on
+// 80 (the §5.3 example), plus single-service hosts on 7547.
+func scenario() []dataset.HostGroup {
+	var hosts []dataset.HostGroup
+	mk := func(ipS string, recs ...dataset.Record) {
+		ip := asndb.MustParseIP(ipS)
+		for i := range recs {
+			recs[i].IP = ip
+			recs[i].ASN = 1
+		}
+		hosts = append(hosts, dataset.HostGroup{IP: ip, Records: recs})
+	}
+	web := dataset.Record{Port: 80, Proto: features.ProtocolHTTP,
+		Feats: features.Set{features.KeyProtocol: "http"}}
+	ssh := dataset.Record{Port: 222, Proto: features.ProtocolSSH,
+		Feats: features.Set{features.KeyProtocol: "ssh", features.KeySSHBanner: "vendor"}}
+	cwmp := dataset.Record{Port: 7547, Proto: features.ProtocolCWMP,
+		Feats: features.Set{features.KeyProtocol: "cwmp"}}
+
+	// Fleet: every 222 host also has 80; many extra hosts have 80 only,
+	// so P(80|222)=1 while P(222|80) is low. The most predictive anchor
+	// for these hosts is therefore 222.
+	mk("10.0.1.1", web, ssh)
+	mk("10.0.1.2", web, ssh)
+	mk("10.0.1.3", web, ssh)
+	for i := 0; i < 9; i++ {
+		mk("10.0.2."+string(rune('1'+i)), web)
+	}
+	// Single-service CWMP hosts in a different /16.
+	mk("11.0.0.1", cwmp)
+	mk("11.0.0.2", cwmp)
+	return hosts
+}
+
+func TestBuildChoosesMostPredictiveAnchor(t *testing.T) {
+	hosts := scenario()
+	m := probmodel.Build(probmodel.Config{Floor: -1, MinSupport: -1}, hosts)
+	list := Build(m, hosts, 16, engine.Config{})
+
+	if list.StepBits != 16 {
+		t.Errorf("StepBits = %d", list.StepBits)
+	}
+	byTuple := make(map[string]int)
+	for _, tgt := range list.Targets {
+		byTuple[tgt.Subnet.String()+"#"+itoa(tgt.Port)] = tgt.Coverage
+	}
+	// The fleet hosts (both services) anchor on 222: predicting 80 via
+	// the 222 anchor (P=1) and 222 via itself... For (IP, 80), best
+	// cond comes from 222 (P(80|222)=1). For (IP, 222), best cond from
+	// 80 (P(222|80)=3/12=0.25 > 0? yes). So tuples (222, subnet) and
+	// (80, subnet) both exist; 222's coverage must include the three
+	// fleet services on port 80.
+	if byTuple["10.0.0.0/16#222"] < 3 {
+		t.Errorf("anchor tuple (222, 10.0.0.0/16) coverage = %d; want >= 3", byTuple["10.0.0.0/16#222"])
+	}
+	// Single-service hosts contribute their own (port, subnet).
+	if byTuple["11.0.0.0/16#7547"] != 2 {
+		t.Errorf("tuple (7547, 11.0.0.0/16) coverage = %d; want 2", byTuple["11.0.0.0/16#7547"])
+	}
+	// Ordering: coverage non-increasing.
+	for i := 1; i < len(list.Targets); i++ {
+		if list.Targets[i-1].Coverage < list.Targets[i].Coverage {
+			t.Fatal("targets not sorted by descending coverage")
+		}
+	}
+}
+
+func TestProbeCost(t *testing.T) {
+	hosts := scenario()
+	m := probmodel.Build(probmodel.Config{Floor: -1, MinSupport: -1}, hosts)
+	list := Build(m, hosts, 24, engine.Config{})
+	if got := list.ProbeCost(1); got != 256 {
+		t.Errorf("ProbeCost(1) = %d; want 256 for one /24", got)
+	}
+	all := list.ProbeCost(-1)
+	if all != uint64(len(list.Targets))*256 {
+		t.Errorf("ProbeCost(-1) = %d", all)
+	}
+	if list.ProbeCost(1000000) != all {
+		t.Error("ProbeCost beyond length must clamp")
+	}
+}
+
+func TestStepSizeChangesTupleGranularity(t *testing.T) {
+	hosts := scenario()
+	m := probmodel.Build(probmodel.Config{Floor: -1, MinSupport: -1}, hosts)
+	wide := Build(m, hosts, 8, engine.Config{})
+	narrow := Build(m, hosts, 24, engine.Config{})
+	// Narrow steps split the same services across more, smaller tuples.
+	if len(narrow.Targets) < len(wide.Targets) {
+		t.Errorf("/24 produced %d targets, /8 produced %d; narrow should be >=",
+			len(narrow.Targets), len(wide.Targets))
+	}
+	if wide.ProbeCost(-1) <= narrow.ProbeCost(-1) {
+		t.Error("wide steps must cost more probes than narrow steps")
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	hosts := scenario()
+	m := probmodel.Build(probmodel.Config{Floor: -1, MinSupport: -1}, hosts)
+	a := Build(m, hosts, 16, engine.Config{Workers: 1})
+	b := Build(m, hosts, 16, engine.Config{Workers: 8})
+	if len(a.Targets) != len(b.Targets) {
+		t.Fatalf("worker counts changed target count: %d vs %d", len(a.Targets), len(b.Targets))
+	}
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] {
+			t.Fatalf("target %d differs between worker counts", i)
+		}
+	}
+}
+
+func itoa(v uint16) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [5]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,183 @@
+// Package probmodel implements GPS's probabilistic model (§5.2): the four
+// families of conditional probabilities between an open port and the
+// features of another service on the same host.
+//
+//	Expression 4:  P(PortA | PortB)                      transport
+//	Expression 5:  P(PortA | PortB, App_PortB)           transport+application
+//	Expression 6:  P(PortA | PortB, Net_IP)              transport+network
+//	Expression 7:  P(PortA | PortB, App_PortB, Net_IP)   all three
+//
+// Each probability is a simple ratio of host counts: of the hosts in the
+// seed set exhibiting the condition, what fraction also had PortA open.
+// The model is built with one parallel map/shuffle/reduce pass over seed
+// hosts (the computation GPS runs on BigQuery).
+package probmodel
+
+import (
+	"fmt"
+
+	"gps/internal/asndb"
+	"gps/internal/dataset"
+	"gps/internal/features"
+)
+
+// Family identifies one of the four conditional-probability families.
+type Family uint8
+
+// The families, bit-encodable for configuration.
+const (
+	FamilyT   Family = iota // Expression 4: port only
+	FamilyTA                // Expression 5: port + application feature
+	FamilyTN                // Expression 6: port + network feature
+	FamilyTAN               // Expression 7: port + application + network
+	numFamilies
+)
+
+var familyNames = [...]string{"T", "TA", "TN", "TAN"}
+
+// String names the family.
+func (f Family) String() string {
+	if int(f) < len(familyNames) {
+		return familyNames[f]
+	}
+	return "invalid"
+}
+
+// FamilySet is a bitmask of enabled families.
+type FamilySet uint8
+
+// Has reports whether the family is enabled.
+func (s FamilySet) Has(f Family) bool { return s&(1<<f) != 0 }
+
+// With returns the set with f enabled.
+func (s FamilySet) With(f Family) FamilySet { return s | 1<<f }
+
+// AllFamilies enables every family (GPS's default configuration).
+const AllFamilies = FamilySet(1<<FamilyT | 1<<FamilyTA | 1<<FamilyTN | 1<<FamilyTAN)
+
+// TransportOnly enables only Expression 4; used by the ablation study.
+const TransportOnly = FamilySet(1 << FamilyT)
+
+// Cond is one condition tuple: the right-hand side of a conditional
+// probability. Port is always present (PortB); the application and network
+// slots are optional and determine the family.
+type Cond struct {
+	Port   uint16
+	AppKey features.Key // KeyNone when the family has no application slot
+	AppVal string
+	NetKey features.Key // KeyNone when the family has no network slot
+	NetVal string
+}
+
+// Family derives the family from which slots are filled.
+func (c Cond) Family() Family {
+	switch {
+	case c.AppKey != features.KeyNone && c.NetKey != features.KeyNone:
+		return FamilyTAN
+	case c.AppKey != features.KeyNone:
+		return FamilyTA
+	case c.NetKey != features.KeyNone:
+		return FamilyTN
+	default:
+		return FamilyT
+	}
+}
+
+// String renders the condition in the paper's tuple notation.
+func (c Cond) String() string {
+	switch c.Family() {
+	case FamilyTA:
+		return fmt.Sprintf("(%d, %s=%s)", c.Port, c.AppKey, c.AppVal)
+	case FamilyTN:
+		return fmt.Sprintf("(%d, %s=%s)", c.Port, c.NetKey, c.NetVal)
+	case FamilyTAN:
+		return fmt.Sprintf("(%d, %s=%s, %s=%s)", c.Port, c.AppKey, c.AppVal, c.NetKey, c.NetVal)
+	default:
+		return fmt.Sprintf("(%d)", c.Port)
+	}
+}
+
+// TupleKind identifies the feature-key shape of a condition without its
+// concrete values — e.g., "(Port, Port_Protocol)" or "(Port, Port_ASN,
+// Port_HTTP-Body-Hash)". Table 3 aggregates predictions by tuple kind.
+type TupleKind struct {
+	AppKey features.Key
+	NetKey features.Key
+}
+
+// Kind returns the condition's tuple kind.
+func (c Cond) Kind() TupleKind { return TupleKind{AppKey: c.AppKey, NetKey: c.NetKey} }
+
+// String renders the kind in Table 3's style.
+func (k TupleKind) String() string {
+	switch {
+	case k.AppKey != features.KeyNone && k.NetKey != features.KeyNone:
+		return fmt.Sprintf("(Port, Port_%s, Port_%s)", k.NetKey, k.AppKey)
+	case k.AppKey != features.KeyNone:
+		return fmt.Sprintf("(Port, Port_%s)", k.AppKey)
+	case k.NetKey != features.KeyNone:
+		return fmt.Sprintf("(Port, Port_%s)", k.NetKey)
+	default:
+		return "Port"
+	}
+}
+
+// DefaultNetKeys is GPS's production network feature set: Appendix C finds
+// the /16 subnetwork and the ASN most predictive and drops the rest.
+func DefaultNetKeys() []features.Key {
+	return []features.Key{features.KeySubnet16, features.KeyASN}
+}
+
+// NetFeatures computes the requested network-layer feature values for a
+// record's address.
+func NetFeatures(r dataset.Record, netKeys []features.Key) []features.Value {
+	out := make([]features.Value, 0, len(netKeys))
+	for _, k := range netKeys {
+		if bits, ok := k.SubnetBits(); ok {
+			out = append(out, features.Value{Key: k, Val: asndb.SubnetOf(r.IP, bits).String()})
+		} else if k == features.KeyASN {
+			out = append(out, features.Value{Key: k, Val: r.ASN.String()})
+		}
+	}
+	return out
+}
+
+// CondsOf enumerates every condition tuple a record contributes, filtered
+// to the enabled families and feature keys. enabledKeys may be nil to
+// allow all application features; nets carries the precomputed
+// network-layer values for the record's address.
+func CondsOf(r dataset.Record, fams FamilySet, enabledKeys map[features.Key]bool, nets []features.Value) []Cond {
+	apps := r.Feats.Values()
+	if enabledKeys != nil {
+		kept := apps[:0]
+		for _, v := range apps {
+			if enabledKeys[v.Key] {
+				kept = append(kept, v)
+			}
+		}
+		apps = kept
+	}
+	out := make([]Cond, 0, (1+len(apps))*(1+len(nets)))
+	if fams.Has(FamilyT) {
+		out = append(out, Cond{Port: r.Port})
+	}
+	if fams.Has(FamilyTA) {
+		for _, a := range apps {
+			out = append(out, Cond{Port: r.Port, AppKey: a.Key, AppVal: a.Val})
+		}
+	}
+	if fams.Has(FamilyTN) {
+		for _, n := range nets {
+			out = append(out, Cond{Port: r.Port, NetKey: n.Key, NetVal: n.Val})
+		}
+	}
+	if fams.Has(FamilyTAN) {
+		for _, a := range apps {
+			for _, n := range nets {
+				out = append(out, Cond{Port: r.Port, AppKey: a.Key, AppVal: a.Val,
+					NetKey: n.Key, NetVal: n.Val})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,5 @@
+package probmodel
+
+import "gps/internal/engine"
+
+func engineCfg(workers int) engine.Config { return engine.Config{Workers: workers} }

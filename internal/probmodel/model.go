@@ -1,0 +1,198 @@
+package probmodel
+
+import (
+	"gps/internal/dataset"
+	"gps/internal/engine"
+	"gps/internal/features"
+)
+
+// DefaultFloor is the probability below which GPS discards a pattern
+// (§5.4): 1e-5 is roughly the hit rate of randomly probing the majority of
+// ports, so predictions below it are no better than random probing.
+const DefaultFloor = 1e-5
+
+// Config controls model construction.
+type Config struct {
+	// Families selects which conditional-probability families to model;
+	// defaults to AllFamilies.
+	Families FamilySet
+	// Floor is the minimum probability a pattern must reach to be used;
+	// defaults to DefaultFloor. Set negative to disable the floor
+	// (ablation).
+	Floor float64
+	// AppKeys restricts which application-layer features are used; nil
+	// allows all of Table 1.
+	AppKeys []features.Key
+	// NetKeys selects the network-layer features; nil uses GPS's
+	// production pair (/16 subnet + ASN). Appendix C's candidate sweep
+	// passes features.CandidateNetworkKeys().
+	NetKeys []features.Key
+	// MinSupport is the minimum number of seed hosts a condition must be
+	// observed on before its probabilities count; defaults to 2. A
+	// pattern seen on a single host cannot generalize — this is the
+	// paper's "at least two responsive IP addresses to train from"
+	// premise. Set negative to disable (ablation).
+	MinSupport int
+	// Engine configures the parallel compute substrate.
+	Engine engine.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Families == 0 {
+		c.Families = AllFamilies
+	}
+	if c.Floor == 0 {
+		c.Floor = DefaultFloor
+	} else if c.Floor < 0 {
+		c.Floor = 0
+	}
+	if c.NetKeys == nil {
+		c.NetKeys = DefaultNetKeys()
+	}
+	if c.MinSupport == 0 {
+		c.MinSupport = 2
+	} else if c.MinSupport < 0 {
+		c.MinSupport = 1
+	}
+	return c
+}
+
+// pairKey is the shuffle key for co-occurrence counting: a condition from
+// service B paired with another open port A on the same host.
+type pairKey struct {
+	cond Cond
+	port uint16
+}
+
+// Model holds the trained conditional probabilities. It is immutable after
+// Build and safe for concurrent queries.
+type Model struct {
+	cfg        Config
+	condHosts  map[Cond]uint64    // hosts exhibiting each condition
+	pairHosts  map[pairKey]uint64 // hosts exhibiting cond AND port A open
+	hostsSeen  int
+	enabledKey map[features.Key]bool // nil = all
+	stats      engine.Stats
+}
+
+// Build trains the model over seed hosts with one parallel
+// map/shuffle/reduce pass (per count family).
+func Build(cfg Config, hosts []dataset.HostGroup) *Model {
+	cfg = cfg.withDefaults()
+	m := &Model{cfg: cfg, hostsSeen: len(hosts)}
+	if cfg.AppKeys != nil {
+		m.enabledKey = make(map[features.Key]bool, len(cfg.AppKeys))
+		for _, k := range cfg.AppKeys {
+			m.enabledKey[k] = true
+		}
+	}
+
+	// Pass 1: count hosts per condition. A condition is counted once per
+	// host no matter how many ports it predicts from there.
+	m.condHosts = engine.GroupCount(cfg.Engine, &m.stats, hosts,
+		func(h dataset.HostGroup, emit engine.Emit[Cond, uint64]) {
+			for _, r := range h.Records {
+				for _, c := range m.CondsOf(r) {
+					emit(c, 1)
+				}
+			}
+		})
+
+	// Pass 2: count hosts per (condition, other open port). Only hosts
+	// with at least two services contribute pairs.
+	m.pairHosts = engine.GroupCount(cfg.Engine, &m.stats, hosts,
+		func(h dataset.HostGroup, emit engine.Emit[pairKey, uint64]) {
+			if len(h.Records) < 2 {
+				return
+			}
+			for _, rb := range h.Records {
+				conds := m.CondsOf(rb)
+				for _, ra := range h.Records {
+					if ra.Port == rb.Port {
+						continue
+					}
+					for _, c := range conds {
+						emit(pairKey{cond: c, port: ra.Port}, 1)
+					}
+				}
+			}
+		})
+	return m
+}
+
+// CondsOf enumerates the condition tuples a record contributes under this
+// model's configuration.
+func (m *Model) CondsOf(r dataset.Record) []Cond {
+	return CondsOf(r, m.cfg.Families, m.enabledKey, NetFeatures(r, m.cfg.NetKeys))
+}
+
+// Floor returns the configured probability floor.
+func (m *Model) Floor() float64 { return m.cfg.Floor }
+
+// Families returns the enabled family set.
+func (m *Model) Families() FamilySet { return m.cfg.Families }
+
+// EnabledKeys returns the application-feature restriction (nil = all).
+func (m *Model) EnabledKeys() map[features.Key]bool { return m.enabledKey }
+
+// HostsSeen returns how many seed hosts the model was trained on.
+func (m *Model) HostsSeen() int { return m.hostsSeen }
+
+// NumConds returns the number of distinct conditions observed.
+func (m *Model) NumConds() int { return len(m.condHosts) }
+
+// NumPairs returns the number of distinct (condition, port) pairs.
+func (m *Model) NumPairs() int { return len(m.pairHosts) }
+
+// Stats exposes the engine work counters accumulated during Build.
+func (m *Model) Stats() (recordsIn, pairsEmitted uint64) {
+	return m.stats.RecordsIn.Load(), m.stats.PairsEmitted.Load()
+}
+
+// CondHosts returns how many seed hosts exhibited the condition.
+func (m *Model) CondHosts(c Cond) uint64 { return m.condHosts[c] }
+
+// Prob returns P(portA open | cond), applying the configured floor:
+// probabilities below the floor return 0 because GPS treats them as no
+// better than random probing.
+func (m *Model) Prob(c Cond, portA uint16) float64 {
+	denom := m.condHosts[c]
+	if denom == 0 || denom < uint64(m.cfg.MinSupport) {
+		return 0
+	}
+	num := m.pairHosts[pairKey{cond: c, port: portA}]
+	p := float64(num) / float64(denom)
+	if p < m.cfg.Floor {
+		return 0
+	}
+	return p
+}
+
+// BestCond returns the condition among cands maximizing P(portA | cond),
+// with the probability; ok is false when every candidate is below the
+// floor. Ties break toward the earlier candidate, which CondsOf orders by
+// family (T, TA, TN, TAN) so simpler conditions win ties.
+func (m *Model) BestCond(cands []Cond, portA uint16) (best Cond, p float64, ok bool) {
+	for _, c := range cands {
+		if q := m.Prob(c, portA); q > p {
+			best, p, ok = c, q, true
+		}
+	}
+	return best, p, ok
+}
+
+// BestCondForHost scans every other service on the host and returns the
+// condition most predictive of portA — the inner step of both the priors
+// algorithm (§5.3) and the prediction algorithm (§5.4).
+func (m *Model) BestCondForHost(h dataset.HostGroup, portA uint16) (best Cond, p float64, ok bool) {
+	for _, rb := range h.Records {
+		if rb.Port == portA {
+			continue
+		}
+		c, q, found := m.BestCond(m.CondsOf(rb), portA)
+		if found && q > p {
+			best, p, ok = c, q, true
+		}
+	}
+	return best, p, ok
+}

@@ -1,0 +1,204 @@
+package scanner
+
+import (
+	"sync/atomic"
+	"time"
+
+	"gps/internal/asndb"
+)
+
+// ProbeIPID is the IP identification field GPS stamps on every SYN probe.
+// The fixed value gives network operators a one-line firewall rule to block
+// GPS scans (§3, Ethics; §5.5), which is a deliberate design choice.
+const ProbeIPID = 54321
+
+// ProbeBytes is the on-wire size of one SYN probe frame (Ethernet + IPv4 +
+// TCP), used to convert probe counts to link bandwidth.
+const ProbeBytes = 84
+
+// Responder answers simulated SYN probes; *netmodel.Universe implements it.
+type Responder interface {
+	Responsive(ip asndb.IP, port uint16) bool
+}
+
+// Blocklist excludes prefixes from scanning, honoring operators who have
+// blocked the GPS fingerprint. Probes to blocked space are never sent (and
+// never counted).
+type Blocklist struct {
+	prefixes []asndb.Prefix
+}
+
+// Add appends a prefix to the blocklist.
+func (b *Blocklist) Add(p asndb.Prefix) { b.prefixes = append(b.prefixes, p) }
+
+// Blocked reports whether ip falls in any blocked prefix.
+func (b *Blocklist) Blocked(ip asndb.IP) bool {
+	for _, p := range b.prefixes {
+		if p.Contains(ip) {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of blocked prefixes.
+func (b *Blocklist) Len() int { return len(b.prefixes) }
+
+// Scanner is the probe engine. It is safe for concurrent use: probe
+// accounting is atomic, and the Responder contract requires concurrent
+// reads to be safe.
+type Scanner struct {
+	target Responder
+	block  *Blocklist
+	probes atomic.Uint64
+	hits   atomic.Uint64
+}
+
+// New creates a scanner against the given responder.
+func New(target Responder) *Scanner {
+	return &Scanner{target: target, block: &Blocklist{}}
+}
+
+// Blocklist returns the scanner's mutable blocklist.
+func (s *Scanner) Blocklist() *Blocklist { return s.block }
+
+// Probe sends one SYN to (ip, port) and reports whether it was ACKed.
+// Probes to blocklisted space return false without being sent.
+func (s *Scanner) Probe(ip asndb.IP, port uint16) bool {
+	if s.block.Blocked(ip) {
+		return false
+	}
+	s.probes.Add(1)
+	if s.target.Responsive(ip, port) {
+		s.hits.Add(1)
+		return true
+	}
+	return false
+}
+
+// Probes returns the number of probes sent so far.
+func (s *Scanner) Probes() uint64 { return s.probes.Load() }
+
+// Hits returns the number of positive responses so far.
+func (s *Scanner) Hits() uint64 { return s.hits.Load() }
+
+// ResetCounters zeroes the probe and hit counters.
+func (s *Scanner) ResetCounters() {
+	s.probes.Store(0)
+	s.hits.Store(0)
+}
+
+// ScanPrefix probes every address in the prefix on one port, in ZMap's
+// pseudorandom order, and returns the responsive addresses.
+func (s *Scanner) ScanPrefix(p asndb.Prefix, port uint16, seed int64) []asndb.IP {
+	n := p.Size()
+	it, err := NewCyclicIterator(n, seed)
+	if err != nil {
+		return nil
+	}
+	var out []asndb.IP
+	for {
+		idx, ok := it.Next()
+		if !ok {
+			break
+		}
+		ip := p.First() + asndb.IP(idx)
+		if s.Probe(ip, port) {
+			out = append(out, ip)
+		}
+	}
+	return out
+}
+
+// PrefixResponder is an optional fast path a Responder may implement:
+// enumerate the responsive addresses of a whole prefix directly.
+// *netmodel.Universe implements it.
+type PrefixResponder interface {
+	ResponsiveIn(p asndb.Prefix, port uint16) []asndb.IP
+}
+
+// ScanPrefixFast scans a prefix on one port like ScanPrefix, but uses the
+// responder's PrefixResponder fast path when available. The probe counter
+// still advances by the full prefix size — the bandwidth is identical, only
+// the simulation is cheaper. Blocklisted addresses are removed from both
+// the results and the accounting.
+func (s *Scanner) ScanPrefixFast(p asndb.Prefix, port uint16, seed int64) []asndb.IP {
+	pr, ok := s.target.(PrefixResponder)
+	if !ok {
+		return s.ScanPrefix(p, port, seed)
+	}
+	if len(s.block.prefixes) == 0 {
+		s.probes.Add(p.Size())
+		hits := pr.ResponsiveIn(p, port)
+		s.hits.Add(uint64(len(hits)))
+		return hits
+	}
+	// With a blocklist, count the unblocked fraction precisely.
+	var blocked uint64
+	for _, b := range s.block.prefixes {
+		if b.Bits >= p.Bits && p.Contains(b.First()) {
+			blocked += b.Size()
+		} else if b.Contains(p.First()) {
+			blocked = p.Size()
+			break
+		}
+	}
+	if blocked > p.Size() {
+		blocked = p.Size()
+	}
+	s.probes.Add(p.Size() - blocked)
+	var out []asndb.IP
+	for _, ip := range pr.ResponsiveIn(p, port) {
+		if !s.block.Blocked(ip) {
+			out = append(out, ip)
+			s.hits.Add(1)
+		}
+	}
+	return out
+}
+
+// ScanIPs probes a target list on one port and returns the responders.
+func (s *Scanner) ScanIPs(ips []asndb.IP, port uint16) []asndb.IP {
+	var out []asndb.IP
+	for _, ip := range ips {
+		if s.Probe(ip, port) {
+			out = append(out, ip)
+		}
+	}
+	return out
+}
+
+// Rate describes a scanning rate for wall-time estimates.
+type Rate struct {
+	// Gbps is the link rate dedicated to probing.
+	Gbps float64
+}
+
+// PPS returns the probe rate in packets per second.
+func (r Rate) PPS() float64 { return r.Gbps * 1e9 / (ProbeBytes * 8) }
+
+// Duration converts a probe count to wall time at this rate. This is the
+// "Time (H) at 1 Gb/s" axis of Figure 2.
+func (r Rate) Duration(probes uint64) time.Duration {
+	if r.Gbps <= 0 {
+		return 0
+	}
+	sec := float64(probes) / r.PPS()
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Bandwidth expresses a probe count in the paper's bandwidth unit:
+// the number of full one-port passes over the scannable address space
+// ("# of 100% scans", Figure 2's x-axis).
+type Bandwidth struct {
+	Probes    uint64
+	SpaceSize uint64
+}
+
+// Scans returns the bandwidth in units of 100% scans.
+func (b Bandwidth) Scans() float64 {
+	if b.SpaceSize == 0 {
+		return 0
+	}
+	return float64(b.Probes) / float64(b.SpaceSize)
+}

@@ -1,0 +1,175 @@
+package scanner
+
+import (
+	"testing"
+	"time"
+
+	"gps/internal/asndb"
+)
+
+// fakeNet is a trivial Responder: a fixed set of (ip, port) services.
+type fakeNet map[asndb.IP]map[uint16]bool
+
+func (f fakeNet) Responsive(ip asndb.IP, port uint16) bool { return f[ip][port] }
+
+// fakeNetFast adds the PrefixResponder fast path.
+type fakeNetFast struct{ fakeNet }
+
+func (f fakeNetFast) ResponsiveIn(p asndb.Prefix, port uint16) []asndb.IP {
+	var out []asndb.IP
+	for ip, ports := range f.fakeNet {
+		if p.Contains(ip) && ports[port] {
+			out = append(out, ip)
+		}
+	}
+	sortIPs(out)
+	return out
+}
+
+func sortIPs(ips []asndb.IP) {
+	for i := 1; i < len(ips); i++ {
+		for j := i; j > 0 && ips[j-1] > ips[j]; j-- {
+			ips[j-1], ips[j] = ips[j], ips[j-1]
+		}
+	}
+}
+
+func testNet() fakeNet {
+	return fakeNet{
+		asndb.MustParseIP("10.0.0.1"): {80: true, 22: true},
+		asndb.MustParseIP("10.0.0.5"): {80: true},
+		asndb.MustParseIP("10.0.1.1"): {443: true},
+		asndb.MustParseIP("11.0.0.1"): {80: true},
+	}
+}
+
+func TestProbeCounting(t *testing.T) {
+	s := New(testNet())
+	if !s.Probe(asndb.MustParseIP("10.0.0.1"), 80) {
+		t.Error("probe to live service failed")
+	}
+	if s.Probe(asndb.MustParseIP("10.0.0.2"), 80) {
+		t.Error("probe to empty address succeeded")
+	}
+	if s.Probes() != 2 || s.Hits() != 1 {
+		t.Errorf("probes=%d hits=%d; want 2/1", s.Probes(), s.Hits())
+	}
+	s.ResetCounters()
+	if s.Probes() != 0 || s.Hits() != 0 {
+		t.Error("ResetCounters did not zero")
+	}
+}
+
+func TestBlocklist(t *testing.T) {
+	s := New(testNet())
+	s.Blocklist().Add(asndb.MustPrefix(asndb.MustParseIP("10.0.0.0"), 24))
+	if s.Probe(asndb.MustParseIP("10.0.0.1"), 80) {
+		t.Error("probe to blocked space succeeded")
+	}
+	if s.Probes() != 0 {
+		t.Error("blocked probe was counted as sent")
+	}
+	if !s.Probe(asndb.MustParseIP("10.0.1.1"), 443) {
+		t.Error("probe outside blocklist failed")
+	}
+	if s.Blocklist().Len() != 1 {
+		t.Error("blocklist length wrong")
+	}
+}
+
+func TestScanPrefix(t *testing.T) {
+	s := New(testNet())
+	p := asndb.MustPrefix(asndb.MustParseIP("10.0.0.0"), 24)
+	got := s.ScanPrefix(p, 80, 7)
+	if len(got) != 2 {
+		t.Fatalf("found %d responders; want 2", len(got))
+	}
+	if s.Probes() != 256 {
+		t.Errorf("probes = %d; want 256 (full /24)", s.Probes())
+	}
+}
+
+func TestScanPrefixFastEquivalence(t *testing.T) {
+	slow := New(testNet())
+	fast := New(fakeNetFast{testNet()})
+	p := asndb.MustPrefix(asndb.MustParseIP("10.0.0.0"), 23)
+
+	a := slow.ScanPrefix(p, 80, 3)
+	b := fast.ScanPrefixFast(p, 80, 3)
+	sortIPs(a)
+	if len(a) != len(b) {
+		t.Fatalf("fast path found %d; slow found %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("result %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if slow.Probes() != fast.Probes() {
+		t.Errorf("probe accounting differs: %d vs %d", slow.Probes(), fast.Probes())
+	}
+}
+
+func TestScanPrefixFastBlocklist(t *testing.T) {
+	fast := New(fakeNetFast{testNet()})
+	fast.Blocklist().Add(asndb.MustPrefix(asndb.MustParseIP("10.0.0.0"), 24))
+	p := asndb.MustPrefix(asndb.MustParseIP("10.0.0.0"), 23)
+	got := fast.ScanPrefixFast(p, 80, 3)
+	if len(got) != 0 {
+		t.Errorf("blocked /24 still returned %d responders", len(got))
+	}
+	// Only the unblocked half of the /23 is counted.
+	if fast.Probes() != 256 {
+		t.Errorf("probes = %d; want 256", fast.Probes())
+	}
+}
+
+func TestScanIPs(t *testing.T) {
+	s := New(testNet())
+	ips := []asndb.IP{
+		asndb.MustParseIP("10.0.0.1"),
+		asndb.MustParseIP("10.0.0.2"),
+		asndb.MustParseIP("11.0.0.1"),
+	}
+	got := s.ScanIPs(ips, 80)
+	if len(got) != 2 {
+		t.Errorf("ScanIPs found %d; want 2", len(got))
+	}
+	if s.Probes() != 3 {
+		t.Errorf("probes = %d; want 3", s.Probes())
+	}
+}
+
+func TestRateMath(t *testing.T) {
+	r := Rate{Gbps: 1}
+	pps := r.PPS()
+	// 1 Gb/s over 84-byte frames ~ 1.488M pps.
+	if pps < 1.4e6 || pps > 1.6e6 {
+		t.Errorf("PPS = %f; want ~1.49M", pps)
+	}
+	d := r.Duration(uint64(pps))
+	if d < 990*time.Millisecond || d > 1010*time.Millisecond {
+		t.Errorf("Duration(1s of probes) = %v", d)
+	}
+	if (Rate{}).Duration(1000) != 0 {
+		t.Error("zero rate must yield zero duration")
+	}
+}
+
+func TestBandwidthUnits(t *testing.T) {
+	b := Bandwidth{Probes: 2000, SpaceSize: 1000}
+	if b.Scans() != 2 {
+		t.Errorf("Scans() = %f; want 2", b.Scans())
+	}
+	if (Bandwidth{Probes: 5}).Scans() != 0 {
+		t.Error("zero space must yield 0")
+	}
+}
+
+func TestProbeIPIDFingerprint(t *testing.T) {
+	// The fingerprint constant is part of GPS's blockability contract;
+	// a change would break operator firewall rules.
+	if ProbeIPID != 54321 {
+		t.Errorf("ProbeIPID = %d; the paper fixes it at 54321", ProbeIPID)
+	}
+}

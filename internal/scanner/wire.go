@@ -1,0 +1,100 @@
+package scanner
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"gps/internal/asndb"
+	"gps/internal/packet"
+)
+
+// TTLSource is an optional interface a Responder may implement to report
+// the TTL its responses would carry (netmodel services carry per-service
+// TTLs, which LZR uses to detect port forwarding).
+type TTLSource interface {
+	ResponseTTL(ip asndb.IP, port uint16) (uint8, bool)
+}
+
+// WireScanner drives probes through the full packet codec: every probe is
+// serialized as a real SYN frame, the peer's answer is synthesized as a
+// real SYN-ACK or RST frame, and the response is parsed and validated with
+// ZMap's stateless token scheme. It is the high-fidelity (and slower) mode
+// of the scan simulator; results are identical to Scanner.Probe by
+// construction, which the tests verify.
+type WireScanner struct {
+	inner   *Scanner
+	v       *packet.Validator
+	src     asndb.IP
+	srcPort uint16
+	txBytes atomic.Uint64
+	rxBytes atomic.Uint64
+}
+
+// NewWireScanner wraps a scanner with the packet codec. src is the
+// scanning host's address; secret isolates this scan's validation tokens.
+func NewWireScanner(inner *Scanner, src asndb.IP, secret uint64) *WireScanner {
+	return &WireScanner{inner: inner, v: packet.NewValidator(secret), src: src, srcPort: 54321}
+}
+
+// Inner returns the wrapped scanner (for probe counts and blocklist).
+func (w *WireScanner) Inner() *Scanner { return w.inner }
+
+// TxBytes and RxBytes return the on-wire byte counts.
+func (w *WireScanner) TxBytes() uint64 { return w.txBytes.Load() }
+func (w *WireScanner) RxBytes() uint64 { return w.rxBytes.Load() }
+
+// Probe sends one fully-encoded SYN and classifies the fully-encoded
+// response. It returns whether the target acknowledged with a validated
+// SYN-ACK, mirroring Scanner.Probe exactly.
+func (w *WireScanner) Probe(ip asndb.IP, port uint16) (bool, error) {
+	if w.inner.block.Blocked(ip) {
+		return false, nil
+	}
+	var probeBuf [packet.IPv4HeaderLen + packet.TCPHeaderLen]byte
+	n, err := packet.BuildSYN(probeBuf[:], w.v, w.src, ip, w.srcPort, port)
+	if err != nil {
+		return false, fmt.Errorf("scanner: building probe: %w", err)
+	}
+	w.txBytes.Add(uint64(n))
+	w.inner.probes.Add(1)
+
+	// Parse our own probe back, exactly as the network would deliver it
+	// to the peer; this keeps the simulation honest about what is
+	// actually on the wire.
+	ipHdr, tcpSeg, err := packet.ParseIPv4(probeBuf[:n])
+	if err != nil {
+		return false, fmt.Errorf("scanner: probe does not parse: %w", err)
+	}
+	syn, _, err := packet.ParseTCP(tcpSeg, ipHdr.Src, ipHdr.Dst)
+	if err != nil {
+		return false, fmt.Errorf("scanner: probe TCP does not parse: %w", err)
+	}
+
+	// Synthesize the peer's answer.
+	ttl := uint8(48)
+	if ts, ok := w.inner.target.(TTLSource); ok {
+		if t, okT := ts.ResponseTTL(ip, port); okT {
+			ttl = t
+		}
+	}
+	var respBuf [packet.IPv4HeaderLen + packet.TCPHeaderLen]byte
+	var rn int
+	if w.inner.target.Responsive(ip, port) {
+		rn, err = packet.BuildSYNACK(respBuf[:], ip, w.src, port, w.srcPort, syn.Seq, ttl)
+	} else {
+		rn, err = packet.BuildRST(respBuf[:], ip, w.src, port, w.srcPort, syn.Seq, ttl)
+	}
+	if err != nil {
+		return false, fmt.Errorf("scanner: building response: %w", err)
+	}
+	w.rxBytes.Add(uint64(rn))
+
+	_, _, ok, err := packet.ParseResponse(respBuf[:rn], w.v)
+	if err != nil {
+		return false, fmt.Errorf("scanner: response does not parse: %w", err)
+	}
+	if ok {
+		w.inner.hits.Add(1)
+	}
+	return ok, nil
+}

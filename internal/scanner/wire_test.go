@@ -1,0 +1,98 @@
+package scanner
+
+import (
+	"testing"
+
+	"gps/internal/asndb"
+	"gps/internal/netmodel"
+)
+
+func TestWireScannerMatchesFastPath(t *testing.T) {
+	u := netmodel.Generate(netmodel.TestParams(77))
+	plain := New(u)
+	wire := NewWireScanner(New(u), asndb.MustParseIP("192.0.2.1"), 0xabc)
+
+	pfx := u.Prefixes()[0]
+	sub := asndb.Prefix{Addr: pfx.Addr, Bits: 22}
+	mismatches := 0
+	for off := asndb.IP(0); off < asndb.IP(sub.Size()); off++ {
+		ip := sub.Addr + off
+		for _, port := range []uint16{80, 22, 7547, 2323} {
+			want := plain.Probe(ip, port)
+			got, err := wire.Probe(ip, port)
+			if err != nil {
+				t.Fatalf("wire probe %v:%d: %v", ip, port, err)
+			}
+			if got != want {
+				mismatches++
+			}
+		}
+	}
+	if mismatches != 0 {
+		t.Errorf("%d probes disagreed between wire and fast paths", mismatches)
+	}
+	if wire.Inner().Probes() != plain.Probes() {
+		t.Errorf("probe accounting differs: %d vs %d", wire.Inner().Probes(), plain.Probes())
+	}
+	// Every probe is a 40-byte frame on each direction.
+	wantBytes := wire.Inner().Probes() * 40
+	if wire.TxBytes() != wantBytes || wire.RxBytes() != wantBytes {
+		t.Errorf("byte accounting: tx=%d rx=%d; want %d", wire.TxBytes(), wire.RxBytes(), wantBytes)
+	}
+}
+
+func TestWireScannerBlocklist(t *testing.T) {
+	u := netmodel.Generate(netmodel.TestParams(77))
+	wire := NewWireScanner(New(u), asndb.MustParseIP("192.0.2.1"), 1)
+	pfx := u.Prefixes()[0]
+	wire.Inner().Blocklist().Add(pfx)
+	// Find a live host inside the blocked prefix.
+	var target asndb.IP
+	var port uint16
+	for _, h := range u.Hosts() {
+		if pfx.Contains(h.IP) && len(h.Ports()) > 0 {
+			target, port = h.IP, h.Ports()[0]
+			break
+		}
+	}
+	if target == 0 {
+		t.Skip("no host in first prefix")
+	}
+	ok, err := wire.Probe(target, port)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("blocked host responded through wire scanner")
+	}
+	if wire.TxBytes() != 0 {
+		t.Error("bytes sent to blocked space")
+	}
+}
+
+func TestWireScannerForwardedTTL(t *testing.T) {
+	u := netmodel.Generate(netmodel.TestParams(77))
+	// Find a forwarded service and confirm the universe reports a
+	// different TTL for it than the host's regular services.
+	for _, h := range u.Hosts() {
+		var fwdPort, regPort uint16
+		var haveFwd, haveReg bool
+		for port, svc := range h.Services() {
+			if svc.Forwarded {
+				fwdPort, haveFwd = port, true
+			} else {
+				regPort, haveReg = port, true
+			}
+		}
+		if !haveFwd || !haveReg {
+			continue
+		}
+		fwdTTL, _ := u.ResponseTTL(h.IP, fwdPort)
+		regTTL, _ := u.ResponseTTL(h.IP, regPort)
+		if fwdTTL == regTTL {
+			t.Errorf("forwarded service TTL %d equals regular %d on %v", fwdTTL, regTTL, h.IP)
+		}
+		return
+	}
+	t.Skip("no host with both forwarded and regular services")
+}

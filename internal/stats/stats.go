@@ -1,0 +1,182 @@
+// Package stats provides the distribution analysis used to validate the
+// synthetic universe against the structural claims of §4: port popularity
+// follows a heavy-tailed (Zipf-like) law, services concentrate in a small
+// share of subnets, and feature values vary widely in entropy. The gpsgen
+// command and the netmodel tests use these to check that the substrate
+// actually has the statistics GPS exploits.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds basic order statistics of a sample.
+type Summary struct {
+	N        int
+	Min, Max float64
+	Mean     float64
+	Median   float64
+	P90, P99 float64
+	StdDev   float64
+}
+
+// Summarize computes order statistics; it returns the zero Summary for an
+// empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s := Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: quantile(sorted, 0.5),
+		P90:    quantile(sorted, 0.9),
+		P99:    quantile(sorted, 0.99),
+	}
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+	var varSum float64
+	for _, x := range sorted {
+		d := x - s.Mean
+		varSum += d * d
+	}
+	s.StdDev = math.Sqrt(varSum / float64(s.N))
+	return s
+}
+
+// quantile interpolates the q-quantile of a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// ZipfFit estimates the exponent of a rank-frequency power law
+// f(r) ∝ r^(-alpha) by least squares on log-log coordinates. Counts are
+// sorted descending internally; zero counts are dropped. R2 reports the
+// fit quality in log-log space.
+type ZipfFit struct {
+	Alpha float64
+	R2    float64
+	Ranks int
+}
+
+// FitZipf fits the rank-frequency exponent.
+func FitZipf(counts []int) ZipfFit {
+	cs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		if c > 0 {
+			cs = append(cs, c)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(cs)))
+	if len(cs) < 3 {
+		return ZipfFit{Ranks: len(cs)}
+	}
+	// Least squares on (log rank, log count).
+	n := float64(len(cs))
+	var sx, sy, sxx, sxy float64
+	for i, c := range cs {
+		x := math.Log(float64(i + 1))
+		y := math.Log(float64(c))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return ZipfFit{Ranks: len(cs)}
+	}
+	slope := (n*sxy - sx*sy) / denom
+	intercept := (sy - slope*sx) / n
+	// R^2.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i, c := range cs {
+		x := math.Log(float64(i + 1))
+		y := math.Log(float64(c))
+		pred := intercept + slope*x
+		ssRes += (y - pred) * (y - pred)
+		ssTot += (y - meanY) * (y - meanY)
+	}
+	r2 := 0.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return ZipfFit{Alpha: -slope, R2: r2, Ranks: len(cs)}
+}
+
+// Entropy computes the Shannon entropy (bits) of a discrete distribution
+// given as counts.
+func Entropy(counts []int) float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// Gini computes the Gini coefficient of a sample of non-negative values:
+// 0 for perfect equality, approaching 1 for total concentration. Used to
+// quantify how concentrated services are across subnets.
+func Gini(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	var cum, total float64
+	n := float64(len(sorted))
+	for i, v := range sorted {
+		cum += v * float64(len(sorted)-i)
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return (n + 1 - 2*cum/total) / n
+}
+
+// TopShare returns the fraction of the total mass held by the top-k
+// values: "the top 10 ports hold 5% of all services" style statements.
+func TopShare(counts []int, k int) float64 {
+	cs := append([]int(nil), counts...)
+	sort.Sort(sort.Reverse(sort.IntSlice(cs)))
+	var total, top int
+	for i, c := range cs {
+		total += c
+		if i < k {
+			top += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(top) / float64(total)
+}

@@ -1,0 +1,252 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"gps/internal/asndb"
+	"gps/internal/dataset"
+	"gps/internal/features"
+)
+
+// Binary dataset format:
+//
+//	magic "GPSD" | version u8
+//	name: uvarint len + bytes
+//	spaceSize, collectionProbes: uvarint
+//	sampleFraction: float64 bits
+//	ports: uvarint count + uvarint deltas (sorted)
+//	string table: uvarint count + (uvarint len + bytes)*
+//	records: uvarint count, then per record:
+//	  ip u32 | port u16 | proto u8 | asn uvarint | ttl u8
+//	  nfeats u8 + (key u8, string-table index uvarint)*
+//
+// Feature values are interned through the string table, which is what
+// makes the format compact: fleet-scoped banner values appear once no
+// matter how many thousands of hosts share them.
+
+const (
+	binaryMagic   = "GPSD"
+	binaryVersion = 1
+)
+
+// WriteDatasetBinary writes the dataset in the compact binary format and
+// returns the number of bytes written.
+func WriteDatasetBinary(w io.Writer, d *dataset.Dataset) (uint64, error) {
+	cw := &CountingWriter{W: w}
+	bw := bufio.NewWriter(cw)
+
+	bw.WriteString(binaryMagic)
+	bw.WriteByte(binaryVersion)
+	writeUvarint(bw, uint64(len(d.Name)))
+	bw.WriteString(d.Name)
+	writeUvarint(bw, d.SpaceSize)
+	writeUvarint(bw, d.CollectionProbes)
+	var f8 [8]byte
+	binary.BigEndian.PutUint64(f8[:], math.Float64bits(d.SampleFraction))
+	bw.Write(f8[:])
+
+	writeUvarint(bw, uint64(len(d.Ports)))
+	prev := uint64(0)
+	for _, p := range d.Ports {
+		writeUvarint(bw, uint64(p)-prev)
+		prev = uint64(p)
+	}
+
+	// Build the string table.
+	index := make(map[string]uint64)
+	var table []string
+	intern := func(s string) uint64 {
+		if id, ok := index[s]; ok {
+			return id
+		}
+		id := uint64(len(table))
+		index[s] = id
+		table = append(table, s)
+		return id
+	}
+	type featRef struct {
+		key features.Key
+		id  uint64
+	}
+	featRefs := make([][]featRef, len(d.Records))
+	for i, r := range d.Records {
+		for _, v := range r.Feats.Values() {
+			featRefs[i] = append(featRefs[i], featRef{key: v.Key, id: intern(v.Val)})
+		}
+	}
+	writeUvarint(bw, uint64(len(table)))
+	for _, s := range table {
+		writeUvarint(bw, uint64(len(s)))
+		bw.WriteString(s)
+	}
+
+	writeUvarint(bw, uint64(len(d.Records)))
+	var u4 [4]byte
+	var u2 [2]byte
+	for i, r := range d.Records {
+		binary.BigEndian.PutUint32(u4[:], uint32(r.IP))
+		bw.Write(u4[:])
+		binary.BigEndian.PutUint16(u2[:], r.Port)
+		bw.Write(u2[:])
+		bw.WriteByte(byte(r.Proto))
+		writeUvarint(bw, uint64(r.ASN))
+		bw.WriteByte(r.TTL)
+		bw.WriteByte(byte(len(featRefs[i])))
+		for _, fr := range featRefs[i] {
+			bw.WriteByte(byte(fr.key))
+			writeUvarint(bw, fr.id)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.N, err
+	}
+	return cw.N, nil
+}
+
+// ReadDatasetBinary parses WriteDatasetBinary output.
+func ReadDatasetBinary(r io.Reader) (*dataset.Dataset, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("store: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("store: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != binaryVersion {
+		return nil, fmt.Errorf("store: unsupported version %d", ver)
+	}
+
+	d := &dataset.Dataset{}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	d.Name = string(name)
+	if d.SpaceSize, err = binary.ReadUvarint(br); err != nil {
+		return nil, err
+	}
+	if d.CollectionProbes, err = binary.ReadUvarint(br); err != nil {
+		return nil, err
+	}
+	var f8 [8]byte
+	if _, err := io.ReadFull(br, f8[:]); err != nil {
+		return nil, err
+	}
+	d.SampleFraction = math.Float64frombits(binary.BigEndian.Uint64(f8[:]))
+
+	nPorts, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nPorts > 65536 {
+		return nil, fmt.Errorf("store: implausible port count %d", nPorts)
+	}
+	prev := uint64(0)
+	for i := uint64(0); i < nPorts; i++ {
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		prev += delta
+		if prev > 65535 {
+			return nil, fmt.Errorf("store: port overflow")
+		}
+		d.Ports = append(d.Ports, uint16(prev))
+	}
+
+	nStrings, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	table := make([]string, nStrings)
+	for i := range table {
+		slen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if slen > 1<<20 {
+			return nil, fmt.Errorf("store: implausible string length %d", slen)
+		}
+		buf := make([]byte, slen)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		table[i] = string(buf)
+	}
+
+	nRecords, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	d.Records = make([]dataset.Record, 0, nRecords)
+	var u4 [4]byte
+	var u2 [2]byte
+	for i := uint64(0); i < nRecords; i++ {
+		var rec dataset.Record
+		if _, err := io.ReadFull(br, u4[:]); err != nil {
+			return nil, err
+		}
+		rec.IP = asndb.IP(binary.BigEndian.Uint32(u4[:]))
+		if _, err := io.ReadFull(br, u2[:]); err != nil {
+			return nil, err
+		}
+		rec.Port = binary.BigEndian.Uint16(u2[:])
+		proto, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		rec.Proto = features.Protocol(proto)
+		asn, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		rec.ASN = asndb.ASN(asn)
+		ttl, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		rec.TTL = ttl
+		nf, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if nf > 0 {
+			rec.Feats = make(features.Set, nf)
+			for j := 0; j < int(nf); j++ {
+				key, err := br.ReadByte()
+				if err != nil {
+					return nil, err
+				}
+				id, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, err
+				}
+				if id >= uint64(len(table)) {
+					return nil, fmt.Errorf("store: string index %d out of range", id)
+				}
+				rec.Feats[features.Key(key)] = table[id]
+			}
+		}
+		d.Records = append(d.Records, rec)
+	}
+	return d, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}

@@ -1,0 +1,262 @@
+package zgrab
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"gps/internal/features"
+	"gps/internal/netmodel"
+)
+
+// This file synthesizes and parses full application-layer sessions. Where
+// lzr.Banner produces just enough bytes to identify a protocol, Session
+// produces the complete exchange ZGrab drives — the HTTP response with all
+// headers and body, the TLS certificate fields, the SSH key exchange — and
+// Parse extracts the Table-1 feature set back out of those bytes. The
+// grab pipeline runs entirely through this codec, so features observed by
+// GPS genuinely traveled as protocol payloads: Parse(Session(svc)) must
+// equal svc's feature set, which tests enforce for every protocol.
+
+// Session renders the full L7 transcript of a service.
+func Session(svc *netmodel.Service) []byte {
+	get := func(k features.Key) (string, bool) { return svc.Feats.Get(k) }
+	var b bytes.Buffer
+	switch svc.Proto {
+	case features.ProtocolHTTP:
+		b.WriteString("HTTP/1.1 200 OK\r\n")
+		if v, ok := get(features.KeyHTTPServer); ok {
+			fmt.Fprintf(&b, "Server: %s\r\n", v)
+		}
+		if v, ok := get(features.KeyHTTPHeader); ok {
+			fmt.Fprintf(&b, "X-Fingerprint: %s\r\n", v)
+		}
+		b.WriteString("Content-Type: text/html\r\n\r\n<html><head>")
+		if v, ok := get(features.KeyHTTPTitle); ok {
+			fmt.Fprintf(&b, "<title>%s</title>", v)
+		}
+		b.WriteString("</head><body")
+		if v, ok := get(features.KeyHTTPBodyHash); ok {
+			fmt.Fprintf(&b, " data-hash=%q", v)
+		}
+		b.WriteString("></body></html>")
+
+	case features.ProtocolTLS:
+		// ServerHello record prefix, then the certificate fields as the
+		// parsed-out values ZGrab reports.
+		b.Write([]byte{0x16, 0x03, 0x03, 0x00, 0x00, 0x02})
+		b.WriteString("\r\n")
+		writeAttr(&b, "fingerprint_sha256", svc.Feats, features.KeyTLSCertHash)
+		writeAttr(&b, "subject_dn", svc.Feats, features.KeyTLSSubject)
+		writeAttr(&b, "organization", svc.Feats, features.KeyTLSOrg)
+
+	case features.ProtocolSSH:
+		if v, ok := get(features.KeySSHBanner); ok {
+			b.WriteString(v)
+		} else {
+			b.WriteString("SSH-2.0-unknown")
+		}
+		b.WriteString("\r\n")
+		writeAttr(&b, "host_key_sha256", svc.Feats, features.KeySSHHostKey)
+
+	case features.ProtocolTelnet:
+		b.Write([]byte{0xff, 0xfd, 0x18, 0xff, 0xfb, 0x01})
+		if v, ok := get(features.KeyTelnetBanner); ok {
+			b.WriteString(v)
+		}
+
+	case features.ProtocolVNC:
+		b.WriteString("RFB 003.008\n")
+		writeAttr(&b, "desktop_name", svc.Feats, features.KeyVNCDesktopName)
+
+	case features.ProtocolSMTP:
+		writeBannerLine(&b, svc.Feats, features.KeySMTPBanner, "220 ESMTP")
+	case features.ProtocolFTP:
+		writeBannerLine(&b, svc.Feats, features.KeyFTPBanner, "220 FTP")
+	case features.ProtocolPOP3:
+		writeBannerLine(&b, svc.Feats, features.KeyPOP3Banner, "+OK POP3")
+	case features.ProtocolIMAP:
+		writeBannerLine(&b, svc.Feats, features.KeyIMAPBanner, "* OK IMAP4")
+
+	case features.ProtocolCWMP:
+		b.WriteString("HTTP/1.1 200 OK\r\n")
+		if v, ok := get(features.KeyCWMPHeader); ok {
+			fmt.Fprintf(&b, "Server: %s\r\n", v)
+		}
+		b.WriteString("SOAPServer: cwmp\r\n")
+		if v, ok := get(features.KeyCWMPBodyHash); ok {
+			fmt.Fprintf(&b, "X-Body-Hash: %s\r\n", v)
+		}
+		b.WriteString("\r\n")
+
+	case features.ProtocolMySQL:
+		b.Write([]byte{0x4a, 0x00, 0x00, 0x00, 0x0a})
+		if v, ok := get(features.KeyMySQLVersion); ok {
+			b.WriteString(v)
+		}
+		b.WriteByte(0x00)
+
+	case features.ProtocolMSSQL:
+		b.Write([]byte{0x04, 0x01, 0x00, 0x25})
+		b.WriteString("\r\n")
+		writeAttr(&b, "version", svc.Feats, features.KeyMSSQLVersion)
+
+	case features.ProtocolMemcached:
+		if v, ok := get(features.KeyMemcachedVersion); ok {
+			fmt.Fprintf(&b, "VERSION %s\r\n", v)
+		} else {
+			b.WriteString("VERSION unknown\r\n")
+		}
+
+	case features.ProtocolPPTP:
+		b.Write([]byte{0x00, 0x9c, 0x00, 0x01, 0x1a, 0x2b, 0x3c, 0x4d, 0x00, 0x02})
+		b.WriteString("\r\n")
+		writeAttr(&b, "vendor", svc.Feats, features.KeyPPTPVendor)
+
+	case features.ProtocolIPMI:
+		b.Write([]byte{0x06, 0x00, 0xff, 0x07, 0x06})
+		b.WriteString("\r\n")
+		writeAttr(&b, "banner", svc.Feats, features.KeyIPMIBanner)
+
+	default:
+		return nil
+	}
+	return b.Bytes()
+}
+
+func writeAttr(b *bytes.Buffer, name string, feats features.Set, k features.Key) {
+	if v, ok := feats.Get(k); ok {
+		fmt.Fprintf(b, "%s: %s\r\n", name, v)
+	}
+}
+
+func writeBannerLine(b *bytes.Buffer, feats features.Set, k features.Key, def string) {
+	v, ok := feats.Get(k)
+	if !ok {
+		v = def
+	}
+	b.WriteString(v)
+	b.WriteString("\r\n")
+}
+
+// Parse extracts the feature set from a session transcript. The protocol
+// is known from LZR's fingerprint; the transcript came off the (simulated)
+// wire.
+func Parse(proto features.Protocol, transcript []byte) features.Set {
+	out := make(features.Set)
+	if proto != features.ProtocolUnknown {
+		out[features.KeyProtocol] = proto.String()
+	}
+	s := string(transcript)
+	switch proto {
+	case features.ProtocolHTTP:
+		parseHTTP(s, out)
+	case features.ProtocolTLS:
+		parseAttrs(s, out, map[string]features.Key{
+			"fingerprint_sha256": features.KeyTLSCertHash,
+			"subject_dn":         features.KeyTLSSubject,
+			"organization":       features.KeyTLSOrg,
+		})
+	case features.ProtocolSSH:
+		if line, _, ok := strings.Cut(s, "\r\n"); ok && line != "SSH-2.0-unknown" {
+			out[features.KeySSHBanner] = line
+		}
+		parseAttrs(s, out, map[string]features.Key{
+			"host_key_sha256": features.KeySSHHostKey,
+		})
+	case features.ProtocolTelnet:
+		if len(transcript) > 6 {
+			out[features.KeyTelnetBanner] = string(transcript[6:])
+		}
+	case features.ProtocolVNC:
+		parseAttrs(s, out, map[string]features.Key{
+			"desktop_name": features.KeyVNCDesktopName,
+		})
+	case features.ProtocolSMTP:
+		parseBannerLine(s, out, features.KeySMTPBanner, "220 ESMTP")
+	case features.ProtocolFTP:
+		parseBannerLine(s, out, features.KeyFTPBanner, "220 FTP")
+	case features.ProtocolPOP3:
+		parseBannerLine(s, out, features.KeyPOP3Banner, "+OK POP3")
+	case features.ProtocolIMAP:
+		parseBannerLine(s, out, features.KeyIMAPBanner, "* OK IMAP4")
+	case features.ProtocolCWMP:
+		for _, line := range strings.Split(s, "\r\n") {
+			if v, ok := strings.CutPrefix(line, "Server: "); ok {
+				out[features.KeyCWMPHeader] = v
+			}
+			if v, ok := strings.CutPrefix(line, "X-Body-Hash: "); ok {
+				out[features.KeyCWMPBodyHash] = v
+			}
+		}
+	case features.ProtocolMySQL:
+		if len(transcript) > 5 {
+			if end := bytes.IndexByte(transcript[5:], 0x00); end >= 0 && end > 0 {
+				out[features.KeyMySQLVersion] = string(transcript[5 : 5+end])
+			}
+		}
+	case features.ProtocolMSSQL:
+		parseAttrs(s, out, map[string]features.Key{"version": features.KeyMSSQLVersion})
+	case features.ProtocolMemcached:
+		if line, _, ok := strings.Cut(s, "\r\n"); ok {
+			if v, okV := strings.CutPrefix(line, "VERSION "); okV && v != "unknown" {
+				out[features.KeyMemcachedVersion] = v
+			}
+		}
+	case features.ProtocolPPTP:
+		parseAttrs(s, out, map[string]features.Key{"vendor": features.KeyPPTPVendor})
+	case features.ProtocolIPMI:
+		parseAttrs(s, out, map[string]features.Key{"banner": features.KeyIPMIBanner})
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// parseHTTP extracts the server header, fingerprint header, HTML title,
+// and body hash from an HTTP response.
+func parseHTTP(s string, out features.Set) {
+	head, body, _ := strings.Cut(s, "\r\n\r\n")
+	for _, line := range strings.Split(head, "\r\n") {
+		if v, ok := strings.CutPrefix(line, "Server: "); ok {
+			out[features.KeyHTTPServer] = v
+		}
+		if v, ok := strings.CutPrefix(line, "X-Fingerprint: "); ok {
+			out[features.KeyHTTPHeader] = v
+		}
+	}
+	if i := strings.Index(body, "<title>"); i >= 0 {
+		if j := strings.Index(body[i:], "</title>"); j >= 0 {
+			out[features.KeyHTTPTitle] = body[i+len("<title>") : i+j]
+		}
+	}
+	if i := strings.Index(body, `data-hash="`); i >= 0 {
+		rest := body[i+len(`data-hash="`):]
+		if j := strings.IndexByte(rest, '"'); j >= 0 {
+			out[features.KeyHTTPBodyHash] = rest[:j]
+		}
+	}
+}
+
+// parseAttrs extracts "name: value" lines; it tolerates both CRLF and
+// bare-LF line endings (VNC's RFB greeting ends in LF).
+func parseAttrs(s string, out features.Set, keys map[string]features.Key) {
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSuffix(line, "\r")
+		name, v, ok := strings.Cut(line, ": ")
+		if !ok {
+			continue
+		}
+		if key, okK := keys[name]; okK {
+			out[key] = v
+		}
+	}
+}
+
+// parseBannerLine stores the first line unless it is the default filler.
+func parseBannerLine(s string, out features.Set, key features.Key, def string) {
+	if line, _, ok := strings.Cut(s, "\r\n"); ok && line != def {
+		out[key] = line
+	}
+}

@@ -1,0 +1,160 @@
+package zgrab
+
+import (
+	"testing"
+
+	"gps/internal/features"
+	"gps/internal/netmodel"
+)
+
+// TestSessionParseRoundTripAllProtocols: for every protocol, Parse must
+// recover exactly the feature set Session encoded.
+func TestSessionParseRoundTripAllProtocols(t *testing.T) {
+	sets := map[features.Protocol]features.Set{
+		features.ProtocolHTTP: {
+			features.KeyProtocol:     "http",
+			features.KeyHTTPServer:   "nginx/1.24",
+			features.KeyHTTPHeader:   "hdr-v1",
+			features.KeyHTTPTitle:    "Router Admin",
+			features.KeyHTTPBodyHash: "bh-12345",
+		},
+		features.ProtocolTLS: {
+			features.KeyProtocol:    "tls",
+			features.KeyTLSCertHash: "cert#00ff",
+			features.KeyTLSSubject:  "subj#abc",
+			features.KeyTLSOrg:      "org@AS9",
+		},
+		features.ProtocolSSH: {
+			features.KeyProtocol:   "ssh",
+			features.KeySSHBanner:  "SSH-2.0-OpenSSH_9.0",
+			features.KeySSHHostKey: "hostkey#77",
+		},
+		features.ProtocolTelnet: {
+			features.KeyProtocol:     "telnet",
+			features.KeyTelnetBanner: "BusyBox login",
+		},
+		features.ProtocolVNC: {
+			features.KeyProtocol:       "vnc",
+			features.KeyVNCDesktopName: "office-pc",
+		},
+		features.ProtocolSMTP: {
+			features.KeyProtocol:   "smtp",
+			features.KeySMTPBanner: "220 mail ESMTP Postfix",
+		},
+		features.ProtocolFTP: {
+			features.KeyProtocol:  "ftp",
+			features.KeyFTPBanner: "220 ProFTPD ready",
+		},
+		features.ProtocolPOP3: {
+			features.KeyProtocol:   "pop3",
+			features.KeyPOP3Banner: "+OK dovecot ready",
+		},
+		features.ProtocolIMAP: {
+			features.KeyProtocol:   "imap",
+			features.KeyIMAPBanner: "* OK IMAP ready",
+		},
+		features.ProtocolCWMP: {
+			features.KeyProtocol:     "cwmp",
+			features.KeyCWMPHeader:   "fritz-cwmp",
+			features.KeyCWMPBodyHash: "cwmp-body/v3",
+		},
+		features.ProtocolMySQL: {
+			features.KeyProtocol:     "mysql",
+			features.KeyMySQLVersion: "8.0/v2",
+		},
+		features.ProtocolMSSQL: {
+			features.KeyProtocol:     "mssql",
+			features.KeyMSSQLVersion: "15.0/v1",
+		},
+		features.ProtocolMemcached: {
+			features.KeyProtocol:         "memcached",
+			features.KeyMemcachedVersion: "1.6/v0",
+		},
+		features.ProtocolPPTP: {
+			features.KeyProtocol:   "pptp",
+			features.KeyPPTPVendor: "linux-pptpd/v4",
+		},
+		features.ProtocolIPMI: {
+			features.KeyProtocol:   "ipmi",
+			features.KeyIPMIBanner: "IPMI-2.0/v1",
+		},
+	}
+	for proto, feats := range sets {
+		svc := &netmodel.Service{Port: 1234, Proto: proto, Feats: feats}
+		got := Parse(proto, Session(svc))
+		if len(got) != len(feats) {
+			t.Errorf("%v: parsed %d features; want %d (%v vs %v)", proto, len(got), len(feats), got, feats)
+			continue
+		}
+		for k, v := range feats {
+			if got[k] != v {
+				t.Errorf("%v: feature %v = %q; want %q", proto, k, got[k], v)
+			}
+		}
+	}
+}
+
+// TestSessionParsePartialFeatures: services missing optional features must
+// round-trip without inventing values.
+func TestSessionParsePartialFeatures(t *testing.T) {
+	svc := &netmodel.Service{Port: 80, Proto: features.ProtocolHTTP,
+		Feats: features.Set{
+			features.KeyProtocol:   "http",
+			features.KeyHTTPServer: "only-server",
+		}}
+	got := Parse(svc.Proto, Session(svc))
+	if len(got) != 2 {
+		t.Errorf("parsed %d features; want 2: %v", len(got), got)
+	}
+	if got[features.KeyHTTPServer] != "only-server" {
+		t.Error("server header lost")
+	}
+}
+
+// TestSessionUnknownProtocol: unknown services produce no transcript and
+// no features.
+func TestSessionUnknownProtocol(t *testing.T) {
+	svc := &netmodel.Service{Port: 5555, Proto: features.ProtocolUnknown}
+	if tr := Session(svc); tr != nil {
+		t.Errorf("unknown protocol produced transcript %q", tr)
+	}
+	if f := Parse(features.ProtocolUnknown, nil); f != nil {
+		t.Errorf("unknown protocol parsed features %v", f)
+	}
+}
+
+// TestUniverseGrabRoundTrip: every service in a generated universe must
+// survive the Session/Parse pipeline bit-exactly — this is the guarantee
+// that makes the byte-level grab a drop-in for direct feature access.
+func TestUniverseGrabRoundTrip(t *testing.T) {
+	u := netmodel.Generate(netmodel.TestParams(71))
+	g := New(u)
+	checked := 0
+	for _, h := range u.Hosts() {
+		if h.Middlebox {
+			continue
+		}
+		for port, svc := range h.Services() {
+			grab, ok := g.Grab(h.IP, port)
+			if !ok {
+				t.Fatalf("grab failed for %v:%d", h.IP, port)
+			}
+			if len(grab.Feats) != len(svc.Feats) {
+				t.Fatalf("%v:%d (%v): parsed %d features; want %d\n  got  %v\n  want %v",
+					h.IP, port, svc.Proto, len(grab.Feats), len(svc.Feats), grab.Feats, svc.Feats)
+			}
+			for k, v := range svc.Feats {
+				if grab.Feats[k] != v {
+					t.Fatalf("%v:%d: feature %v = %q; want %q", h.IP, port, k, grab.Feats[k], v)
+				}
+			}
+			checked++
+		}
+		if checked > 5000 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("nothing checked")
+	}
+}

@@ -1,0 +1,56 @@
+// Package zgrab simulates ZGrab, the application-layer handshake tool at
+// the end of the GPS scanning pipeline. For every service LZR fingerprints
+// as real, ZGrab completes the full Layer-7 handshake and collects the
+// application-layer features of Table 1 (banners, TLS certificates, SSH
+// keys, version strings).
+package zgrab
+
+import (
+	"gps/internal/asndb"
+	"gps/internal/features"
+	"gps/internal/netmodel"
+)
+
+// Grab is the result of one full L7 handshake.
+type Grab struct {
+	IP    asndb.IP
+	Port  uint16
+	Proto features.Protocol
+	// Feats holds the application-layer features parsed out of the
+	// session transcript.
+	Feats features.Set
+	TTL   uint8
+	// Transcript is the raw session bytes the features were parsed from.
+	Transcript []byte
+}
+
+// Source is the network view ZGrab needs; *netmodel.Universe implements it.
+type Source interface {
+	ServiceAt(ip asndb.IP, port uint16) (*netmodel.Service, bool)
+}
+
+// Grabber performs L7 handshakes against a source.
+type Grabber struct {
+	src Source
+}
+
+// New creates a grabber.
+func New(src Source) *Grabber { return &Grabber{src: src} }
+
+// Grab completes the full L7 session against (ip, port): the service
+// renders its transcript (Session) and the grabber parses the features
+// back out of the bytes (Parse). ok is false when the service vanished or
+// never existed. Services speaking unknown protocols yield no features.
+func (g *Grabber) Grab(ip asndb.IP, port uint16) (Grab, bool) {
+	svc, ok := g.src.ServiceAt(ip, port)
+	if !ok {
+		return Grab{}, false
+	}
+	transcript := Session(svc)
+	return Grab{
+		IP: ip, Port: port, Proto: svc.Proto,
+		Feats:      Parse(svc.Proto, transcript),
+		TTL:        svc.TTL,
+		Transcript: transcript,
+	}, true
+}

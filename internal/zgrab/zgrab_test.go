@@ -1,0 +1,49 @@
+package zgrab
+
+import (
+	"testing"
+
+	"gps/internal/asndb"
+	"gps/internal/features"
+	"gps/internal/netmodel"
+)
+
+type handSource map[asndb.IP]*netmodel.Host
+
+func (s handSource) ServiceAt(ip asndb.IP, port uint16) (*netmodel.Service, bool) {
+	h, ok := s[ip]
+	if !ok {
+		return nil, false
+	}
+	return h.ServiceAt(port)
+}
+
+func TestGrab(t *testing.T) {
+	ip := asndb.MustParseIP("10.0.0.1")
+	h := netmodel.NewHost(ip, 1, "t")
+	h.AddService(&netmodel.Service{
+		Port: 80, Proto: features.ProtocolHTTP, TTL: 55,
+		Feats: features.Set{
+			features.KeyProtocol:   "http",
+			features.KeyHTTPServer: "nginx",
+		},
+	})
+	g := New(handSource{ip: h})
+
+	grab, ok := g.Grab(ip, 80)
+	if !ok {
+		t.Fatal("grab failed")
+	}
+	if grab.Proto != features.ProtocolHTTP || grab.TTL != 55 {
+		t.Errorf("grab = %+v", grab)
+	}
+	if v, _ := grab.Feats.Get(features.KeyHTTPServer); v != "nginx" {
+		t.Errorf("server feature = %q", v)
+	}
+	if _, ok := g.Grab(ip, 81); ok {
+		t.Error("grab on closed port succeeded")
+	}
+	if _, ok := g.Grab(asndb.MustParseIP("10.0.0.2"), 80); ok {
+		t.Error("grab on missing host succeeded")
+	}
+}
