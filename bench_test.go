@@ -1,8 +1,8 @@
 package gps_test
 
 // The benchmark harness: one testing.B benchmark per table and figure of
-// the paper's evaluation, plus ablation benches for the design choices
-// DESIGN.md calls out and micro-benchmarks for the hot substrates.
+// the paper's evaluation, plus ablation benches for the pipeline's design
+// choices and micro-benchmarks for the hot substrates.
 //
 // Run everything with:
 //
@@ -10,8 +10,8 @@ package gps_test
 //
 // Each experiment bench reports its headline result as custom metrics
 // (coverage, savings-x, precision and so on) so a bench run doubles as a
-// results table. Absolute values are compared against the paper in
-// EXPERIMENTS.md.
+// results table; the notes attached to each experiment's rendered table
+// record the paper's corresponding values.
 
 import (
 	"sync"
@@ -196,6 +196,27 @@ func BenchmarkSection7(b *testing.B) {
 		r = experiments.Section7Limits(s)
 	}
 	b.ReportMetric(r.NormCoverage, "ideal-norm-coverage")
+}
+
+// BenchmarkContinuousEpoch times one epoch of the continuous scanning
+// subsystem at small scale: re-verify the inventory, re-train the model
+// on it, and run budgeted discovery against a freshly churned universe.
+func BenchmarkContinuousEpoch(b *testing.B) {
+	s := setupBench(b)
+	seedSet, _ := experiments.SplitEval(s.LZR, s.Scale.SeedMid, true, 91)
+	world := netmodel.Churn(s.Universe, netmodel.DefaultChurn(91))
+	cfg := gps.ContinuousConfig{Budget: 20 * s.Universe.SpaceSize()}
+	var stats gps.EpochStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := gps.NewContinuous(seedSet, cfg)
+		var err error
+		if stats, err = r.Epoch(world); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(stats.KnownSize), "known-services")
+	b.ReportMetric(stats.Freshness.AliveFrac(), "alive-frac")
 }
 
 func BenchmarkChurn(b *testing.B) {

@@ -32,10 +32,7 @@ func main() {
 	)
 	flag.Parse()
 
-	params := netmodel.DefaultParams(*seed)
-	params.NumPrefix16 = *prefixes
-	params.NumASes = max(4, *prefixes/2)
-	params.HostDensity = *density
+	params := gps.DemoUniverseParams(*seed, *prefixes, *density)
 
 	fmt.Printf("generating universe (seed=%d, %d /16s, density %.1f%%)...\n",
 		*seed, *prefixes, 100**density)
@@ -103,13 +100,6 @@ func main() {
 		point.ScansUnits, float64(exhaustiveProbes)/float64(max64(res.TotalScanProbes(), 1)))
 	rate := gps.Rate{Gbps: 1}
 	fmt.Printf("  est. scan wall-time:  %v at 1 Gb/s\n", rate.Duration(res.TotalScanProbes()).Round(time.Second))
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func min(a, b float64) float64 {

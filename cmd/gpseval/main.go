@@ -1,6 +1,6 @@
 // Command gpseval regenerates the paper's tables and figures against the
 // synthetic universe. Each experiment id corresponds to one table or
-// figure of the evaluation (see DESIGN.md's experiment index).
+// figure of the evaluation (see the experiment index in README.md).
 //
 // Usage:
 //
@@ -8,7 +8,7 @@
 //	gpseval all
 //
 // Experiments: table1 table2 table3 table4 fig2a fig2b fig2c fig2d fig3
-// fig4 fig5 fig6 tga recsys appb limits churn props
+// fig4 fig5 fig6 tga recsys appb limits churn props continuous
 package main
 
 import (
@@ -53,7 +53,7 @@ func main() {
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = []string{"table1", "table2", "table3", "table4",
 			"fig2a", "fig2b", "fig2c", "fig2d", "fig3", "fig4", "fig5", "fig6",
-			"tga", "recsys", "appb", "limits", "churn", "props"}
+			"tga", "recsys", "appb", "limits", "churn", "props", "continuous"}
 	}
 	for _, id := range ids {
 		run(s, id, *out)
@@ -136,6 +136,10 @@ func run(s *experiments.Setup, id string, out string) {
 		fmt.Println(experiments.ChurnStudy(s).Table().Render())
 	case "props":
 		fmt.Println(experiments.Section4Properties(s).Table().Render())
+	case "continuous":
+		r := experiments.Continuous(s, experiments.ContinuousEpochs)
+		fmt.Println(r.Table().Render())
+		writeSeries(out, "continuous.csv", "continuous", r.Curve(space))
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 	}

@@ -1,7 +1,10 @@
 package gps
 
 import (
+	"io"
+
 	"gps/internal/asndb"
+	"gps/internal/continuous"
 	"gps/internal/dataset"
 	"gps/internal/features"
 	"gps/internal/metrics"
@@ -84,6 +87,19 @@ func DefaultUniverseParams(seed int64) UniverseParams { return netmodel.DefaultP
 // examples and tests.
 func SmallUniverseParams(seed int64) UniverseParams { return netmodel.TestParams(seed) }
 
+// DemoUniverseParams derives a universe configuration from the three
+// knobs the command-line tools expose (seed, announced /16 count, host
+// density). gps and gpsd share this recipe: gpsd's checkpoints pin only
+// these three values, so both commands must derive identical universes
+// from them.
+func DemoUniverseParams(seed int64, prefixes int, density float64) UniverseParams {
+	p := netmodel.DefaultParams(seed)
+	p.NumPrefix16 = prefixes
+	p.NumASes = max(4, prefixes/2)
+	p.HostDensity = density
+	return p
+}
+
 // SnapshotCensys captures a Censys-style ground truth: 100% scans of the
 // top-k most popular ports.
 func SnapshotCensys(u *Universe, k int) *Dataset { return dataset.SnapshotCensys(u, k) }
@@ -100,6 +116,58 @@ func NewGroundTruth(d *Dataset) *GroundTruth { return metrics.NewGroundTruth(d) 
 // NewTracker creates a coverage tracker against a ground truth.
 func NewTracker(gt *GroundTruth, spaceSize uint64) *Tracker {
 	return metrics.NewTracker(gt, spaceSize)
+}
+
+// ChurnParams controls how the universe evolves between observations.
+type ChurnParams = netmodel.ChurnParams
+
+// DefaultChurn returns churn parameters tuned to the paper's 10-day
+// measurement (§3).
+func DefaultChurn(seed int64) ChurnParams { return netmodel.DefaultChurn(seed) }
+
+// ApplyChurn advances the universe one churn step, returning the evolved
+// universe; the input is unmodified.
+func ApplyChurn(u *Universe, p ChurnParams) *Universe { return netmodel.Churn(u, p) }
+
+// ContinuousConfig parameterizes the continuous scanning subsystem.
+type ContinuousConfig = continuous.Config
+
+// Continuous is the epoch-driven continuous scanner: it re-verifies known
+// services, re-trains on fresh observations, and spends a recurring
+// budget on discovery so the inventory tracks churn.
+type Continuous = continuous.Runner
+
+// ContinuousState is the checkpointable state of a continuous scan.
+type ContinuousState = continuous.State
+
+// EpochStats summarizes one continuous-scanning epoch.
+type EpochStats = continuous.EpochStats
+
+// KnownService is one tracked service in the continuous inventory.
+type KnownService = continuous.Entry
+
+// Freshness is the per-epoch staleness accounting of the known set.
+type Freshness = metrics.Freshness
+
+// NewContinuous creates a continuous scanner seeded with an initial
+// observation set (typically CollectSeed output).
+func NewContinuous(seed *Dataset, cfg ContinuousConfig) *Continuous {
+	return continuous.New(seed, cfg)
+}
+
+// ResumeContinuous creates a continuous scanner from checkpointed state.
+func ResumeContinuous(st *ContinuousState, cfg ContinuousConfig) *Continuous {
+	return continuous.Resume(st, cfg)
+}
+
+// WriteContinuousCheckpoint serializes continuous-scan state.
+func WriteContinuousCheckpoint(w io.Writer, st *ContinuousState) error {
+	return continuous.WriteCheckpoint(w, st)
+}
+
+// ReadContinuousCheckpoint parses WriteContinuousCheckpoint output.
+func ReadContinuousCheckpoint(r io.Reader) (*ContinuousState, error) {
+	return continuous.ReadCheckpoint(r)
 }
 
 // Evaluate replays a result's discovery log against a held-out test set

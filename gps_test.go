@@ -191,15 +191,15 @@ func TestCollectSeed(t *testing.T) {
 
 func TestConfigDefaults(t *testing.T) {
 	c := Config{}
-	if c.stepBits() != 16 {
-		t.Errorf("default step = %d; want 16", c.stepBits())
+	if c.EffectiveStep() != 16 {
+		t.Errorf("default step = %d; want 16", c.EffectiveStep())
 	}
 	c.StepBits = 20
-	if c.stepBits() != 20 {
+	if c.EffectiveStep() != 20 {
 		t.Error("explicit step ignored")
 	}
 	c.StepZero = true
-	if c.stepBits() != 0 {
+	if c.EffectiveStep() != 0 {
 		t.Error("StepZero ignored")
 	}
 	if PhasePriors.String() != "priors" || PhasePredict.String() != "predict" {

@@ -1,0 +1,199 @@
+package continuous
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"gps/internal/dataset"
+	"gps/internal/metrics"
+	"gps/internal/netmodel"
+	"gps/internal/store"
+)
+
+// Checkpoint format:
+//
+//	magic "GPSC" | version u8
+//	epoch uvarint
+//	history: uvarint count, then per epoch the EpochStats counters as
+//	  uvarints (epoch, reverifyProbes, discoveryProbes, verified, lost,
+//	  evicted, newFound, refreshed, trainSize, knownSize, and the five
+//	  Freshness counters)
+//	known set: uvarint byte length + a store binary dataset holding the
+//	  known records sorted by (IP, port)
+//	per record, in dataset order: firstSeen, lastSeen, stale uvarints
+//
+// The known records reuse internal/store's compact dataset encoding
+// (string-table interning of feature values), so checkpoints stay small
+// no matter how many fleet hosts share identical banners. The dataset
+// blob is length-prefixed so the surrounding reader keeps its position.
+
+const (
+	checkpointMagic   = "GPSC"
+	checkpointVersion = 1
+)
+
+// WriteCheckpoint serializes the state.
+func WriteCheckpoint(w io.Writer, st *State) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(checkpointMagic)
+	bw.WriteByte(checkpointVersion)
+	writeUvarint(bw, uint64(st.Epoch))
+
+	writeUvarint(bw, uint64(len(st.History)))
+	for _, h := range st.History {
+		for _, v := range statsCounters(h) {
+			writeUvarint(bw, v)
+		}
+	}
+
+	// The known set as a store binary dataset, deterministically ordered.
+	keys := sortedKnownKeys(st)
+	d := &dataset.Dataset{Name: "continuous-checkpoint"}
+	for _, k := range keys {
+		d.Records = append(d.Records, st.Known[k].Rec)
+	}
+	var blob bytes.Buffer
+	if _, err := store.WriteDatasetBinary(&blob, d); err != nil {
+		return fmt.Errorf("continuous: encoding known set: %w", err)
+	}
+	writeUvarint(bw, uint64(blob.Len()))
+	bw.Write(blob.Bytes())
+
+	for _, k := range keys {
+		e := st.Known[k]
+		writeUvarint(bw, uint64(e.FirstSeen))
+		writeUvarint(bw, uint64(e.LastSeen))
+		writeUvarint(bw, uint64(e.Stale))
+	}
+	return bw.Flush()
+}
+
+// ReadCheckpoint parses WriteCheckpoint output.
+func ReadCheckpoint(r io.Reader) (*State, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("continuous: reading magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("continuous: bad checkpoint magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != checkpointVersion {
+		return nil, fmt.Errorf("continuous: unsupported checkpoint version %d", ver)
+	}
+
+	st := &State{Known: make(map[netmodel.Key]*Entry)}
+	epoch, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	st.Epoch = int(epoch)
+
+	nHist, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nHist > 1<<24 {
+		return nil, fmt.Errorf("continuous: implausible history length %d", nHist)
+	}
+	st.History = make([]EpochStats, nHist)
+	for i := range st.History {
+		var vals [15]uint64
+		for j := range vals {
+			if vals[j], err = binary.ReadUvarint(br); err != nil {
+				return nil, err
+			}
+		}
+		st.History[i] = statsFromCounters(vals)
+	}
+
+	blobLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if blobLen > 1<<28 {
+		return nil, fmt.Errorf("continuous: implausible known-set size %d", blobLen)
+	}
+	blob := make([]byte, blobLen)
+	if _, err := io.ReadFull(br, blob); err != nil {
+		return nil, err
+	}
+	d, err := store.ReadDatasetBinary(bytes.NewReader(blob))
+	if err != nil {
+		return nil, fmt.Errorf("continuous: decoding known set: %w", err)
+	}
+
+	for _, rec := range d.Records {
+		first, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		last, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		stale, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		st.Known[rec.Key()] = &Entry{
+			Rec: rec, FirstSeen: int(first), LastSeen: int(last), Stale: int(stale),
+		}
+	}
+	return st, nil
+}
+
+func sortedKnownKeys(st *State) []netmodel.Key {
+	keys := make([]netmodel.Key, 0, len(st.Known))
+	for k := range st.Known {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].IP != keys[j].IP {
+			return keys[i].IP < keys[j].IP
+		}
+		return keys[i].Port < keys[j].Port
+	})
+	return keys
+}
+
+// statsCounters flattens EpochStats for serialization; statsFromCounters
+// is its inverse. Order matters and is frozen by checkpointVersion.
+func statsCounters(h EpochStats) [15]uint64 {
+	return [15]uint64{
+		uint64(h.Epoch), h.ReverifyProbes, h.DiscoveryProbes,
+		uint64(h.Verified), uint64(h.Lost), uint64(h.Evicted),
+		uint64(h.NewFound), uint64(h.Refreshed),
+		uint64(h.TrainSize), uint64(h.KnownSize),
+		uint64(h.Freshness.Known), uint64(h.Freshness.Fresh),
+		uint64(h.Freshness.Stale), uint64(h.Freshness.Checked),
+		uint64(h.Freshness.Alive),
+	}
+}
+
+func statsFromCounters(v [15]uint64) EpochStats {
+	return EpochStats{
+		Epoch: int(v[0]), ReverifyProbes: v[1], DiscoveryProbes: v[2],
+		Verified: int(v[3]), Lost: int(v[4]), Evicted: int(v[5]),
+		NewFound: int(v[6]), Refreshed: int(v[7]),
+		TrainSize: int(v[8]), KnownSize: int(v[9]),
+		Freshness: metrics.Freshness{
+			Known: int(v[10]), Fresh: int(v[11]), Stale: int(v[12]),
+			Checked: int(v[13]), Alive: int(v[14]),
+		},
+	}
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}

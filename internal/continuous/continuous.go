@@ -1,0 +1,301 @@
+// Package continuous runs GPS as a long-lived process instead of a
+// one-shot batch. The paper measures that 9% of all services and 15% of
+// normalized services disappear within 10 days (§3), so any single
+// gps.Run snapshot goes stale almost immediately. This package maintains
+// a living inventory of known services across epochs: each epoch it
+// re-verifies previously-found services (the cheapest probes with the
+// highest hit rate), spends the remaining budget on discovery through the
+// regular priors/predict pipeline, folds everything it saw back into the
+// training set, and re-trains the probability model so predictions track
+// the current service population rather than the original seed.
+//
+// The subsystem is deliberately universe-agnostic: callers advance the
+// world (netmodel.Churn for simulation, wall-clock time in a real
+// deployment) and hand each epoch the universe to scan. State checkpoints
+// through internal/store's binary dataset format so a daemon (cmd/gpsd)
+// can stop and resume mid-run.
+package continuous
+
+import (
+	"fmt"
+	"sort"
+
+	"gps/internal/dataset"
+	"gps/internal/lzr"
+	"gps/internal/metrics"
+	"gps/internal/netmodel"
+	"gps/internal/pipeline"
+	"gps/internal/scanner"
+	"gps/internal/zgrab"
+)
+
+// Config parameterizes the continuous scanner.
+type Config struct {
+	// Budget is the probe budget of one epoch, split between
+	// re-verification and discovery. 0 means unlimited.
+	Budget uint64
+	// ReverifyFraction is the share of the budget reserved for
+	// re-verifying known services; 0 selects the default 0.25. With an
+	// unlimited budget the whole known set is re-verified regardless.
+	ReverifyFraction float64
+	// MaxStale is how many consecutive failed re-verifications a known
+	// service survives before eviction; 0 selects the default 2. A
+	// service seen again before eviction resets its counter — this
+	// tolerates transient unresponsiveness without forgetting slow hosts.
+	MaxStale int
+	// Pipeline configures the discovery phases. When Budget above is
+	// set, its Budget field is overwritten each epoch with the epoch
+	// budget remaining after re-verification; with an unlimited epoch
+	// budget it is used as given, so a caller may still cap discovery
+	// alone.
+	Pipeline pipeline.Config
+}
+
+func (c Config) reverifyFraction() float64 {
+	if c.ReverifyFraction <= 0 || c.ReverifyFraction > 1 {
+		return 0.25
+	}
+	return c.ReverifyFraction
+}
+
+func (c Config) maxStale() int {
+	if c.MaxStale <= 0 {
+		return 2
+	}
+	return c.MaxStale
+}
+
+// Entry is one tracked service: the record that trains the model plus its
+// observation history.
+type Entry struct {
+	Rec dataset.Record
+	// FirstSeen and LastSeen are the epochs the service was first and
+	// most recently observed alive (0 = the initial seed).
+	FirstSeen, LastSeen int
+	// Stale counts consecutive failed re-verifications.
+	Stale int
+}
+
+// EpochStats summarizes one epoch.
+type EpochStats struct {
+	Epoch int
+	// ReverifyProbes and DiscoveryProbes split the epoch's bandwidth.
+	ReverifyProbes  uint64
+	DiscoveryProbes uint64
+	// Verified known services answered their re-verification; Lost did
+	// not; Evicted lost entries exceeded MaxStale and were dropped.
+	Verified, Lost, Evicted int
+	// NewFound services entered the known set this epoch; Refreshed
+	// known services were re-found by the discovery scans.
+	NewFound, Refreshed int
+	// TrainSize is how many records the epoch's model re-trained on.
+	TrainSize int
+	// KnownSize is the inventory size after the epoch.
+	KnownSize int
+	// Freshness is the staleness accounting of the known set.
+	Freshness metrics.Freshness
+}
+
+// Probes returns the epoch's total bandwidth.
+func (s EpochStats) Probes() uint64 { return s.ReverifyProbes + s.DiscoveryProbes }
+
+// State is everything the continuous scanner knows between epochs; it is
+// the unit of checkpointing.
+type State struct {
+	// Epoch is the last completed epoch (0 = only seeded).
+	Epoch int
+	// Known is the live service inventory.
+	Known map[netmodel.Key]*Entry
+	// History holds one EpochStats per completed epoch.
+	History []EpochStats
+}
+
+// Runner drives the continuous scan. It is not safe for concurrent use.
+type Runner struct {
+	cfg Config
+	st  *State
+}
+
+// New creates a runner seeded with an initial observation set (typically
+// pipeline.CollectSeed output or the seed half of a dataset split). The
+// seed records become the epoch-0 inventory and first training set.
+func New(seed *dataset.Dataset, cfg Config) *Runner {
+	st := &State{Known: make(map[netmodel.Key]*Entry, seed.NumServices())}
+	for _, r := range seed.Records {
+		k := r.Key()
+		if _, ok := st.Known[k]; !ok {
+			st.Known[k] = &Entry{Rec: r}
+		}
+	}
+	return &Runner{cfg: cfg, st: st}
+}
+
+// Resume creates a runner continuing from a checkpointed state.
+func Resume(st *State, cfg Config) *Runner {
+	if st.Known == nil {
+		st.Known = make(map[netmodel.Key]*Entry)
+	}
+	return &Runner{cfg: cfg, st: st}
+}
+
+// State exposes the runner's state (shared, not copied): read it for
+// reporting, checkpoint it with WriteCheckpoint.
+func (r *Runner) State() *State { return r.st }
+
+// TrainingSet assembles the current training data: the records of every
+// known service not carrying a stale mark, in the deterministic
+// re-verification order (least recently seen first, ties by (IP, port)).
+// This is the set the next epoch's model re-trains on — the live
+// population as currently believed, not the original seed.
+func (r *Runner) TrainingSet() *dataset.Dataset {
+	d := &dataset.Dataset{Name: fmt.Sprintf("continuous-epoch%d", r.st.Epoch)}
+	for _, k := range r.sortedKeys() {
+		e := r.st.Known[k]
+		if e.Stale == 0 {
+			d.Records = append(d.Records, e.Rec)
+		}
+	}
+	return d
+}
+
+// sortedKeys returns the known keys ordered for re-verification: least
+// recently seen first (they are the most at risk of having churned), ties
+// broken by (IP, port) so epochs are deterministic.
+func (r *Runner) sortedKeys() []netmodel.Key {
+	keys := make([]netmodel.Key, 0, len(r.st.Known))
+	for k := range r.st.Known {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := r.st.Known[keys[i]], r.st.Known[keys[j]]
+		if a.LastSeen != b.LastSeen {
+			return a.LastSeen < b.LastSeen
+		}
+		if keys[i].IP != keys[j].IP {
+			return keys[i].IP < keys[j].IP
+		}
+		return keys[i].Port < keys[j].Port
+	})
+	return keys
+}
+
+// Epoch runs one full epoch against the universe: re-verify, re-train,
+// discover, fold back. The universe is whatever the world looks like now;
+// callers advance it (e.g. netmodel.Churn) between epochs.
+func (r *Runner) Epoch(u *netmodel.Universe) (EpochStats, error) {
+	r.st.Epoch++
+	e := r.st.Epoch
+	stats := EpochStats{Epoch: e}
+
+	// Phase 1: re-verify the known set, least recently seen first. One
+	// SYN per known service is the cheapest bandwidth GPS can spend —
+	// the hit rate is the survival rate (~91% over 10 days, §3), versus
+	// a few services per million probes for blind scanning.
+	sc := scanner.New(u)
+	fp := lzr.New(u)
+	reverifyBudget := uint64(0) // 0 = unlimited
+	if r.cfg.Budget > 0 {
+		reverifyBudget = uint64(r.cfg.reverifyFraction() * float64(r.cfg.Budget))
+		if reverifyBudget == 0 {
+			// A tiny budget must still be a budget: without the clamp a
+			// truncated-to-zero share would read as "unlimited".
+			reverifyBudget = 1
+		}
+	}
+	for _, k := range r.sortedKeys() {
+		if reverifyBudget > 0 && sc.Probes() >= reverifyBudget {
+			break
+		}
+		ent := r.st.Known[k]
+		alive := false
+		if sc.Probe(k.IP, k.Port) {
+			alive = fp.Fingerprint(k.IP, k.Port).Status == lzr.StatusService
+		}
+		stats.Freshness.Checked++
+		if alive {
+			ent.LastSeen = e
+			ent.Stale = 0
+			stats.Verified++
+			stats.Freshness.Alive++
+			continue
+		}
+		ent.Stale++
+		stats.Lost++
+		if ent.Stale >= r.cfg.maxStale() {
+			delete(r.st.Known, k)
+			stats.Evicted++
+		}
+	}
+	stats.ReverifyProbes = sc.Probes()
+
+	// Phase 2: re-train on the believed-live population and spend the
+	// remaining budget on discovery through the regular pipeline.
+	train := r.TrainingSet()
+	stats.TrainSize = train.NumServices()
+	discover := train.NumServices() > 0
+	pcfg := r.cfg.Pipeline
+	if r.cfg.Budget > 0 {
+		if stats.ReverifyProbes >= r.cfg.Budget {
+			discover = false
+		} else {
+			pcfg.Budget = r.cfg.Budget - stats.ReverifyProbes
+		}
+	}
+	if discover {
+		res, err := pipeline.Run(u, train, pcfg)
+		if err != nil {
+			return stats, fmt.Errorf("continuous: epoch %d discovery: %w", e, err)
+		}
+		stats.DiscoveryProbes = res.TotalScanProbes()
+		r.fold(u, res, e, &stats)
+	}
+
+	stats.KnownSize = len(r.st.Known)
+	stats.Freshness.Known = len(r.st.Known)
+	for _, ent := range r.st.Known {
+		if ent.LastSeen == e {
+			stats.Freshness.Fresh++
+		}
+		if ent.Stale > 0 {
+			stats.Freshness.Stale++
+		}
+	}
+	r.st.History = append(r.st.History, stats)
+	return stats, nil
+}
+
+// fold merges a discovery run into the inventory. Priors-phase anchors
+// carry full records already; predict-phase discoveries are grabbed for
+// their application-layer features so they can train the next model.
+func (r *Runner) fold(u *netmodel.Universe, res *pipeline.Result, epoch int, stats *EpochStats) {
+	anchorRec := make(map[netmodel.Key]dataset.Record, len(res.Anchors))
+	for _, a := range res.Anchors {
+		anchorRec[a.Key()] = a
+	}
+	gr := zgrab.New(u)
+	for _, d := range res.Discoveries {
+		rec, ok := anchorRec[d.Key]
+		if !ok {
+			g, okG := gr.Grab(d.Key.IP, d.Key.Port)
+			if !okG {
+				continue // vanished between scan and grab
+			}
+			asn, _ := u.ASNOf(d.Key.IP)
+			rec = dataset.Record{
+				IP: d.Key.IP, Port: d.Key.Port, Proto: g.Proto,
+				Feats: g.Feats, ASN: asn, TTL: g.TTL,
+			}
+		}
+		if ent, known := r.st.Known[d.Key]; known {
+			// Rediscovered: refresh the record (features may have
+			// changed) and clear any stale mark.
+			ent.Rec = rec
+			ent.LastSeen = epoch
+			ent.Stale = 0
+			stats.Refreshed++
+			continue
+		}
+		r.st.Known[d.Key] = &Entry{Rec: rec, FirstSeen: epoch, LastSeen: epoch}
+		stats.NewFound++
+	}
+}

@@ -1,0 +1,253 @@
+package continuous
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"gps/internal/dataset"
+	"gps/internal/netmodel"
+	"gps/internal/pipeline"
+)
+
+// testWorld builds a small universe plus a seed split for fast tests.
+func testWorld(t testing.TB, seed int64) (*netmodel.Universe, *dataset.Dataset) {
+	t.Helper()
+	u := netmodel.Generate(netmodel.TestParams(seed))
+	full := dataset.SnapshotLZR(u, 0.3, seed^0x11)
+	seedSet, _ := full.Split(0.04, seed^0x22)
+	eligible := seedSet.EligiblePorts(2)
+	return u, seedSet.FilterPorts(eligible)
+}
+
+func testConfig() Config {
+	return Config{Pipeline: pipeline.Config{Workers: 1, Seed: 7}}
+}
+
+// churned advances the universe deterministically per epoch, the way the
+// daemon and the experiments do.
+func churned(u *netmodel.Universe, base int64, epoch int) *netmodel.Universe {
+	return netmodel.Churn(u, netmodel.DefaultChurn(base+int64(epoch)))
+}
+
+func TestEpochTracksChurn(t *testing.T) {
+	u, seedSet := testWorld(t, 3)
+	r := New(seedSet, testConfig())
+	if got := len(r.State().Known); got != seedSet.NumServices() {
+		t.Fatalf("seeded known set = %d; want %d", got, seedSet.NumServices())
+	}
+
+	world := u
+	for e := 1; e <= 3; e++ {
+		world = churned(world, 100, e)
+		stats, err := r.Epoch(world)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+		if stats.Epoch != e {
+			t.Errorf("epoch counter = %d; want %d", stats.Epoch, e)
+		}
+		if stats.Verified == 0 {
+			t.Errorf("epoch %d verified nothing; churn survival should dominate", e)
+		}
+		if e == 1 && stats.NewFound == 0 {
+			// Churn only removes services, so only the first epoch is
+			// guaranteed to find services the seed missed.
+			t.Error("epoch 1 discovered nothing beyond the seed")
+		}
+		if stats.ReverifyProbes == 0 || stats.DiscoveryProbes == 0 {
+			t.Errorf("epoch %d probes: reverify=%d discovery=%d; want both nonzero",
+				e, stats.ReverifyProbes, stats.DiscoveryProbes)
+		}
+		// Every known entry must actually exist in the current world or
+		// carry a stale mark from a failed check.
+		for k, ent := range r.State().Known {
+			if ent.LastSeen == e && !world.Responsive(k.IP, k.Port) {
+				t.Fatalf("entry %v marked fresh but unresponsive", k)
+			}
+		}
+	}
+	if len(r.State().History) != 3 {
+		t.Errorf("history length = %d; want 3", len(r.State().History))
+	}
+	// The paper's churn means some of the original inventory must have
+	// died and been evicted or marked stale along the way.
+	var lost int
+	for _, h := range r.State().History {
+		lost += h.Lost
+	}
+	if lost == 0 {
+		t.Error("three churn epochs lost no services; churn model broken?")
+	}
+}
+
+func TestEpochBudgetSplit(t *testing.T) {
+	u, seedSet := testWorld(t, 5)
+	space := u.SpaceSize()
+	cfg := testConfig()
+	cfg.Budget = 2 * space
+	cfg.ReverifyFraction = 0.25
+	r := New(seedSet, cfg)
+	stats, err := r.Epoch(churned(u, 200, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Probes() > cfg.Budget+space {
+		// Budget enforcement is per-target granular (a priors target may
+		// finish its prefix), so allow one prefix of overshoot.
+		t.Errorf("epoch spent %d probes; budget %d", stats.Probes(), cfg.Budget)
+	}
+	if stats.ReverifyProbes > uint64(float64(cfg.Budget)*0.25)+1 {
+		t.Errorf("reverify spent %d; cap was %d", stats.ReverifyProbes, uint64(float64(cfg.Budget)*0.25))
+	}
+
+	// A budget so small its re-verify share truncates to zero must still
+	// be enforced, not read as "unlimited".
+	tiny := testConfig()
+	tiny.Budget = 2
+	rt := New(seedSet, tiny)
+	tstats, err := rt.Epoch(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tstats.ReverifyProbes > 1 {
+		t.Errorf("tiny budget: reverify spent %d probes; want at most 1", tstats.ReverifyProbes)
+	}
+	if tstats.Probes() > tiny.Budget+1<<16 {
+		// Budget checks are per priors target, so one /16 of overshoot
+		// is the documented granularity.
+		t.Errorf("tiny budget: epoch spent %d probes against budget %d", tstats.Probes(), tiny.Budget)
+	}
+}
+
+func TestStaleEviction(t *testing.T) {
+	u, seedSet := testWorld(t, 7)
+	cfg := testConfig()
+	cfg.MaxStale = 1 // evict on first miss
+	r := New(seedSet, cfg)
+	// A fake entry that never existed in the universe must be evicted on
+	// the first epoch.
+	fake := netmodel.Key{IP: 1, Port: 1}
+	r.State().Known[fake] = &Entry{Rec: dataset.Record{IP: 1, Port: 1}}
+	if _, err := r.Epoch(u); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.State().Known[fake]; ok {
+		t.Error("dead entry survived MaxStale=1 eviction")
+	}
+
+	// With MaxStale=2 a dead entry survives one miss with a stale mark.
+	r2 := New(seedSet, testConfig())
+	r2.State().Known[fake] = &Entry{Rec: dataset.Record{IP: 1, Port: 1}}
+	if _, err := r2.Epoch(u); err != nil {
+		t.Fatal(err)
+	}
+	ent, ok := r2.State().Known[fake]
+	if !ok || ent.Stale != 1 {
+		t.Errorf("dead entry: present=%v stale=%v; want retained with stale=1", ok, ent)
+	}
+	// Stale entries must not train the model.
+	for _, rec := range r2.TrainingSet().Records {
+		if rec.Key() == fake {
+			t.Error("stale entry leaked into the training set")
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	u, seedSet := testWorld(t, 11)
+	r := New(seedSet, testConfig())
+	for e := 1; e <= 2; e++ {
+		if _, err := r.Epoch(churned(u, 300, e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, r.State()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(got, r.State()) {
+		t.Error("checkpoint round trip changed the state")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := ReadCheckpoint(bytes.NewReader([]byte("GPSX____"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadCheckpoint(bytes.NewReader(nil)); err == nil {
+		t.Error("empty checkpoint accepted")
+	}
+}
+
+// TestResumeIdentical is the checkpoint half of the acceptance criterion:
+// running epochs 1..k+1 straight must equal running 1..k, checkpointing,
+// resuming, and running k+1.
+func TestResumeIdentical(t *testing.T) {
+	mkWorlds := func() []*netmodel.Universe {
+		u := netmodel.Generate(netmodel.TestParams(13))
+		worlds := []*netmodel.Universe{}
+		w := u
+		for e := 1; e <= 3; e++ {
+			w = churned(w, 400, e)
+			worlds = append(worlds, w)
+		}
+		return worlds
+	}
+	_, seedSet := testWorld(t, 13)
+
+	// Straight-through run.
+	a := New(seedSet, testConfig())
+	for _, w := range mkWorlds() {
+		if _, err := a.Epoch(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Checkpoint after epoch 2, resume, run epoch 3.
+	b := New(seedSet, testConfig())
+	worlds := mkWorlds()
+	for _, w := range worlds[:2] {
+		if _, err := b.Epoch(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, b.State()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Resume(st, testConfig())
+	if _, err := c.Epoch(worlds[2]); err != nil {
+		t.Fatal(err)
+	}
+
+	if !statesEqual(a.State(), c.State()) {
+		t.Error("resumed epoch 3 state differs from straight-through run")
+	}
+}
+
+func statesEqual(a, b *State) bool {
+	if a.Epoch != b.Epoch || len(a.Known) != len(b.Known) || len(a.History) != len(b.History) {
+		return false
+	}
+	for i := range a.History {
+		if a.History[i] != b.History[i] {
+			return false
+		}
+	}
+	for k, ea := range a.Known {
+		eb, ok := b.Known[k]
+		if !ok || !reflect.DeepEqual(ea, eb) {
+			return false
+		}
+	}
+	return true
+}

@@ -4,7 +4,7 @@
 // command and the repository's benchmarks drive them. Absolute numbers
 // differ from the paper (the substrate is a synthetic Internet, not the
 // 2021 IPv4 space) but each experiment asserts the paper's qualitative
-// shape and EXPERIMENTS.md records paper-vs-measured values.
+// shape, and each rendered table's notes record the paper's values.
 package experiments
 
 import (

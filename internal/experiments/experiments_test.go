@@ -175,3 +175,36 @@ func TestMiscExperiments(t *testing.T) {
 			s4.SameSubnetShare, s4.UncommonSameSubnet)
 	}
 }
+
+// TestContinuousTracksChurn is the acceptance check of the continuous
+// subsystem: at least 5 churn epochs, with every epoch's coverage of the
+// then-current universe within 20% of epoch 1's — the inventory tracks
+// churn instead of decaying the way a batch snapshot does.
+func TestContinuousTracksChurn(t *testing.T) {
+	s := testSetup(t)
+	r := Continuous(s, 6)
+	t.Log(r.Table().Render())
+	if len(r.Points) != 6 {
+		t.Fatalf("got %d epochs; want 6", len(r.Points))
+	}
+	first := r.Points[0].Coverage
+	if first < 0.3 {
+		t.Fatalf("epoch-1 coverage %.2f too low to mean anything", first)
+	}
+	for _, p := range r.Points {
+		if diff := p.Coverage - first; diff < -0.2*first || diff > 0.2*first {
+			t.Errorf("epoch %d coverage %.3f drifted more than 20%% from epoch-1 %.3f",
+				p.Epoch, p.Coverage, first)
+		}
+		if p.Probes == 0 || p.Known == 0 {
+			t.Errorf("epoch %d: empty epoch (probes=%d known=%d)", p.Epoch, p.Probes, p.Known)
+		}
+	}
+	// The inventory must actually turn over: the churning universe keeps
+	// shrinking, so the known set at the end must be smaller than at the
+	// start while coverage holds.
+	if last := r.Points[len(r.Points)-1]; last.Known >= r.Points[0].Known {
+		t.Errorf("known set grew from %d to %d against a shrinking universe",
+			r.Points[0].Known, last.Known)
+	}
+}

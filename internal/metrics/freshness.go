@@ -1,0 +1,49 @@
+package metrics
+
+// Freshness measures how well a continuously-maintained service inventory
+// tracks the live population at one epoch. The paper's churn measurement
+// (§3: 9% of services gone within 10 days) makes any one-shot inventory
+// decay immediately; a continuous scanner is judged by how much of its
+// known set is still alive and how much has gone stale.
+type Freshness struct {
+	// Known is the number of services tracked at the end of the epoch.
+	Known int
+	// Fresh is how many of them were observed alive this epoch (either
+	// re-verified or newly discovered).
+	Fresh int
+	// Stale is how many are retained despite missing their latest
+	// re-verification (stale counter > 0).
+	Stale int
+	// Checked is how many previously-known services were re-verified
+	// this epoch.
+	Checked int
+	// Alive is how many of the Checked services still answered.
+	Alive int
+}
+
+// AliveFrac returns the fraction of re-verified services still alive: the
+// empirical per-epoch survival rate of the known set.
+func (f Freshness) AliveFrac() float64 {
+	if f.Checked == 0 {
+		return 0
+	}
+	return float64(f.Alive) / float64(f.Checked)
+}
+
+// StaleRate returns the fraction of the known set carrying a non-zero
+// stale counter.
+func (f Freshness) StaleRate() float64 {
+	if f.Known == 0 {
+		return 0
+	}
+	return float64(f.Stale) / float64(f.Known)
+}
+
+// FreshFrac returns the fraction of the known set observed alive this
+// epoch.
+func (f Freshness) FreshFrac() float64 {
+	if f.Known == 0 {
+		return 0
+	}
+	return float64(f.Fresh) / float64(f.Known)
+}

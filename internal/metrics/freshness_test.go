@@ -1,0 +1,23 @@
+package metrics
+
+import "testing"
+
+func TestFreshnessRatios(t *testing.T) {
+	f := Freshness{Known: 200, Fresh: 150, Stale: 50, Checked: 100, Alive: 90}
+	if got := f.AliveFrac(); got != 0.9 {
+		t.Errorf("AliveFrac = %v; want 0.9", got)
+	}
+	if got := f.StaleRate(); got != 0.25 {
+		t.Errorf("StaleRate = %v; want 0.25", got)
+	}
+	if got := f.FreshFrac(); got != 0.75 {
+		t.Errorf("FreshFrac = %v; want 0.75", got)
+	}
+}
+
+func TestFreshnessZeroValue(t *testing.T) {
+	var f Freshness
+	if f.AliveFrac() != 0 || f.StaleRate() != 0 || f.FreshFrac() != 0 {
+		t.Error("zero-value Freshness must not divide by zero")
+	}
+}

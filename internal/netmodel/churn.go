@@ -44,7 +44,11 @@ func Churn(u *Universe, p ChurnParams) *Universe {
 			continue
 		}
 		var drop []uint16
-		for port, svc := range h.services {
+		// Walk services in sorted port order: ranging over the map here
+		// would consume the rng's coin flips in a different order every
+		// run, making churn nondeterministic for a fixed seed.
+		for _, port := range h.Ports() {
+			svc := h.services[port]
 			loss := p.ServiceLoss
 			if svc.Forwarded {
 				loss = p.ForwardedLoss

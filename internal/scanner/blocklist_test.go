@@ -1,0 +1,87 @@
+package scanner
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gps/internal/asndb"
+)
+
+// syntheticBlocklist builds n disjoint /24 blocks spread over the space.
+func syntheticBlocklist(n int) *Blocklist {
+	b := &Blocklist{}
+	for i := 0; i < n; i++ {
+		// Stride /24s across different /16s so the trie actually fans out.
+		addr := asndb.IP(uint32(10+i%64)<<24 | uint32(i%256)<<16 | uint32(i/256%256)<<8)
+		b.Add(asndb.MustPrefix(addr, 24))
+	}
+	return b
+}
+
+// TestBlocklistTrieMatchesLinear cross-checks the trie-backed Blocked
+// against a straightforward linear scan over the same prefixes.
+func TestBlocklistTrieMatchesLinear(t *testing.T) {
+	b := syntheticBlocklist(500)
+	linear := func(ip asndb.IP) bool {
+		for _, p := range b.prefixes {
+			if p.Contains(ip) {
+				return true
+			}
+		}
+		return false
+	}
+	rng := rand.New(rand.NewSource(1))
+	hits := 0
+	for i := 0; i < 20000; i++ {
+		ip := asndb.IP(rng.Uint32())
+		if i%3 == 0 {
+			// Bias a third of the samples into blocked space so both
+			// branches are exercised.
+			p := b.prefixes[rng.Intn(len(b.prefixes))]
+			ip = p.First() + asndb.IP(rng.Intn(int(p.Size())))
+		}
+		got, want := b.Blocked(ip), linear(ip)
+		if got != want {
+			t.Fatalf("Blocked(%v) = %v; linear scan says %v", ip, got, want)
+		}
+		if got {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no sampled address hit the blocklist; test is vacuous")
+	}
+}
+
+func TestBlocklistNested(t *testing.T) {
+	b := &Blocklist{}
+	b.Add(asndb.MustPrefix(asndb.MustParseIP("10.0.0.0"), 8))
+	b.Add(asndb.MustPrefix(asndb.MustParseIP("10.1.0.0"), 16)) // nested inside the /8
+	if !b.Blocked(asndb.MustParseIP("10.1.2.3")) || !b.Blocked(asndb.MustParseIP("10.200.0.1")) {
+		t.Error("nested blocklist entries must both block")
+	}
+	if b.Blocked(asndb.MustParseIP("11.0.0.1")) {
+		t.Error("address outside all prefixes reported blocked")
+	}
+}
+
+// BenchmarkBlocklistBlocked shows the point of the trie: per-probe
+// blocklist checks stay flat as the blocklist grows (formerly an O(n)
+// scan per probe, which made large opt-out lists a per-probe tax).
+func BenchmarkBlocklistBlocked(b *testing.B) {
+	for _, n := range []int{10, 100, 1000, 10000} {
+		b.Run(fmt.Sprintf("%d-prefixes", n), func(b *testing.B) {
+			bl := syntheticBlocklist(n)
+			rng := rand.New(rand.NewSource(2))
+			ips := make([]asndb.IP, 1024)
+			for i := range ips {
+				ips[i] = asndb.IP(rng.Uint32())
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = bl.Blocked(ips[i&1023])
+			}
+		})
+	}
+}

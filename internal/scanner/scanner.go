@@ -23,22 +23,24 @@ type Responder interface {
 
 // Blocklist excludes prefixes from scanning, honoring operators who have
 // blocked the GPS fingerprint. Probes to blocked space are never sent (and
-// never counted).
+// never counted). Membership checks run against a binary trie, so Blocked
+// costs O(32) bit steps regardless of how many operators have opted out —
+// it sits on the per-probe hot path.
 type Blocklist struct {
 	prefixes []asndb.Prefix
+	trie     asndb.Table
 }
 
 // Add appends a prefix to the blocklist.
-func (b *Blocklist) Add(p asndb.Prefix) { b.prefixes = append(b.prefixes, p) }
+func (b *Blocklist) Add(p asndb.Prefix) {
+	b.prefixes = append(b.prefixes, p)
+	b.trie.Insert(p, 0)
+}
 
 // Blocked reports whether ip falls in any blocked prefix.
 func (b *Blocklist) Blocked(ip asndb.IP) bool {
-	for _, p := range b.prefixes {
-		if p.Contains(ip) {
-			return true
-		}
-	}
-	return false
+	_, blocked := b.trie.Lookup(ip)
+	return blocked
 }
 
 // Len returns the number of blocked prefixes.
