@@ -14,6 +14,7 @@ package gps_test
 // record the paper's corresponding values.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -217,6 +218,76 @@ func BenchmarkContinuousEpoch(b *testing.B) {
 	}
 	b.ReportMetric(float64(stats.KnownSize), "known-services")
 	b.ReportMetric(stats.Freshness.AliveFrac(), "alive-frac")
+}
+
+// --- Shard scale-out ---------------------------------------------------------
+
+// BenchmarkShardPipeline measures ONE shard's share of a batch run at
+// increasing shard counts: the per-shard work (dominated by the scan
+// bandwidth it owns) must scale down roughly linearly with the count,
+// which is the horizontal analogue of Table 2's warehouse speedup.
+func BenchmarkShardPipeline(b *testing.B) {
+	s := setupBench(b)
+	seedSet, _ := experiments.SplitEval(s.LZR, s.Scale.SeedMid, true, 55)
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			cfg := gps.Config{Seed: 55, ShardIndex: 0, ShardCount: n}
+			var res *gps.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				if res, err = gps.Run(s.Universe, seedSet, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.TotalScanProbes()), "shard-probes")
+			b.ReportMetric(float64(len(res.Found)), "shard-found")
+		})
+	}
+}
+
+// BenchmarkShardMerge measures the cross-shard fold alone: the merge
+// visits every discovered service once, so its cost tracks the total
+// inventory size and stays roughly flat (sublinear) as the shard count
+// grows.
+func BenchmarkShardMerge(b *testing.B) {
+	s := setupBench(b)
+	seedSet, _ := experiments.SplitEval(s.LZR, s.Scale.SeedMid, true, 55)
+	for _, n := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", n), func(b *testing.B) {
+			merged, err := gps.RunSharded(s.Universe, seedSet, gps.Config{Seed: 55}, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var m *gps.ShardMerged
+			for i := 0; i < b.N; i++ {
+				m = gps.MergeShardResults(merged.Results)
+			}
+			b.ReportMetric(float64(len(m.Found)), "merged-services")
+		})
+	}
+}
+
+// BenchmarkShardEpoch times one sharded continuous epoch: N runners
+// re-verifying and discovering concurrently, each on its own partition.
+func BenchmarkShardEpoch(b *testing.B) {
+	s := setupBench(b)
+	seedSet, _ := experiments.SplitEval(s.LZR, s.Scale.SeedMid, true, 91)
+	world := netmodel.Churn(s.Universe, netmodel.DefaultChurn(91))
+	cfg := gps.ShardConfig{
+		Shards:     4,
+		Continuous: gps.ContinuousConfig{Budget: 20 * s.Universe.SpaceSize()},
+	}
+	var stats gps.EpochStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := gps.NewShardCoordinator(seedSet, cfg)
+		var err error
+		if stats, err = c.Epoch(world); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(stats.KnownSize), "known-services")
 }
 
 func BenchmarkChurn(b *testing.B) {

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"gps"
+)
+
+// worldID pins a checkpoint to the flags that generated its universe and
+// its shard layout. Resuming is only meaningful against the exact same
+// deterministic world split the same way: a universe mismatch would
+// silently evict the whole inventory against a world it never scanned, and
+// a shard-count mismatch would strand hosts in partitions nothing scans.
+type worldID struct {
+	Seed     int64
+	Prefixes int
+	Density  float64
+	Shards   int
+}
+
+// checkpointMagic versions the daemon's checkpoint preamble. "GPS2"
+// replaced "GPSD" when the shard count joined the world identity and the
+// body moved to the sharded multi-state format.
+const checkpointMagic = "GPS2"
+
+// header renders the fixed-size checkpoint preamble gpsd writes before
+// the per-shard states.
+func (w worldID) header() []byte {
+	buf := make([]byte, 4+8+8+8+8)
+	copy(buf, checkpointMagic)
+	binary.BigEndian.PutUint64(buf[4:], uint64(w.Seed))
+	binary.BigEndian.PutUint64(buf[12:], uint64(w.Prefixes))
+	binary.BigEndian.PutUint64(buf[20:], math.Float64bits(w.Density))
+	binary.BigEndian.PutUint64(buf[28:], uint64(w.Shards))
+	return buf
+}
+
+// errNoCheckpoint distinguishes "no file yet" (fresh start) from a
+// corrupt or mismatched checkpoint (fatal).
+var errNoCheckpoint = os.ErrNotExist
+
+// loadCheckpoint reads a checkpoint file and returns the per-shard
+// states in shard order. It returns errNoCheckpoint when the file does
+// not exist; any other error means the checkpoint is corrupt or was
+// written for a different world and must not be silently discarded.
+func loadCheckpoint(path string, want worldID) ([]*gps.ContinuousState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, errNoCheckpoint
+		}
+		return nil, err
+	}
+	defer f.Close()
+	hdr := make([]byte, len(want.header()))
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return nil, fmt.Errorf("corrupt checkpoint %s: %v", path, err)
+	}
+	if string(hdr[:4]) != checkpointMagic {
+		return nil, fmt.Errorf("%s is not a gpsd checkpoint (or predates the %q format)", path, checkpointMagic)
+	}
+	got := worldID{
+		Seed:     int64(binary.BigEndian.Uint64(hdr[4:])),
+		Prefixes: int(binary.BigEndian.Uint64(hdr[12:])),
+		Density:  math.Float64frombits(binary.BigEndian.Uint64(hdr[20:])),
+		Shards:   int(binary.BigEndian.Uint64(hdr[28:])),
+	}
+	if got != want {
+		return nil, fmt.Errorf(
+			"checkpoint %s was written for -seed %d -prefixes %d -density %g -shards %d; current flags say -seed %d -prefixes %d -density %g -shards %d",
+			path, got.Seed, got.Prefixes, got.Density, got.Shards,
+			want.Seed, want.Prefixes, want.Density, want.Shards)
+	}
+	states, err := gps.ReadShardCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("corrupt checkpoint %s: %v", path, err)
+	}
+	if len(states) != want.Shards {
+		return nil, fmt.Errorf("checkpoint %s holds %d shard states; header says %d", path, len(states), want.Shards)
+	}
+	return states, nil
+}
+
+// saveCheckpoint writes the per-shard states to a temp file in the target
+// directory, fsyncs it, and renames it into place. The fsync before the
+// rename is what makes the sequence crash-safe: without it the rename can
+// land while the data blocks are still dirty, and a crash at that moment
+// leaves a truncated checkpoint under the final name. The directory is
+// also synced (best effort) so the rename itself survives a crash.
+func saveCheckpoint(path string, world worldID, states []*gps.ContinuousState) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(world.header()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := gps.WriteShardCheckpoint(tmp, states); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		// Directory sync is best effort: not every filesystem supports
+		// it, and the file itself is already durable.
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

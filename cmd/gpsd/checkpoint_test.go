@@ -1,0 +1,137 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gps"
+)
+
+// testStates builds a small two-shard coordinator state worth
+// checkpointing.
+func testStates(t *testing.T, shards int) []*gps.ContinuousState {
+	t.Helper()
+	u := gps.GenerateUniverse(gps.SmallUniverseParams(3))
+	seedSet := gps.CollectSeed(u, 0.05, 3^0x5eed)
+	seedSet = seedSet.FilterPorts(seedSet.EligiblePorts(2))
+	cfg := gps.ShardConfig{
+		Shards:     shards,
+		Continuous: gps.ContinuousConfig{Pipeline: gps.Config{Workers: 1, Seed: 3}},
+	}
+	coord := gps.NewShardCoordinator(seedSet, cfg)
+	if _, err := coord.Epoch(gps.ApplyChurn(u, gps.DefaultChurn(4))); err != nil {
+		t.Fatal(err)
+	}
+	return coord.States()
+}
+
+func testWorldID(shards int) worldID {
+	return worldID{Seed: 3, Prefixes: 16, Density: 0.03, Shards: shards}
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	states := testStates(t, 2)
+	path := filepath.Join(t.TempDir(), "gpsd.ckpt")
+	world := testWorldID(2)
+	if err := saveCheckpoint(path, world, states); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadCheckpoint(path, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(states) {
+		t.Fatalf("loaded %d shard states; want %d", len(got), len(states))
+	}
+	for i := range got {
+		if got[i].Epoch != states[i].Epoch || len(got[i].Known) != len(states[i].Known) {
+			t.Errorf("shard %d: epoch %d/%d known %d/%d",
+				i, got[i].Epoch, states[i].Epoch, len(got[i].Known), len(states[i].Known))
+		}
+	}
+	// No leftover temp files after a successful save.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("checkpoint dir holds %d files; want 1", len(entries))
+	}
+}
+
+func TestCheckpointMissingIsFreshStart(t *testing.T) {
+	_, err := loadCheckpoint(filepath.Join(t.TempDir(), "absent"), testWorldID(1))
+	if !errors.Is(err, errNoCheckpoint) {
+		t.Errorf("missing checkpoint returned %v; want errNoCheckpoint", err)
+	}
+}
+
+func TestCheckpointWorldMismatch(t *testing.T) {
+	states := testStates(t, 2)
+	path := filepath.Join(t.TempDir(), "gpsd.ckpt")
+	if err := saveCheckpoint(path, testWorldID(2), states); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []worldID{
+		{Seed: 4, Prefixes: 16, Density: 0.03, Shards: 2},  // different universe
+		{Seed: 3, Prefixes: 16, Density: 0.03, Shards: 3},  // different shard layout
+		{Seed: 3, Prefixes: 32, Density: 0.03, Shards: 2},  // different space
+		{Seed: 3, Prefixes: 16, Density: 0.025, Shards: 2}, // different density
+	} {
+		if _, err := loadCheckpoint(path, want); err == nil || errors.Is(err, errNoCheckpoint) {
+			t.Errorf("world %+v accepted a checkpoint for %+v", want, testWorldID(2))
+		}
+	}
+}
+
+// TestCheckpointTornWrite is the regression test for the fsync-before-
+// rename fix: a checkpoint truncated at any point — the state a crash
+// mid-write used to leave under the final name — must fail loudly rather
+// than resume from partial state.
+func TestCheckpointTornWrite(t *testing.T) {
+	states := testStates(t, 2)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gpsd.ckpt")
+	world := testWorldID(2)
+	if err := saveCheckpoint(path, world, states); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 2, len(world.header()) - 1, len(world.header()) + 3, len(data) / 2, len(data) - 1} {
+		torn := filepath.Join(dir, "torn.ckpt")
+		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadCheckpoint(torn, world); err == nil || errors.Is(err, errNoCheckpoint) {
+			t.Errorf("checkpoint truncated to %d of %d bytes loaded without error", cut, len(data))
+		}
+	}
+}
+
+// TestCheckpointStaleTmpIgnored models a crash between writing the temp
+// file and renaming it: the abandoned temp file must not shadow or
+// corrupt the last good checkpoint.
+func TestCheckpointStaleTmpIgnored(t *testing.T) {
+	states := testStates(t, 1)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gpsd.ckpt")
+	world := testWorldID(1)
+	if err := saveCheckpoint(path, world, states); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+".tmp12345", []byte("torn partial write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadCheckpoint(path, world)
+	if err != nil {
+		t.Fatalf("good checkpoint unreadable next to stale tmp: %v", err)
+	}
+	if len(got) != 1 || got[0].Epoch != states[0].Epoch {
+		t.Error("stale tmp file corrupted the resumed state")
+	}
+}

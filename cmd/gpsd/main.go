@@ -4,16 +4,25 @@
 // churning universe instead of decaying (§3 measures 9% of services gone
 // within 10 days).
 //
+// With -shards N the daemon becomes a shard coordinator: the address
+// space is hash-split into N stable partitions, each owned by an
+// independent continuous runner with its own model and a 1/N slice of the
+// epoch budget; the runners execute every epoch concurrently and their
+// inventories merge into the single view the daemon reports. This is the
+// in-process model of the paper's horizontal scale-out claim (§5.5).
+//
 // Each epoch the daemon advances the synthetic universe one churn step
 // (deterministically derived from -seed and the epoch number), runs one
 // continuous-scanning epoch, and — when -checkpoint is set — atomically
-// persists its state. Restarting with the same flags resumes from the
-// checkpoint at exactly the state the previous process would have had.
+// persists its state (fsync before rename, so a crash mid-write can never
+// leave a truncated checkpoint). Restarting with the same flags resumes
+// from the checkpoint at exactly the state the previous process would
+// have had.
 //
 // Usage:
 //
 //	gpsd [-seed N] [-prefixes N] [-density F] [-seed-fraction F]
-//	     [-epochs N] [-budget N] [-reverify F] [-max-stale N]
+//	     [-epochs N] [-budget N] [-reverify F] [-max-stale N] [-shards N]
 //	     [-checkpoint FILE] [-interval DUR] [-workers N]
 //
 // -epochs 0 runs until SIGINT/SIGTERM; the daemon always finishes the
@@ -21,14 +30,11 @@
 package main
 
 import (
-	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
-	"math"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"syscall"
 	"time"
 
@@ -42,58 +48,104 @@ func main() {
 		density    = flag.Float64("density", 0.03, "fraction of addresses hosting services")
 		seedFrac   = flag.Float64("seed-fraction", 0.04, "initial seed sample as a fraction of the address space")
 		epochs     = flag.Int("epochs", 10, "epochs to run (0 = until SIGINT)")
-		budget     = flag.Uint64("budget", 0, "per-epoch probe budget (0 = unlimited)")
-		reverify   = flag.Float64("reverify", 0.25, "fraction of the budget reserved for re-verification")
+		budget     = flag.Uint64("budget", 0, "global per-epoch probe budget, split across shards (0 = unlimited)")
+		reverify   = flag.Float64("reverify", 0.25, "fraction of each shard's budget reserved for re-verification")
 		maxStale   = flag.Int("max-stale", 2, "consecutive failed re-verifications before eviction")
+		shards     = flag.Int("shards", 1, "partition the scan into N hash-split shards run concurrently")
 		checkpoint = flag.String("checkpoint", "", "checkpoint file; written after every epoch, resumed on start")
 		interval   = flag.Duration("interval", 0, "wall-clock pause between epochs")
-		workers    = flag.Int("workers", 0, "compute parallelism (0 = all cores; 1 = fully deterministic)")
+		workers    = flag.Int("workers", 0, "per-shard compute parallelism (0 = all cores; 1 = fully deterministic)")
 	)
 	flag.Parse()
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "gpsd: -shards must be >= 1")
+		os.Exit(2)
+	}
 
 	params := gps.DemoUniverseParams(*seed, *prefixes, *density)
-	world := worldID{Seed: *seed, Prefixes: *prefixes, Density: *density}
+	world := worldID{Seed: *seed, Prefixes: *prefixes, Density: *density, Shards: *shards}
 
 	fmt.Printf("gpsd: generating universe (seed=%d, %d /16s, density %.1f%%)\n",
 		*seed, *prefixes, 100**density)
 	u := gps.GenerateUniverse(params)
-	fmt.Printf("gpsd: %d hosts, %d services, %d addresses\n",
-		u.NumHosts(), u.NumServices(), u.SpaceSize())
+	fmt.Printf("gpsd: %d hosts, %d services, %d addresses", u.NumHosts(), u.NumServices(), u.SpaceSize())
+	if *shards > 1 {
+		fmt.Printf("; %d shards", *shards)
+	}
+	fmt.Println()
 
-	cfg := gps.ContinuousConfig{
-		Budget:           *budget,
-		ReverifyFraction: *reverify,
-		MaxStale:         *maxStale,
-		Pipeline:         gps.Config{Workers: *workers, Seed: *seed},
+	cfg := gps.ShardConfig{
+		Shards: *shards,
+		Continuous: gps.ContinuousConfig{
+			Budget:           *budget,
+			ReverifyFraction: *reverify,
+			MaxStale:         *maxStale,
+			Pipeline:         gps.Config{Workers: *workers, Seed: *seed},
+		},
 	}
 
 	// Resume from a checkpoint when one exists; otherwise collect a
 	// fresh seed sample.
-	var runner *gps.Continuous
-	if st := loadCheckpoint(*checkpoint, world); st != nil {
-		fmt.Printf("gpsd: resuming from %s at epoch %d (%d known services)\n",
-			*checkpoint, st.Epoch, len(st.Known))
-		runner = gps.ResumeContinuous(st, cfg)
-	} else {
+	var coord *gps.ShardCoordinator
+	resumed := false
+	if *checkpoint != "" {
+		states, err := loadCheckpoint(*checkpoint, world)
+		switch {
+		case errors.Is(err, errNoCheckpoint):
+			// Fresh start below.
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "gpsd:", err)
+			os.Exit(1)
+		default:
+			// Partitions are disjoint under the hash split, so the global
+			// inventory size is just the sum — no need to merge-copy every
+			// entry for a log line.
+			known := 0
+			for _, st := range states {
+				known += len(st.Known)
+			}
+			fmt.Printf("gpsd: resuming from %s at epoch %d (%d known services across %d shards)\n",
+				*checkpoint, states[0].Epoch, known, len(states))
+			if coord, err = gps.ResumeShardCoordinator(states, cfg); err != nil {
+				fmt.Fprintln(os.Stderr, "gpsd:", err)
+				os.Exit(1)
+			}
+			resumed = true
+		}
+	}
+	if coord == nil {
 		seedSet := gps.CollectSeed(u, *seedFrac, *seed^0x5eed)
 		eligible := seedSet.EligiblePorts(2)
 		seedSet = seedSet.FilterPorts(eligible)
 		fmt.Printf("gpsd: seeded with %d services (%.2f%% sample, %d probes)\n",
 			seedSet.NumServices(), 100**seedFrac, seedSet.CollectionProbes)
-		runner = gps.NewContinuous(seedSet, cfg)
+		coord = gps.NewShardCoordinator(seedSet, cfg)
+	}
+
+	if empty := coord.EmptyShards(); len(empty) > 0 {
+		// The shard count is pinned in the checkpoint header, so on
+		// resume the only way out is a re-seed; only a fresh start can
+		// adjust the flags.
+		remedy := "lower -shards or enlarge -seed-fraction"
+		if resumed {
+			remedy = "restart without -checkpoint (or with a new file) to re-seed under a different layout"
+		}
+		fmt.Fprintf(os.Stderr,
+			"gpsd: warning: shards %v own no services — their partitions will never be scanned; %s\n",
+			empty, remedy)
 	}
 
 	// Replay churn deterministically up to the resumed epoch: the churn
 	// seed of epoch e is seed+e, so a resumed daemon sees the exact
 	// universe the interrupted one would have.
-	for e := 1; e <= runner.State().Epoch; e++ {
+	for e := 1; e <= coord.EpochNumber(); e++ {
 		u = gps.ApplyChurn(u, gps.DefaultChurn(*seed+int64(e)))
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
-	for epoch := runner.State().Epoch + 1; *epochs == 0 || epoch <= *epochs; epoch++ {
+	for epoch := coord.EpochNumber() + 1; *epochs == 0 || epoch <= *epochs; epoch++ {
 		select {
 		case s := <-sig:
 			fmt.Printf("gpsd: %v — stopping cleanly\n", s)
@@ -103,7 +155,7 @@ func main() {
 
 		u = gps.ApplyChurn(u, gps.DefaultChurn(*seed+int64(epoch)))
 		start := time.Now()
-		stats, err := runner.Epoch(u)
+		stats, err := coord.Epoch(u)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gpsd:", err)
 			os.Exit(1)
@@ -114,7 +166,7 @@ func main() {
 			stats.Probes(), time.Since(start).Round(time.Millisecond))
 
 		if *checkpoint != "" {
-			if err := saveCheckpoint(*checkpoint, world, runner.State()); err != nil {
+			if err := saveCheckpoint(*checkpoint, world, coord.States()); err != nil {
 				fmt.Fprintln(os.Stderr, "gpsd: checkpoint:", err)
 				os.Exit(1)
 			}
@@ -128,95 +180,10 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("gpsd: done after epoch %d; %d services known\n",
-		runner.State().Epoch, len(runner.State().Known))
-}
-
-// worldID pins a checkpoint to the flags that generated its universe.
-// Resuming is only meaningful against the exact same deterministic world;
-// a mismatch would silently evict the whole inventory against a universe
-// it never scanned.
-type worldID struct {
-	Seed     int64
-	Prefixes int
-	Density  float64
-}
-
-// header renders the fixed-size checkpoint preamble gpsd writes before
-// the continuous state.
-func (w worldID) header() []byte {
-	buf := make([]byte, 4+8+8+8)
-	copy(buf, "GPSD")
-	binary.BigEndian.PutUint64(buf[4:], uint64(w.Seed))
-	binary.BigEndian.PutUint64(buf[12:], uint64(w.Prefixes))
-	binary.BigEndian.PutUint64(buf[20:], math.Float64bits(w.Density))
-	return buf
-}
-
-// loadCheckpoint reads a checkpoint file, returning nil when the file
-// does not exist. A corrupt checkpoint — or one written for a different
-// universe — is fatal rather than silently restarted from scratch.
-func loadCheckpoint(path string, want worldID) *gps.ContinuousState {
-	if path == "" {
-		return nil
+	known, conflicts := coord.Inventory()
+	fmt.Printf("gpsd: done after epoch %d; %d services known", coord.EpochNumber(), len(known))
+	if conflicts > 0 {
+		fmt.Printf(" (%d cross-shard conflicts resolved)", conflicts)
 	}
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return nil
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "gpsd:", err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	hdr := make([]byte, len(want.header()))
-	if _, err := io.ReadFull(f, hdr); err != nil {
-		fmt.Fprintf(os.Stderr, "gpsd: corrupt checkpoint %s: %v\n", path, err)
-		os.Exit(1)
-	}
-	if string(hdr[:4]) != "GPSD" {
-		fmt.Fprintf(os.Stderr, "gpsd: %s is not a gpsd checkpoint\n", path)
-		os.Exit(1)
-	}
-	got := worldID{
-		Seed:     int64(binary.BigEndian.Uint64(hdr[4:])),
-		Prefixes: int(binary.BigEndian.Uint64(hdr[12:])),
-		Density:  math.Float64frombits(binary.BigEndian.Uint64(hdr[20:])),
-	}
-	if got != want {
-		fmt.Fprintf(os.Stderr,
-			"gpsd: checkpoint %s was written for -seed %d -prefixes %d -density %g; current flags say -seed %d -prefixes %d -density %g\n",
-			path, got.Seed, got.Prefixes, got.Density, want.Seed, want.Prefixes, want.Density)
-		os.Exit(1)
-	}
-	st, err := gps.ReadContinuousCheckpoint(f)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "gpsd: corrupt checkpoint %s: %v\n", path, err)
-		os.Exit(1)
-	}
-	return st
-}
-
-// saveCheckpoint writes the state to a temp file in the target directory
-// and renames it into place, so a crash mid-write never corrupts the
-// previous checkpoint.
-func saveCheckpoint(path string, world worldID, st *gps.ContinuousState) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(world.header()); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := gps.WriteContinuousCheckpoint(tmp, st); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	fmt.Println()
 }

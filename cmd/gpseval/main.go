@@ -8,7 +8,7 @@
 //	gpseval all
 //
 // Experiments: table1 table2 table3 table4 fig2a fig2b fig2c fig2d fig3
-// fig4 fig5 fig6 tga recsys appb limits churn props continuous
+// fig4 fig5 fig6 tga recsys appb limits churn props continuous shards
 package main
 
 import (
@@ -53,7 +53,7 @@ func main() {
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = []string{"table1", "table2", "table3", "table4",
 			"fig2a", "fig2b", "fig2c", "fig2d", "fig3", "fig4", "fig5", "fig6",
-			"tga", "recsys", "appb", "limits", "churn", "props", "continuous"}
+			"tga", "recsys", "appb", "limits", "churn", "props", "continuous", "shards"}
 	}
 	for _, id := range ids {
 		run(s, id, *out)
@@ -140,6 +140,8 @@ func run(s *experiments.Setup, id string, out string) {
 		r := experiments.Continuous(s, experiments.ContinuousEpochs)
 		fmt.Println(r.Table().Render())
 		writeSeries(out, "continuous.csv", "continuous", r.Curve(space))
+	case "shards":
+		fmt.Println(experiments.ShardsExperiment(s, nil).Table().Render())
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
 	}

@@ -13,6 +13,7 @@ import (
 	"gps/internal/priors"
 	"gps/internal/probmodel"
 	"gps/internal/scanner"
+	"gps/internal/shard"
 )
 
 // This file re-exports the library's supporting types through the root
@@ -168,6 +169,79 @@ func WriteContinuousCheckpoint(w io.Writer, st *ContinuousState) error {
 // ReadContinuousCheckpoint parses WriteContinuousCheckpoint output.
 func ReadContinuousCheckpoint(r io.Reader) (*ContinuousState, error) {
 	return continuous.ReadCheckpoint(r)
+}
+
+// ShardFilter selects one partition of an n-way hash split of the
+// address space.
+type ShardFilter = shard.Filter
+
+// ShardConfig parameterizes the sharded continuous coordinator.
+type ShardConfig = shard.Config
+
+// ShardCoordinator drives N continuous runners, one per partition,
+// running their epochs concurrently and merging their inventories into a
+// single global view.
+type ShardCoordinator = shard.Coordinator
+
+// ShardMerged is the single global view folded from per-shard batch
+// pipeline results.
+type ShardMerged = shard.Merged
+
+// ShardOf maps an address to one of n shards; the assignment is a pure
+// function of (ip, n), stable across runs and churn.
+func ShardOf(ip IP, n int) int { return asndb.ShardOf(ip, n) }
+
+// PartitionDataset splits a dataset into n shard-local datasets by IP
+// hash.
+func PartitionDataset(d *Dataset, n int) []*Dataset { return shard.Partition(d, n) }
+
+// RunSharded executes one batch GPS run partitioned over n shards — n
+// independent pipeline runs, each owning one hash partition of the
+// address space with its own model and a 1/n budget slice — and folds
+// them into one merged view. With an unlimited budget (cfg.Budget == 0)
+// the merged inventory is byte-identical to the unsharded run's; a
+// finite budget is sliced per shard, so each shard stops in different
+// places than the global probe ordering would and the equality becomes
+// approximate.
+func RunSharded(u *Universe, seedSet *Dataset, cfg Config, n int) (*ShardMerged, error) {
+	return shard.Run(u, seedSet, cfg, n)
+}
+
+// MergeShardResults folds per-shard batch results into one global view.
+// The merged SeedProbes assumes the RunSharded workflow (one seed
+// broadcast to every shard); if each shard trained on a disjoint
+// PartitionDataset slice instead, account the seed cost from the slices'
+// CollectionProbes rather than the merged figure.
+func MergeShardResults(results []*Result) *ShardMerged { return shard.MergeResults(results) }
+
+// NewShardCoordinator creates a sharded continuous coordinator seeded
+// with an initial observation set.
+func NewShardCoordinator(seed *Dataset, cfg ShardConfig) *ShardCoordinator {
+	return shard.NewCoordinator(seed, cfg)
+}
+
+// ResumeShardCoordinator recreates a coordinator from checkpointed
+// per-shard states.
+func ResumeShardCoordinator(states []*ContinuousState, cfg ShardConfig) (*ShardCoordinator, error) {
+	return shard.ResumeCoordinator(states, cfg)
+}
+
+// MergeShardInventories folds per-shard continuous states into one
+// global inventory with cross-shard conflict resolution, returning the
+// merged inventory and the number of conflicts resolved.
+func MergeShardInventories(states []*ContinuousState) (map[ServiceKey]*KnownService, int) {
+	return shard.MergeInventories(states)
+}
+
+// WriteShardCheckpoint serializes per-shard continuous states in shard
+// order.
+func WriteShardCheckpoint(w io.Writer, states []*ContinuousState) error {
+	return shard.WriteCheckpoint(w, states)
+}
+
+// ReadShardCheckpoint parses WriteShardCheckpoint output.
+func ReadShardCheckpoint(r io.Reader) ([]*ContinuousState, error) {
+	return shard.ReadCheckpoint(r)
 }
 
 // Evaluate replays a result's discovery log against a held-out test set

@@ -1,0 +1,179 @@
+package gps_test
+
+// Compile-checks and exercises every root-package re-export once, so a
+// refactor of the internal packages cannot silently break the public API:
+// removing or retyping an alias fails this file at compile time, and each
+// function alias is called at least once against a tiny universe.
+
+import (
+	"bytes"
+	"testing"
+
+	"gps"
+)
+
+// The type aliases, pinned by assignability. A change to any underlying
+// internal type that breaks the alias breaks this block.
+var (
+	_ gps.IP                = gps.IP(0)
+	_ gps.Prefix            = gps.Prefix{}
+	_ gps.ASN               = gps.ASN(0)
+	_ *gps.Universe         = (*gps.Universe)(nil)
+	_ gps.UniverseParams    = gps.UniverseParams{}
+	_ gps.ServiceKey        = gps.ServiceKey{}
+	_ *gps.Dataset          = (*gps.Dataset)(nil)
+	_ gps.Record            = gps.Record{}
+	_ gps.FeatureKey        = gps.FeatureKey(0)
+	_ gps.Protocol          = gps.Protocol(0)
+	_ *gps.Model            = (*gps.Model)(nil)
+	_ gps.FamilySet         = gps.FamilySet(0)
+	_ gps.PriorsList        = gps.PriorsList{}
+	_ gps.Prediction        = gps.Prediction{}
+	_ *gps.GroundTruth      = (*gps.GroundTruth)(nil)
+	_ *gps.Tracker          = (*gps.Tracker)(nil)
+	_ gps.Curve             = gps.Curve(nil)
+	_ gps.Rate              = gps.Rate{}
+	_ gps.Config            = gps.Config{}
+	_ gps.Phase             = gps.PhasePriors
+	_ gps.Phase             = gps.PhasePredict
+	_ gps.Discovery         = gps.Discovery{}
+	_ gps.Timings           = gps.Timings{}
+	_ *gps.Result           = (*gps.Result)(nil)
+	_ gps.ChurnParams       = gps.ChurnParams{}
+	_ gps.ContinuousConfig  = gps.ContinuousConfig{}
+	_ *gps.Continuous       = (*gps.Continuous)(nil)
+	_ *gps.ContinuousState  = (*gps.ContinuousState)(nil)
+	_ gps.EpochStats        = gps.EpochStats{}
+	_ *gps.KnownService     = (*gps.KnownService)(nil)
+	_ gps.Freshness         = gps.Freshness{}
+	_ gps.ShardFilter       = gps.ShardFilter{}
+	_ gps.ShardConfig       = gps.ShardConfig{}
+	_ *gps.ShardCoordinator = (*gps.ShardCoordinator)(nil)
+	_ *gps.ShardMerged      = (*gps.ShardMerged)(nil)
+)
+
+// TestFacadeEndToEnd drives every exported function through one tiny
+// batch run, one sharded run, and one continuous epoch with a checkpoint
+// cycle.
+func TestFacadeEndToEnd(t *testing.T) {
+	const seed = 21
+
+	// Universe construction helpers.
+	if p := gps.DefaultUniverseParams(seed); p.Seed != seed {
+		t.Error("DefaultUniverseParams dropped the seed")
+	}
+	if p := gps.DemoUniverseParams(seed, 8, 0.05); p.NumPrefix16 != 8 {
+		t.Error("DemoUniverseParams dropped the prefix count")
+	}
+	u := gps.GenerateUniverse(gps.SmallUniverseParams(seed))
+	if u.NumHosts() == 0 || u.SpaceSize() == 0 {
+		t.Fatal("empty universe")
+	}
+
+	// Snapshots and splits.
+	censys := gps.SnapshotCensys(u, 50)
+	if censys.NumServices() == 0 {
+		t.Fatal("empty censys snapshot")
+	}
+	full := gps.SnapshotAllPorts(u, 0.3, seed^0x11)
+	seedSet, testSet := full.Split(0.04, seed^0x22)
+	seedSet = seedSet.FilterPorts(seedSet.EligiblePorts(2))
+	collected := gps.CollectSeed(u, 0.04, seed)
+	if collected.CollectionProbes == 0 {
+		t.Error("CollectSeed accounted no bandwidth")
+	}
+
+	// Batch pipeline + evaluation.
+	res, err := gps.Run(u, seedSet, gps.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Found) == 0 || res.TotalScanProbes() == 0 {
+		t.Fatal("batch run found nothing")
+	}
+	gt := gps.NewGroundTruth(testSet)
+	tr := gps.NewTracker(gt, u.SpaceSize())
+	tr.Spend(1)
+	point, curve := gps.Evaluate(res, testSet, u.SpaceSize())
+	if point.Found == 0 || len(curve) == 0 {
+		t.Error("Evaluate produced an empty curve")
+	}
+	if (gps.Rate{Gbps: 1}).Duration(res.TotalScanProbes()) <= 0 {
+		t.Error("Rate.Duration returned nothing for a nonzero scan")
+	}
+
+	// Sharding: hash, partition, sharded run, merge, inventory.
+	ip := gps.IP(0x0a000001)
+	if gps.ShardOf(ip, 1) != 0 {
+		t.Error("ShardOf(_, 1) != 0")
+	}
+	if f := (gps.ShardFilter{Index: gps.ShardOf(ip, 4), Count: 4}); !f.Owns(ip) {
+		t.Error("ShardFilter does not own its own hash bucket")
+	}
+	parts := gps.PartitionDataset(seedSet, 4)
+	n := 0
+	for _, p := range parts {
+		n += p.NumServices()
+	}
+	if len(parts) != 4 || n != seedSet.NumServices() {
+		t.Errorf("PartitionDataset: %d parts, %d records; want 4 parts, %d records", len(parts), n, seedSet.NumServices())
+	}
+	merged, err := gps.RunSharded(u, seedSet, gps.Config{Seed: seed}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Found) != len(res.Found) {
+		t.Errorf("2-shard merged inventory %d services; unsharded %d", len(merged.Found), len(res.Found))
+	}
+	if re := gps.MergeShardResults(merged.Results); len(re.Found) != len(merged.Found) {
+		t.Error("MergeShardResults disagrees with RunSharded's own merge")
+	}
+
+	// Continuous + churn + checkpoints, unsharded and sharded.
+	world := gps.ApplyChurn(u, gps.DefaultChurn(seed+1))
+	runner := gps.NewContinuous(seedSet, gps.ContinuousConfig{Pipeline: gps.Config{Workers: 1, Seed: seed}})
+	stats, err := runner.Epoch(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.KnownSize == 0 {
+		t.Fatal("continuous epoch emptied the inventory")
+	}
+	var buf bytes.Buffer
+	if err := gps.WriteContinuousCheckpoint(&buf, runner.State()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := gps.ReadContinuousCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed := gps.ResumeContinuous(st, gps.ContinuousConfig{}); resumed.State().Epoch != 1 {
+		t.Error("continuous checkpoint did not round-trip the epoch")
+	}
+
+	coord := gps.NewShardCoordinator(seedSet, gps.ShardConfig{
+		Shards:     2,
+		Continuous: gps.ContinuousConfig{Pipeline: gps.Config{Workers: 1, Seed: seed}},
+	})
+	if _, err := coord.Epoch(world); err != nil {
+		t.Fatal(err)
+	}
+	inv, conflicts := coord.Inventory()
+	if len(inv) == 0 || conflicts != 0 {
+		t.Errorf("coordinator inventory %d services, %d conflicts", len(inv), conflicts)
+	}
+	buf.Reset()
+	if err := gps.WriteShardCheckpoint(&buf, coord.States()); err != nil {
+		t.Fatal(err)
+	}
+	states, err := gps.ReadShardCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv2, _ := gps.MergeShardInventories(states); len(inv2) != len(inv) {
+		t.Error("sharded checkpoint did not round-trip the inventory")
+	}
+	if _, err := gps.ResumeShardCoordinator(states, gps.ShardConfig{Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -19,9 +19,11 @@
 // The package orchestrates the substrate packages (scanner, lzr, zgrab,
 // probmodel, priors, predict) against a netmodel.Universe, which stands in
 // for the live IPv4 Internet. The batch pipeline itself lives in
-// internal/pipeline; this package re-exports it, and the continuous
+// internal/pipeline; this package re-exports it, the continuous
 // subsystem (internal/continuous, re-exported below in facade.go) runs
-// the same pipeline epoch after epoch against an evolving universe.
+// the same pipeline epoch after epoch against an evolving universe, and
+// the shard subsystem (internal/shard) partitions either mode across N
+// deterministic hash shards with a cross-shard merge.
 package gps
 
 import (

@@ -129,3 +129,31 @@ func SubnetOf(ip IP, bits uint8) Prefix {
 // Subnet16 returns the /16 subnetwork feature value for an IP, formatted in
 // CIDR notation as GPS's network feature (Table 1).
 func Subnet16(ip IP) string { return SubnetOf(ip, 16).String() }
+
+// ShardOf maps an address to one of n shards via a 32-bit FNV-1a hash of
+// its octets. The assignment is a pure function of (ip, n): stable across
+// processes, runs, and churn, so a sharded deployment can checkpoint and
+// resume without hosts migrating between shards. n <= 1 always yields 0.
+func ShardOf(ip IP, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		fnvOffset = 2166136261
+		fnvPrime  = 16777619
+	)
+	h := uint32(fnvOffset)
+	h = (h ^ uint32(byte(ip>>24))) * fnvPrime
+	h = (h ^ uint32(byte(ip>>16))) * fnvPrime
+	h = (h ^ uint32(byte(ip>>8))) * fnvPrime
+	h = (h ^ uint32(byte(ip))) * fnvPrime
+	return int(h % uint32(n))
+}
+
+// ShardOwns reports whether shard index of an n-way split owns ip. It is
+// the single ownership predicate every sharded layer (scanner, pipeline,
+// continuous, shard.Filter) shares; count <= 1 means unsharded, which
+// owns everything.
+func ShardOwns(ip IP, index, count int) bool {
+	return count <= 1 || ShardOf(ip, count) == index
+}

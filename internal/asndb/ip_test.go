@@ -155,3 +155,46 @@ func TestMask(t *testing.T) {
 		t.Error("Mask(24) wrong")
 	}
 }
+
+func TestShardOf(t *testing.T) {
+	if got := ShardOf(MustParseIP("10.20.30.40"), 0); got != 0 {
+		t.Errorf("ShardOf(_, 0) = %d; want 0", got)
+	}
+	if got := ShardOf(MustParseIP("10.20.30.40"), 1); got != 0 {
+		t.Errorf("ShardOf(_, 1) = %d; want 0", got)
+	}
+	// Pin the hash so checkpoints written by one build resume under
+	// another: these values are part of the sharded checkpoint contract.
+	pinned := []struct {
+		ip   string
+		n    int
+		want int
+	}{
+		{"10.20.30.40", 4, 1},
+		{"0.0.0.0", 8, 5},
+		{"203.0.113.77", 16, 0},
+	}
+	for _, p := range pinned {
+		if got := ShardOf(MustParseIP(p.ip), p.n); got != p.want {
+			t.Errorf("ShardOf(%s, %d) = %d; pinned value %d", p.ip, p.n, got, p.want)
+		}
+	}
+	// Every shard index is in range, and the split of a /16 is roughly
+	// even: no shard owns more than twice its fair share.
+	const n = 8
+	var counts [n]int
+	base := MustParseIP("192.168.0.0")
+	for i := 0; i < 1<<16; i++ {
+		s := ShardOf(base+IP(i), n)
+		if s < 0 || s >= n {
+			t.Fatalf("ShardOf out of range: %d", s)
+		}
+		counts[s]++
+	}
+	fair := (1 << 16) / n
+	for s, c := range counts {
+		if c > 2*fair || c < fair/2 {
+			t.Errorf("shard %d owns %d of 65536 addresses; want near %d", s, c, fair)
+		}
+	}
+}

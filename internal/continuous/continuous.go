@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 
+	"gps/internal/asndb"
 	"gps/internal/dataset"
 	"gps/internal/lzr"
 	"gps/internal/metrics"
@@ -49,6 +50,19 @@ type Config struct {
 	// budget it is used as given, so a caller may still cap discovery
 	// alone.
 	Pipeline pipeline.Config
+	// ShardIndex/ShardCount restrict the runner to one partition of an
+	// n-way hash split of the address space: seeding drops records the
+	// shard does not own, and every epoch's discovery pipeline scans only
+	// the owned partition. The shard coordinator (internal/shard) runs
+	// one such runner per partition and merges their inventories.
+	// ShardCount <= 1 disables sharding.
+	ShardIndex int
+	ShardCount int
+}
+
+// owns reports whether this runner's shard owns ip.
+func (c Config) owns(ip asndb.IP) bool {
+	return asndb.ShardOwns(ip, c.ShardIndex, c.ShardCount)
 }
 
 func (c Config) reverifyFraction() float64 {
@@ -122,6 +136,9 @@ type Runner struct {
 func New(seed *dataset.Dataset, cfg Config) *Runner {
 	st := &State{Known: make(map[netmodel.Key]*Entry, seed.NumServices())}
 	for _, r := range seed.Records {
+		if !cfg.owns(r.IP) {
+			continue // another shard's runner tracks this host
+		}
 		k := r.Key()
 		if _, ok := st.Known[k]; !ok {
 			st.Known[k] = &Entry{Rec: r}
@@ -234,6 +251,7 @@ func (r *Runner) Epoch(u *netmodel.Universe) (EpochStats, error) {
 	stats.TrainSize = train.NumServices()
 	discover := train.NumServices() > 0
 	pcfg := r.cfg.Pipeline
+	pcfg.ShardIndex, pcfg.ShardCount = r.cfg.ShardIndex, r.cfg.ShardCount
 	if r.cfg.Budget > 0 {
 		if stats.ReverifyProbes >= r.cfg.Budget {
 			discover = false

@@ -15,15 +15,18 @@ type HostGroup struct {
 }
 
 // ByHost groups the dataset's records per IP, sorted by IP and, within a
-// host, by port. The result is deterministic for a given dataset.
+// host, by port. The result is deterministic for a given dataset. ByHost
+// deliberately avoids the dataset's lazy index — it groups into a local
+// map — so it is a pure read: sharded runs hand one broadcast seed set to
+// N concurrent pipelines, all of which start here.
 func (d *Dataset) ByHost() []HostGroup {
-	d.index()
-	out := make([]HostGroup, 0, len(d.byIP))
-	for ip, idxs := range d.byIP {
-		g := HostGroup{IP: ip, Records: make([]Record, len(idxs))}
-		for i, idx := range idxs {
-			g.Records[i] = d.Records[idx]
-		}
+	groups := make(map[asndb.IP][]Record)
+	for _, r := range d.Records {
+		groups[r.IP] = append(groups[r.IP], r)
+	}
+	out := make([]HostGroup, 0, len(groups))
+	for ip, recs := range groups {
+		g := HostGroup{IP: ip, Records: recs}
 		sort.Slice(g.Records, func(i, j int) bool { return g.Records[i].Port < g.Records[j].Port })
 		out = append(out, g)
 	}

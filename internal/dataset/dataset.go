@@ -48,7 +48,12 @@ type Dataset struct {
 	// collecting this snapshot.
 	CollectionProbes uint64
 
-	byIP map[asndb.IP][]int // record indexes per IP, built lazily
+	// byIP holds record indexes per IP, built lazily. The lazy build is
+	// NOT safe for concurrent first use: methods that call index()
+	// (Contains, RecordsFor, IPs, Split) must not race on a fresh
+	// dataset. ByHost — the one accessor sharded pipelines call
+	// concurrently on a shared seed set — deliberately does not use it.
+	byIP map[asndb.IP][]int
 }
 
 // NumServices returns the record count.

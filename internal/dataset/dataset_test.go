@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"sync"
 	"testing"
 
 	"gps/internal/netmodel"
@@ -169,4 +170,29 @@ func TestRecordKey(t *testing.T) {
 	if k.IP != 42 || k.Port != 80 {
 		t.Error("Key() wrong")
 	}
+}
+
+// TestByHostConcurrent guards the sharded fan-out contract: N pipelines
+// share one broadcast seed dataset and all call ByHost concurrently on a
+// dataset whose lazy index was never built. ByHost must be a pure read
+// (run under -race in CI).
+func TestByHostConcurrent(t *testing.T) {
+	u := netmodel.Generate(netmodel.TestParams(3))
+	fresh := SnapshotLZR(u, 0.2, 5) // never indexed
+	want := len(fresh.ByHost())
+	fresh = SnapshotLZR(u, 0.2, 5) // fresh again: drop any cached state
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if got := len(fresh.ByHost()); got != want {
+				t.Errorf("concurrent ByHost returned %d hosts; want %d", got, want)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
 }

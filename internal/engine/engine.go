@@ -20,6 +20,12 @@ import (
 type Config struct {
 	// Workers is the mapper/reducer parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Shards overrides the shuffle shard count (the number of reducer
+	// partitions the key space is hashed into); 0 matches it to the
+	// worker count. More shards than workers models a warehouse whose
+	// shuffle fan-out exceeds its slot count — useful for sizing the
+	// cross-shard merge — at the cost of smaller per-shard maps.
+	Shards int
 }
 
 // Resolve returns the effective worker count.
@@ -28,6 +34,15 @@ func (c Config) Resolve() int {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// ResolveShards returns the effective shuffle shard count given the
+// resolved worker count.
+func (c Config) ResolveShards(workers int) int {
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	return workers
 }
 
 // Stats accumulates engine work counters, the analogue of BigQuery's
@@ -57,9 +72,10 @@ func MapReduce[T any, K comparable, V any](
 		return map[K]V{}
 	}
 	// Each mapper owns `shards` maps; reducer s merges shard s of every
-	// mapper. The shard count equals the worker count so reduce
-	// parallelism matches map parallelism.
-	shards := workers
+	// mapper. By default the shard count equals the worker count so
+	// reduce parallelism matches map parallelism; Config.Shards overrides
+	// it.
+	shards := cfg.ResolveShards(workers)
 	seed := maphash.MakeSeed()
 	local := make([][]map[K]V, workers)
 

@@ -129,3 +129,34 @@ func TestMapReduceMoreWorkersThanItems(t *testing.T) {
 		t.Errorf("got %v", got)
 	}
 }
+
+func TestMapReduceShardsKnob(t *testing.T) {
+	items := make([]int, 1000)
+	for i := range items {
+		items[i] = i
+	}
+	want := MapReduce(Config{Workers: 1}, nil, items,
+		func(v int, emit Emit[int, uint64]) { emit(v%37, 1) },
+		func(a, b uint64) uint64 { return a + b })
+	// The result must be identical whatever the shuffle fan-out,
+	// including more shards than workers and more workers than shards.
+	for _, cfg := range []Config{{Workers: 2, Shards: 16}, {Workers: 8, Shards: 1}, {Shards: 3}} {
+		got := MapReduce(cfg, nil, items,
+			func(v int, emit Emit[int, uint64]) { emit(v%37, 1) },
+			func(a, b uint64) uint64 { return a + b })
+		if len(got) != len(want) {
+			t.Fatalf("cfg %+v: %d keys; want %d", cfg, len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Errorf("cfg %+v: key %d = %d; want %d", cfg, k, got[k], v)
+			}
+		}
+	}
+	if (Config{Shards: 5}).ResolveShards(2) != 5 {
+		t.Error("explicit shard count not honored")
+	}
+	if (Config{}).ResolveShards(2) != 2 {
+		t.Error("default shard count must match workers")
+	}
+}

@@ -208,3 +208,52 @@ func TestContinuousTracksChurn(t *testing.T) {
 			r.Points[0].Known, last.Known)
 	}
 }
+
+func TestShardsExperiment(t *testing.T) {
+	s := testSetup(t)
+	r := ShardsExperiment(s, []int{1, 2, 4})
+	t.Log(r.Table().Render())
+	if len(r.Points) != 3 {
+		t.Fatalf("got %d points; want 3", len(r.Points))
+	}
+	base := r.Points[0]
+	if base.Coverage <= 0 || base.Found == 0 {
+		t.Fatalf("1-shard baseline found nothing (coverage %.3f)", base.Coverage)
+	}
+	for _, p := range r.Points {
+		// The acceptance contract: the N-shard merged inventory is
+		// byte-identical to the 1-shard run under a fixed seed, so
+		// coverage is exactly flat across shard counts.
+		if !p.Identical {
+			t.Errorf("%d shards: merged inventory not byte-identical to the 1-shard run", p.Shards)
+		}
+		if p.Coverage != base.Coverage || p.Found != base.Found {
+			t.Errorf("%d shards: coverage %.4f found %d; 1-shard run had %.4f/%d",
+				p.Shards, p.Coverage, p.Found, base.Coverage, base.Found)
+		}
+		if p.TotalProbes != base.TotalProbes {
+			t.Errorf("%d shards: total probes %d; want %d", p.Shards, p.TotalProbes, base.TotalProbes)
+		}
+		// Per-shard work must scale down: the bottleneck shard's
+		// bandwidth stays within 50% of the ideal 1/N share.
+		ideal := base.TotalProbes / uint64(p.Shards)
+		if p.MaxShardProbes > ideal+ideal/2 {
+			t.Errorf("%d shards: bottleneck shard spent %d probes; ideal share is %d",
+				p.Shards, p.MaxShardProbes, ideal)
+		}
+	}
+}
+
+// TestShardsExperimentBaselineIsOneShard: when the sweep does not start
+// at one shard, the determinism check must still compare against a real
+// 1-shard run rather than the first sweep entry.
+func TestShardsExperimentBaselineIsOneShard(t *testing.T) {
+	s := testSetup(t)
+	r := ShardsExperiment(s, []int{2})
+	if len(r.Points) != 1 || r.Points[0].Shards != 2 {
+		t.Fatalf("unexpected points %+v", r.Points)
+	}
+	if !r.Points[0].Identical {
+		t.Error("2-shard inventory not byte-identical to the implicit 1-shard baseline")
+	}
+}

@@ -58,6 +58,15 @@ type Config struct {
 	// visiting it in maximal-coverage order. Ablation only: it isolates
 	// how much of GPS's early precision comes from the §5.3 ordering.
 	RandomPriorsOrder bool
+	// ShardIndex/ShardCount restrict the scan phases to one partition of
+	// an n-way hash split of the address space (asndb.ShardOf): the run
+	// probes, fingerprints, and predicts only the addresses its shard
+	// owns, spending ~1/ShardCount of the bandwidth. Model training uses
+	// the seed set as given — the coordinator (internal/shard) decides
+	// whether to broadcast the full seed or partition it. ShardCount <= 1
+	// disables sharding.
+	ShardIndex int
+	ShardCount int
 }
 
 // EffectiveStep resolves the configured step size: StepZero wins, then an
@@ -72,7 +81,26 @@ func (c Config) EffectiveStep() uint8 {
 	return c.StepBits
 }
 
-func (c Config) engine() engine.Config { return engine.Config{Workers: c.Workers} }
+// engine derives the compute-engine configuration. A sharded run pins the
+// shuffle fan-out to the global shard count — each of the N nodes runs the
+// same warehouse shape, so per-shard engine stats stay comparable across
+// shard counts instead of drifting with the local worker count.
+func (c Config) engine() engine.Config {
+	eng := engine.Config{Workers: c.Workers}
+	if c.sharded() {
+		eng.Shards = c.ShardCount
+	}
+	return eng
+}
+
+// sharded reports whether the run is restricted to one shard.
+func (c Config) sharded() bool { return c.ShardCount > 1 }
+
+// owns reports whether this run's shard owns ip. Unsharded runs own
+// everything.
+func (c Config) owns(ip asndb.IP) bool {
+	return asndb.ShardOwns(ip, c.ShardIndex, c.ShardCount)
+}
 
 // Phase identifies which scan phase discovered a service.
 type Phase uint8
@@ -154,6 +182,11 @@ func Run(u *netmodel.Universe, seedSet *dataset.Dataset, cfg Config) (*Result, e
 	if seedSet.NumServices() == 0 {
 		return nil, fmt.Errorf("gps: empty seed set")
 	}
+	if cfg.sharded() && (cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount) {
+		// An out-of-range index owns nothing: the run would spend its
+		// probe share and silently find zero services.
+		return nil, fmt.Errorf("gps: shard index %d out of range [0, %d)", cfg.ShardIndex, cfg.ShardCount)
+	}
 	eng := cfg.engine()
 	res := &Result{
 		Found:      make(map[netmodel.Key]bool),
@@ -185,8 +218,10 @@ func Run(u *netmodel.Universe, seedSet *dataset.Dataset, cfg Config) (*Result, e
 	res.Timings.PriorsList = time.Since(start)
 
 	// Phase 3b: execute the priors scan, fingerprint, and grab features.
+	// A sharded run probes only the addresses its partition owns; the
+	// scanner enforces the split and accounts the proportional bandwidth.
 	start = time.Now()
-	sc := scanner.New(u)
+	sc := scanner.NewSharded(u, cfg.ShardIndex, cfg.ShardCount)
 	fp := lzr.New(u)
 	gr := zgrab.New(u)
 	for _, tgt := range res.PriorsList.Targets {
@@ -246,6 +281,12 @@ func Run(u *netmodel.Universe, seedSet *dataset.Dataset, cfg Config) (*Result, e
 	for _, p := range res.Predictions {
 		if cfg.Budget > 0 && sc.Probes() >= cfg.Budget {
 			break
+		}
+		// Predictions inherit their anchor's IP, so a sharded run's
+		// predictions are owned by construction; the guard matters only
+		// when a caller hands Run anchors from another shard's seed.
+		if !cfg.owns(p.IP) {
+			continue
 		}
 		k := p.Key()
 		if res.Found[k] {

@@ -54,11 +54,54 @@ type Scanner struct {
 	block  *Blocklist
 	probes atomic.Uint64
 	hits   atomic.Uint64
+	// shardIdx/shardCnt restrict prefix scans to the addresses this
+	// scanner's shard owns (asndb.ShardOf); shardCnt <= 1 disables it.
+	shardIdx, shardCnt int
 }
 
 // New creates a scanner against the given responder.
 func New(target Responder) *Scanner {
 	return &Scanner{target: target, block: &Blocklist{}}
+}
+
+// NewSharded creates a scanner that owns one partition of an n-way
+// hash-split of the address space: prefix scans probe (and account) only
+// the addresses with asndb.ShardOf(ip, count) == index. Targeted probes
+// (Probe, ScanIPs) are unrestricted — callers direct those explicitly.
+// count <= 1 yields a regular unsharded scanner; an index outside
+// [0, count) panics, since such a scanner would own nothing while still
+// accounting its probe share.
+func NewSharded(target Responder, index, count int) *Scanner {
+	s := New(target)
+	if count > 1 {
+		if index < 0 || index >= count {
+			panic("scanner: shard index out of range")
+		}
+		s.shardIdx, s.shardCnt = index, count
+	}
+	return s
+}
+
+// owns reports whether ip belongs to this scanner's shard.
+func (s *Scanner) owns(ip asndb.IP) bool {
+	return asndb.ShardOwns(ip, s.shardIdx, s.shardCnt)
+}
+
+// shardShare returns the slice of n probes this shard accounts for a
+// prefix scan: the ideal 1/count share with the remainder spread over the
+// low shard indexes, so shares sum exactly to n across all shards. The
+// hash split owns approximately this many addresses; accounting the ideal
+// share keeps per-shard bandwidth deterministic without hashing every
+// address in the prefix.
+func (s *Scanner) shardShare(n uint64) uint64 {
+	if s.shardCnt <= 1 {
+		return n
+	}
+	share := n / uint64(s.shardCnt)
+	if uint64(s.shardIdx) < n%uint64(s.shardCnt) {
+		share++
+	}
+	return share
 }
 
 // Blocklist returns the scanner's mutable blocklist.
@@ -91,7 +134,8 @@ func (s *Scanner) ResetCounters() {
 }
 
 // ScanPrefix probes every address in the prefix on one port, in ZMap's
-// pseudorandom order, and returns the responsive addresses.
+// pseudorandom order, and returns the responsive addresses. A sharded
+// scanner probes only the addresses its shard owns.
 func (s *Scanner) ScanPrefix(p asndb.Prefix, port uint16, seed int64) []asndb.IP {
 	n := p.Size()
 	it, err := NewCyclicIterator(n, seed)
@@ -105,6 +149,9 @@ func (s *Scanner) ScanPrefix(p asndb.Prefix, port uint16, seed int64) []asndb.IP
 			break
 		}
 		ip := p.First() + asndb.IP(idx)
+		if !s.owns(ip) {
+			continue
+		}
 		if s.Probe(ip, port) {
 			out = append(out, ip)
 		}
@@ -123,15 +170,22 @@ type PrefixResponder interface {
 // responder's PrefixResponder fast path when available. The probe counter
 // still advances by the full prefix size — the bandwidth is identical, only
 // the simulation is cheaper. Blocklisted addresses are removed from both
-// the results and the accounting.
+// the results and the accounting. A sharded scanner returns only the
+// responders its shard owns and accounts the ideal 1/count share of the
+// prefix (the exact owned count would require hashing every address,
+// defeating the fast path; the hash split makes the two agree to within
+// sampling noise).
 func (s *Scanner) ScanPrefixFast(p asndb.Prefix, port uint16, seed int64) []asndb.IP {
 	pr, ok := s.target.(PrefixResponder)
 	if !ok {
 		return s.ScanPrefix(p, port, seed)
 	}
 	if len(s.block.prefixes) == 0 {
-		s.probes.Add(p.Size())
+		s.probes.Add(s.shardShare(p.Size()))
 		hits := pr.ResponsiveIn(p, port)
+		if s.shardCnt > 1 {
+			hits = s.filterOwned(hits)
+		}
 		s.hits.Add(uint64(len(hits)))
 		return hits
 	}
@@ -148,15 +202,28 @@ func (s *Scanner) ScanPrefixFast(p asndb.Prefix, port uint16, seed int64) []asnd
 	if blocked > p.Size() {
 		blocked = p.Size()
 	}
-	s.probes.Add(p.Size() - blocked)
+	s.probes.Add(s.shardShare(p.Size() - blocked))
 	var out []asndb.IP
 	for _, ip := range pr.ResponsiveIn(p, port) {
-		if !s.block.Blocked(ip) {
+		if !s.block.Blocked(ip) && s.owns(ip) {
 			out = append(out, ip)
 			s.hits.Add(1)
 		}
 	}
 	return out
+}
+
+// filterOwned returns the addresses this scanner's shard owns. The input
+// comes from the responder and must not be mutated, so a fresh slice is
+// built.
+func (s *Scanner) filterOwned(ips []asndb.IP) []asndb.IP {
+	var owned []asndb.IP
+	for _, ip := range ips {
+		if s.owns(ip) {
+			owned = append(owned, ip)
+		}
+	}
+	return owned
 }
 
 // ScanIPs probes a target list on one port and returns the responders.

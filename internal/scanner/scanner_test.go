@@ -173,3 +173,84 @@ func TestProbeIPIDFingerprint(t *testing.T) {
 		t.Errorf("ProbeIPID = %d; the paper fixes it at 54321", ProbeIPID)
 	}
 }
+
+func TestShardedPrefixScan(t *testing.T) {
+	net := fakeNetFast{testNet()}
+	pfx := asndb.MustPrefix(asndb.MustParseIP("10.0.0.0"), 16)
+	const n = 4
+
+	full := New(net).ScanPrefixFast(pfx, 80, 1)
+
+	// Each responder must be returned by exactly the shard that owns it,
+	// and the per-shard probe accounting must sum to the full prefix.
+	var merged []asndb.IP
+	var probes uint64
+	for i := 0; i < n; i++ {
+		sc := NewSharded(net, i, n)
+		part := sc.ScanPrefixFast(pfx, 80, 1)
+		for _, ip := range part {
+			if asndb.ShardOf(ip, n) != i {
+				t.Errorf("shard %d returned %v owned by shard %d", i, ip, asndb.ShardOf(ip, n))
+			}
+		}
+		merged = append(merged, part...)
+		probes += sc.Probes()
+	}
+	sortIPs(merged)
+	if len(merged) != len(full) {
+		t.Fatalf("merged %d responders; unsharded found %d", len(merged), len(full))
+	}
+	for i := range full {
+		if merged[i] != full[i] {
+			t.Errorf("merged[%d] = %v; want %v", i, merged[i], full[i])
+		}
+	}
+	if probes != pfx.Size() {
+		t.Errorf("shard probe shares sum to %d; want %d", probes, pfx.Size())
+	}
+
+	// The slow path (no PrefixResponder) must partition identically.
+	var slowMerged []asndb.IP
+	for i := 0; i < n; i++ {
+		sc := NewSharded(testNet(), i, n)
+		slowMerged = append(slowMerged, sc.ScanPrefix(pfx, 80, 1)...)
+	}
+	sortIPs(slowMerged)
+	if len(slowMerged) != len(full) {
+		t.Fatalf("slow-path merged %d responders; want %d", len(slowMerged), len(full))
+	}
+
+	// count <= 1 must behave exactly like an unsharded scanner.
+	if got := NewSharded(net, 0, 1).ScanPrefixFast(pfx, 80, 1); len(got) != len(full) {
+		t.Errorf("NewSharded(_, 0, 1) filtered responders: %d != %d", len(got), len(full))
+	}
+}
+
+func TestShardedBlocklistAccounting(t *testing.T) {
+	net := fakeNetFast{testNet()}
+	pfx := asndb.MustPrefix(asndb.MustParseIP("10.0.0.0"), 16)
+	const n = 4
+	var probes uint64
+	for i := 0; i < n; i++ {
+		sc := NewSharded(net, i, n)
+		sc.Blocklist().Add(asndb.MustPrefix(asndb.MustParseIP("10.0.128.0"), 17))
+		sc.ScanPrefixFast(pfx, 80, 1)
+		probes += sc.Probes()
+	}
+	if want := pfx.Size() / 2; probes != want {
+		t.Errorf("blocked shard shares sum to %d; want %d", probes, want)
+	}
+}
+
+func TestNewShardedRejectsBadIndex(t *testing.T) {
+	for _, idx := range []int{-1, 4, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewSharded(_, %d, 4) did not panic", idx)
+				}
+			}()
+			NewSharded(testNet(), idx, 4)
+		}()
+	}
+}

@@ -1,0 +1,102 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"gps/internal/continuous"
+)
+
+// Sharded checkpoint format:
+//
+//	magic "GPSS" | version u8
+//	shard count uvarint
+//	per shard, in shard order: uvarint byte length + one continuous
+//	  checkpoint blob (continuous.WriteCheckpoint output)
+//
+// Each shard's state reuses the single-runner checkpoint encoding
+// unchanged, so a 1-shard sharded checkpoint embeds exactly one regular
+// checkpoint and the two formats stay mutually convertible.
+
+const (
+	checkpointMagic   = "GPSS"
+	checkpointVersion = 1
+	// maxShardBlob bounds one shard's state blob; matches the
+	// implausibility guard inside the continuous checkpoint reader.
+	maxShardBlob = 1 << 28
+	// maxShards bounds the shard count a checkpoint may declare.
+	maxShards = 1 << 16
+)
+
+// WriteCheckpoint serializes per-shard continuous states in shard order.
+func WriteCheckpoint(w io.Writer, states []*continuous.State) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(checkpointMagic)
+	bw.WriteByte(checkpointVersion)
+	writeUvarint(bw, uint64(len(states)))
+	var blob bytes.Buffer
+	for i, st := range states {
+		blob.Reset()
+		if err := continuous.WriteCheckpoint(&blob, st); err != nil {
+			return fmt.Errorf("shard: encoding shard %d: %w", i, err)
+		}
+		writeUvarint(bw, uint64(blob.Len()))
+		bw.Write(blob.Bytes())
+	}
+	return bw.Flush()
+}
+
+// ReadCheckpoint parses WriteCheckpoint output.
+func ReadCheckpoint(r io.Reader) ([]*continuous.State, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("shard: reading magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("shard: bad checkpoint magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != checkpointVersion {
+		return nil, fmt.Errorf("shard: unsupported checkpoint version %d", ver)
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > maxShards {
+		return nil, fmt.Errorf("shard: implausible shard count %d", n)
+	}
+	states := make([]*continuous.State, n)
+	for i := range states {
+		blobLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if blobLen > maxShardBlob {
+			return nil, fmt.Errorf("shard: implausible shard %d state size %d", i, blobLen)
+		}
+		blob := make([]byte, blobLen)
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return nil, fmt.Errorf("shard: reading shard %d state: %w", i, err)
+		}
+		st, err := continuous.ReadCheckpoint(bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("shard: decoding shard %d state: %w", i, err)
+		}
+		states[i] = st
+	}
+	return states, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}

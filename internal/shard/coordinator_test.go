@@ -1,0 +1,215 @@
+package shard
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gps/internal/asndb"
+	"gps/internal/continuous"
+	"gps/internal/netmodel"
+	"gps/internal/pipeline"
+)
+
+func coordConfig(n int) Config {
+	return Config{
+		Shards:     n,
+		Continuous: continuous.Config{Pipeline: pipeline.Config{Workers: 1, Seed: 7}},
+	}
+}
+
+func TestCoordinatorEpochLockstep(t *testing.T) {
+	u, seedSet := testWorld(t, 11)
+	const n = 3
+	c := NewCoordinator(seedSet, coordConfig(n))
+	if c.Shards() != n {
+		t.Fatalf("Shards() = %d; want %d", c.Shards(), n)
+	}
+
+	// Seeding partitions the seed set: the merged inventory is exactly
+	// the seeded services, disjoint across shards.
+	inv, conflicts := c.Inventory()
+	if conflicts != 0 {
+		t.Errorf("seeded inventory has %d conflicts; want 0", conflicts)
+	}
+	seeded := make(map[netmodel.Key]bool)
+	for _, r := range seedSet.Records {
+		seeded[r.Key()] = true
+	}
+	if len(inv) != len(seeded) {
+		t.Errorf("merged seeded inventory holds %d services; seed set had %d distinct", len(inv), len(seeded))
+	}
+
+	world := u
+	for e := 1; e <= 2; e++ {
+		world = netmodel.Churn(world, netmodel.DefaultChurn(100+int64(e)))
+		stats, err := c.Epoch(world)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", e, err)
+		}
+		if stats.Epoch != e || c.EpochNumber() != e {
+			t.Errorf("epoch counters %d/%d; want %d", stats.Epoch, c.EpochNumber(), e)
+		}
+		// Merged stats must equal the sum of the per-shard histories.
+		var wantKnown, wantVerified int
+		for _, st := range c.States() {
+			h := st.History[len(st.History)-1]
+			wantKnown += h.KnownSize
+			wantVerified += h.Verified
+		}
+		if stats.KnownSize != wantKnown || stats.Verified != wantVerified {
+			t.Errorf("epoch %d merged known=%d verified=%d; shard sums %d/%d",
+				e, stats.KnownSize, stats.Verified, wantKnown, wantVerified)
+		}
+	}
+
+	// Every entry lands in the shard that owns its IP, and the merge is
+	// conflict-free.
+	for i, st := range c.States() {
+		for k := range st.Known {
+			if asndb.ShardOf(k.IP, n) != i {
+				t.Errorf("shard %d tracks %v owned by shard %d", i, k, asndb.ShardOf(k.IP, n))
+			}
+		}
+	}
+	if _, conflicts := c.Inventory(); conflicts != 0 {
+		t.Errorf("inventory conflicts = %d; want 0 under hash split", conflicts)
+	}
+}
+
+func TestCoordinatorBudgetSlices(t *testing.T) {
+	u, seedSet := testWorld(t, 13)
+	const n = 2
+	budget := 6 * u.SpaceSize()
+	cfg := coordConfig(n)
+	cfg.Continuous.Budget = budget
+	c := NewCoordinator(seedSet, cfg)
+	world := netmodel.Churn(u, netmodel.DefaultChurn(101))
+	stats, err := c.Epoch(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each shard respects its slice, so the global epoch spend stays at
+	// (or marginally over, from the final in-flight target) the budget.
+	if got := stats.Probes(); got > budget+budget/10 {
+		t.Errorf("epoch spent %d probes against a global budget of %d", got, budget)
+	}
+}
+
+func TestMergeInventoriesConflictResolution(t *testing.T) {
+	k := netmodel.Key{IP: asndb.MustParseIP("10.0.0.1"), Port: 443}
+	stale := &continuous.State{Known: map[netmodel.Key]*continuous.Entry{
+		k: {LastSeen: 3, Stale: 2, FirstSeen: 1},
+	}}
+	fresh := &continuous.State{Known: map[netmodel.Key]*continuous.Entry{
+		k: {LastSeen: 5, Stale: 0, FirstSeen: 2},
+	}}
+	merged, conflicts := MergeInventories([]*continuous.State{stale, fresh})
+	if conflicts != 1 {
+		t.Errorf("conflicts = %d; want 1", conflicts)
+	}
+	if got := merged[k]; got.LastSeen != 5 || got.Stale != 0 {
+		t.Errorf("conflict kept %+v; want the fresher observation", *got)
+	}
+	// Order independence: the same winner whichever shard is visited first.
+	merged2, _ := MergeInventories([]*continuous.State{fresh, stale})
+	if merged2[k].LastSeen != 5 {
+		t.Error("conflict resolution depends on shard order")
+	}
+	// Mutating the merged entry must not corrupt shard state.
+	merged[k].Stale = 99
+	if fresh.Known[k].Stale == 99 {
+		t.Error("merged inventory aliases shard state")
+	}
+}
+
+func TestShardedCheckpointResume(t *testing.T) {
+	u, seedSet := testWorld(t, 17)
+	const n = 3
+	c := NewCoordinator(seedSet, coordConfig(n))
+	world := netmodel.Churn(u, netmodel.DefaultChurn(201))
+	if _, err := c.Epoch(world); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, c.States()); err != nil {
+		t.Fatal(err)
+	}
+	states, err := ReadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := ResumeCoordinator(states, coordConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The resumed coordinator must continue exactly where the original
+	// would: one more epoch on both yields identical inventories.
+	world = netmodel.Churn(world, netmodel.DefaultChurn(202))
+	if _, err := c.Epoch(world); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumed.Epoch(world); err != nil {
+		t.Fatal(err)
+	}
+	invA, _ := c.Inventory()
+	invB, _ := resumed.Inventory()
+	if len(invA) != len(invB) {
+		t.Fatalf("resumed inventory %d services; original %d", len(invB), len(invA))
+	}
+	for k, a := range invA {
+		b, ok := invB[k]
+		if !ok {
+			t.Fatalf("resumed inventory missing %v", k)
+		}
+		if a.LastSeen != b.LastSeen || a.Stale != b.Stale || a.FirstSeen != b.FirstSeen {
+			t.Errorf("entry %v diverged after resume: %+v vs %+v", k, *a, *b)
+		}
+	}
+
+	// Shard-count mismatch is an error, not a silent re-shard.
+	if _, err := ResumeCoordinator(states, coordConfig(n+1)); err == nil {
+		t.Error("resuming 3 shard states under 4 shards succeeded")
+	}
+}
+
+func TestReadCheckpointCorrupt(t *testing.T) {
+	if _, err := ReadCheckpoint(strings.NewReader("not a checkpoint")); err == nil {
+		t.Error("garbage accepted as sharded checkpoint")
+	}
+	u, seedSet := testWorld(t, 19)
+	_ = u
+	c := NewCoordinator(seedSet, coordConfig(2))
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, c.States()); err != nil {
+		t.Fatal(err)
+	}
+	// Every truncation point must fail loudly, never return partial state.
+	data := buf.Bytes()
+	for _, cut := range []int{3, 5, 8, len(data) / 2, len(data) - 1} {
+		if cut >= len(data) {
+			continue
+		}
+		if _, err := ReadCheckpoint(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncated checkpoint (%d of %d bytes) accepted", cut, len(data))
+		}
+	}
+}
+
+func TestEmptyShardsDetected(t *testing.T) {
+	_, seedSet := testWorld(t, 23)
+	c := NewCoordinator(seedSet, coordConfig(2))
+	if empty := c.EmptyShards(); len(empty) != 0 {
+		t.Errorf("2-way split of %d seed records left shards %v empty", seedSet.NumServices(), empty)
+	}
+	// A shard count far beyond the seed size must be detectable: with
+	// one seed record, at most one of many shards can be non-empty.
+	one := *seedSet
+	one.Records = seedSet.Records[:1]
+	big := NewCoordinator(&one, coordConfig(8))
+	if empty := big.EmptyShards(); len(empty) != 7 {
+		t.Errorf("8-way split of 1 record reports %d empty shards; want 7", len(empty))
+	}
+}

@@ -1,0 +1,109 @@
+// Package shard partitions the GPS scan universe into N deterministic
+// shards and merges their results back into one global view. The paper's
+// systems claim (§5.5, Table 2) is that GPS's computation is embarrassingly
+// parallel; this package supplies the horizontal analogue of that claim:
+// the *scan* itself decomposes over an n-way hash split of the address
+// space, because every phase of the pipeline is per-address — the priors
+// scan probes addresses independently, and predictions always target the
+// anchor's own IP (§5.4). Each shard therefore runs the full pipeline
+// against only the addresses it owns, spending ~1/N of the bandwidth,
+// and — under an unlimited probe budget — the union of the shards'
+// inventories equals the unsharded run exactly. A finite budget weakens
+// this to approximate: each shard stops at its own 1/N slice, which cuts
+// the scan in different places than the single global ordering would.
+//
+// The split is a pure hash of the IP (asndb.ShardOf): stable across
+// processes and churn, so checkpoints resume without hosts migrating
+// between shards, and so re-sharding is an explicit operation rather than
+// an accident of iteration order.
+//
+// Two coordinators are provided: Run fans one batch pipeline.Run out over
+// N shards (the scale-out analogue of Table 2), and Coordinator drives N
+// continuous runners epoch by epoch, each owning one partition of the
+// inventory.
+package shard
+
+import (
+	"gps/internal/asndb"
+	"gps/internal/dataset"
+)
+
+// Filter selects one partition of an n-way hash split of the address
+// space. The zero value owns everything.
+type Filter struct {
+	// Index identifies the owned partition, in [0, Count).
+	Index int
+	// Count is the total partition count; <= 1 disables sharding.
+	Count int
+}
+
+// Enabled reports whether the filter restricts to a real partition.
+func (f Filter) Enabled() bool { return f.Count > 1 }
+
+// Owns reports whether ip belongs to this filter's partition.
+func (f Filter) Owns(ip asndb.IP) bool {
+	return asndb.ShardOwns(ip, f.Index, f.Count)
+}
+
+// Partition splits a dataset into n shard-local datasets by IP hash.
+// Records keep their relative order inside each partition; the union of
+// the partitions is the input. Each partition inherits the dataset's
+// metadata, with CollectionProbes split exactly (the slices always sum
+// to the input's — this is cost accounting for probes already spent, so
+// unlike SliceBudget there is no minimum-one clamp).
+func Partition(d *dataset.Dataset, n int) []*dataset.Dataset {
+	if n < 1 {
+		n = 1
+	}
+	each := d.CollectionProbes / uint64(n)
+	rem := d.CollectionProbes % uint64(n)
+	out := make([]*dataset.Dataset, n)
+	for i := range out {
+		probes := each
+		if uint64(i) < rem {
+			probes++
+		}
+		out[i] = &dataset.Dataset{
+			Name:             d.Name,
+			SpaceSize:        d.SpaceSize,
+			SampleFraction:   d.SampleFraction,
+			Ports:            d.Ports,
+			CollectionProbes: probes,
+		}
+	}
+	for _, r := range d.Records {
+		s := asndb.ShardOf(r.IP, n)
+		out[s].Records = append(out[s].Records, r)
+	}
+	return out
+}
+
+// SliceBudget splits a global probe budget into n per-shard slices that
+// sum exactly to the total, with the remainder spread over the low shard
+// indexes. A zero total (unlimited) yields unlimited slices. Exception:
+// a nonzero total smaller than n is rounded up to one probe per shard —
+// summing to n, oversubscribing the stated budget — because a zero slice
+// would read as "unlimited" downstream, which is far worse.
+func SliceBudget(total uint64, n int) []uint64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]uint64, n)
+	if total == 0 {
+		return out
+	}
+	each := total / uint64(n)
+	rem := total % uint64(n)
+	for i := range out {
+		out[i] = each
+		if uint64(i) < rem {
+			out[i]++
+		}
+		if out[i] == 0 {
+			// A tiny budget must still be a budget: a zero slice would
+			// read as "unlimited" downstream.
+			out[i] = 1
+		}
+	}
+	return out
+}
