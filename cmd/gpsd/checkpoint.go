@@ -16,6 +16,10 @@ import (
 // deterministic world split the same way: a universe mismatch would
 // silently evict the whole inventory against a world it never scanned, and
 // a shard-count mismatch would strand hosts in partitions nothing scans.
+//
+// The same 36 bytes double as the transport's world spec: the coordinator
+// broadcasts header() to its workers, which rebuild the identical universe
+// from it (parseWorldHeader).
 type worldID struct {
 	Seed     int64
 	Prefixes int
@@ -23,13 +27,21 @@ type worldID struct {
 	Shards   int
 }
 
-// checkpointMagic versions the daemon's checkpoint preamble. "GPS2"
-// replaced "GPSD" when the shard count joined the world identity and the
-// body moved to the sharded multi-state format.
-const checkpointMagic = "GPS2"
+// checkpointMagic versions the daemon's checkpoint preamble. "GPSD" was
+// the original single-runner format; "GPS2" added the shard count and the
+// multi-state body; "GPS3" added the worker-topology record for
+// distributed runs.
+const checkpointMagic = "GPS3"
+
+// magicHints names the checkpoint formats gpsd has ever written, so a
+// stale-format failure is self-diagnosing.
+var magicHints = map[string]string{
+	"GPSD": "the pre-shard single-runner format",
+	"GPS2": "the sharded format without the worker-topology record",
+}
 
 // header renders the fixed-size checkpoint preamble gpsd writes before
-// the per-shard states.
+// the topology record and the per-shard states.
 func (w worldID) header() []byte {
 	buf := make([]byte, 4+8+8+8+8)
 	copy(buf, checkpointMagic)
@@ -40,59 +52,149 @@ func (w worldID) header() []byte {
 	return buf
 }
 
+// parseWorldHeader decodes header() output, reporting the found-vs-
+// expected magic when the bytes are from another (or no) gpsd format.
+func parseWorldHeader(hdr []byte) (worldID, error) {
+	var w worldID
+	if len(hdr) != 36 {
+		return w, fmt.Errorf("world header is %d bytes, want 36", len(hdr))
+	}
+	if got := string(hdr[:4]); got != checkpointMagic {
+		if hint, ok := magicHints[got]; ok {
+			return w, fmt.Errorf("found magic %q (%s), want %q; this checkpoint predates the current format and cannot be resumed — start fresh or keep the old binary", got, hint, checkpointMagic)
+		}
+		return w, fmt.Errorf("found magic %q, want %q (%q/%q are older gpsd formats; anything else is not a gpsd checkpoint)",
+			got, checkpointMagic, "GPSD", "GPS2")
+	}
+	w.Seed = int64(binary.BigEndian.Uint64(hdr[4:]))
+	w.Prefixes = int(binary.BigEndian.Uint64(hdr[12:]))
+	w.Density = math.Float64frombits(binary.BigEndian.Uint64(hdr[20:]))
+	w.Shards = int(binary.BigEndian.Uint64(hdr[28:]))
+	return w, nil
+}
+
+// topology records which worker owned each shard when the checkpoint was
+// written: the worker-fleet size plus one worker index per shard, with -1
+// marking a shard not assigned to any worker (an in-process run, or a
+// freshly re-balanced layout). Purely advisory on resume — the
+// coordinator re-homes shards round-robin over whatever fleet it dials —
+// but it makes checkpoints self-describing and survives split/join.
+type topology struct {
+	Workers int
+	Assign  []int
+}
+
+// localTopology is the in-process daemon's topology: no workers.
+func localTopology(shards int) topology {
+	t := topology{Assign: make([]int, shards)}
+	for i := range t.Assign {
+		t.Assign[i] = -1
+	}
+	return t
+}
+
+const unassigned = ^uint32(0)
+
+// encode renders the topology record; the shard count comes from the
+// world header, so only the worker count and assignments are written.
+func (t topology) encode() []byte {
+	buf := make([]byte, 4+4*len(t.Assign))
+	binary.BigEndian.PutUint32(buf, uint32(t.Workers))
+	for i, w := range t.Assign {
+		v := unassigned
+		if w >= 0 {
+			v = uint32(w)
+		}
+		binary.BigEndian.PutUint32(buf[4+4*i:], v)
+	}
+	return buf
+}
+
+func readTopology(r io.Reader, shards int) (topology, error) {
+	buf := make([]byte, 4+4*shards)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return topology{}, fmt.Errorf("reading topology record: %w", err)
+	}
+	t := topology{Workers: int(binary.BigEndian.Uint32(buf)), Assign: make([]int, shards)}
+	for i := range t.Assign {
+		v := binary.BigEndian.Uint32(buf[4+4*i:])
+		if v == unassigned {
+			t.Assign[i] = -1
+		} else {
+			t.Assign[i] = int(v)
+		}
+	}
+	return t, nil
+}
+
 // errNoCheckpoint distinguishes "no file yet" (fresh start) from a
 // corrupt or mismatched checkpoint (fatal).
 var errNoCheckpoint = os.ErrNotExist
 
-// loadCheckpoint reads a checkpoint file and returns the per-shard
-// states in shard order. It returns errNoCheckpoint when the file does
-// not exist; any other error means the checkpoint is corrupt or was
-// written for a different world and must not be silently discarded.
-func loadCheckpoint(path string, want worldID) ([]*gps.ContinuousState, error) {
+// readCheckpointFile reads a checkpoint without validating the world —
+// the re-balance subcommand operates on whatever layout the file holds.
+// It returns errNoCheckpoint when the file does not exist.
+func readCheckpointFile(path string) (worldID, topology, []*gps.ContinuousState, error) {
+	var world worldID
+	var topo topology
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil, errNoCheckpoint
+			return world, topo, nil, errNoCheckpoint
 		}
-		return nil, err
+		return world, topo, nil, err
 	}
 	defer f.Close()
-	hdr := make([]byte, len(want.header()))
+	hdr := make([]byte, 36)
 	if _, err := io.ReadFull(f, hdr); err != nil {
-		return nil, fmt.Errorf("corrupt checkpoint %s: %v", path, err)
+		return world, topo, nil, fmt.Errorf("corrupt checkpoint %s: %v", path, err)
 	}
-	if string(hdr[:4]) != checkpointMagic {
-		return nil, fmt.Errorf("%s is not a gpsd checkpoint (or predates the %q format)", path, checkpointMagic)
+	if world, err = parseWorldHeader(hdr); err != nil {
+		return world, topo, nil, fmt.Errorf("checkpoint %s: %v", path, err)
 	}
-	got := worldID{
-		Seed:     int64(binary.BigEndian.Uint64(hdr[4:])),
-		Prefixes: int(binary.BigEndian.Uint64(hdr[12:])),
-		Density:  math.Float64frombits(binary.BigEndian.Uint64(hdr[20:])),
-		Shards:   int(binary.BigEndian.Uint64(hdr[28:])),
+	if world.Shards < 1 || world.Shards > 1<<16 {
+		return world, topo, nil, fmt.Errorf("corrupt checkpoint %s: implausible shard count %d", path, world.Shards)
+	}
+	if topo, err = readTopology(f, world.Shards); err != nil {
+		return world, topo, nil, fmt.Errorf("corrupt checkpoint %s: %v", path, err)
+	}
+	states, err := gps.ReadShardCheckpoint(f)
+	if err != nil {
+		return world, topo, nil, fmt.Errorf("corrupt checkpoint %s: %v", path, err)
+	}
+	if len(states) != world.Shards {
+		return world, topo, nil, fmt.Errorf("checkpoint %s holds %d shard states; header says %d", path, len(states), world.Shards)
+	}
+	return world, topo, states, nil
+}
+
+// loadCheckpoint reads a checkpoint file and returns the per-shard
+// states in shard order plus the recorded worker topology. It returns
+// errNoCheckpoint when the file does not exist; any other error means the
+// checkpoint is corrupt or was written for a different world and must not
+// be silently discarded.
+func loadCheckpoint(path string, want worldID) ([]*gps.ContinuousState, topology, error) {
+	got, topo, states, err := readCheckpointFile(path)
+	if err != nil {
+		return nil, topo, err
 	}
 	if got != want {
-		return nil, fmt.Errorf(
+		return nil, topo, fmt.Errorf(
 			"checkpoint %s was written for -seed %d -prefixes %d -density %g -shards %d; current flags say -seed %d -prefixes %d -density %g -shards %d",
 			path, got.Seed, got.Prefixes, got.Density, got.Shards,
 			want.Seed, want.Prefixes, want.Density, want.Shards)
 	}
-	states, err := gps.ReadShardCheckpoint(f)
-	if err != nil {
-		return nil, fmt.Errorf("corrupt checkpoint %s: %v", path, err)
-	}
-	if len(states) != want.Shards {
-		return nil, fmt.Errorf("checkpoint %s holds %d shard states; header says %d", path, len(states), want.Shards)
-	}
-	return states, nil
+	return states, topo, nil
 }
 
-// saveCheckpoint writes the per-shard states to a temp file in the target
-// directory, fsyncs it, and renames it into place. The fsync before the
-// rename is what makes the sequence crash-safe: without it the rename can
-// land while the data blocks are still dirty, and a crash at that moment
-// leaves a truncated checkpoint under the final name. The directory is
-// also synced (best effort) so the rename itself survives a crash.
-func saveCheckpoint(path string, world worldID, states []*gps.ContinuousState) error {
+// saveCheckpoint writes the topology and per-shard states to a temp file
+// in the target directory, fsyncs it, and renames it into place. The
+// fsync before the rename is what makes the sequence crash-safe: without
+// it the rename can land while the data blocks are still dirty, and a
+// crash at that moment leaves a truncated checkpoint under the final
+// name. The directory is also synced (best effort) so the rename itself
+// survives a crash.
+func saveCheckpoint(path string, world worldID, topo topology, states []*gps.ContinuousState) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -100,6 +202,10 @@ func saveCheckpoint(path string, world worldID, states []*gps.ContinuousState) e
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(world.header()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(topo.encode()); err != nil {
 		tmp.Close()
 		return err
 	}

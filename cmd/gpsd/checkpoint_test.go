@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"gps"
@@ -35,10 +36,11 @@ func TestCheckpointRoundtrip(t *testing.T) {
 	states := testStates(t, 2)
 	path := filepath.Join(t.TempDir(), "gpsd.ckpt")
 	world := testWorldID(2)
-	if err := saveCheckpoint(path, world, states); err != nil {
+	topo := topology{Workers: 3, Assign: []int{0, 2}}
+	if err := saveCheckpoint(path, world, topo, states); err != nil {
 		t.Fatal(err)
 	}
-	got, err := loadCheckpoint(path, world)
+	got, gotTopo, err := loadCheckpoint(path, world)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,6 +53,10 @@ func TestCheckpointRoundtrip(t *testing.T) {
 				i, got[i].Epoch, states[i].Epoch, len(got[i].Known), len(states[i].Known))
 		}
 	}
+	if gotTopo.Workers != topo.Workers || len(gotTopo.Assign) != 2 ||
+		gotTopo.Assign[0] != 0 || gotTopo.Assign[1] != 2 {
+		t.Errorf("topology did not round-trip: %+v", gotTopo)
+	}
 	// No leftover temp files after a successful save.
 	entries, err := os.ReadDir(filepath.Dir(path))
 	if err != nil {
@@ -61,8 +67,26 @@ func TestCheckpointRoundtrip(t *testing.T) {
 	}
 }
 
+// An in-process checkpoint records no workers; every shard is unassigned
+// and stays that way through a load.
+func TestCheckpointLocalTopology(t *testing.T) {
+	states := testStates(t, 2)
+	path := filepath.Join(t.TempDir(), "gpsd.ckpt")
+	world := testWorldID(2)
+	if err := saveCheckpoint(path, world, localTopology(2), states); err != nil {
+		t.Fatal(err)
+	}
+	_, topo, err := loadCheckpoint(path, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Workers != 0 || topo.Assign[0] != -1 || topo.Assign[1] != -1 {
+		t.Errorf("local topology did not round-trip: %+v", topo)
+	}
+}
+
 func TestCheckpointMissingIsFreshStart(t *testing.T) {
-	_, err := loadCheckpoint(filepath.Join(t.TempDir(), "absent"), testWorldID(1))
+	_, _, err := loadCheckpoint(filepath.Join(t.TempDir(), "absent"), testWorldID(1))
 	if !errors.Is(err, errNoCheckpoint) {
 		t.Errorf("missing checkpoint returned %v; want errNoCheckpoint", err)
 	}
@@ -71,7 +95,7 @@ func TestCheckpointMissingIsFreshStart(t *testing.T) {
 func TestCheckpointWorldMismatch(t *testing.T) {
 	states := testStates(t, 2)
 	path := filepath.Join(t.TempDir(), "gpsd.ckpt")
-	if err := saveCheckpoint(path, testWorldID(2), states); err != nil {
+	if err := saveCheckpoint(path, testWorldID(2), localTopology(2), states); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []worldID{
@@ -80,9 +104,42 @@ func TestCheckpointWorldMismatch(t *testing.T) {
 		{Seed: 3, Prefixes: 32, Density: 0.03, Shards: 2},  // different space
 		{Seed: 3, Prefixes: 16, Density: 0.025, Shards: 2}, // different density
 	} {
-		if _, err := loadCheckpoint(path, want); err == nil || errors.Is(err, errNoCheckpoint) {
+		if _, _, err := loadCheckpoint(path, want); err == nil || errors.Is(err, errNoCheckpoint) {
 			t.Errorf("world %+v accepted a checkpoint for %+v", want, testWorldID(2))
 		}
+	}
+}
+
+// A checkpoint in an older format must name both the magic it found and
+// the magic this binary expects, so stale-format failures are
+// self-diagnosing.
+func TestCheckpointStaleMagicHint(t *testing.T) {
+	dir := t.TempDir()
+	for _, stale := range []string{"GPSD", "GPS2"} {
+		path := filepath.Join(dir, stale+".ckpt")
+		data := append([]byte(stale), make([]byte, 64)...)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := loadCheckpoint(path, testWorldID(1))
+		if err == nil {
+			t.Fatalf("stale %s checkpoint loaded without error", stale)
+		}
+		if !strings.Contains(err.Error(), stale) || !strings.Contains(err.Error(), checkpointMagic) {
+			t.Errorf("stale-format error %q does not name found magic %q and expected magic %q",
+				err, stale, checkpointMagic)
+		}
+	}
+
+	// Garbage that was never a gpsd checkpoint still names the expected
+	// magic.
+	path := filepath.Join(dir, "garbage")
+	if err := os.WriteFile(path, append([]byte("ELF\x7f"), make([]byte, 64)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := loadCheckpoint(path, testWorldID(1))
+	if err == nil || !strings.Contains(err.Error(), checkpointMagic) {
+		t.Errorf("garbage-file error %q does not name expected magic %q", err, checkpointMagic)
 	}
 }
 
@@ -95,19 +152,20 @@ func TestCheckpointTornWrite(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "gpsd.ckpt")
 	world := testWorldID(2)
-	if err := saveCheckpoint(path, world, states); err != nil {
+	if err := saveCheckpoint(path, world, localTopology(2), states); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, cut := range []int{0, 2, len(world.header()) - 1, len(world.header()) + 3, len(data) / 2, len(data) - 1} {
+	hdr := len(world.header())
+	for _, cut := range []int{0, 2, hdr - 1, hdr + 3, hdr + 9, len(data) / 2, len(data) - 1} {
 		torn := filepath.Join(dir, "torn.ckpt")
 		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := loadCheckpoint(torn, world); err == nil || errors.Is(err, errNoCheckpoint) {
+		if _, _, err := loadCheckpoint(torn, world); err == nil || errors.Is(err, errNoCheckpoint) {
 			t.Errorf("checkpoint truncated to %d of %d bytes loaded without error", cut, len(data))
 		}
 	}
@@ -121,17 +179,62 @@ func TestCheckpointStaleTmpIgnored(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "gpsd.ckpt")
 	world := testWorldID(1)
-	if err := saveCheckpoint(path, world, states); err != nil {
+	if err := saveCheckpoint(path, world, localTopology(1), states); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(path+".tmp12345", []byte("torn partial write"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got, err := loadCheckpoint(path, world)
+	got, _, err := loadCheckpoint(path, world)
 	if err != nil {
 		t.Fatalf("good checkpoint unreadable next to stale tmp: %v", err)
 	}
 	if len(got) != 1 || got[0].Epoch != states[0].Epoch {
 		t.Error("stale tmp file corrupted the resumed state")
+	}
+}
+
+// TestRebalanceCheckpointRoundTrip drives the -rebalance machinery at the
+// file level: split doubles the recorded shard count, join restores it,
+// and the final bytes equal the original — the "no rescan" contract.
+func TestRebalanceCheckpointRoundTrip(t *testing.T) {
+	states := testStates(t, 2)
+	path := filepath.Join(t.TempDir(), "gpsd.ckpt")
+	world := testWorldID(2)
+	topo := topology{Workers: 2, Assign: []int{0, 1}}
+	if err := saveCheckpoint(path, world, topo, states); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := daemonFlags{checkpoint: path, rebalance: "split"}
+	if code := runRebalance(f); code != 0 {
+		t.Fatalf("split exited %d", code)
+	}
+	w2, topo2, split, err := readCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Shards != 4 || len(split) != 4 {
+		t.Fatalf("split checkpoint holds %d shards (header %d); want 4", len(split), w2.Shards)
+	}
+	// Successors inherit the parent's worker.
+	if topo2.Assign[0] != 0 || topo2.Assign[1] != 1 || topo2.Assign[2] != 0 || topo2.Assign[3] != 1 {
+		t.Errorf("split topology = %+v; successors should keep the parent's worker", topo2)
+	}
+
+	f.rebalance = "join"
+	if code := runRebalance(f); code != 0 {
+		t.Fatalf("join exited %d", code)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("split+join did not round-trip the checkpoint file byte-identically")
 	}
 }

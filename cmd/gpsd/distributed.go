@@ -1,0 +1,228 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gps"
+)
+
+// runCoordinator drives a distributed run: dial the worker fleet, seed or
+// resume, then stream epochs. The epoch computation happens entirely on
+// the workers (each owns a deterministic replica of the universe); the
+// coordinator folds the streamed per-shard states into the same merged
+// view the in-process daemon maintains, so checkpoints, inventories, and
+// log lines are interchangeable between the two modes.
+func runCoordinator(f daemonFlags) int {
+	addrs := strings.Split(f.workers, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	world := f.world()
+	opts := &gps.DistributedOptions{
+		Timeout: f.rpcTimeout,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("gpsd: "+format+"\n", args...)
+		},
+	}
+	coord, err := gps.DialShardWorkers(addrs, f.shardConfig(), world.header(), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpsd:", err)
+		return 1
+	}
+	defer coord.Close()
+	fmt.Printf("gpsd: coordinating %d shards over %d workers (%s)\n",
+		f.shards, len(addrs), f.workers)
+
+	// Resume from a checkpoint when one exists; otherwise generate the
+	// universe locally just long enough to collect the broadcast seed.
+	resumed := false
+	if f.checkpoint != "" {
+		states, topo, err := loadCheckpoint(f.checkpoint, world)
+		switch {
+		case errors.Is(err, errNoCheckpoint):
+			// Fresh start below.
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "gpsd:", err)
+			return 1
+		default:
+			known := 0
+			for _, st := range states {
+				known += len(st.Known)
+			}
+			fmt.Printf("gpsd: resuming from %s at epoch %d (%d known services across %d shards)\n",
+				f.checkpoint, states[0].Epoch, known, len(states))
+			if topo.Workers > 0 && topo.Workers != len(addrs) {
+				fmt.Printf("gpsd: checkpoint was written by a %d-worker fleet; re-homing shards over %d workers\n",
+					topo.Workers, len(addrs))
+			}
+			if err := coord.Resume(states); err != nil {
+				fmt.Fprintln(os.Stderr, "gpsd:", err)
+				return 1
+			}
+			resumed = true
+		}
+	}
+	if !resumed {
+		fmt.Printf("gpsd: generating universe (seed=%d, %d /16s, density %.1f%%) for seeding\n",
+			f.seed, f.prefixes, 100*f.density)
+		u := gps.GenerateUniverse(gps.DemoUniverseParams(f.seed, f.prefixes, f.density))
+		if err := coord.Seed(collectSeedSet(u, f)); err != nil {
+			fmt.Fprintln(os.Stderr, "gpsd:", err)
+			return 1
+		}
+	}
+	warnEmptyShards(coord.EmptyShards(), resumed)
+
+	sig := notifySignals()
+	reported := 0
+	for epoch := coord.EpochNumber() + 1; f.epochs == 0 || epoch <= f.epochs; epoch++ {
+		select {
+		case s := <-sig:
+			fmt.Printf("gpsd: %v — stopping cleanly\n", s)
+			return 0
+		default:
+		}
+
+		start := time.Now()
+		stats, err := coord.Epoch()
+		for _, we := range coord.Failures()[reported:] {
+			fmt.Fprintf(os.Stderr, "gpsd: %v — shard re-queued\n", we)
+			reported++
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpsd:", err)
+			return 1
+		}
+		logEpoch(stats, time.Since(start))
+
+		if f.checkpoint != "" {
+			topo := topology{Workers: len(addrs), Assign: coord.Assignment()}
+			if err := saveCheckpoint(f.checkpoint, world, topo, coord.States()); err != nil {
+				fmt.Fprintln(os.Stderr, "gpsd: checkpoint:", err)
+				return 1
+			}
+		}
+		if f.shardCkpts != "" {
+			if err := saveShardCheckpoints(f.shardCkpts, coord.States()); err != nil {
+				fmt.Fprintln(os.Stderr, "gpsd: shard checkpoints:", err)
+				return 1
+			}
+		}
+		if f.interval > 0 {
+			select {
+			case s := <-sig:
+				fmt.Printf("gpsd: %v — stopping cleanly\n", s)
+				return 0
+			case <-time.After(f.interval):
+			}
+		}
+	}
+
+	known, conflicts := coord.Inventory()
+	if f.inventory != "" {
+		if err := writeInventoryFile(f.inventory, known); err != nil {
+			fmt.Fprintln(os.Stderr, "gpsd: inventory:", err)
+			return 1
+		}
+	}
+	fmt.Printf("gpsd: done after epoch %d; %d services known across %d/%d workers",
+		coord.EpochNumber(), len(known), coord.AliveWorkers(), len(addrs))
+	if conflicts > 0 {
+		fmt.Printf(" (%d cross-shard conflicts resolved)", conflicts)
+	}
+	fmt.Println()
+	return 0
+}
+
+// saveShardCheckpoints writes each shard's state as its own continuous
+// checkpoint (shard-000.ckpt, ...): the per-shard diagnostics CI uploads
+// when the distributed gate fails, and the raw material for hand
+// re-balancing. Each file lands via the same temp+fsync+rename dance as
+// the combined checkpoint (a crash mid-write must not leave a truncated
+// file under the final name), and shard files beyond the current layout
+// — leftovers of a larger pre-join layout — are removed so the directory
+// always describes exactly the current shards.
+func saveShardCheckpoints(dir string, states []*gps.ContinuousState) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, st := range states {
+		path := filepath.Join(dir, fmt.Sprintf("shard-%03d.ckpt", i))
+		tmpf, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+		if err != nil {
+			return err
+		}
+		err = gps.WriteContinuousCheckpoint(tmpf, st)
+		if err == nil {
+			err = tmpf.Sync()
+		}
+		if cerr := tmpf.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmpf.Name(), path)
+		}
+		if err != nil {
+			os.Remove(tmpf.Name())
+			return err
+		}
+	}
+	for i := len(states); ; i++ {
+		stale := filepath.Join(dir, fmt.Sprintf("shard-%03d.ckpt", i))
+		if err := os.Remove(stale); err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// runRebalance transforms a checkpoint's shard layout in place: split
+// doubles the shard count (each shard's inventory partitions between its
+// two successors by re-hashing), join halves it. No scanning happens; a
+// subsequent run must pass -shards matching the new count. Worker
+// assignments survive: split keeps both halves on the parent's worker,
+// join keeps the lower half's.
+func runRebalance(f daemonFlags) int {
+	if f.checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "gpsd: -rebalance needs -checkpoint FILE")
+		return 2
+	}
+	world, topo, states, err := readCheckpointFile(f.checkpoint)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpsd:", err)
+		return 1
+	}
+	switch f.rebalance {
+	case "split":
+		if states, err = gps.SplitShardStates(states); err != nil {
+			fmt.Fprintln(os.Stderr, "gpsd:", err)
+			return 1
+		}
+		// Both successors start where the parent lived.
+		topo.Assign = append(topo.Assign, topo.Assign...)
+		world.Shards *= 2
+	case "join":
+		if states, err = gps.JoinShardStates(states); err != nil {
+			fmt.Fprintln(os.Stderr, "gpsd:", err)
+			return 1
+		}
+		topo.Assign = topo.Assign[:len(topo.Assign)/2]
+		world.Shards /= 2
+	default:
+		fmt.Fprintf(os.Stderr, "gpsd: -rebalance %q: want 'split' or 'join'\n", f.rebalance)
+		return 2
+	}
+	if err := saveCheckpoint(f.checkpoint, world, topo, states); err != nil {
+		fmt.Fprintln(os.Stderr, "gpsd:", err)
+		return 1
+	}
+	fmt.Printf("gpsd: re-balanced %s to %d shards at epoch %d\n", f.checkpoint, world.Shards, states[0].Epoch)
+	return 0
+}

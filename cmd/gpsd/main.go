@@ -11,6 +11,15 @@
 // inventories merge into the single view the daemon reports. This is the
 // in-process model of the paper's horizontal scale-out claim (§5.5).
 //
+// The same split also runs across processes and hosts. A worker process
+// (-worker -listen addr) serves shard epochs over the GPS shard
+// transport; a coordinator (-coordinator -workers addr,addr,...) dials
+// the fleet, broadcasts the seed and the world spec, assigns shards
+// round-robin, and folds the streamed per-epoch results into the same
+// merged view — byte-identical to the in-process run, which CI enforces.
+// -rebalance split|join doubles or halves a checkpoint's shard count
+// without a rescan, so a fleet can grow or shrink between runs.
+//
 // Each epoch the daemon advances the synthetic universe one churn step
 // (deterministically derived from -seed and the epoch number), runs one
 // continuous-scanning epoch, and — when -checkpoint is set — atomically
@@ -23,7 +32,12 @@
 //
 //	gpsd [-seed N] [-prefixes N] [-density F] [-seed-fraction F]
 //	     [-epochs N] [-budget N] [-reverify F] [-max-stale N] [-shards N]
-//	     [-checkpoint FILE] [-interval DUR] [-workers N]
+//	     [-checkpoint FILE] [-inventory FILE] [-interval DUR]
+//	     [-parallelism N] [-exact-counts]
+//	gpsd -worker -listen ADDR
+//	gpsd -coordinator -workers ADDR,ADDR,... [flags as above]
+//	     [-rpc-timeout DUR] [-shard-checkpoints DIR]
+//	gpsd -rebalance split|join -checkpoint FILE
 //
 // -epochs 0 runs until SIGINT/SIGTERM; the daemon always finishes the
 // epoch in flight before exiting so checkpoints stay consistent.
@@ -41,61 +55,187 @@ import (
 	"gps"
 )
 
+// daemonFlags is every knob the daemon, coordinator, and worker modes
+// share, parsed once in main.
+type daemonFlags struct {
+	seed       int64
+	prefixes   int
+	density    float64
+	seedFrac   float64
+	epochs     int
+	budget     uint64
+	reverify   float64
+	maxStale   int
+	shards     int
+	checkpoint string
+	inventory  string
+	interval   time.Duration
+	parallel   int
+	exact      bool
+
+	workerMode  bool
+	listen      string
+	coordinator bool
+	workers     string
+	rpcTimeout  time.Duration
+	shardCkpts  string
+	rebalance   string
+}
+
 func main() {
-	var (
-		seed       = flag.Int64("seed", 42, "generator seed; also drives per-epoch churn")
-		prefixes   = flag.Int("prefixes", 16, "announced /16 blocks in the universe")
-		density    = flag.Float64("density", 0.03, "fraction of addresses hosting services")
-		seedFrac   = flag.Float64("seed-fraction", 0.04, "initial seed sample as a fraction of the address space")
-		epochs     = flag.Int("epochs", 10, "epochs to run (0 = until SIGINT)")
-		budget     = flag.Uint64("budget", 0, "global per-epoch probe budget, split across shards (0 = unlimited)")
-		reverify   = flag.Float64("reverify", 0.25, "fraction of each shard's budget reserved for re-verification")
-		maxStale   = flag.Int("max-stale", 2, "consecutive failed re-verifications before eviction")
-		shards     = flag.Int("shards", 1, "partition the scan into N hash-split shards run concurrently")
-		checkpoint = flag.String("checkpoint", "", "checkpoint file; written after every epoch, resumed on start")
-		interval   = flag.Duration("interval", 0, "wall-clock pause between epochs")
-		workers    = flag.Int("workers", 0, "per-shard compute parallelism (0 = all cores; 1 = fully deterministic)")
-	)
+	var f daemonFlags
+	flag.Int64Var(&f.seed, "seed", 42, "generator seed; also drives per-epoch churn")
+	flag.IntVar(&f.prefixes, "prefixes", 16, "announced /16 blocks in the universe")
+	flag.Float64Var(&f.density, "density", 0.03, "fraction of addresses hosting services")
+	flag.Float64Var(&f.seedFrac, "seed-fraction", 0.04, "initial seed sample as a fraction of the address space")
+	flag.IntVar(&f.epochs, "epochs", 10, "epochs to run (0 = until SIGINT)")
+	flag.Uint64Var(&f.budget, "budget", 0, "global per-epoch probe budget, split across shards (0 = unlimited)")
+	flag.Float64Var(&f.reverify, "reverify", 0.25, "fraction of each shard's budget reserved for re-verification")
+	flag.IntVar(&f.maxStale, "max-stale", 2, "consecutive failed re-verifications before eviction")
+	flag.IntVar(&f.shards, "shards", 1, "partition the scan into N hash-split shards")
+	flag.StringVar(&f.checkpoint, "checkpoint", "", "checkpoint file; written after every epoch, resumed on start")
+	flag.StringVar(&f.inventory, "inventory", "", "write the final merged inventory (canonical bytes) to this file")
+	flag.DurationVar(&f.interval, "interval", 0, "wall-clock pause between epochs")
+	flag.IntVar(&f.parallel, "parallelism", 0, "per-shard compute parallelism (0 = all cores; 1 = fully deterministic)")
+	flag.BoolVar(&f.exact, "exact-counts", false, "account exact per-shard prefix-scan probe counts instead of the ideal 1/N share")
+
+	flag.BoolVar(&f.workerMode, "worker", false, "run as a shard worker serving epochs over the transport")
+	flag.StringVar(&f.listen, "listen", "127.0.0.1:7600", "worker mode: address to listen on")
+	flag.BoolVar(&f.coordinator, "coordinator", false, "run as a distributed coordinator over -workers")
+	flag.StringVar(&f.workers, "workers", "", "coordinator mode: comma-separated worker addresses")
+	flag.DurationVar(&f.rpcTimeout, "rpc-timeout", 2*time.Minute, "coordinator mode: per-RPC deadline (turns a wedged worker into an error)")
+	flag.StringVar(&f.shardCkpts, "shard-checkpoints", "", "coordinator mode: also write per-shard checkpoints into this directory each epoch")
+	flag.StringVar(&f.rebalance, "rebalance", "", "transform -checkpoint: 'split' doubles the shard count, 'join' halves it; no scanning")
 	flag.Parse()
-	if *shards < 1 {
+	if f.shards < 1 {
 		fmt.Fprintln(os.Stderr, "gpsd: -shards must be >= 1")
 		os.Exit(2)
 	}
 
-	params := gps.DemoUniverseParams(*seed, *prefixes, *density)
-	world := worldID{Seed: *seed, Prefixes: *prefixes, Density: *density, Shards: *shards}
+	switch {
+	case f.workerMode:
+		os.Exit(runWorker(f))
+	case f.rebalance != "":
+		os.Exit(runRebalance(f))
+	case f.coordinator || f.workers != "":
+		if !f.coordinator || f.workers == "" {
+			fmt.Fprintln(os.Stderr, "gpsd: coordinator mode needs both -coordinator and -workers addr,addr,...")
+			os.Exit(2)
+		}
+		os.Exit(runCoordinator(f))
+	}
+	os.Exit(runDaemon(f))
+}
+
+// world derives the checkpoint/world-spec identity from the flags.
+func (f daemonFlags) world() worldID {
+	return worldID{Seed: f.seed, Prefixes: f.prefixes, Density: f.density, Shards: f.shards}
+}
+
+// shardConfig derives the coordinator configuration both the in-process
+// and the distributed mode run, so the two produce identical epochs.
+func (f daemonFlags) shardConfig() gps.ShardConfig {
+	return gps.ShardConfig{
+		Shards: f.shards,
+		Continuous: gps.ContinuousConfig{
+			Budget:           f.budget,
+			ReverifyFraction: f.reverify,
+			MaxStale:         f.maxStale,
+			Pipeline: gps.Config{
+				Workers:          f.parallel,
+				Seed:             f.seed,
+				ExactShardCounts: f.exact,
+			},
+		},
+	}
+}
+
+// collectSeedSet gathers and filters the initial observation set.
+func collectSeedSet(u *gps.Universe, f daemonFlags) *gps.Dataset {
+	seedSet := gps.CollectSeed(u, f.seedFrac, f.seed^0x5eed)
+	seedSet = seedSet.FilterPorts(seedSet.EligiblePorts(2))
+	fmt.Printf("gpsd: seeded with %d services (%.2f%% sample, %d probes)\n",
+		seedSet.NumServices(), 100*f.seedFrac, seedSet.CollectionProbes)
+	return seedSet
+}
+
+// logEpoch prints the one-line-per-epoch progress report.
+func logEpoch(stats gps.EpochStats, elapsed time.Duration) {
+	fmt.Printf("gpsd: epoch %3d  known %6d  verified %6d  lost %5d  evicted %5d  new %5d  alive %5.1f%%  stale %4.1f%%  probes %d (%v)\n",
+		stats.Epoch, stats.KnownSize, stats.Verified, stats.Lost, stats.Evicted,
+		stats.NewFound, 100*stats.Freshness.AliveFrac(), 100*stats.Freshness.StaleRate(),
+		stats.Probes(), elapsed.Round(time.Millisecond))
+}
+
+// writeInventoryFile dumps the merged inventory in its canonical byte
+// encoding: the artifact the distributed CI gate diffs against the
+// in-process run.
+func writeInventoryFile(path string, inv map[gps.ServiceKey]*gps.KnownService) error {
+	tmpf, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := gps.WriteShardInventory(tmpf, inv); err != nil {
+		tmpf.Close()
+		return err
+	}
+	return tmpf.Close()
+}
+
+// warnEmptyShards reports partitions that own no services.
+func warnEmptyShards(empty []int, resumed bool) {
+	if len(empty) == 0 {
+		return
+	}
+	// The shard count is pinned in the checkpoint header, so on resume
+	// the only way out is a re-seed; only a fresh start can adjust the
+	// flags.
+	remedy := "lower -shards or enlarge -seed-fraction"
+	if resumed {
+		remedy = "restart without -checkpoint (or with a new file) to re-seed under a different layout"
+	}
+	fmt.Fprintf(os.Stderr,
+		"gpsd: warning: shards %v own no services — their partitions will never be scanned; %s\n",
+		empty, remedy)
+}
+
+// notifySignals returns the channel the epoch loops poll between epochs.
+func notifySignals() chan os.Signal {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	return sig
+}
+
+// runDaemon is the single-process mode: N in-process shards (or one
+// unsharded runner) driven epoch by epoch against the locally simulated
+// universe.
+func runDaemon(f daemonFlags) int {
+	params := gps.DemoUniverseParams(f.seed, f.prefixes, f.density)
+	world := f.world()
 
 	fmt.Printf("gpsd: generating universe (seed=%d, %d /16s, density %.1f%%)\n",
-		*seed, *prefixes, 100**density)
+		f.seed, f.prefixes, 100*f.density)
 	u := gps.GenerateUniverse(params)
 	fmt.Printf("gpsd: %d hosts, %d services, %d addresses", u.NumHosts(), u.NumServices(), u.SpaceSize())
-	if *shards > 1 {
-		fmt.Printf("; %d shards", *shards)
+	if f.shards > 1 {
+		fmt.Printf("; %d shards", f.shards)
 	}
 	fmt.Println()
 
-	cfg := gps.ShardConfig{
-		Shards: *shards,
-		Continuous: gps.ContinuousConfig{
-			Budget:           *budget,
-			ReverifyFraction: *reverify,
-			MaxStale:         *maxStale,
-			Pipeline:         gps.Config{Workers: *workers, Seed: *seed},
-		},
-	}
+	cfg := f.shardConfig()
 
 	// Resume from a checkpoint when one exists; otherwise collect a
 	// fresh seed sample.
 	var coord *gps.ShardCoordinator
 	resumed := false
-	if *checkpoint != "" {
-		states, err := loadCheckpoint(*checkpoint, world)
+	if f.checkpoint != "" {
+		states, _, err := loadCheckpoint(f.checkpoint, world)
 		switch {
 		case errors.Is(err, errNoCheckpoint):
 			// Fresh start below.
 		case err != nil:
 			fmt.Fprintln(os.Stderr, "gpsd:", err)
-			os.Exit(1)
+			return 1
 		default:
 			// Partitions are disjoint under the hash split, so the global
 			// inventory size is just the sum — no need to merge-copy every
@@ -105,85 +245,70 @@ func main() {
 				known += len(st.Known)
 			}
 			fmt.Printf("gpsd: resuming from %s at epoch %d (%d known services across %d shards)\n",
-				*checkpoint, states[0].Epoch, known, len(states))
+				f.checkpoint, states[0].Epoch, known, len(states))
 			if coord, err = gps.ResumeShardCoordinator(states, cfg); err != nil {
 				fmt.Fprintln(os.Stderr, "gpsd:", err)
-				os.Exit(1)
+				return 1
 			}
 			resumed = true
 		}
 	}
 	if coord == nil {
-		seedSet := gps.CollectSeed(u, *seedFrac, *seed^0x5eed)
-		eligible := seedSet.EligiblePorts(2)
-		seedSet = seedSet.FilterPorts(eligible)
-		fmt.Printf("gpsd: seeded with %d services (%.2f%% sample, %d probes)\n",
-			seedSet.NumServices(), 100**seedFrac, seedSet.CollectionProbes)
-		coord = gps.NewShardCoordinator(seedSet, cfg)
+		coord = gps.NewShardCoordinator(collectSeedSet(u, f), cfg)
 	}
-
-	if empty := coord.EmptyShards(); len(empty) > 0 {
-		// The shard count is pinned in the checkpoint header, so on
-		// resume the only way out is a re-seed; only a fresh start can
-		// adjust the flags.
-		remedy := "lower -shards or enlarge -seed-fraction"
-		if resumed {
-			remedy = "restart without -checkpoint (or with a new file) to re-seed under a different layout"
-		}
-		fmt.Fprintf(os.Stderr,
-			"gpsd: warning: shards %v own no services — their partitions will never be scanned; %s\n",
-			empty, remedy)
-	}
+	warnEmptyShards(coord.EmptyShards(), resumed)
 
 	// Replay churn deterministically up to the resumed epoch: the churn
 	// seed of epoch e is seed+e, so a resumed daemon sees the exact
 	// universe the interrupted one would have.
 	for e := 1; e <= coord.EpochNumber(); e++ {
-		u = gps.ApplyChurn(u, gps.DefaultChurn(*seed+int64(e)))
+		u = gps.ApplyChurn(u, gps.DefaultChurn(f.seed+int64(e)))
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-
-	for epoch := coord.EpochNumber() + 1; *epochs == 0 || epoch <= *epochs; epoch++ {
+	sig := notifySignals()
+	for epoch := coord.EpochNumber() + 1; f.epochs == 0 || epoch <= f.epochs; epoch++ {
 		select {
 		case s := <-sig:
 			fmt.Printf("gpsd: %v — stopping cleanly\n", s)
-			return
+			return 0
 		default:
 		}
 
-		u = gps.ApplyChurn(u, gps.DefaultChurn(*seed+int64(epoch)))
+		u = gps.ApplyChurn(u, gps.DefaultChurn(f.seed+int64(epoch)))
 		start := time.Now()
 		stats, err := coord.Epoch(u)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gpsd:", err)
-			os.Exit(1)
+			return 1
 		}
-		fmt.Printf("gpsd: epoch %3d  known %6d  verified %6d  lost %5d  evicted %5d  new %5d  alive %5.1f%%  stale %4.1f%%  probes %d (%v)\n",
-			stats.Epoch, stats.KnownSize, stats.Verified, stats.Lost, stats.Evicted,
-			stats.NewFound, 100*stats.Freshness.AliveFrac(), 100*stats.Freshness.StaleRate(),
-			stats.Probes(), time.Since(start).Round(time.Millisecond))
+		logEpoch(stats, time.Since(start))
 
-		if *checkpoint != "" {
-			if err := saveCheckpoint(*checkpoint, world, coord.States()); err != nil {
+		if f.checkpoint != "" {
+			if err := saveCheckpoint(f.checkpoint, world, localTopology(f.shards), coord.States()); err != nil {
 				fmt.Fprintln(os.Stderr, "gpsd: checkpoint:", err)
-				os.Exit(1)
+				return 1
 			}
 		}
-		if *interval > 0 {
+		if f.interval > 0 {
 			select {
 			case s := <-sig:
 				fmt.Printf("gpsd: %v — stopping cleanly\n", s)
-				return
-			case <-time.After(*interval):
+				return 0
+			case <-time.After(f.interval):
 			}
 		}
 	}
 	known, conflicts := coord.Inventory()
+	if f.inventory != "" {
+		if err := writeInventoryFile(f.inventory, known); err != nil {
+			fmt.Fprintln(os.Stderr, "gpsd: inventory:", err)
+			return 1
+		}
+	}
 	fmt.Printf("gpsd: done after epoch %d; %d services known", coord.EpochNumber(), len(known))
 	if conflicts > 0 {
 		fmt.Printf(" (%d cross-shard conflicts resolved)", conflicts)
 	}
 	fmt.Println()
+	return 0
 }

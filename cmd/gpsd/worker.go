@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"gps"
+)
+
+// demoWorld is the worker-side replica of gpsd's simulated universe. The
+// coordinator broadcasts its 36-byte world header as the transport's
+// world spec; every worker rebuilds the identical deterministic universe
+// from it and steps churn forward epoch by epoch with the same seed+epoch
+// recipe the in-process daemon uses — which is what makes a distributed
+// run byte-identical to a single-process one.
+type demoWorld struct {
+	id    worldID
+	epoch int
+	u     *gps.Universe
+}
+
+// newDemoWorld is the worker's gps.ShardWorldFactory.
+func newDemoWorld(spec []byte) (gps.ShardWorld, error) {
+	id, err := parseWorldHeader(spec)
+	if err != nil {
+		return nil, fmt.Errorf("world spec: %v", err)
+	}
+	fmt.Printf("gpsd: worker building universe (seed=%d, %d /16s, density %.1f%%)\n",
+		id.Seed, id.Prefixes, 100*id.Density)
+	u := gps.GenerateUniverse(gps.DemoUniverseParams(id.Seed, id.Prefixes, id.Density))
+	return &demoWorld{id: id, u: u}, nil
+}
+
+// UniverseAt returns the universe as of the given epoch. Epochs normally
+// only move forward; a re-queued shard may rewind, in which case the base
+// universe is regenerated and churn replayed (both deterministic).
+func (w *demoWorld) UniverseAt(e int) (*gps.Universe, error) {
+	if e < w.epoch {
+		w.u = gps.GenerateUniverse(gps.DemoUniverseParams(w.id.Seed, w.id.Prefixes, w.id.Density))
+		w.epoch = 0
+	}
+	for w.epoch < e {
+		w.epoch++
+		w.u = gps.ApplyChurn(w.u, gps.DefaultChurn(w.id.Seed+int64(w.epoch)))
+	}
+	return w.u, nil
+}
+
+// runWorker serves shard epochs until SIGINT/SIGTERM. The world comes
+// from the coordinator's Init, so a worker needs no universe flags — just
+// an address.
+func runWorker(f daemonFlags) int {
+	lis, err := net.Listen("tcp", f.listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpsd: worker:", err)
+		return 1
+	}
+	fmt.Printf("gpsd: worker listening on %s\n", lis.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Printf("gpsd: worker %v — stopping\n", s)
+		lis.Close()
+	}()
+
+	logf := func(format string, args ...any) {
+		fmt.Printf("gpsd: worker "+format+"\n", args...)
+	}
+	if err := gps.ServeShardWorker(lis, newDemoWorld, &gps.ShardWorkerOptions{Logf: logf}); err != nil {
+		fmt.Fprintln(os.Stderr, "gpsd: worker:", err)
+		return 1
+	}
+	return 0
+}

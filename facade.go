@@ -2,6 +2,7 @@ package gps
 
 import (
 	"io"
+	"net"
 
 	"gps/internal/asndb"
 	"gps/internal/continuous"
@@ -14,6 +15,7 @@ import (
 	"gps/internal/probmodel"
 	"gps/internal/scanner"
 	"gps/internal/shard"
+	"gps/internal/shard/transport"
 )
 
 // This file re-exports the library's supporting types through the root
@@ -242,6 +244,65 @@ func WriteShardCheckpoint(w io.Writer, states []*ContinuousState) error {
 // ReadShardCheckpoint parses WriteShardCheckpoint output.
 func ReadShardCheckpoint(r io.Reader) ([]*ContinuousState, error) {
 	return shard.ReadCheckpoint(r)
+}
+
+// SplitShardStates doubles a checkpointed layout's shard count without a
+// rescan: state i of an n-way hash split partitions into states i and i+n
+// of a 2n-way split by re-hashing each inventory entry. JoinShardStates
+// inverts it. Together they are shard re-balancing: a hot shard splits in
+// two (each half resumable on its own worker), and cold halves rejoin.
+func SplitShardStates(states []*ContinuousState) ([]*ContinuousState, error) {
+	return shard.SplitStates(states)
+}
+
+// JoinShardStates halves a checkpointed layout's shard count, merging
+// states i and i+n/2; the exact inverse of SplitShardStates.
+func JoinShardStates(states []*ContinuousState) ([]*ContinuousState, error) {
+	return shard.JoinStates(states)
+}
+
+// WriteShardInventory serializes a merged continuous inventory
+// canonically (sorted keys plus per-entry observation history): two
+// coordinators that tracked the same services through the same epochs
+// produce byte-identical output whatever their shard layout or transport.
+func WriteShardInventory(w io.Writer, inv map[ServiceKey]*KnownService) error {
+	return shard.WriteInventory(w, inv)
+}
+
+// ShardWorld is a worker's deterministic replica of the scanned universe,
+// advanced epoch by epoch.
+type ShardWorld = transport.World
+
+// ShardWorldFactory builds a ShardWorld from the coordinator's opaque
+// world-spec blob.
+type ShardWorldFactory = transport.WorldFactory
+
+// ShardWorkerOptions tunes ServeShardWorker.
+type ShardWorkerOptions = transport.WorkerOptions
+
+// DistributedOptions tunes the distributed coordinator's client side
+// (RPC deadline, dial retry window, logging).
+type DistributedOptions = transport.Options
+
+// DistributedCoordinator drives N shards across remote worker processes
+// over the GPS shard transport, mirroring the in-process ShardCoordinator
+// API; its merged inventory is byte-identical to the in-process run's.
+type DistributedCoordinator = transport.Coordinator
+
+// ShardWorkerError is the transport's typed worker failure: which worker
+// failed, which shard it was serving, and why.
+type ShardWorkerError = transport.WorkerError
+
+// ServeShardWorker runs a shard worker process: it accepts coordinator
+// sessions on lis and serves shard epochs until the listener closes.
+func ServeShardWorker(lis net.Listener, factory ShardWorldFactory, opts *ShardWorkerOptions) error {
+	return transport.Serve(lis, factory, opts)
+}
+
+// DialShardWorkers connects a distributed coordinator to a worker fleet.
+// Seed or Resume it, then drive Epoch in a loop.
+func DialShardWorkers(addrs []string, cfg ShardConfig, worldSpec []byte, opts *DistributedOptions) (*DistributedCoordinator, error) {
+	return transport.Dial(addrs, cfg, worldSpec, opts)
 }
 
 // Evaluate replays a result's discovery log against a held-out test set

@@ -7,7 +7,9 @@ package gps_test
 
 import (
 	"bytes"
+	"net"
 	"testing"
+	"time"
 
 	"gps"
 )
@@ -50,6 +52,13 @@ var (
 	_ gps.ShardConfig       = gps.ShardConfig{}
 	_ *gps.ShardCoordinator = (*gps.ShardCoordinator)(nil)
 	_ *gps.ShardMerged      = (*gps.ShardMerged)(nil)
+
+	_ gps.ShardWorld              = gps.ShardWorld(nil)
+	_ gps.ShardWorldFactory       = gps.ShardWorldFactory(nil)
+	_ gps.ShardWorkerOptions      = gps.ShardWorkerOptions{}
+	_ gps.DistributedOptions      = gps.DistributedOptions{}
+	_ *gps.DistributedCoordinator = (*gps.DistributedCoordinator)(nil)
+	_ *gps.ShardWorkerError       = (*gps.ShardWorkerError)(nil)
 )
 
 // TestFacadeEndToEnd drives every exported function through one tiny
@@ -175,5 +184,105 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	if _, err := gps.ResumeShardCoordinator(states, gps.ShardConfig{Shards: 2}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// facadeWorld adapts the facade's universe helpers to the shard-worker
+// World contract: epoch e is the seed universe with churn seed+1..seed+e
+// applied.
+type facadeWorld struct {
+	seed  int64
+	epoch int
+	u     *gps.Universe
+}
+
+func (w *facadeWorld) UniverseAt(e int) (*gps.Universe, error) {
+	if e < w.epoch {
+		w.u = gps.GenerateUniverse(gps.SmallUniverseParams(w.seed))
+		w.epoch = 0
+	}
+	for w.epoch < e {
+		w.epoch++
+		w.u = gps.ApplyChurn(w.u, gps.DefaultChurn(w.seed+int64(w.epoch)))
+	}
+	return w.u, nil
+}
+
+// TestFacadeDistributed drives the distributed re-exports: a one-worker
+// fleet whose merged inventory must match the in-process coordinator's
+// byte for byte, then a split+join re-balance round trip of the states.
+func TestFacadeDistributed(t *testing.T) {
+	const seed = 21
+	u := gps.GenerateUniverse(gps.SmallUniverseParams(seed))
+	seedSet := gps.CollectSeed(u, 0.05, seed^0x5eed)
+	seedSet = seedSet.FilterPorts(seedSet.EligiblePorts(2))
+	cfg := gps.ShardConfig{
+		Shards:     2,
+		Continuous: gps.ContinuousConfig{Pipeline: gps.Config{Workers: 1, Seed: seed}},
+	}
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() {
+		served <- gps.ServeShardWorker(lis, func(spec []byte) (gps.ShardWorld, error) {
+			return &facadeWorld{seed: seed, u: gps.GenerateUniverse(gps.SmallUniverseParams(seed))}, nil
+		}, nil)
+	}()
+	defer func() {
+		lis.Close()
+		<-served
+	}()
+
+	coord, err := gps.DialShardWorkers([]string{lis.Addr().String()}, cfg, nil,
+		&gps.DistributedOptions{Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if err := coord.Seed(seedSet); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.Epoch(); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := gps.NewShardCoordinator(seedSet, cfg)
+	if _, err := ref.Epoch(gps.ApplyChurn(u, gps.DefaultChurn(seed+1))); err != nil {
+		t.Fatal(err)
+	}
+
+	var distInv, refInv bytes.Buffer
+	inv, _ := coord.Inventory()
+	if err := gps.WriteShardInventory(&distInv, inv); err != nil {
+		t.Fatal(err)
+	}
+	inv2, _ := ref.Inventory()
+	if err := gps.WriteShardInventory(&refInv, inv2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(distInv.Bytes(), refInv.Bytes()) {
+		t.Error("distributed inventory differs from the in-process coordinator's")
+	}
+
+	split, err := gps.SplitShardStates(coord.States())
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := gps.JoinShardStates(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before, after bytes.Buffer
+	if err := gps.WriteShardCheckpoint(&before, coord.States()); err != nil {
+		t.Fatal(err)
+	}
+	if err := gps.WriteShardCheckpoint(&after, joined); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Error("split+join did not round-trip the shard states")
 	}
 }

@@ -67,6 +67,11 @@ type Config struct {
 	// disables sharding.
 	ShardIndex int
 	ShardCount int
+	// ExactShardCounts makes a sharded run's prefix scans account the
+	// exact number of addresses the shard owns instead of the ideal
+	// 1/ShardCount share, so per-shard probe counters sum exactly to the
+	// unsharded run's. Costs one hash pass per distinct prefix (memoized).
+	ExactShardCounts bool
 }
 
 // EffectiveStep resolves the configured step size: StepZero wins, then an
@@ -222,6 +227,7 @@ func Run(u *netmodel.Universe, seedSet *dataset.Dataset, cfg Config) (*Result, e
 	// scanner enforces the split and accounts the proportional bandwidth.
 	start = time.Now()
 	sc := scanner.NewSharded(u, cfg.ShardIndex, cfg.ShardCount)
+	sc.SetExactShardCounts(cfg.ExactShardCounts)
 	fp := lzr.New(u)
 	gr := zgrab.New(u)
 	for _, tgt := range res.PriorsList.Targets {

@@ -1,6 +1,7 @@
 package scanner
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -57,6 +58,13 @@ type Scanner struct {
 	// shardIdx/shardCnt restrict prefix scans to the addresses this
 	// scanner's shard owns (asndb.ShardOf); shardCnt <= 1 disables it.
 	shardIdx, shardCnt int
+
+	// exact switches prefix-scan fast paths from the ideal 1/count probe
+	// share to the exact owned-address count; census memoizes the count
+	// per prefix so each prefix is hashed at most once.
+	exact    bool
+	censusMu sync.Mutex
+	census   map[asndb.Prefix]uint64
 }
 
 // New creates a scanner against the given responder.
@@ -102,6 +110,56 @@ func (s *Scanner) shardShare(n uint64) uint64 {
 		share++
 	}
 	return share
+}
+
+// SetExactShardCounts switches a sharded scanner's prefix-scan fast path
+// from accounting the ideal 1/count probe share to the exact number of
+// addresses its shard owns. The ideal share differs from the owned count
+// only by hash-split sampling noise, but that noise is what keeps the sum
+// of per-shard probe counters from matching the unsharded run exactly;
+// exact mode removes it at the cost of hashing every address of each
+// distinct prefix once (the count is memoized per prefix). A no-op on
+// unsharded scanners, where the share already is the prefix size.
+func (s *Scanner) SetExactShardCounts(on bool) {
+	s.exact = on && s.shardCnt > 1
+}
+
+// ownedInPrefix returns the exact number of addresses in p this scanner's
+// shard owns, memoized per prefix.
+func (s *Scanner) ownedInPrefix(p asndb.Prefix) uint64 {
+	s.censusMu.Lock()
+	if n, ok := s.census[p]; ok {
+		s.censusMu.Unlock()
+		return n
+	}
+	s.censusMu.Unlock()
+	var n uint64
+	for off := uint64(0); off < p.Size(); off++ {
+		if s.owns(p.First() + asndb.IP(off)) {
+			n++
+		}
+	}
+	s.censusMu.Lock()
+	if s.census == nil {
+		s.census = make(map[asndb.Prefix]uint64)
+	}
+	s.census[p] = n
+	s.censusMu.Unlock()
+	return n
+}
+
+// ownedUnblocked returns the exact number of addresses in p this
+// scanner's shard owns that are not blocklisted. Not memoized: the
+// blocklist is mutable, so a cached count could go stale.
+func (s *Scanner) ownedUnblocked(p asndb.Prefix) uint64 {
+	var n uint64
+	for off := uint64(0); off < p.Size(); off++ {
+		ip := p.First() + asndb.IP(off)
+		if s.owns(ip) && !s.block.Blocked(ip) {
+			n++
+		}
+	}
+	return n
 }
 
 // Blocklist returns the scanner's mutable blocklist.
@@ -172,16 +230,20 @@ type PrefixResponder interface {
 // the simulation is cheaper. Blocklisted addresses are removed from both
 // the results and the accounting. A sharded scanner returns only the
 // responders its shard owns and accounts the ideal 1/count share of the
-// prefix (the exact owned count would require hashing every address,
-// defeating the fast path; the hash split makes the two agree to within
-// sampling noise).
+// prefix — or, with SetExactShardCounts, the exact owned count (memoized
+// per prefix, so the hashing cost is paid once; without it the hash split
+// makes the two agree only to within sampling noise).
 func (s *Scanner) ScanPrefixFast(p asndb.Prefix, port uint16, seed int64) []asndb.IP {
 	pr, ok := s.target.(PrefixResponder)
 	if !ok {
 		return s.ScanPrefix(p, port, seed)
 	}
 	if len(s.block.prefixes) == 0 {
-		s.probes.Add(s.shardShare(p.Size()))
+		if s.exact {
+			s.probes.Add(s.ownedInPrefix(p))
+		} else {
+			s.probes.Add(s.shardShare(p.Size()))
+		}
 		hits := pr.ResponsiveIn(p, port)
 		if s.shardCnt > 1 {
 			hits = s.filterOwned(hits)
@@ -190,19 +252,23 @@ func (s *Scanner) ScanPrefixFast(p asndb.Prefix, port uint16, seed int64) []asnd
 		return hits
 	}
 	// With a blocklist, count the unblocked fraction precisely.
-	var blocked uint64
-	for _, b := range s.block.prefixes {
-		if b.Bits >= p.Bits && p.Contains(b.First()) {
-			blocked += b.Size()
-		} else if b.Contains(p.First()) {
-			blocked = p.Size()
-			break
+	if s.exact {
+		s.probes.Add(s.ownedUnblocked(p))
+	} else {
+		var blocked uint64
+		for _, b := range s.block.prefixes {
+			if b.Bits >= p.Bits && p.Contains(b.First()) {
+				blocked += b.Size()
+			} else if b.Contains(p.First()) {
+				blocked = p.Size()
+				break
+			}
 		}
+		if blocked > p.Size() {
+			blocked = p.Size()
+		}
+		s.probes.Add(s.shardShare(p.Size() - blocked))
 	}
-	if blocked > p.Size() {
-		blocked = p.Size()
-	}
-	s.probes.Add(s.shardShare(p.Size() - blocked))
 	var out []asndb.IP
 	for _, ip := range pr.ResponsiveIn(p, port) {
 		if !s.block.Blocked(ip) && s.owns(ip) {

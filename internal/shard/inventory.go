@@ -1,0 +1,47 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"sort"
+
+	"gps/internal/continuous"
+	"gps/internal/netmodel"
+)
+
+// stateInventoryMagic heads WriteInventory output. (The batch pipeline's
+// key-set dump under "GPSI" lives in batch.go; this format additionally
+// carries the per-entry observation history a continuous inventory holds.)
+const stateInventoryMagic = "GPSV"
+
+// WriteInventory serializes a merged continuous inventory canonically:
+// the sorted (IP, port) key set, each key followed by its entry's
+// FirstSeen/LastSeen/Stale counters. Two coordinators that tracked the
+// same services through the same epochs produce byte-identical output
+// whatever their shard layout or transport — the determinism contract the
+// distributed CI gate diffs.
+func WriteInventory(w io.Writer, inv map[netmodel.Key]*continuous.Entry) error {
+	keys := make([]netmodel.Key, 0, len(inv))
+	for k := range inv {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+
+	bw := bufio.NewWriter(w)
+	bw.WriteString(stateInventoryMagic)
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(len(keys)))
+	bw.Write(hdr[:])
+	for _, k := range keys {
+		var kb [6]byte
+		binary.BigEndian.PutUint32(kb[:4], uint32(k.IP))
+		binary.BigEndian.PutUint16(kb[4:6], k.Port)
+		bw.Write(kb[:])
+		e := inv[k]
+		writeUvarint(bw, uint64(e.FirstSeen))
+		writeUvarint(bw, uint64(e.LastSeen))
+		writeUvarint(bw, uint64(e.Stale))
+	}
+	return bw.Flush()
+}

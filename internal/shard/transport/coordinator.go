@@ -1,0 +1,546 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"gps/internal/continuous"
+	"gps/internal/dataset"
+	"gps/internal/netmodel"
+	"gps/internal/shard"
+)
+
+// Options tunes the coordinator's client side.
+type Options struct {
+	// Timeout bounds one RPC round trip, including the worker's epoch
+	// compute; 0 selects 2 minutes. This is what turns a wedged worker
+	// into a typed error instead of a hang.
+	Timeout time.Duration
+	// DialTimeout bounds how long Dial waits for each worker to start
+	// listening (it retries with backoff, so workers may be launched
+	// concurrently with the coordinator); 0 selects 15 seconds.
+	DialTimeout time.Duration
+	// Logf receives one line per coordinator event; nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) timeout() time.Duration {
+	if o == nil || o.Timeout <= 0 {
+		return 2 * time.Minute
+	}
+	return o.Timeout
+}
+
+func (o *Options) dialTimeout() time.Duration {
+	if o == nil || o.DialTimeout <= 0 {
+		return 15 * time.Second
+	}
+	return o.DialTimeout
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o != nil && o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// workerLink is one dialed worker connection. RPCs on a link are strictly
+// sequential request/response; concurrency comes from running links in
+// parallel.
+type workerLink struct {
+	addr  string
+	conn  net.Conn
+	alive bool
+}
+
+// rpc performs one framed round trip under the deadline. An msgError
+// frame becomes a RemoteError; any transport failure becomes a
+// DisconnectError.
+func (w *workerLink) rpc(timeout time.Duration, typ uint8, payload []byte, want uint8) ([]byte, error) {
+	w.conn.SetDeadline(time.Now().Add(timeout))
+	if err := writeFrame(w.conn, typ, payload); err != nil {
+		var fse *FrameSizeError
+		if errors.As(err, &fse) {
+			// A local refusal (payload too large), not a link failure.
+			return nil, err
+		}
+		return nil, &DisconnectError{Addr: w.addr, Err: err}
+	}
+	got, resp, err := readFrame(w.conn)
+	if err != nil {
+		return nil, &DisconnectError{Addr: w.addr, Err: err}
+	}
+	if got == msgError {
+		d := newDec(resp)
+		msg := d.bytes()
+		if d.err != nil {
+			return nil, &DisconnectError{Addr: w.addr, Err: d.err}
+		}
+		return nil, &RemoteError{Msg: string(msg)}
+	}
+	if got != want {
+		return nil, &DisconnectError{Addr: w.addr, Err: fmt.Errorf("frame type %d in reply, want %d", got, want)}
+	}
+	return resp, nil
+}
+
+// Coordinator drives N shards across remote worker processes, mirroring
+// the in-process shard.Coordinator API: Seed or Resume, then Epoch in a
+// loop, with States/Inventory folding the per-shard results through the
+// same merge code. Shard ownership of addresses is the asndb.ShardOf hash
+// (enforced worker-side by the continuous runner's shard filter); shards
+// map to workers round-robin, re-queued to survivors when a worker fails.
+// The coordinator is not safe for concurrent use.
+type Coordinator struct {
+	cfg       shard.Config
+	worldSpec []byte
+	opts      *Options
+
+	workers []*workerLink
+	assign  []int  // shard → index into workers
+	inited  []bool // shard is initialized on its currently assigned worker
+	states  []*continuous.State
+	budgets []uint64
+
+	failures []*WorkerError
+}
+
+// Dial connects to the worker fleet. Each address is retried with backoff
+// until Options.DialTimeout so workers may still be starting; a worker
+// that never appears fails the whole Dial (start with the fleet you mean
+// to run — shards re-balance onto survivors only after a worker that did
+// join dies).
+func Dial(addrs []string, cfg shard.Config, worldSpec []byte, opts *Options) (*Coordinator, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("transport: no worker addresses")
+	}
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	cfg.Shards = n
+	c := &Coordinator{
+		cfg:       cfg,
+		worldSpec: worldSpec,
+		opts:      opts,
+		assign:    make([]int, n),
+		inited:    make([]bool, n),
+		budgets:   shard.SliceBudget(cfg.Continuous.Budget, n),
+	}
+	for _, addr := range addrs {
+		conn, err := dialRetry(addr, opts.dialTimeout())
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("transport: dialing worker %s: %w", addr, err)
+		}
+		conn.SetDeadline(time.Now().Add(opts.timeout()))
+		if err := writeHandshake(conn); err != nil {
+			conn.Close()
+			c.Close()
+			return nil, &DisconnectError{Addr: addr, Err: err}
+		}
+		if err := readHandshake(conn); err != nil {
+			conn.Close()
+			c.Close()
+			return nil, fmt.Errorf("transport: handshake with worker %s: %w", addr, err)
+		}
+		c.workers = append(c.workers, &workerLink{addr: addr, conn: conn, alive: true})
+	}
+	for s := range c.assign {
+		c.assign[s] = s % len(c.workers)
+	}
+	return c, nil
+}
+
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	delay := 50 * time.Millisecond
+	for {
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().Add(delay).After(deadline) {
+			return nil, err
+		}
+		time.Sleep(delay)
+		if delay < time.Second {
+			delay *= 2
+		}
+	}
+}
+
+// fatalRPC reports whether an RPC failure is deterministic — a remote
+// rejection or a local payload-size refusal that would fail identically
+// against any worker — rather than a link failure worth failing over.
+func fatalRPC(err error) bool {
+	var re *RemoteError
+	var fse *FrameSizeError
+	return errors.As(err, &re) || errors.As(err, &fse)
+}
+
+// shardCfg derives shard s's runner configuration, mirroring the
+// in-process coordinator: the global budget is pre-sliced, the shard
+// filter pinned.
+func (c *Coordinator) shardCfg(s int) continuous.Config {
+	sc := c.cfg.Continuous
+	sc.Budget = c.budgets[s]
+	sc.ShardIndex, sc.ShardCount = s, c.cfg.Shards
+	return sc
+}
+
+// Seed initializes every shard from one broadcast seed set, exactly like
+// the in-process coordinator: the full set is sent to every worker once
+// (msgSeed), and each shard's Init then references it — the worker's
+// runner keeps only the records its partition owns, so a worker serving
+// k shards still receives and decodes the seed exactly once. The
+// coordinator keeps a local replica of each seeded state (continuous.New
+// is deterministic, so replica and worker agree) for
+// States/Inventory/failover.
+func (c *Coordinator) Seed(seed *dataset.Dataset) error {
+	blob, err := encodeSeed(seed)
+	if err != nil {
+		return err
+	}
+	var e enc
+	e.bytes(blob)
+	payload := e.payload()
+	for _, w := range c.workers {
+		if !w.alive {
+			continue
+		}
+		if _, err := w.rpc(c.opts.timeout(), msgSeed, payload, msgSeedOK); err != nil {
+			if fatalRPC(err) {
+				return fmt.Errorf("transport: seeding worker %s: %w", w.addr, err)
+			}
+			// The worker died before taking any shard; its shards fail
+			// over during initAll, landing on workers that did get the
+			// seed.
+			c.workerFailed(-1, w, err)
+		}
+	}
+	c.states = make([]*continuous.State, c.cfg.Shards)
+	for s := range c.states {
+		c.states[s] = continuous.New(seed, c.shardCfg(s)).State()
+	}
+	return c.initAll(func(s int) (uint8, []byte) { return initSeedRef, nil })
+}
+
+// Resume initializes every shard from checkpointed states, one per shard
+// in shard order.
+func (c *Coordinator) Resume(states []*continuous.State) error {
+	if len(states) != c.cfg.Shards {
+		return fmt.Errorf("transport: %d shard states for %d shards", len(states), c.cfg.Shards)
+	}
+	c.states = states
+	blobs := make([][]byte, len(states))
+	for s, st := range states {
+		var buf bytes.Buffer
+		if err := continuous.WriteCheckpoint(&buf, st); err != nil {
+			return fmt.Errorf("transport: encoding shard %d state: %w", s, err)
+		}
+		blobs[s] = buf.Bytes()
+	}
+	return c.initAll(func(s int) (uint8, []byte) { return initResume, blobs[s] })
+}
+
+// initAll pushes every shard to its assigned worker, failing over to
+// survivors when a worker dies mid-initialization. A RemoteError is not
+// a worker failure — the connection is healthy and the request was
+// rejected deterministically (bad world spec, undecodable state), so
+// retrying it on every other worker would only tear the fleet down — it
+// aborts the initialization instead.
+func (c *Coordinator) initAll(payload func(s int) (mode uint8, blob []byte)) error {
+	for s := range c.assign {
+		for {
+			w, err := c.liveWorker(s)
+			if err != nil {
+				return err
+			}
+			mode, blob := payload(s)
+			m := initMsg{Shard: s, Cfg: c.shardCfg(s), WorldSpec: c.worldSpec, Mode: mode, Blob: blob}
+			if _, err := w.rpc(c.opts.timeout(), msgInit, encodeInit(m), msgInitOK); err != nil {
+				if fatalRPC(err) {
+					return fmt.Errorf("transport: init shard %d on %s: %w", s, w.addr, err)
+				}
+				c.workerFailed(s, w, err)
+				continue
+			}
+			c.inited[s] = true
+			break
+		}
+	}
+	return nil
+}
+
+// liveWorker returns shard s's assigned worker, re-assigning to the next
+// living worker (round-robin from the previous owner) if the assignment
+// is dead. With no survivors it returns the most recent failure.
+func (c *Coordinator) liveWorker(s int) (*workerLink, error) {
+	w := c.workers[c.assign[s]]
+	if w.alive {
+		return w, nil
+	}
+	for off := 1; off <= len(c.workers); off++ {
+		i := (c.assign[s] + off) % len(c.workers)
+		if c.workers[i].alive {
+			c.opts.logf("transport: re-queueing shard %d from dead %s to %s", s, w.addr, c.workers[i].addr)
+			c.assign[s] = i
+			c.inited[s] = false
+			return c.workers[i], nil
+		}
+	}
+	if n := len(c.failures); n > 0 {
+		return nil, fmt.Errorf("transport: no live worker for shard %d: %w", s, c.failures[n-1])
+	}
+	return nil, fmt.Errorf("transport: no live worker for shard %d", s)
+}
+
+// workerFailed marks a worker dead and records the typed failure.
+func (c *Coordinator) workerFailed(s int, w *workerLink, err error) {
+	we := &WorkerError{Addr: w.addr, Shard: s, Err: err}
+	c.failures = append(c.failures, we)
+	w.alive = false
+	w.conn.Close()
+	c.opts.logf("transport: %v", we)
+}
+
+// Epoch runs the next epoch on every shard across the worker fleet:
+// workers execute in parallel (their shards sequentially on one
+// connection), stream back their post-epoch states, and the merged stats
+// fold exactly as in process. A worker failure re-queues its unfinished
+// shards to survivors — re-running a shard's epoch elsewhere is safe
+// because the epoch is a deterministic function of (state, universe,
+// config) and the coordinator still holds the pre-epoch state. A
+// RemoteError (the worker is healthy, the request failed — e.g. the
+// shard's epoch itself errored) aborts the epoch instead: it would fail
+// the same way on every worker, so re-queueing it would only tear the
+// fleet down. Epoch returns a *WorkerError only when a shard has nowhere
+// left to run.
+//
+// State commits are all-or-nothing: c.states advances only when every
+// shard finished the epoch, so after an error the coordinator still
+// holds the consistent pre-epoch layout (checkpointable, retryable).
+func (c *Coordinator) Epoch() (continuous.EpochStats, error) {
+	if c.states == nil {
+		return continuous.EpochStats{}, fmt.Errorf("transport: Epoch before Seed or Resume")
+	}
+	epoch := c.EpochNumber() + 1
+	n := c.cfg.Shards
+	completed := make(map[int]*continuous.State, n)
+	for len(completed) < n {
+		// Re-home shards whose worker died (in a previous round or a
+		// previous epoch) before fanning out.
+		byWorker := make(map[int][]int)
+		for s := 0; s < n; s++ {
+			if _, ok := completed[s]; ok {
+				continue
+			}
+			if _, err := c.liveWorker(s); err != nil {
+				return continuous.EpochStats{}, err
+			}
+			byWorker[c.assign[s]] = append(byWorker[c.assign[s]], s)
+		}
+
+		type outcome struct {
+			states map[int]*continuous.State
+			failed map[int]error // shard → link failure on this worker
+			abort  error         // deterministic failure; no re-queue
+		}
+		results := make(map[int]*outcome, len(byWorker))
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for wi, shards := range byWorker {
+			wg.Add(1)
+			go func(wi int, shards []int) {
+				defer wg.Done()
+				out := &outcome{states: make(map[int]*continuous.State), failed: make(map[int]error)}
+				w := c.workers[wi]
+				for _, s := range shards {
+					st, err := c.runShardEpoch(w, s, epoch)
+					switch {
+					case err == nil:
+						out.states[s] = st
+						continue
+					case fatalRPC(err):
+						out.abort = fmt.Errorf("transport: epoch %d, shard %d on %s: %w", epoch, s, w.addr, err)
+					default:
+						// The link is poisoned: every later shard on
+						// this worker fails over too.
+						for _, rest := range shards[indexOf(shards, s):] {
+							out.failed[rest] = err
+						}
+					}
+					break
+				}
+				mu.Lock()
+				results[wi] = out
+				mu.Unlock()
+			}(wi, shards)
+		}
+		wg.Wait()
+
+		for wi, out := range results {
+			for s, st := range out.states {
+				completed[s] = st
+			}
+			for s, err := range out.failed {
+				if c.workers[wi].alive {
+					c.workerFailed(s, c.workers[wi], err)
+				} else {
+					c.failures = append(c.failures, &WorkerError{Addr: c.workers[wi].addr, Shard: s, Err: err})
+				}
+			}
+		}
+		for _, out := range results {
+			if out.abort != nil {
+				// Workers whose shards did complete have advanced past
+				// c.states; force a re-init from the retained pre-epoch
+				// states so a retried Epoch starts consistent.
+				for i := range c.inited {
+					c.inited[i] = false
+				}
+				return continuous.EpochStats{}, out.abort
+			}
+		}
+	}
+
+	stats := make([]continuous.EpochStats, 0, n)
+	for s := 0; s < n; s++ {
+		c.states[s] = completed[s]
+		if st := completed[s]; len(st.History) > 0 {
+			stats = append(stats, st.History[len(st.History)-1])
+		}
+	}
+	return shard.MergeStats(stats), nil
+}
+
+// runShardEpoch initializes the shard on w if needed, runs one epoch, and
+// decodes the returned state.
+func (c *Coordinator) runShardEpoch(w *workerLink, s, epoch int) (*continuous.State, error) {
+	if !c.inited[s] {
+		var buf bytes.Buffer
+		if err := continuous.WriteCheckpoint(&buf, c.states[s]); err != nil {
+			return nil, fmt.Errorf("encoding shard %d state: %w", s, err)
+		}
+		m := initMsg{Shard: s, Cfg: c.shardCfg(s), WorldSpec: c.worldSpec, Mode: initResume, Blob: buf.Bytes()}
+		if _, err := w.rpc(c.opts.timeout(), msgInit, encodeInit(m), msgInitOK); err != nil {
+			return nil, err
+		}
+		c.inited[s] = true
+	}
+	resp, err := w.rpc(c.opts.timeout(), msgEpoch, encodeEpochReq(s, epoch), msgEpochResult)
+	if err != nil {
+		return nil, err
+	}
+	gotShard, blob, err := decodeEpochResult(resp)
+	if err != nil {
+		return nil, err
+	}
+	if gotShard != s {
+		return nil, fmt.Errorf("worker answered for shard %d, asked about %d", gotShard, s)
+	}
+	st, err := continuous.ReadCheckpoint(bytes.NewReader(blob))
+	if err != nil {
+		return nil, fmt.Errorf("decoding shard %d state: %w", s, err)
+	}
+	if st.Epoch != epoch {
+		return nil, fmt.Errorf("shard %d state returned at epoch %d, want %d", s, st.Epoch, epoch)
+	}
+	return st, nil
+}
+
+func indexOf(xs []int, x int) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return 0
+}
+
+// Shards returns the partition count.
+func (c *Coordinator) Shards() int { return c.cfg.Shards }
+
+// EpochNumber returns the last completed epoch (shards advance in
+// lockstep).
+func (c *Coordinator) EpochNumber() int {
+	if len(c.states) == 0 {
+		return 0
+	}
+	return c.states[0].Epoch
+}
+
+// States exposes the coordinator's authoritative per-shard states in
+// shard order: after every Epoch they mirror the worker-side states
+// exactly (workers stream them back), so checkpointing the coordinator
+// checkpoints the fleet.
+func (c *Coordinator) States() []*continuous.State { return c.states }
+
+// Inventory returns the merged global inventory with cross-shard conflict
+// resolution, identical to the in-process coordinator's.
+func (c *Coordinator) Inventory() (map[netmodel.Key]*continuous.Entry, int) {
+	return shard.MergeInventories(c.states)
+}
+
+// EmptyShards returns the indexes of shards with an empty inventory (see
+// shard.Coordinator.EmptyShards).
+func (c *Coordinator) EmptyShards() []int {
+	var out []int
+	for i, st := range c.states {
+		if len(st.Known) == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Assignment returns the current shard → worker-index mapping.
+func (c *Coordinator) Assignment() []int {
+	out := make([]int, len(c.assign))
+	copy(out, c.assign)
+	return out
+}
+
+// WorkerAddrs returns the dialed worker addresses in worker order.
+func (c *Coordinator) WorkerAddrs() []string {
+	out := make([]string, len(c.workers))
+	for i, w := range c.workers {
+		out[i] = w.addr
+	}
+	return out
+}
+
+// AliveWorkers counts workers still serving shards.
+func (c *Coordinator) AliveWorkers() int {
+	n := 0
+	for _, w := range c.workers {
+		if w.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// Failures returns every worker failure observed so far, in order. Each
+// is a *WorkerError naming the worker, the shard it was serving, and the
+// underlying cause; a non-empty result with a nil Epoch error means the
+// affected shards were re-queued successfully.
+func (c *Coordinator) Failures() []*WorkerError { return c.failures }
+
+// Close shuts the fleet down: a best-effort shutdown frame to each living
+// worker, then the connections.
+func (c *Coordinator) Close() error {
+	for _, w := range c.workers {
+		if w.alive {
+			w.conn.SetDeadline(time.Now().Add(time.Second))
+			writeFrame(w.conn, msgShutdown, nil)
+		}
+		w.conn.Close()
+	}
+	return nil
+}

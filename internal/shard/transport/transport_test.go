@@ -1,0 +1,387 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gps/internal/continuous"
+	"gps/internal/dataset"
+	"gps/internal/netmodel"
+	"gps/internal/pipeline"
+	"gps/internal/shard"
+)
+
+// simWorld is the test World: a deterministic universe from TestParams,
+// with epoch e's churn seeded seed+e — the exact recipe the in-process
+// reference below uses, so both sides scan identical worlds.
+type simWorld struct {
+	seed  int64
+	epoch int
+	u     *netmodel.Universe
+}
+
+func newSimWorld(spec []byte) (World, error) {
+	seed := int64(binary.BigEndian.Uint64(spec))
+	return &simWorld{seed: seed, u: netmodel.Generate(netmodel.TestParams(seed))}, nil
+}
+
+func (w *simWorld) UniverseAt(e int) (*netmodel.Universe, error) {
+	if e < w.epoch {
+		w.u = netmodel.Generate(netmodel.TestParams(w.seed))
+		w.epoch = 0
+	}
+	for w.epoch < e {
+		w.epoch++
+		w.u = netmodel.Churn(w.u, netmodel.DefaultChurn(w.seed+int64(w.epoch)))
+	}
+	return w.u, nil
+}
+
+func worldSpec(seed int64) []byte {
+	spec := make([]byte, 8)
+	binary.BigEndian.PutUint64(spec, uint64(seed))
+	return spec
+}
+
+// testWorker is one worker process stand-in: a Serve loop whose listener
+// and live connections the test can kill to simulate a crash.
+type testWorker struct {
+	lis   net.Listener
+	done  chan struct{}
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+type trackingListener struct {
+	net.Listener
+	tw *testWorker
+}
+
+func (l *trackingListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err == nil {
+		l.tw.mu.Lock()
+		l.tw.conns = append(l.tw.conns, conn)
+		l.tw.mu.Unlock()
+	}
+	return conn, err
+}
+
+func startWorker(t *testing.T) *testWorker {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := &testWorker{lis: lis, done: make(chan struct{})}
+	go func() {
+		defer close(tw.done)
+		Serve(&trackingListener{Listener: lis, tw: tw}, newSimWorld, nil)
+	}()
+	t.Cleanup(func() { tw.kill() })
+	return tw
+}
+
+func (tw *testWorker) addr() string { return tw.lis.Addr().String() }
+
+// kill closes the listener and every live connection: the worker is gone
+// mid-stream, as a crashed process would be.
+func (tw *testWorker) kill() {
+	tw.lis.Close()
+	tw.mu.Lock()
+	for _, c := range tw.conns {
+		c.Close()
+	}
+	tw.conns = nil
+	tw.mu.Unlock()
+	<-tw.done
+}
+
+// testSeed builds the universe's seed split, mirroring the shard package
+// tests.
+func testSeed(seed int64) (*netmodel.Universe, *dataset.Dataset) {
+	u := netmodel.Generate(netmodel.TestParams(seed))
+	full := dataset.SnapshotLZR(u, 0.3, seed^0x11)
+	seedSet, _ := full.Split(0.04, seed^0x22)
+	return u, seedSet.FilterPorts(seedSet.EligiblePorts(2))
+}
+
+func testConfig(n int) shard.Config {
+	return shard.Config{
+		Shards: n,
+		Continuous: continuous.Config{
+			Budget:   50000,
+			Pipeline: pipeline.Config{Workers: 1, Seed: 7, ExactShardCounts: true},
+		},
+	}
+}
+
+// inProcessRun drives the reference in-process coordinator for the given
+// epochs and returns its states.
+func inProcessRun(t *testing.T, worldSeed int64, n, epochs int) []*continuous.State {
+	t.Helper()
+	u, seedSet := testSeed(worldSeed)
+	c := shard.NewCoordinator(seedSet, testConfig(n))
+	world := u
+	for e := 1; e <= epochs; e++ {
+		world = netmodel.Churn(world, netmodel.DefaultChurn(worldSeed+int64(e)))
+		if _, err := c.Epoch(world); err != nil {
+			t.Fatalf("in-process epoch %d: %v", e, err)
+		}
+	}
+	return c.States()
+}
+
+func stateBytes(t *testing.T, states []*continuous.State) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := shard.WriteCheckpoint(&buf, states); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func inventoryBytes(t *testing.T, states []*continuous.State) []byte {
+	t.Helper()
+	inv, _ := shard.MergeInventories(states)
+	var buf bytes.Buffer
+	if err := shard.WriteInventory(&buf, inv); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func testOptions() *Options {
+	return &Options{Timeout: 30 * time.Second, DialTimeout: 5 * time.Second}
+}
+
+// TestTransportDistributedMatchesInProcess is the acceptance gate: a
+// 4-worker distributed run over the test universe must produce per-shard
+// states — and therefore a merged inventory — byte-identical to the
+// 1-process, 4-shard coordinator run.
+func TestTransportDistributedMatchesInProcess(t *testing.T) {
+	const worldSeed, n, epochs = 21, 4, 3
+
+	var addrs []string
+	for i := 0; i < n; i++ {
+		addrs = append(addrs, startWorker(t).addr())
+	}
+	c, err := Dial(addrs, testConfig(n), worldSpec(worldSeed), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, seedSet := testSeed(worldSeed)
+	if err := c.Seed(seedSet); err != nil {
+		t.Fatal(err)
+	}
+	ref := inProcessRun(t, worldSeed, n, epochs)
+	for e := 1; e <= epochs; e++ {
+		stats, err := c.Epoch()
+		if err != nil {
+			t.Fatalf("distributed epoch %d: %v", e, err)
+		}
+		if stats.Epoch != e || c.EpochNumber() != e {
+			t.Errorf("epoch counters %d/%d; want %d", stats.Epoch, c.EpochNumber(), e)
+		}
+	}
+
+	if !bytes.Equal(stateBytes(t, c.States()), stateBytes(t, ref)) {
+		t.Error("distributed shard states differ from the in-process run")
+	}
+	if !bytes.Equal(inventoryBytes(t, c.States()), inventoryBytes(t, ref)) {
+		t.Error("distributed merged inventory differs from the in-process run")
+	}
+	if len(c.Failures()) != 0 {
+		t.Errorf("healthy run recorded failures: %v", c.Failures())
+	}
+}
+
+// TestTransportWorkerFailureRequeues kills one of two workers between
+// epochs: the next epoch must succeed with the dead worker's shards
+// re-queued to the survivor, the failure must surface as a typed
+// *WorkerError, and the final states must still match the in-process run
+// (re-running a shard's epoch elsewhere is deterministic).
+func TestTransportWorkerFailureRequeues(t *testing.T) {
+	const worldSeed, n, epochs = 21, 4, 2
+
+	w0, w1 := startWorker(t), startWorker(t)
+	c, err := Dial([]string{w0.addr(), w1.addr()}, testConfig(n), worldSpec(worldSeed), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	_, seedSet := testSeed(worldSeed)
+	if err := c.Seed(seedSet); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Epoch(); err != nil {
+		t.Fatalf("epoch 1: %v", err)
+	}
+
+	w0.kill()
+	if _, err := c.Epoch(); err != nil {
+		t.Fatalf("epoch 2 after worker death: %v", err)
+	}
+	if c.AliveWorkers() != 1 {
+		t.Errorf("AliveWorkers = %d; want 1", c.AliveWorkers())
+	}
+	fails := c.Failures()
+	if len(fails) == 0 {
+		t.Fatal("worker death recorded no failures")
+	}
+	var we *WorkerError
+	if !errors.As(error(fails[0]), &we) || we.Addr != w0.addr() {
+		t.Errorf("failure = %v; want *WorkerError from %s", fails[0], w0.addr())
+	}
+	// Every shard now lives on the survivor.
+	for s, wi := range c.Assignment() {
+		if c.WorkerAddrs()[wi] != w1.addr() {
+			t.Errorf("shard %d still assigned to %s", s, c.WorkerAddrs()[wi])
+		}
+	}
+
+	ref := inProcessRun(t, worldSeed, n, epochs)
+	if !bytes.Equal(inventoryBytes(t, c.States()), inventoryBytes(t, ref)) {
+		t.Error("post-failover inventory differs from the in-process run")
+	}
+}
+
+// TestTransportAllWorkersDead: with no survivor to take the re-queued
+// shard, Epoch must return a typed error promptly — not hang.
+func TestTransportAllWorkersDead(t *testing.T) {
+	const worldSeed = 21
+	w := startWorker(t)
+	opts := testOptions()
+	opts.Timeout = 2 * time.Second
+	c, err := Dial([]string{w.addr()}, testConfig(2), worldSpec(worldSeed), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, seedSet := testSeed(worldSeed)
+	if err := c.Seed(seedSet); err != nil {
+		t.Fatal(err)
+	}
+	w.kill()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Epoch()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var we *WorkerError
+		if !errors.As(err, &we) {
+			t.Fatalf("Epoch with no live workers returned %v; want *WorkerError", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Epoch hung after all workers died")
+	}
+}
+
+// A deterministic remote rejection (here: a world spec the worker's
+// factory refuses) must abort the operation with the remote cause — not
+// cascade into marking healthy workers dead and re-queueing a request
+// that would fail identically everywhere.
+func TestTransportRemoteRejectionDoesNotCascade(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Serve(lis, func(spec []byte) (World, error) {
+			return nil, errors.New("unsupported world")
+		}, nil)
+	}()
+	defer func() {
+		lis.Close()
+		<-done
+	}()
+
+	c, err := Dial([]string{lis.Addr().String()}, testConfig(2), worldSpec(21), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, seedSet := testSeed(21)
+	err = c.Seed(seedSet)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("Seed against a rejecting factory returned %v; want a *RemoteError cause", err)
+	}
+	if c.AliveWorkers() != 1 {
+		t.Errorf("AliveWorkers = %d after a request-level rejection; the healthy worker was torn down", c.AliveWorkers())
+	}
+}
+
+func TestTransportEpochBeforeSeed(t *testing.T) {
+	w := startWorker(t)
+	c, err := Dial([]string{w.addr()}, testConfig(1), worldSpec(21), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Epoch(); err == nil {
+		t.Error("Epoch before Seed/Resume succeeded")
+	}
+}
+
+// TestTransportResume round-trips a distributed run through checkpointed
+// states: resuming a fresh fleet from epoch-1 states and running epoch 2
+// must equal the uninterrupted two-epoch run.
+func TestTransportResume(t *testing.T) {
+	const worldSeed, n = 21, 2
+
+	// Uninterrupted reference.
+	ref := inProcessRun(t, worldSeed, n, 2)
+
+	// Distributed: one epoch, checkpoint, new coordinator + fleet, resume.
+	w := startWorker(t)
+	c, err := Dial([]string{w.addr()}, testConfig(n), worldSpec(worldSeed), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, seedSet := testSeed(worldSeed)
+	if err := c.Seed(seedSet); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Epoch(); err != nil {
+		t.Fatal(err)
+	}
+	mid := stateBytes(t, c.States())
+	c.Close()
+
+	states, err := shard.ReadCheckpoint(bytes.NewReader(mid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := startWorker(t)
+	c2, err := Dial([]string{w2.addr()}, testConfig(n), worldSpec(worldSeed), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Resume(states); err != nil {
+		t.Fatal(err)
+	}
+	if c2.EpochNumber() != 1 {
+		t.Fatalf("resumed at epoch %d; want 1", c2.EpochNumber())
+	}
+	if _, err := c2.Epoch(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stateBytes(t, c2.States()), stateBytes(t, ref)) {
+		t.Error("resumed distributed run differs from the uninterrupted reference")
+	}
+}

@@ -1,0 +1,416 @@
+// Package transport runs the shard coordinator across process and host
+// boundaries. The in-process coordinator (internal/shard) proved the shard
+// boundary is serialization-friendly — pure-hash ownership, broadcastable
+// seed, per-shard checkpoint blobs — and this package puts a wire on it: a
+// coordinator dials N worker processes, broadcasts the seed set, assigns
+// shard ownership (addresses map to shards via asndb.ShardOf; shards map
+// to workers round-robin), streams per-epoch shard results back, and folds
+// them through the same MergeStats/MergeInventories the in-process
+// coordinator uses. Because every shard epoch is a deterministic function
+// of (state, universe, config), and workers replicate the universe
+// deterministically from a world spec, the distributed merged inventory is
+// byte-identical to the in-process coordinator's — the contract the CI
+// gate diffs.
+//
+// The wire protocol is deliberately small: a 5-byte preamble ("GPST" plus
+// a version byte) in each direction, then length-prefixed frames of
+//
+//	type u8 | payload length u32 big-endian | payload
+//
+// Payloads are uvarint/zigzag scalars plus length-prefixed blobs that
+// reuse the existing on-disk encodings (store binary datasets for the
+// seed, continuous checkpoints for shard state), so the transport inherits
+// their compactness and their compatibility story. Every malformed input
+// maps to a typed error — MagicError, VersionError, FrameSizeError,
+// ErrTruncated — never a silent misparse or a hang.
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"gps/internal/continuous"
+	"gps/internal/features"
+	"gps/internal/probmodel"
+)
+
+const (
+	// Magic opens every transport stream in both directions.
+	Magic = "GPST"
+	// Version is the wire-protocol version; peers must match exactly.
+	Version = 1
+	// maxFrame bounds one frame's payload; matches the checkpoint
+	// readers' implausibility guards.
+	maxFrame = 1 << 28
+)
+
+// Frame types.
+const (
+	msgInit        = 1 // coordinator → worker: adopt a shard (seed or resume)
+	msgInitOK      = 2 // worker → coordinator: shard adopted
+	msgEpoch       = 3 // coordinator → worker: run one epoch on a shard
+	msgEpochResult = 4 // worker → coordinator: post-epoch shard state
+	msgShutdown    = 5 // coordinator → worker: close the session cleanly
+	msgError       = 6 // worker → coordinator: request failed remotely
+	msgSeed        = 7 // coordinator → worker: session seed set, sent once
+	msgSeedOK      = 8 // worker → coordinator: seed stored
+)
+
+// MagicError reports a stream that did not open with the transport magic:
+// the peer is not a GPS transport endpoint.
+type MagicError struct {
+	Got []byte
+}
+
+func (e *MagicError) Error() string {
+	return fmt.Sprintf("transport: bad stream magic %q, want %q", e.Got, Magic)
+}
+
+// VersionError reports a wire-protocol version mismatch between peers.
+type VersionError struct {
+	Got, Want uint8
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("transport: peer speaks protocol version %d, want %d", e.Got, e.Want)
+}
+
+// FrameSizeError reports a length prefix larger than the protocol allows:
+// either a corrupt stream or a peer trying to make the reader allocate.
+type FrameSizeError struct {
+	Type uint8
+	Size uint64
+	Max  uint64
+}
+
+func (e *FrameSizeError) Error() string {
+	return fmt.Sprintf("transport: frame type %d declares %d-byte payload, limit %d", e.Type, e.Size, e.Max)
+}
+
+// ErrTruncated reports a stream that ended mid-frame (or mid-preamble):
+// the peer died or the connection was cut between a length prefix and its
+// payload.
+var ErrTruncated = errors.New("transport: truncated frame")
+
+// RemoteError carries a failure the worker reported over the wire (an
+// msgError frame): the connection is healthy, the request failed.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "transport: remote: " + e.Msg }
+
+// DisconnectError reports a connection that failed mid-conversation.
+type DisconnectError struct {
+	Addr string
+	Err  error
+}
+
+func (e *DisconnectError) Error() string {
+	return fmt.Sprintf("transport: worker %s disconnected: %v", e.Addr, e.Err)
+}
+
+func (e *DisconnectError) Unwrap() error { return e.Err }
+
+// WorkerError is the coordinator-level failure type: which worker failed,
+// which shard it was serving (-1 when the failure was not tied to one
+// shard, e.g. during the seed broadcast), and why. The coordinator
+// re-queues the shard to a surviving worker; Epoch returns a WorkerError
+// only when no worker is left to take it.
+type WorkerError struct {
+	Addr  string
+	Shard int
+	Err   error
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("transport: worker %s (shard %d): %v", e.Addr, e.Shard, e.Err)
+}
+
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// writeHandshake sends this side's stream preamble.
+func writeHandshake(w io.Writer) error {
+	_, err := w.Write(append([]byte(Magic), Version))
+	return err
+}
+
+// readHandshake consumes and validates the peer's stream preamble.
+func readHandshake(r io.Reader) error {
+	buf := make([]byte, len(Magic)+1)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return fmt.Errorf("%w: stream closed during handshake", ErrTruncated)
+		}
+		return err
+	}
+	if string(buf[:len(Magic)]) != Magic {
+		return &MagicError{Got: buf[:len(Magic)]}
+	}
+	if buf[len(Magic)] != Version {
+		return &VersionError{Got: buf[len(Magic)], Want: Version}
+	}
+	return nil
+}
+
+// writeFrame sends one frame, rejecting oversized payloads locally — a
+// clear error at the sender beats a FrameSizeError surfacing as a
+// mysterious disconnect on the peer (and past 4 GiB the u32 length
+// prefix would silently wrap and desync the stream).
+func writeFrame(w io.Writer, typ uint8, payload []byte) error {
+	if uint64(len(payload)) > maxFrame {
+		return &FrameSizeError{Type: typ, Size: uint64(len(payload)), Max: maxFrame}
+	}
+	hdr := [5]byte{typ}
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame. A stream that ends cleanly between frames
+// returns io.EOF; one cut mid-frame returns ErrTruncated; an implausible
+// length prefix returns FrameSizeError before any allocation.
+func readFrame(r io.Reader) (uint8, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("%w: stream closed mid-header", ErrTruncated)
+		}
+		return 0, nil, err
+	}
+	typ := hdr[0]
+	size := uint64(binary.BigEndian.Uint32(hdr[1:]))
+	if size > maxFrame {
+		return typ, nil, &FrameSizeError{Type: typ, Size: size, Max: maxFrame}
+	}
+	payload := make([]byte, size)
+	if n, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return typ, nil, fmt.Errorf("%w: stream closed %d bytes into a %d-byte payload",
+				ErrTruncated, n, size)
+		}
+		return typ, nil, err
+	}
+	return typ, payload, nil
+}
+
+// enc builds frame payloads.
+type enc struct {
+	buf bytes.Buffer
+}
+
+func (e *enc) uvarint(v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	e.buf.Write(b[:binary.PutUvarint(b[:], v)])
+}
+
+func (e *enc) varint(v int64) {
+	var b [binary.MaxVarintLen64]byte
+	e.buf.Write(b[:binary.PutVarint(b[:], v)])
+}
+
+func (e *enc) u8(v uint8)      { e.buf.WriteByte(v) }
+func (e *enc) f64(v float64)   { e.uvarint(math.Float64bits(v)) }
+func (e *enc) bool(v bool)     { e.u8(map[bool]uint8{false: 0, true: 1}[v]) }
+func (e *enc) bytes(b []byte)  { e.uvarint(uint64(len(b))); e.buf.Write(b) }
+func (e *enc) payload() []byte { return e.buf.Bytes() }
+
+// dec parses frame payloads; the first malformed field poisons every
+// subsequent read so call sites check err once at the end.
+type dec struct {
+	r   *bytes.Reader
+	err error
+}
+
+func newDec(payload []byte) *dec { return &dec{r: bytes.NewReader(payload)} }
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: payload ended mid-field", ErrTruncated)
+	}
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		d.fail()
+	}
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := binary.ReadVarint(d.r)
+	if err != nil {
+		d.fail()
+	}
+	return v
+}
+
+func (d *dec) u8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	v, err := d.r.ReadByte()
+	if err != nil {
+		d.fail()
+	}
+	return v
+}
+
+func (d *dec) f64() float64 { return math.Float64frombits(d.uvarint()) }
+func (d *dec) bool() bool   { return d.u8() != 0 }
+
+func (d *dec) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > maxFrame || n > uint64(d.r.Len()) {
+		d.fail()
+		return nil
+	}
+	b := make([]byte, n)
+	io.ReadFull(d.r, b) // length checked against the remaining payload above
+	return b
+}
+
+// encodeConfig serializes a per-shard continuous configuration. The field
+// order is frozen by Version.
+func encodeConfig(e *enc, c continuous.Config) {
+	e.uvarint(c.Budget)
+	e.f64(c.ReverifyFraction)
+	e.varint(int64(c.MaxStale))
+	e.varint(int64(c.ShardIndex))
+	e.varint(int64(c.ShardCount))
+	p := c.Pipeline
+	e.u8(p.StepBits)
+	e.bool(p.StepZero)
+	e.varint(int64(p.Workers))
+	e.u8(uint8(p.Families))
+	e.f64(p.Floor)
+	e.varint(int64(p.MinSupport))
+	keys := make([]byte, len(p.AppKeys))
+	for i, k := range p.AppKeys {
+		keys[i] = byte(k)
+	}
+	e.bytes(keys)
+	e.uvarint(p.Budget)
+	e.varint(p.Seed)
+	e.bool(p.RandomPriorsOrder)
+	e.bool(p.ExactShardCounts)
+}
+
+func decodeConfig(d *dec) continuous.Config {
+	var c continuous.Config
+	c.Budget = d.uvarint()
+	c.ReverifyFraction = d.f64()
+	c.MaxStale = int(d.varint())
+	c.ShardIndex = int(d.varint())
+	c.ShardCount = int(d.varint())
+	c.Pipeline.StepBits = d.u8()
+	c.Pipeline.StepZero = d.bool()
+	c.Pipeline.Workers = int(d.varint())
+	c.Pipeline.Families = probmodel.FamilySet(d.u8())
+	c.Pipeline.Floor = d.f64()
+	c.Pipeline.MinSupport = int(d.varint())
+	if keys := d.bytes(); len(keys) > 0 {
+		c.Pipeline.AppKeys = make([]features.Key, len(keys))
+		for i, k := range keys {
+			c.Pipeline.AppKeys[i] = features.Key(k)
+		}
+	}
+	c.Pipeline.Budget = d.uvarint()
+	c.Pipeline.Seed = d.varint()
+	c.Pipeline.RandomPriorsOrder = d.bool()
+	c.Pipeline.ExactShardCounts = d.bool()
+	return c
+}
+
+// Init modes: what the Init blob holds.
+const (
+	initResume  = 1 // continuous checkpoint; worker adopts it verbatim
+	initSeedRef = 2 // empty; seed from the session's msgSeed broadcast
+)
+
+// initMsg is the decoded form of an msgInit payload.
+type initMsg struct {
+	Shard     int
+	Cfg       continuous.Config
+	WorldSpec []byte
+	Mode      uint8
+	Blob      []byte
+}
+
+func encodeInit(m initMsg) []byte {
+	var e enc
+	e.varint(int64(m.Shard))
+	encodeConfig(&e, m.Cfg)
+	e.bytes(m.WorldSpec)
+	e.u8(m.Mode)
+	e.bytes(m.Blob)
+	return e.payload()
+}
+
+func decodeInit(payload []byte) (initMsg, error) {
+	d := newDec(payload)
+	var m initMsg
+	m.Shard = int(d.varint())
+	m.Cfg = decodeConfig(d)
+	m.WorldSpec = d.bytes()
+	m.Mode = d.u8()
+	m.Blob = d.bytes()
+	return m, d.err
+}
+
+func encodeEpochReq(shard, epoch int) []byte {
+	var e enc
+	e.varint(int64(shard))
+	e.varint(int64(epoch))
+	return e.payload()
+}
+
+func decodeEpochReq(payload []byte) (shard, epoch int, err error) {
+	d := newDec(payload)
+	shard = int(d.varint())
+	epoch = int(d.varint())
+	return shard, epoch, d.err
+}
+
+func encodeEpochResult(shard int, state []byte) []byte {
+	var e enc
+	e.varint(int64(shard))
+	e.bytes(state)
+	return e.payload()
+}
+
+func decodeEpochResult(payload []byte) (shard int, state []byte, err error) {
+	d := newDec(payload)
+	shard = int(d.varint())
+	state = d.bytes()
+	return shard, state, d.err
+}
+
+func encodeShardAck(shard int) []byte {
+	var e enc
+	e.varint(int64(shard))
+	return e.payload()
+}
+
+func decodeShardAck(payload []byte) (int, error) {
+	d := newDec(payload)
+	shard := int(d.varint())
+	return shard, d.err
+}

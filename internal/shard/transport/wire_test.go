@@ -1,0 +1,206 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"gps/internal/continuous"
+	"gps/internal/features"
+	"gps/internal/pipeline"
+)
+
+func TestWireFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello shards")
+	if err := writeFrame(&buf, msgEpoch, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := readFrame(&buf)
+	if err != nil || typ != msgEpoch || !bytes.Equal(got, payload) {
+		t.Fatalf("readFrame = (%d, %q, %v); want (%d, %q, nil)", typ, got, err, msgEpoch, payload)
+	}
+	// A cleanly exhausted stream is io.EOF, not a truncation.
+	if _, _, err := readFrame(&buf); err != io.EOF {
+		t.Errorf("empty stream returned %v; want io.EOF", err)
+	}
+}
+
+func TestWireTruncatedFrame(t *testing.T) {
+	// A header promising 100 payload bytes backed by only 10.
+	var buf bytes.Buffer
+	hdr := [5]byte{msgInit}
+	binary.BigEndian.PutUint32(hdr[1:], 100)
+	buf.Write(hdr[:])
+	buf.Write(make([]byte, 10))
+	if _, _, err := readFrame(&buf); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated payload returned %v; want ErrTruncated", err)
+	}
+
+	// A stream cut inside the 5-byte header itself.
+	if _, _, err := readFrame(bytes.NewReader(hdr[:3])); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated header returned %v; want ErrTruncated", err)
+	}
+}
+
+func TestWireOversizedLengthPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := [5]byte{msgEpochResult}
+	binary.BigEndian.PutUint32(hdr[1:], maxFrame+1)
+	buf.Write(hdr[:])
+
+	_, _, err := readFrame(&buf)
+	var fse *FrameSizeError
+	if !errors.As(err, &fse) {
+		t.Fatalf("oversized length prefix returned %v; want *FrameSizeError", err)
+	}
+	if fse.Size != maxFrame+1 || fse.Max != maxFrame || fse.Type != msgEpochResult {
+		t.Errorf("FrameSizeError = %+v; want size %d max %d type %d", fse, maxFrame+1, maxFrame, msgEpochResult)
+	}
+}
+
+// An oversized payload must be refused at the sender, before any bytes
+// hit the wire: past the u32 range the length prefix would wrap and
+// desync the stream.
+func TestWireOversizedWriteRefused(t *testing.T) {
+	var buf bytes.Buffer
+	err := writeFrame(&buf, msgSeed, make([]byte, maxFrame+1))
+	var fse *FrameSizeError
+	if !errors.As(err, &fse) {
+		t.Fatalf("oversized write returned %v; want *FrameSizeError", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("refused frame still wrote %d bytes", buf.Len())
+	}
+}
+
+func TestWireVersionMismatch(t *testing.T) {
+	preamble := append([]byte(Magic), Version+1)
+	err := readHandshake(bytes.NewReader(preamble))
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("future-version preamble returned %v; want *VersionError", err)
+	}
+	if ve.Got != Version+1 || ve.Want != Version {
+		t.Errorf("VersionError = %+v; want got %d want %d", ve, Version+1, Version)
+	}
+}
+
+func TestWireBadMagic(t *testing.T) {
+	err := readHandshake(bytes.NewReader([]byte("HTTP1")))
+	var me *MagicError
+	if !errors.As(err, &me) {
+		t.Fatalf("non-transport stream returned %v; want *MagicError", err)
+	}
+	if !errors.Is(readHandshake(bytes.NewReader([]byte("GP"))), ErrTruncated) {
+		t.Error("preamble cut mid-magic did not return ErrTruncated")
+	}
+}
+
+// A worker that dies between accepting a request and answering it must
+// surface as a typed DisconnectError on the coordinator's side.
+func TestWireMidStreamDisconnect(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		writeHandshake(conn)
+		readHandshake(conn)
+		readFrame(conn) // swallow the request...
+		conn.Close()    // ...and die without answering
+	}()
+
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeHandshake(conn); err != nil {
+		t.Fatal(err)
+	}
+	if err := readHandshake(conn); err != nil {
+		t.Fatal(err)
+	}
+	w := &workerLink{addr: lis.Addr().String(), conn: conn, alive: true}
+	_, err = w.rpc(5*time.Second, msgEpoch, encodeEpochReq(0, 1), msgEpochResult)
+	var de *DisconnectError
+	if !errors.As(err, &de) {
+		t.Fatalf("mid-stream disconnect returned %v; want *DisconnectError", err)
+	}
+	if de.Addr != lis.Addr().String() {
+		t.Errorf("DisconnectError.Addr = %q; want %q", de.Addr, lis.Addr().String())
+	}
+}
+
+func TestWireConfigRoundTrip(t *testing.T) {
+	in := continuous.Config{
+		Budget:           12345,
+		ReverifyFraction: 0.375,
+		MaxStale:         3,
+		ShardIndex:       2,
+		ShardCount:       4,
+		Pipeline: pipeline.Config{
+			StepBits:          24,
+			StepZero:          true,
+			Workers:           1,
+			Families:          5,
+			Floor:             -1,
+			MinSupport:        -1,
+			AppKeys:           []features.Key{1, 3, 7},
+			Budget:            999,
+			Seed:              -42,
+			RandomPriorsOrder: true,
+			ExactShardCounts:  true,
+		},
+	}
+	var e enc
+	encodeConfig(&e, in)
+	d := newDec(e.payload())
+	out := decodeConfig(d)
+	if d.err != nil {
+		t.Fatal(d.err)
+	}
+	if out.Budget != in.Budget || out.ReverifyFraction != in.ReverifyFraction ||
+		out.MaxStale != in.MaxStale || out.ShardIndex != in.ShardIndex ||
+		out.ShardCount != in.ShardCount {
+		t.Errorf("continuous fields did not round-trip: %+v", out)
+	}
+	op, ip := out.Pipeline, in.Pipeline
+	if op.StepBits != ip.StepBits || op.StepZero != ip.StepZero || op.Workers != ip.Workers ||
+		op.Families != ip.Families || op.Floor != ip.Floor || op.MinSupport != ip.MinSupport ||
+		op.Budget != ip.Budget || op.Seed != ip.Seed ||
+		op.RandomPriorsOrder != ip.RandomPriorsOrder || op.ExactShardCounts != ip.ExactShardCounts {
+		t.Errorf("pipeline fields did not round-trip: %+v", op)
+	}
+	if len(op.AppKeys) != len(ip.AppKeys) {
+		t.Fatalf("AppKeys did not round-trip: %v", op.AppKeys)
+	}
+	for i := range ip.AppKeys {
+		if op.AppKeys[i] != ip.AppKeys[i] {
+			t.Errorf("AppKeys[%d] = %d; want %d", i, op.AppKeys[i], ip.AppKeys[i])
+		}
+	}
+}
+
+func TestWireInitTruncatedPayload(t *testing.T) {
+	m := initMsg{Shard: 1, WorldSpec: []byte("spec"), Mode: initResume, Blob: bytes.Repeat([]byte("x"), 64)}
+	full := encodeInit(m)
+	for _, cut := range []int{0, 1, len(full) / 2, len(full) - 1} {
+		if _, err := decodeInit(full[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Errorf("init payload cut to %d/%d bytes returned %v; want ErrTruncated", cut, len(full), err)
+		}
+	}
+	if got, err := decodeInit(full); err != nil || got.Shard != 1 || !bytes.Equal(got.Blob, m.Blob) {
+		t.Errorf("full init payload = (%+v, %v)", got, err)
+	}
+}

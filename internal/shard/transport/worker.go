@@ -1,0 +1,217 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"gps/internal/continuous"
+	"gps/internal/dataset"
+	"gps/internal/netmodel"
+	"gps/internal/store"
+)
+
+// World is a worker's deterministic replica of the scanned universe.
+// UniverseAt returns the world as of the given epoch (all churn through
+// that epoch applied). It is called with non-decreasing epochs within one
+// session, except after a shard is re-queued from a failed worker, when
+// the new owner may be asked for an epoch it has already stepped past —
+// implementations must support rewinding (regenerating from the base
+// parameters is always correct, since the whole world is a pure function
+// of spec and epoch).
+type World interface {
+	UniverseAt(epoch int) (*netmodel.Universe, error)
+}
+
+// WorldFactory builds a World from the coordinator's opaque spec blob.
+// The factory owns the spec format; cmd/gpsd uses its checkpoint world
+// header, tests encode whatever their generator needs. Returning an error
+// rejects the coordinator's Init (e.g. a spec for a world this worker
+// cannot or will not simulate).
+type WorldFactory func(spec []byte) (World, error)
+
+// WorkerOptions tunes Serve.
+type WorkerOptions struct {
+	// Logf receives one line per session event; nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (o *WorkerOptions) logf(format string, args ...any) {
+	if o != nil && o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Serve runs a shard worker: it accepts coordinator sessions on lis (one
+// at a time — a worker's shards belong to exactly one coordinator) and
+// serves Init/Epoch requests until the listener closes. Request-level
+// failures (unknown shard, epoch mismatch, a failed epoch) are reported
+// to the coordinator as error frames and the session continues;
+// connection-level failures end the session and the worker waits for the
+// next coordinator. Closing the listener makes Serve return nil.
+func Serve(lis net.Listener, factory WorldFactory, opts *WorkerOptions) error {
+	if factory == nil {
+		return fmt.Errorf("transport: Serve needs a WorldFactory")
+	}
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		// Idle sessions are normal (the coordinator may pause between
+		// epochs), so there is no read deadline — aggressive keepalive
+		// is what reaps a half-open connection to a crashed or
+		// partitioned coordinator, freeing the worker for the next one.
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.SetKeepAlive(true)
+			tc.SetKeepAlivePeriod(30 * time.Second)
+		}
+		s := &session{factory: factory, opts: opts, runners: make(map[int]*continuous.Runner)}
+		if err := s.serve(conn); err != nil {
+			opts.logf("transport: session from %s ended: %v", conn.RemoteAddr(), err)
+		}
+		conn.Close()
+	}
+}
+
+// session is one coordinator's tenure on a worker: the shards it assigned
+// and the world they scan.
+type session struct {
+	factory WorldFactory
+	opts    *WorkerOptions
+
+	world     World
+	worldSpec []byte
+	seed      *dataset.Dataset // session seed set, broadcast once by msgSeed
+	runners   map[int]*continuous.Runner
+}
+
+func (s *session) serve(conn net.Conn) error {
+	if err := writeHandshake(conn); err != nil {
+		return err
+	}
+	if err := readHandshake(conn); err != nil {
+		return err
+	}
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			if errors.Is(err, ErrTruncated) {
+				return &DisconnectError{Addr: conn.RemoteAddr().String(), Err: err}
+			}
+			return err
+		}
+		switch typ {
+		case msgSeed:
+			err = s.handleSeed(conn, payload)
+		case msgInit:
+			err = s.handleInit(conn, payload)
+		case msgEpoch:
+			err = s.handleEpoch(conn, payload)
+		case msgShutdown:
+			return nil
+		default:
+			err = s.reject(conn, fmt.Errorf("unexpected frame type %d", typ))
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// reject reports a request failure to the coordinator; the session
+// continues. Only a conn write failure is returned.
+func (s *session) reject(conn net.Conn, cause error) error {
+	var e enc
+	e.bytes([]byte(cause.Error()))
+	return writeFrame(conn, msgError, e.payload())
+}
+
+// handleSeed stores the session's broadcast seed set: it arrives once
+// per worker, however many of the worker's shards later reference it.
+func (s *session) handleSeed(conn net.Conn, payload []byte) error {
+	d := newDec(payload)
+	blob := d.bytes()
+	if d.err != nil {
+		return s.reject(conn, d.err)
+	}
+	seed, err := store.ReadDatasetBinary(bytes.NewReader(blob))
+	if err != nil {
+		return s.reject(conn, fmt.Errorf("decoding seed dataset: %w", err))
+	}
+	s.seed = seed
+	return writeFrame(conn, msgSeedOK, nil)
+}
+
+func (s *session) handleInit(conn net.Conn, payload []byte) error {
+	m, err := decodeInit(payload)
+	if err != nil {
+		return s.reject(conn, err)
+	}
+	if s.world == nil || !bytes.Equal(s.worldSpec, m.WorldSpec) {
+		w, err := s.factory(m.WorldSpec)
+		if err != nil {
+			return s.reject(conn, fmt.Errorf("world spec rejected: %w", err))
+		}
+		s.world, s.worldSpec = w, m.WorldSpec
+	}
+	switch m.Mode {
+	case initSeedRef:
+		if s.seed == nil {
+			return s.reject(conn, fmt.Errorf("shard %d references the session seed, but none was broadcast", m.Shard))
+		}
+		s.runners[m.Shard] = continuous.New(s.seed, m.Cfg)
+	case initResume:
+		st, err := continuous.ReadCheckpoint(bytes.NewReader(m.Blob))
+		if err != nil {
+			return s.reject(conn, fmt.Errorf("decoding shard state: %w", err))
+		}
+		s.runners[m.Shard] = continuous.Resume(st, m.Cfg)
+	default:
+		return s.reject(conn, fmt.Errorf("unknown init mode %d", m.Mode))
+	}
+	s.opts.logf("transport: adopted shard %d/%d (%d known services)",
+		m.Shard, m.Cfg.ShardCount, len(s.runners[m.Shard].State().Known))
+	return writeFrame(conn, msgInitOK, encodeShardAck(m.Shard))
+}
+
+func (s *session) handleEpoch(conn net.Conn, payload []byte) error {
+	shard, epoch, err := decodeEpochReq(payload)
+	if err != nil {
+		return s.reject(conn, err)
+	}
+	r, ok := s.runners[shard]
+	if !ok {
+		return s.reject(conn, fmt.Errorf("shard %d was never assigned to this worker", shard))
+	}
+	if want := r.State().Epoch + 1; epoch != want {
+		return s.reject(conn, fmt.Errorf("shard %d is at epoch %d; cannot run epoch %d (want %d)",
+			shard, r.State().Epoch, epoch, want))
+	}
+	u, err := s.world.UniverseAt(epoch)
+	if err != nil {
+		return s.reject(conn, fmt.Errorf("advancing world to epoch %d: %w", epoch, err))
+	}
+	if _, err := r.Epoch(u); err != nil {
+		return s.reject(conn, fmt.Errorf("epoch %d on shard %d: %w", epoch, shard, err))
+	}
+	var blob bytes.Buffer
+	if err := continuous.WriteCheckpoint(&blob, r.State()); err != nil {
+		return s.reject(conn, fmt.Errorf("encoding shard %d state: %w", shard, err))
+	}
+	return writeFrame(conn, msgEpochResult, encodeEpochResult(shard, blob.Bytes()))
+}
+
+// encodeSeed serializes a seed dataset for broadcast.
+func encodeSeed(seed *dataset.Dataset) ([]byte, error) {
+	var blob bytes.Buffer
+	if _, err := store.WriteDatasetBinary(&blob, seed); err != nil {
+		return nil, fmt.Errorf("transport: encoding seed set: %w", err)
+	}
+	return blob.Bytes(), nil
+}

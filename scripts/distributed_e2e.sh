@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Distributed end-to-end gate: a 1-coordinator + 3-worker gpsd fleet over
+# a small universe must produce a merged inventory byte-identical to the
+# single-process 4-shard run, and a split+join re-balance of the
+# distributed checkpoint must round-trip byte-identically (no rescan).
+#
+# CI runs this under `timeout 300` so a wedged worker fails the job
+# instead of hanging it; everything the run produces lands in $DIR, which
+# CI uploads as an artifact on failure.
+set -euo pipefail
+
+BIN=${BIN:-./gpsd}
+DIR=${DIR:-e2e}
+mkdir -p "$DIR"
+
+# -parallelism 1 pins the per-shard compute order so budget cutoffs are
+# deterministic; the finite budget makes the slicing path load-bearing.
+COMMON=(-seed 7 -prefixes 8 -density 0.02 -seed-fraction 0.05
+        -epochs 3 -budget 60000 -shards 4 -parallelism 1 -exact-counts)
+
+echo "== single-process reference (4 in-process shards)"
+"$BIN" "${COMMON[@]}" -checkpoint "$DIR/single.ckpt" -inventory "$DIR/single.inv" \
+    > "$DIR/single.log" 2>&1
+
+echo "== starting 3 workers"
+pids=()
+cleanup() { kill "${pids[@]}" 2>/dev/null || true; }
+trap cleanup EXIT
+ports=(7461 7462 7463)
+for p in "${ports[@]}"; do
+  "$BIN" -worker -listen "127.0.0.1:$p" > "$DIR/worker-$p.log" 2>&1 &
+  pids+=($!)
+done
+
+echo "== distributed run (coordinator + 3 workers, 4 shards)"
+workers=$(IFS=,; echo "${ports[*]/#/127.0.0.1:}")
+"$BIN" "${COMMON[@]}" -coordinator -workers "$workers" \
+    -checkpoint "$DIR/dist.ckpt" -shard-checkpoints "$DIR/shards" \
+    -inventory "$DIR/dist.inv" > "$DIR/coordinator.log" 2>&1
+
+echo "== diffing merged inventories"
+cmp "$DIR/single.inv" "$DIR/dist.inv"
+
+echo "== re-balance round trip (4 -> 8 -> 4 shards, no rescan)"
+cp "$DIR/dist.ckpt" "$DIR/rebalance.ckpt"
+"$BIN" -rebalance split -checkpoint "$DIR/rebalance.ckpt" >> "$DIR/coordinator.log"
+"$BIN" -rebalance join  -checkpoint "$DIR/rebalance.ckpt" >> "$DIR/coordinator.log"
+cmp "$DIR/dist.ckpt" "$DIR/rebalance.ckpt"
+
+echo "PASS: distributed inventory byte-identical to single-process; re-balance round-trips"
