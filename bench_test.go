@@ -15,8 +15,12 @@ package gps_test
 
 import (
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"gps/internal/dataset"
 	"gps/internal/engine"
@@ -288,6 +292,90 @@ func BenchmarkShardEpoch(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(stats.KnownSize), "known-services")
+}
+
+// --- Inventory serving --------------------------------------------------------
+
+// benchInventory builds a merged-inventory view of the LZR snapshot: the
+// shape the serving layer indexes every epoch.
+func benchInventory(s *experiments.Setup) map[gps.ServiceKey]*gps.KnownService {
+	inv := make(map[gps.ServiceKey]*gps.KnownService, s.LZR.NumServices())
+	for _, r := range s.LZR.Records {
+		inv[r.Key()] = &gps.KnownService{Rec: r, FirstSeen: 1, LastSeen: 3}
+	}
+	return inv
+}
+
+// BenchmarkSnapshotBuild times the producer side of the serving split:
+// indexing one committed inventory into an immutable snapshot (secondary
+// indexes by host, port, /16, ASN plus the aggregates). This is the
+// per-epoch cost -serve adds to the scan loop.
+func BenchmarkSnapshotBuild(b *testing.B) {
+	s := setupBench(b)
+	inv := benchInventory(s)
+	var snap *gps.InventorySnapshot
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap = gps.NewInventorySnapshot(3, inv)
+	}
+	b.ReportMetric(float64(snap.NumServices()), "services")
+}
+
+// BenchmarkServeQuery measures the read path under fire: query latency
+// through the full HTTP handler (routing, snapshot load, page copy, JSON
+// render, cache) while a committer goroutine keeps swapping fresh
+// snapshots in — the serving claim is precisely that commits never stall
+// readers, so the tail latencies are reported alongside the mean.
+func BenchmarkServeQuery(b *testing.B) {
+	s := setupBench(b)
+	inv := benchInventory(s)
+	var pub gps.InventoryPublisher
+	pub.Publish(gps.NewInventorySnapshot(1, inv))
+	h := gps.NewInventoryServer(&pub).Handler()
+
+	rec := s.LZR.Records[0]
+	paths := []string{
+		"/v1/stats",
+		fmt.Sprintf("/v1/port/%d?limit=100", rec.Port),
+		fmt.Sprintf("/v1/host/%s", rec.IP),
+		fmt.Sprintf("/v1/asn/%d", rec.ASN),
+		"/v1/ports",
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the epoch-commit side, as hostile as it gets
+		defer wg.Done()
+		for e := 2; ; e++ {
+			select {
+			case <-stop:
+				return
+			default:
+				pub.Publish(gps.NewInventorySnapshot(e, inv))
+			}
+		}
+	}()
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, paths[i%len(paths)], nil)
+		rr := httptest.NewRecorder()
+		t0 := time.Now()
+		h.ServeHTTP(rr, req)
+		lat = append(lat, time.Since(t0))
+		if rr.Code != http.StatusOK {
+			b.Fatalf("GET %s: %d", paths[i%len(paths)], rr.Code)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	b.ReportMetric(float64(lat[len(lat)/2].Microseconds()), "p50-us")
+	b.ReportMetric(float64(lat[len(lat)*99/100].Microseconds()), "p99-us")
 }
 
 func BenchmarkChurn(b *testing.B) {

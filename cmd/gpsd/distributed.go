@@ -78,13 +78,23 @@ func runCoordinator(f daemonFlags) int {
 	}
 	warnEmptyShards(coord.EmptyShards(), resumed)
 
+	var api *inventoryServer
+	if f.serve != "" {
+		if api, err = startServing(f.serve, coord); err != nil {
+			fmt.Fprintln(os.Stderr, "gpsd:", err)
+			return 1
+		}
+	}
+
 	sig := notifySignals()
 	reported := 0
-	for epoch := coord.EpochNumber() + 1; f.epochs == 0 || epoch <= f.epochs; epoch++ {
+	stopped := false
+	for epoch := coord.EpochNumber() + 1; !stopped && (f.epochs == 0 || epoch <= f.epochs); epoch++ {
 		select {
 		case s := <-sig:
-			fmt.Printf("gpsd: %v — stopping cleanly\n", s)
-			return 0
+			fmt.Printf("gpsd: %v — flushing and stopping cleanly\n", s)
+			stopped = true
+			continue
 		default:
 		}
 
@@ -113,30 +123,25 @@ func runCoordinator(f daemonFlags) int {
 				return 1
 			}
 		}
-		if f.interval > 0 {
+		if f.interval > 0 && !stopped {
 			select {
 			case s := <-sig:
-				fmt.Printf("gpsd: %v — stopping cleanly\n", s)
-				return 0
+				fmt.Printf("gpsd: %v — flushing and stopping cleanly\n", s)
+				stopped = true
 			case <-time.After(f.interval):
 			}
 		}
 	}
-
-	known, conflicts := coord.Inventory()
-	if f.inventory != "" {
-		if err := writeInventoryFile(f.inventory, known); err != nil {
-			fmt.Fprintln(os.Stderr, "gpsd: inventory:", err)
-			return 1
-		}
-	}
-	fmt.Printf("gpsd: done after epoch %d; %d services known across %d/%d workers",
-		coord.EpochNumber(), len(known), coord.AliveWorkers(), len(addrs))
-	if conflicts > 0 {
-		fmt.Printf(" (%d cross-shard conflicts resolved)", conflicts)
-	}
-	fmt.Println()
-	return 0
+	serveUntilSignal(api, sig, stopped)
+	// Close the worker fleet before the final flush: the coordinator
+	// holds every shard's state locally, so the checkpoint and inventory
+	// need nothing further from the workers, and the shutdown frames land
+	// while they are still draining. (The deferred Close stays as the
+	// error-path fallback; a second Close is harmless.)
+	suffix := fmt.Sprintf(" across %d/%d workers", coord.AliveWorkers(), len(addrs))
+	coord.Close()
+	return finishDaemon(f, world, topology{Workers: len(addrs), Assign: coord.Assignment()},
+		coord.States(), coord.EpochNumber(), api, suffix, coord.Inventory)
 }
 
 // saveShardCheckpoints writes each shard's state as its own continuous

@@ -28,19 +28,32 @@
 // from the checkpoint at exactly the state the previous process would
 // have had.
 //
+// With -serve ADDR the daemon additionally mounts the inventory query
+// API (internal/serve) on ADDR, in both single-process and coordinator
+// modes: at each epoch commit the merged inventory is indexed into an
+// immutable snapshot and swapped in atomically, so readers query the
+// last committed epoch without ever blocking the scan loop. With
+// -serve-file FILE the daemon is pure read path: it loads a GPSV
+// inventory file (-inventory output) and serves it until SIGINT/SIGTERM.
+//
 // Usage:
 //
 //	gpsd [-seed N] [-prefixes N] [-density F] [-seed-fraction F]
 //	     [-epochs N] [-budget N] [-reverify F] [-max-stale N] [-shards N]
 //	     [-checkpoint FILE] [-inventory FILE] [-interval DUR]
-//	     [-parallelism N] [-exact-counts]
+//	     [-parallelism N] [-exact-counts] [-serve ADDR]
 //	gpsd -worker -listen ADDR
 //	gpsd -coordinator -workers ADDR,ADDR,... [flags as above]
 //	     [-rpc-timeout DUR] [-shard-checkpoints DIR]
 //	gpsd -rebalance split|join -checkpoint FILE
+//	gpsd -serve ADDR -serve-file FILE
 //
 // -epochs 0 runs until SIGINT/SIGTERM; the daemon always finishes the
-// epoch in flight before exiting so checkpoints stay consistent.
+// epoch in flight before exiting, then flushes a final checkpoint and
+// the -inventory file and shuts the query API down cleanly, so a served
+// daemon restarts without losing the in-flight epoch. With -serve and a
+// finite -epochs the daemon keeps serving after its last epoch until
+// signalled.
 package main
 
 import (
@@ -80,6 +93,8 @@ type daemonFlags struct {
 	rpcTimeout  time.Duration
 	shardCkpts  string
 	rebalance   string
+	serve       string
+	serveFile   string
 }
 
 func main() {
@@ -106,6 +121,8 @@ func main() {
 	flag.DurationVar(&f.rpcTimeout, "rpc-timeout", 2*time.Minute, "coordinator mode: per-RPC deadline (turns a wedged worker into an error)")
 	flag.StringVar(&f.shardCkpts, "shard-checkpoints", "", "coordinator mode: also write per-shard checkpoints into this directory each epoch")
 	flag.StringVar(&f.rebalance, "rebalance", "", "transform -checkpoint: 'split' doubles the shard count, 'join' halves it; no scanning")
+	flag.StringVar(&f.serve, "serve", "", "serve the inventory query API on this address (e.g. 127.0.0.1:7080) alongside the daemon")
+	flag.StringVar(&f.serveFile, "serve-file", "", "standalone read path: serve this GPSV inventory file on -serve and exit on SIGINT/SIGTERM")
 	flag.Parse()
 	if f.shards < 1 {
 		fmt.Fprintln(os.Stderr, "gpsd: -shards must be >= 1")
@@ -117,6 +134,12 @@ func main() {
 		os.Exit(runWorker(f))
 	case f.rebalance != "":
 		os.Exit(runRebalance(f))
+	case f.serveFile != "":
+		if f.serve == "" {
+			fmt.Fprintln(os.Stderr, "gpsd: -serve-file needs -serve ADDR to listen on")
+			os.Exit(2)
+		}
+		os.Exit(runServeFile(f))
 	case f.coordinator || f.workers != "":
 		if !f.coordinator || f.workers == "" {
 			fmt.Fprintln(os.Stderr, "gpsd: coordinator mode needs both -coordinator and -workers addr,addr,...")
@@ -258,6 +281,15 @@ func runDaemon(f daemonFlags) int {
 	}
 	warnEmptyShards(coord.EmptyShards(), resumed)
 
+	var api *inventoryServer
+	if f.serve != "" {
+		var err error
+		if api, err = startServing(f.serve, coord); err != nil {
+			fmt.Fprintln(os.Stderr, "gpsd:", err)
+			return 1
+		}
+	}
+
 	// Replay churn deterministically up to the resumed epoch: the churn
 	// seed of epoch e is seed+e, so a resumed daemon sees the exact
 	// universe the interrupted one would have.
@@ -266,11 +298,13 @@ func runDaemon(f daemonFlags) int {
 	}
 
 	sig := notifySignals()
-	for epoch := coord.EpochNumber() + 1; f.epochs == 0 || epoch <= f.epochs; epoch++ {
+	stopped := false
+	for epoch := coord.EpochNumber() + 1; !stopped && (f.epochs == 0 || epoch <= f.epochs); epoch++ {
 		select {
 		case s := <-sig:
-			fmt.Printf("gpsd: %v — stopping cleanly\n", s)
-			return 0
+			fmt.Printf("gpsd: %v — flushing and stopping cleanly\n", s)
+			stopped = true
+			continue
 		default:
 		}
 
@@ -289,23 +323,48 @@ func runDaemon(f daemonFlags) int {
 				return 1
 			}
 		}
-		if f.interval > 0 {
+		if f.interval > 0 && !stopped {
 			select {
 			case s := <-sig:
-				fmt.Printf("gpsd: %v — stopping cleanly\n", s)
-				return 0
+				fmt.Printf("gpsd: %v — flushing and stopping cleanly\n", s)
+				stopped = true
 			case <-time.After(f.interval):
 			}
 		}
 	}
-	known, conflicts := coord.Inventory()
+	// A serving daemon's job is not over when its scan is: keep
+	// answering queries at the final epoch until signalled.
+	serveUntilSignal(api, sig, stopped)
+	return finishDaemon(f, world, localTopology(f.shards), coord.States(),
+		coord.EpochNumber(), api, "", func() (map[gps.ServiceKey]*gps.KnownService, int) {
+			return coord.Inventory()
+		})
+}
+
+// finishDaemon is the clean-exit path both daemon modes share: flush a
+// final checkpoint (idempotent — the state is the one the last epoch
+// already saved, but a restart must find it even if the epoch loop never
+// ran), write the merged -inventory artifact, drain and stop the query
+// API, and report. Everything a restart needs is on disk before the
+// process exits.
+func finishDaemon(f daemonFlags, world worldID, topo topology, states []*gps.ContinuousState,
+	epoch int, api *inventoryServer, suffix string,
+	inventory func() (map[gps.ServiceKey]*gps.KnownService, int)) int {
+	if f.checkpoint != "" {
+		if err := saveCheckpoint(f.checkpoint, world, topo, states); err != nil {
+			fmt.Fprintln(os.Stderr, "gpsd: final checkpoint:", err)
+			return 1
+		}
+	}
+	known, conflicts := inventory()
 	if f.inventory != "" {
 		if err := writeInventoryFile(f.inventory, known); err != nil {
 			fmt.Fprintln(os.Stderr, "gpsd: inventory:", err)
 			return 1
 		}
 	}
-	fmt.Printf("gpsd: done after epoch %d; %d services known", coord.EpochNumber(), len(known))
+	api.shutdown()
+	fmt.Printf("gpsd: done after epoch %d; %d services known%s", epoch, len(known), suffix)
 	if conflicts > 0 {
 		fmt.Printf(" (%d cross-shard conflicts resolved)", conflicts)
 	}

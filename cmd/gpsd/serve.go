@@ -1,0 +1,151 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"gps"
+)
+
+// inventoryServer bundles the snapshot publisher and the HTTP server gpsd
+// runs alongside the daemon when -serve is set. The scan loop feeds it
+// through a commit hook; readers never block the loop (the publisher swap
+// is a single atomic store) and the loop never blocks readers. All
+// methods are nil-safe so the daemon paths need no "is serving enabled"
+// branches.
+type inventoryServer struct {
+	addr string
+	pub  *gps.InventoryPublisher
+	srv  *http.Server
+}
+
+// startInventoryServer listens on addr and serves the query API in the
+// background. Queries answer 503 until the first publish.
+func startInventoryServer(addr string) (*inventoryServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	pub := &gps.InventoryPublisher{}
+	is := &inventoryServer{
+		addr: lis.Addr().String(),
+		pub:  pub,
+		srv:  &http.Server{Handler: gps.NewInventoryServer(pub).Handler()},
+	}
+	go func() {
+		if err := is.srv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "gpsd: serve:", err)
+		}
+	}()
+	fmt.Printf("gpsd: serving inventory API on http://%s/v1/\n", is.addr)
+	return is, nil
+}
+
+// publish indexes a merged inventory and swaps it in as the served
+// snapshot.
+func (is *inventoryServer) publish(epoch int, inv map[gps.ServiceKey]*gps.KnownService) {
+	if is == nil {
+		return
+	}
+	is.pub.Publish(gps.NewInventorySnapshot(epoch, inv))
+}
+
+// hook returns the epoch-commit hook feeding the publisher (nil when not
+// serving, which unregisters cleanly).
+func (is *inventoryServer) hook() gps.ShardCommitHook {
+	if is == nil {
+		return nil
+	}
+	return is.publish
+}
+
+// shutdown drains in-flight queries and closes the listener; part of the
+// daemon's clean-exit path.
+func (is *inventoryServer) shutdown() {
+	if is == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if is.srv.Shutdown(ctx) != nil {
+		is.srv.Close()
+	}
+}
+
+// servableCoordinator is the slice of both coordinator types (in-process
+// and distributed) the serving layer hangs off.
+type servableCoordinator interface {
+	SetCommitHook(gps.ShardCommitHook)
+	Inventory() (map[gps.ServiceKey]*gps.KnownService, int)
+	EpochNumber() int
+}
+
+// startServing mounts the query API next to a coordinator: the commit
+// hook publishes each epoch, and the seeded (or resumed) inventory is
+// published immediately so queries answer from the current state instead
+// of 503ing until the first commit.
+func startServing(addr string, coord servableCoordinator) (*inventoryServer, error) {
+	api, err := startInventoryServer(addr)
+	if err != nil {
+		return nil, err
+	}
+	coord.SetCommitHook(api.hook())
+	inv, _ := coord.Inventory()
+	api.publish(coord.EpochNumber(), inv)
+	return api, nil
+}
+
+// serveUntilSignal keeps a daemon whose epochs are done answering
+// queries until SIGINT/SIGTERM; a no-op when not serving or when a
+// signal already ended the epoch loop.
+func serveUntilSignal(api *inventoryServer, sig chan os.Signal, stopped bool) {
+	if api == nil || stopped {
+		return
+	}
+	fmt.Printf("gpsd: epochs done; serving on %s until SIGINT/SIGTERM\n", api.addr)
+	s := <-sig
+	fmt.Printf("gpsd: %v — flushing and stopping cleanly\n", s)
+}
+
+// runServeFile is the standalone serving mode: load a GPSV inventory file
+// (gpsd -inventory output) and answer queries from it until SIGINT or
+// SIGTERM — the read path with no scanner attached, for serving yesterday's
+// inventory or somebody else's.
+func runServeFile(f daemonFlags) int {
+	file, err := os.Open(f.serveFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpsd:", err)
+		return 1
+	}
+	inv, err := gps.ReadShardInventory(file)
+	file.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpsd:", err)
+		return 1
+	}
+	// The file records observation epochs, not the commit epoch; the
+	// newest observation is the inventory's notion of "now", and it is
+	// what Fresh/Stale aggregates key on.
+	epoch := 0
+	for _, e := range inv {
+		if e.LastSeen > epoch {
+			epoch = e.LastSeen
+		}
+	}
+	api, err := startInventoryServer(f.serve)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpsd:", err)
+		return 1
+	}
+	api.publish(epoch, inv)
+	fmt.Printf("gpsd: serving %d services (epoch %d) from %s\n", len(inv), epoch, f.serveFile)
+	s := <-notifySignals()
+	fmt.Printf("gpsd: %v — stopping cleanly\n", s)
+	api.shutdown()
+	return 0
+}

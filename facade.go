@@ -14,6 +14,7 @@ import (
 	"gps/internal/priors"
 	"gps/internal/probmodel"
 	"gps/internal/scanner"
+	"gps/internal/serve"
 	"gps/internal/shard"
 	"gps/internal/shard/transport"
 )
@@ -262,11 +263,71 @@ func JoinShardStates(states []*ContinuousState) ([]*ContinuousState, error) {
 }
 
 // WriteShardInventory serializes a merged continuous inventory
-// canonically (sorted keys plus per-entry observation history): two
-// coordinators that tracked the same services through the same epochs
-// produce byte-identical output whatever their shard layout or transport.
+// canonically (sorted keys plus per-entry serving fields and observation
+// history): two coordinators that tracked the same services through the
+// same epochs produce byte-identical output whatever their shard layout
+// or transport.
 func WriteShardInventory(w io.Writer, inv map[ServiceKey]*KnownService) error {
 	return shard.WriteInventory(w, inv)
+}
+
+// ReadShardInventory parses WriteShardInventory output back into a
+// merged inventory: the serving artifact gpsd -serve-file loads. Errors
+// are typed (*ShardInventoryMagicError, *ShardInventoryTruncatedError).
+func ReadShardInventory(r io.Reader) (map[ServiceKey]*KnownService, error) {
+	return shard.ReadInventory(r)
+}
+
+// ShardInventoryMagicError reports bytes that are not a GPSV inventory,
+// or a GPSV version this build does not speak.
+type ShardInventoryMagicError = shard.InventoryMagicError
+
+// ShardInventoryTruncatedError reports a GPSV inventory cut short
+// mid-stream.
+type ShardInventoryTruncatedError = shard.InventoryTruncatedError
+
+// ShardCommitHook observes each committed coordinator epoch with the
+// merged global inventory; register it with a ShardCoordinator's or
+// DistributedCoordinator's SetCommitHook to feed an InventoryPublisher.
+type ShardCommitHook = shard.CommitHook
+
+// ContinuousCommitHook observes each committed epoch of a single
+// (unsharded) continuous runner.
+type ContinuousCommitHook = continuous.CommitHook
+
+// InventorySnapshot is one immutable, fully-indexed view of the service
+// inventory at a committed epoch: secondary indexes by host, port, /16
+// prefix, and ASN, plus precomputed freshness aggregates. Safe for
+// unlimited concurrent readers.
+type InventorySnapshot = serve.Snapshot
+
+// InventoryPublisher atomically swaps snapshots under concurrent readers:
+// the lock-free handoff between the scan loop and the query engine.
+type InventoryPublisher = serve.Publisher
+
+// InventoryServer is the HTTP query API (/v1/host, /v1/port, /v1/asn,
+// /v1/prefix, /v1/ports, /v1/stats, /v1/healthz) over a publisher, with
+// pagination, epoch-keyed ETags, and a bounded query cache.
+type InventoryServer = serve.Server
+
+// InventoryStats is a snapshot's precomputed aggregate view.
+type InventoryStats = serve.Stats
+
+// ServedService is one inventory entry as served.
+type ServedService = serve.Service
+
+// InventoryPortCount is one row of the per-port coverage aggregate.
+type InventoryPortCount = serve.PortCount
+
+// NewInventorySnapshot indexes a merged inventory as of a committed
+// epoch. The input map is read, never retained.
+func NewInventorySnapshot(epoch int, inv map[ServiceKey]*KnownService) *InventorySnapshot {
+	return serve.NewSnapshot(epoch, inv)
+}
+
+// NewInventoryServer wraps a publisher in the HTTP query API.
+func NewInventoryServer(pub *InventoryPublisher) *InventoryServer {
+	return serve.NewServer(pub)
 }
 
 // ShardWorld is a worker's deterministic replica of the scanned universe,

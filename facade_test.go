@@ -7,7 +7,11 @@ package gps_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -59,6 +63,17 @@ var (
 	_ gps.DistributedOptions      = gps.DistributedOptions{}
 	_ *gps.DistributedCoordinator = (*gps.DistributedCoordinator)(nil)
 	_ *gps.ShardWorkerError       = (*gps.ShardWorkerError)(nil)
+
+	_ *gps.InventorySnapshot            = (*gps.InventorySnapshot)(nil)
+	_ *gps.InventoryPublisher           = (*gps.InventoryPublisher)(nil)
+	_ *gps.InventoryServer              = (*gps.InventoryServer)(nil)
+	_ gps.InventoryStats                = gps.InventoryStats{}
+	_ gps.ServedService                 = gps.ServedService{}
+	_ gps.InventoryPortCount            = gps.InventoryPortCount{}
+	_ gps.ShardCommitHook               = gps.ShardCommitHook(nil)
+	_ gps.ContinuousCommitHook          = gps.ContinuousCommitHook(nil)
+	_ *gps.ShardInventoryMagicError     = (*gps.ShardInventoryMagicError)(nil)
+	_ *gps.ShardInventoryTruncatedError = (*gps.ShardInventoryTruncatedError)(nil)
 )
 
 // TestFacadeEndToEnd drives every exported function through one tiny
@@ -284,5 +299,86 @@ func TestFacadeDistributed(t *testing.T) {
 	}
 	if !bytes.Equal(before.Bytes(), after.Bytes()) {
 		t.Error("split+join did not round-trip the shard states")
+	}
+}
+
+// TestFacadeServing drives the serving re-exports end to end: a sharded
+// coordinator whose commit hook feeds an InventoryPublisher, the HTTP
+// query API over it, and the GPSV write→read round trip standalone
+// serving depends on.
+func TestFacadeServing(t *testing.T) {
+	const seed = 33
+	u := gps.GenerateUniverse(gps.SmallUniverseParams(seed))
+	seedSet := gps.CollectSeed(u, 0.05, seed^0x5eed)
+	seedSet = seedSet.FilterPorts(seedSet.EligiblePorts(2))
+	cfg := gps.ShardConfig{
+		Shards:     2,
+		Continuous: gps.ContinuousConfig{Pipeline: gps.Config{Workers: 1, Seed: seed}},
+	}
+	coord := gps.NewShardCoordinator(seedSet, cfg)
+
+	var pub gps.InventoryPublisher
+	coord.SetCommitHook(func(epoch int, inv map[gps.ServiceKey]*gps.KnownService) {
+		pub.Publish(gps.NewInventorySnapshot(epoch, inv))
+	})
+	if _, err := coord.Epoch(gps.ApplyChurn(u, gps.DefaultChurn(seed+1))); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := pub.Current()
+	if snap == nil || snap.Epoch() != 1 {
+		t.Fatalf("commit hook published %v; want epoch-1 snapshot", snap)
+	}
+	inv, _ := coord.Inventory()
+	if snap.NumServices() != len(inv) {
+		t.Fatalf("snapshot holds %d services; inventory %d", snap.NumServices(), len(inv))
+	}
+
+	// The GPSV artifact round-trips and serves the same aggregates.
+	var wire bytes.Buffer
+	if err := gps.WriteShardInventory(&wire, inv); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := gps.ReadShardInventory(&wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileSnap := gps.NewInventorySnapshot(1, loaded)
+	if fileSnap.Stats() != snap.Stats() {
+		t.Errorf("file-loaded stats %+v differ from live stats %+v", fileSnap.Stats(), snap.Stats())
+	}
+
+	srv := httptest.NewServer(gps.NewInventoryServer(&pub).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Epoch    int `json:"epoch"`
+		Services int `json:"services"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Epoch != 1 || stats.Services != len(inv) {
+		t.Errorf("served stats %+v; want epoch 1, %d services", stats, len(inv))
+	}
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/stats", nil)
+	req.Header.Set("If-None-Match", resp.Header.Get("ETag"))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Errorf("revalidation got %d; want 304", resp2.StatusCode)
+	}
+
+	// Typed read errors surface through the facade.
+	var magicErr *gps.ShardInventoryMagicError
+	if _, err := gps.ReadShardInventory(bytes.NewReader([]byte("nonsense bytes"))); !errors.As(err, &magicErr) {
+		t.Errorf("foreign bytes: %v; want *gps.ShardInventoryMagicError", err)
 	}
 }

@@ -124,10 +124,19 @@ type State struct {
 	History []EpochStats
 }
 
+// CommitHook observes each committed epoch: it runs synchronously at the
+// end of Epoch with the epoch number and the post-epoch inventory. The
+// map is the runner's live state — read it during the call, copy what
+// must outlive it (serve.NewSnapshot does exactly that). This is how the
+// serving layer learns about commits without the scan loop knowing the
+// serving layer exists.
+type CommitHook func(epoch int, known map[netmodel.Key]*Entry)
+
 // Runner drives the continuous scan. It is not safe for concurrent use.
 type Runner struct {
-	cfg Config
-	st  *State
+	cfg  Config
+	st   *State
+	hook CommitHook
 }
 
 // New creates a runner seeded with an initial observation set (typically
@@ -158,6 +167,11 @@ func Resume(st *State, cfg Config) *Runner {
 // State exposes the runner's state (shared, not copied): read it for
 // reporting, checkpoint it with WriteCheckpoint.
 func (r *Runner) State() *State { return r.st }
+
+// SetCommitHook registers the hook Epoch invokes after each commit; nil
+// unregisters. Call it before the epoch loop starts, not concurrently
+// with Epoch.
+func (r *Runner) SetCommitHook(h CommitHook) { r.hook = h }
 
 // TrainingSet assembles the current training data: the records of every
 // known service not carrying a stale mark, in the deterministic
@@ -279,6 +293,9 @@ func (r *Runner) Epoch(u *netmodel.Universe) (EpochStats, error) {
 		}
 	}
 	r.st.History = append(r.st.History, stats)
+	if r.hook != nil {
+		r.hook(e, r.st.Known)
+	}
 	return stats, nil
 }
 

@@ -1,0 +1,76 @@
+package serve
+
+import "sync"
+
+// queryCache memoizes rendered response bodies for one snapshot epoch.
+// List queries pay a page-copy plus a JSON marshal per request; popular
+// queries (the same dashboard poll from a million users) hit the cache
+// instead. The cache is bounded (FIFO eviction) and keyed by the
+// canonicalized query, and it self-invalidates: every lookup and store
+// carries the requester's snapshot epoch, and an epoch change empties the
+// cache wholesale — a swap is the only way results change, so per-entry
+// invalidation would be wasted bookkeeping.
+//
+// The mutex makes the cache the one shared-mutable structure on the read
+// path; critical sections are map lookups and appends only (never a
+// marshal or a page copy), so it stays cheap under contention — and a
+// cache miss costs exactly what an uncached server would have paid.
+type queryCache struct {
+	mu      sync.Mutex
+	epoch   int
+	max     int
+	entries map[string][]byte
+	order   []string // insertion order, for FIFO eviction
+}
+
+func newQueryCache(max int) *queryCache {
+	return &queryCache{max: max, entries: make(map[string][]byte)}
+}
+
+// get returns the cached body for key as rendered at epoch. A newer
+// epoch empties the cache and misses; a reader still holding a
+// superseded snapshot just misses — rolling the cache back for it would
+// wipe the current epoch's entries on every old/new reader interleaving
+// around a swap.
+func (c *queryCache) get(epoch int, key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch != c.epoch {
+		if epoch > c.epoch {
+			c.reset(epoch)
+		}
+		return nil, false
+	}
+	body, ok := c.entries[key]
+	return body, ok
+}
+
+// put stores a rendered body, evicting the oldest entry at capacity. A
+// body rendered from a snapshot the cache has already moved past is
+// dropped rather than poisoning the newer epoch.
+func (c *queryCache) put(epoch int, key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epoch != epoch {
+		if epoch < c.epoch {
+			return
+		}
+		c.reset(epoch)
+	}
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	if len(c.order) >= c.max {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.entries[key] = body
+	c.order = append(c.order, key)
+}
+
+// reset empties the cache for a new epoch. Caller holds mu.
+func (c *queryCache) reset(epoch int) {
+	c.epoch = epoch
+	c.entries = make(map[string][]byte)
+	c.order = c.order[:0]
+}

@@ -1,0 +1,38 @@
+package serve
+
+import "sync/atomic"
+
+// Publisher is the single synchronization point between the producer loop
+// and the readers: one atomic pointer to the current Snapshot. The
+// producer calls Publish at each epoch commit; any number of readers call
+// Current concurrently. Neither side ever takes a lock or waits for the
+// other — a reader mid-query keeps the snapshot it loaded alive (the GC
+// reclaims superseded snapshots once the last reader drops them), and the
+// producer's swap is a single pointer store.
+//
+// The zero value is ready to use and holds no snapshot.
+type Publisher struct {
+	cur atomic.Pointer[Snapshot]
+}
+
+// Current returns the most recently published snapshot, or nil before the
+// first Publish. The result is immutable and remains valid indefinitely.
+func (p *Publisher) Current() *Snapshot {
+	return p.cur.Load()
+}
+
+// Publish swaps s in as the current snapshot and reports whether the swap
+// happened. Epochs must advance: a snapshot at or behind the current
+// epoch is refused (false), so a late or replayed commit can never roll
+// visible reads backward — the monotonicity readers rely on.
+func (p *Publisher) Publish(s *Snapshot) bool {
+	for {
+		old := p.cur.Load()
+		if old != nil && s.epoch <= old.epoch {
+			return false
+		}
+		if p.cur.CompareAndSwap(old, s) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSnapshotSwapConcurrent hammers readers while a committer publishes
+// epoch after epoch — the exact interleaving gpsd -serve lives under. Run
+// with -race (CI does). Each published snapshot carries a self-describing
+// invariant: at epoch e the inventory holds sizeAt(e) services, every one
+// of them seen at e. A reader observing any snapshot where the aggregates
+// disagree with each other, or where its epoch sequence moves backward,
+// proves a torn read or a non-atomic swap.
+func TestSnapshotSwapConcurrent(t *testing.T) {
+	const (
+		epochs  = 60
+		readers = 4
+	)
+	sizeAt := func(epoch int) int { return 20 + epoch }
+
+	var pub Publisher
+	srv := NewServer(&pub)
+	h := srv.Handler()
+	var done atomic.Bool
+	var torn atomic.Int32
+
+	check := func(lastEpoch int) int {
+		snap := pub.Current()
+		if snap == nil {
+			return lastEpoch
+		}
+		e := snap.Epoch()
+		if e < lastEpoch {
+			t.Errorf("epoch went backward: %d after %d", e, lastEpoch)
+			torn.Add(1)
+		}
+		st := snap.Stats()
+		want := sizeAt(e)
+		if st.Services != want || snap.NumServices() != want ||
+			st.Freshness.Known != want || st.Freshness.Fresh != want {
+			t.Errorf("epoch %d: inconsistent aggregates %+v; want %d services, all fresh", e, st, want)
+			torn.Add(1)
+		}
+		sum := 0
+		for _, pc := range snap.Ports() {
+			sum += pc.Services
+		}
+		if sum != want {
+			t.Errorf("epoch %d: port aggregate sums to %d; want %d", e, sum, want)
+			torn.Add(1)
+		}
+		return e
+	}
+
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			last := 0
+			for i := 0; !done.Load() && torn.Load() == 0; i++ {
+				last = check(last)
+				if i%8 != 0 {
+					continue
+				}
+				// Every so often go through the full HTTP path (ETag,
+				// cache, JSON render) instead of the raw snapshot.
+				req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+				rr := httptest.NewRecorder()
+				h.ServeHTTP(rr, req)
+				if rr.Code == http.StatusServiceUnavailable {
+					continue
+				}
+				var body struct {
+					Epoch    int `json:"epoch"`
+					Services int `json:"services"`
+					Fresh    int `json:"fresh"`
+				}
+				if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+					t.Errorf("reader %d: bad stats body: %v", r, err)
+					torn.Add(1)
+					return
+				}
+				if body.Epoch < last {
+					t.Errorf("served epoch went backward: %d after %d", body.Epoch, last)
+					torn.Add(1)
+				}
+				if want := sizeAt(body.Epoch); body.Services != want || body.Fresh != want {
+					t.Errorf("served epoch %d: %d services %d fresh; want %d", body.Epoch, body.Services, body.Fresh, want)
+					torn.Add(1)
+				}
+				last = body.Epoch
+			}
+		}(r)
+	}
+
+	for e := 1; e <= epochs && torn.Load() == 0; e++ {
+		if !pub.Publish(NewSnapshot(e, testInventory(sizeAt(e), e))) {
+			t.Errorf("publish of epoch %d refused", e)
+		}
+	}
+	done.Store(true)
+	wg.Wait()
+
+	if got := pub.Current().Epoch(); got != epochs && torn.Load() == 0 {
+		t.Errorf("final epoch %d; want %d", got, epochs)
+	}
+}

@@ -1,0 +1,365 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"gps/internal/asndb"
+)
+
+// Pagination and cache bounds. The limits keep one request's work bounded
+// no matter how large the inventory grows; the cache bound keeps the
+// server's memory footprint independent of query diversity.
+const (
+	defaultPageLimit = 100
+	maxPageLimit     = 1000
+	cacheEntries     = 256
+)
+
+// Server is the HTTP query API over a Publisher. Every handler is a pure
+// reader: it loads the current snapshot once, answers entirely from it,
+// and tags the response with an ETag derived from the snapshot epoch so
+// pollers revalidate with If-None-Match for free 304s between commits.
+//
+//	GET /v1/healthz          liveness + current epoch (503 until first publish)
+//	GET /v1/stats            precomputed aggregates (services, hosts, freshness)
+//	GET /v1/ports            per-port service counts
+//	GET /v1/host/{ip}        every service on one address
+//	GET /v1/port/{port}      services on a port       (?offset=&limit=)
+//	GET /v1/asn/{asn}        services in an AS        (?offset=&limit=)
+//	GET /v1/prefix/{ip}      services in ip's /16     (?offset=&limit=)
+//
+// List bodies are pure functions of the inventory (the epoch travels in
+// the ETag and /v1/stats only), so two servers holding byte-identical
+// inventories serve byte-identical list responses — the distributed CI
+// gate curls a live coordinator and a standalone file server and diffs.
+type Server struct {
+	pub   *Publisher
+	cache *queryCache
+}
+
+// NewServer wraps a Publisher. Multiple servers may share one publisher;
+// each keeps its own query cache.
+func NewServer(pub *Publisher) *Server {
+	return &Server{pub: pub, cache: newQueryCache(cacheEntries)}
+}
+
+// Handler returns the API's routing handler, ready to mount on an
+// http.Server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/ports", s.handlePorts)
+	mux.HandleFunc("/v1/host/", s.handleHost)
+	mux.HandleFunc("/v1/port/", s.handlePort)
+	mux.HandleFunc("/v1/asn/", s.handleASN)
+	mux.HandleFunc("/v1/prefix/", s.handlePrefix)
+	return mux
+}
+
+// JSON shapes. Fields marshal in declaration order, so bodies are
+// byte-deterministic for a given inventory.
+
+type serviceJSON struct {
+	IP        string `json:"ip"`
+	Port      uint16 `json:"port"`
+	Proto     string `json:"proto"`
+	ASN       uint32 `json:"asn"`
+	FirstSeen int    `json:"first_seen"`
+	LastSeen  int    `json:"last_seen"`
+	Stale     int    `json:"stale"`
+}
+
+type listJSON struct {
+	Query    string        `json:"query"`
+	Total    int           `json:"total"`
+	Offset   int           `json:"offset"`
+	Count    int           `json:"count"`
+	Services []serviceJSON `json:"services"`
+}
+
+type statsJSON struct {
+	Epoch     int     `json:"epoch"`
+	Services  int     `json:"services"`
+	Hosts     int     `json:"hosts"`
+	Ports     int     `json:"ports"`
+	Prefixes  int     `json:"prefixes"`
+	ASNs      int     `json:"asns"`
+	Fresh     int     `json:"fresh"`
+	Stale     int     `json:"stale"`
+	FreshFrac float64 `json:"fresh_frac"`
+	StaleRate float64 `json:"stale_rate"`
+}
+
+type portCountJSON struct {
+	Port     uint16 `json:"port"`
+	Services int    `json:"services"`
+}
+
+type portsJSON struct {
+	Total int             `json:"total"`
+	Ports []portCountJSON `json:"ports"`
+}
+
+func toServiceJSON(svcs []Service) []serviceJSON {
+	out := make([]serviceJSON, len(svcs))
+	for i, v := range svcs {
+		out[i] = serviceJSON{
+			IP: v.IP.String(), Port: v.Port,
+			Proto: v.Proto.String(), ASN: uint32(v.ASN),
+			FirstSeen: v.FirstSeen, LastSeen: v.LastSeen, Stale: v.Stale,
+		}
+	}
+	return out
+}
+
+// snapshot is the per-request preamble: method gate and the current
+// snapshot (or 503 before the first publish). A false return means the
+// response is already written. Conditional revalidation happens in
+// respond, after the handler validated its inputs — a malformed URL must
+// 400, not 304, whatever ETag the client waves around.
+func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) (*Snapshot, bool) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeError(w, http.StatusMethodNotAllowed, "GET or HEAD only")
+		return nil, false
+	}
+	snap := s.pub.Current()
+	if snap == nil {
+		writeError(w, http.StatusServiceUnavailable, "no inventory snapshot published yet")
+		return nil, false
+	}
+	return snap, true
+}
+
+// epochETag derives the strong validator every response carries: the
+// inventory can only change by snapshot swap, and a swap always advances
+// the epoch, so the epoch alone identifies the response bytes.
+func epochETag(epoch int) string { return fmt.Sprintf("%q", "gps-epoch-"+strconv.Itoa(epoch)) }
+
+func matchesETag(ifNoneMatch, etag string) bool {
+	if strings.TrimSpace(ifNoneMatch) == "*" {
+		return true
+	}
+	for _, c := range strings.Split(ifNoneMatch, ",") {
+		if strings.TrimSpace(c) == etag {
+			return true
+		}
+	}
+	return false
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	body, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	w.Write(append(body, '\n'))
+}
+
+// respond finishes one validated query: ETag revalidation (free 304s for
+// pollers between commits), then a cacheable JSON body — cache hit by
+// (epoch, key), or build + marshal + store. The key canonicalizes
+// everything the body depends on besides the snapshot itself.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, snap *Snapshot, key string, build func() any) {
+	etag := epochETag(snap.Epoch())
+	w.Header().Set("ETag", etag)
+	if inm := r.Header.Get("If-None-Match"); inm != "" && matchesETag(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	body, ok := s.cache.get(snap.Epoch(), key)
+	if !ok {
+		var err error
+		if body, err = json.Marshal(build()); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		body = append(body, '\n')
+		s.cache.put(snap.Epoch(), key, body)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// pageParams parses ?offset= and ?limit= with bounds. limit caps at
+// maxPageLimit so one request's work stays bounded.
+func pageParams(r *http.Request) (offset, limit int, err error) {
+	q := r.URL.Query()
+	offset, limit = 0, defaultPageLimit
+	if v := q.Get("offset"); v != "" {
+		if offset, err = strconv.Atoi(v); err != nil || offset < 0 {
+			return 0, 0, fmt.Errorf("bad offset %q", v)
+		}
+	}
+	if v := q.Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 0 {
+			return 0, 0, fmt.Errorf("bad limit %q", v)
+		}
+	}
+	if limit > maxPageLimit {
+		limit = maxPageLimit
+	}
+	return offset, limit, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		writeError(w, http.StatusMethodNotAllowed, "GET or HEAD only")
+		return
+	}
+	type health struct {
+		Status   string `json:"status"`
+		Epoch    int    `json:"epoch"`
+		Services int    `json:"services"`
+	}
+	snap := s.pub.Current()
+	w.Header().Set("Content-Type", "application/json")
+	if snap == nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		body, _ := json.Marshal(health{Status: "starting"})
+		w.Write(append(body, '\n'))
+		return
+	}
+	body, _ := json.Marshal(health{Status: "ok", Epoch: snap.Epoch(), Services: snap.NumServices()})
+	w.Write(append(body, '\n'))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w, r)
+	if !ok {
+		return
+	}
+	s.respond(w, r, snap, "stats", func() any {
+		st := snap.Stats()
+		return statsJSON{
+			Epoch: st.Epoch, Services: st.Services, Hosts: st.Hosts,
+			Ports: st.Ports, Prefixes: st.Prefixes, ASNs: st.ASNs,
+			Fresh: st.Freshness.Fresh, Stale: st.Freshness.Stale,
+			FreshFrac: st.Freshness.FreshFrac(), StaleRate: st.Freshness.StaleRate(),
+		}
+	})
+}
+
+func (s *Server) handlePorts(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w, r)
+	if !ok {
+		return
+	}
+	s.respond(w, r, snap, "ports", func() any {
+		pcs := snap.Ports()
+		out := portsJSON{Total: len(pcs), Ports: make([]portCountJSON, len(pcs))}
+		for i, pc := range pcs {
+			out.Ports[i] = portCountJSON{Port: pc.Port, Services: pc.Services}
+		}
+		return out
+	})
+}
+
+func (s *Server) handleHost(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w, r)
+	if !ok {
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.Path, "/v1/host/")
+	ip, err := asndb.ParseIP(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad ip %q", raw))
+		return
+	}
+	s.respond(w, r, snap, "host|"+strconv.FormatUint(uint64(ip), 10), func() any {
+		svcs := snap.Host(ip)
+		return listJSON{
+			Query: "host " + ip.String(), Total: len(svcs), Offset: 0,
+			Count: len(svcs), Services: toServiceJSON(svcs),
+		}
+	})
+}
+
+func (s *Server) handlePort(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w, r)
+	if !ok {
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.Path, "/v1/port/")
+	port, err := strconv.ParseUint(raw, 10, 16)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad port %q", raw))
+		return
+	}
+	offset, limit, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := fmt.Sprintf("port|%d|%d|%d", port, offset, limit)
+	s.respond(w, r, snap, key, func() any {
+		svcs, total := snap.Port(uint16(port), offset, limit)
+		return listJSON{
+			// The canonical spelling, not the raw path segment: the body
+			// must be a pure function of the cache key ("0443" and "443"
+			// share one).
+			Query: fmt.Sprintf("port %d", port), Total: total, Offset: offset,
+			Count: len(svcs), Services: toServiceJSON(svcs),
+		}
+	})
+}
+
+func (s *Server) handleASN(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w, r)
+	if !ok {
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.Path, "/v1/asn/")
+	asn, err := strconv.ParseUint(strings.TrimPrefix(raw, "AS"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad asn %q", raw))
+		return
+	}
+	offset, limit, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := fmt.Sprintf("asn|%d|%d|%d", asn, offset, limit)
+	s.respond(w, r, snap, key, func() any {
+		svcs, total := snap.ASN(asndb.ASN(asn), offset, limit)
+		return listJSON{
+			Query: fmt.Sprintf("asn AS%d", asn), Total: total, Offset: offset,
+			Count: len(svcs), Services: toServiceJSON(svcs),
+		}
+	})
+}
+
+func (s *Server) handlePrefix(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.snapshot(w, r)
+	if !ok {
+		return
+	}
+	raw := strings.TrimPrefix(r.URL.Path, "/v1/prefix/")
+	ip, err := asndb.ParseIP(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad prefix address %q", raw))
+		return
+	}
+	offset, limit, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	pfx := ip & asndb.Mask(16)
+	key := fmt.Sprintf("prefix|%d|%d|%d", pfx, offset, limit)
+	s.respond(w, r, snap, key, func() any {
+		svcs, total := snap.Prefix16(ip, offset, limit)
+		return listJSON{
+			Query: "prefix " + asndb.Subnet16(ip), Total: total, Offset: offset,
+			Count: len(svcs), Services: toServiceJSON(svcs),
+		}
+	})
+}

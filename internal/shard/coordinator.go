@@ -47,7 +47,16 @@ func (c Config) shardConfig(i int, budgets []uint64) continuous.Config {
 type Coordinator struct {
 	cfg     Config
 	runners []*continuous.Runner
+	hook    CommitHook
 }
+
+// CommitHook observes each committed coordinator epoch. It runs
+// synchronously at the end of Epoch, after every shard finished, with the
+// epoch number and the freshly merged (MergeInventories) global
+// inventory. The map is the hook's to keep: it is built per call and
+// shares nothing with shard state, so the serving layer can index it
+// without copying again.
+type CommitHook func(epoch int, inv map[netmodel.Key]*continuous.Entry)
 
 // NewCoordinator creates a coordinator seeded with an initial observation
 // set. The seed is handed to every runner; each keeps only the records its
@@ -82,6 +91,11 @@ func ResumeCoordinator(states []*continuous.State, cfg Config) (*Coordinator, er
 
 // Shards returns the partition count.
 func (c *Coordinator) Shards() int { return len(c.runners) }
+
+// SetCommitHook registers the hook Epoch invokes after each commit; nil
+// unregisters. Call it before the epoch loop starts, not concurrently
+// with Epoch.
+func (c *Coordinator) SetCommitHook(h CommitHook) { c.hook = h }
 
 // EmptyShards returns the indexes of shards with an empty inventory.
 // After construction these are the partitions that received no seed
@@ -132,6 +146,10 @@ func (c *Coordinator) Epoch(u *netmodel.Universe) (continuous.EpochStats, error)
 		if err != nil {
 			return continuous.EpochStats{}, fmt.Errorf("shard: shard %d/%d: %w", i, len(c.runners), err)
 		}
+	}
+	if c.hook != nil {
+		inv, _ := MergeInventories(c.States())
+		c.hook(c.EpochNumber(), inv)
 	}
 	return MergeStats(stats), nil
 }

@@ -213,3 +213,37 @@ func TestEmptyShardsDetected(t *testing.T) {
 		t.Errorf("8-way split of 1 record reports %d empty shards; want 7", len(empty))
 	}
 }
+
+// TestCoordinatorCommitHook verifies the hook fires after each epoch's
+// shards all finish, carrying the same merged inventory Inventory()
+// reports — the contract the serving layer snapshots on.
+func TestCoordinatorCommitHook(t *testing.T) {
+	u, seedSet := testWorld(t, 13)
+	c := NewCoordinator(seedSet, coordConfig(2))
+
+	var epochs []int
+	var hookInv map[netmodel.Key]*continuous.Entry
+	c.SetCommitHook(func(epoch int, inv map[netmodel.Key]*continuous.Entry) {
+		epochs = append(epochs, epoch)
+		hookInv = inv
+	})
+
+	world := netmodel.Churn(u, netmodel.DefaultChurn(101))
+	if _, err := c.Epoch(world); err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 1 || epochs[0] != 1 {
+		t.Fatalf("hook saw epochs %v; want [1]", epochs)
+	}
+	want, _ := c.Inventory()
+	if len(hookInv) != len(want) {
+		t.Fatalf("hook inventory holds %d entries; Inventory() reports %d", len(hookInv), len(want))
+	}
+	for k, e := range want {
+		g, ok := hookInv[k]
+		if !ok || g.FirstSeen != e.FirstSeen || g.LastSeen != e.LastSeen ||
+			g.Stale != e.Stale || g.Rec.Key() != e.Rec.Key() {
+			t.Fatalf("hook inventory disagrees with Inventory() at %v", k)
+		}
+	}
+}

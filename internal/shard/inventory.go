@@ -3,24 +3,83 @@ package shard
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"io"
 	"sort"
 
+	"gps/internal/asndb"
 	"gps/internal/continuous"
+	"gps/internal/dataset"
+	"gps/internal/features"
 	"gps/internal/netmodel"
 )
 
-// stateInventoryMagic heads WriteInventory output. (The batch pipeline's
-// key-set dump under "GPSI" lives in batch.go; this format additionally
-// carries the per-entry observation history a continuous inventory holds.)
-const stateInventoryMagic = "GPSV"
+// Inventory format ("GPSV", version 2):
+//
+//	magic "GPSV" | version u8
+//	entry count u64 big-endian
+//	per entry, sorted by (IP, port):
+//	  IP u32 | port u16 (big-endian)
+//	  proto, asn, ttl uvarints
+//	  firstSeen, lastSeen, stale uvarints
+//
+// Version 1 had no version byte and carried only the observation
+// counters; version 2 adds the record fields the serving layer indexes on
+// (protocol, ASN, TTL), so a GPSV file is a self-contained serving
+// artifact — gpsd -serve-file answers /v1/asn queries from it without the
+// checkpoint. Application-layer features stay in checkpoints only.
+//
+// (The batch pipeline's key-set dump under "GPSI" lives in batch.go.)
+const (
+	stateInventoryMagic   = "GPSV"
+	stateInventoryVersion = 2
+	// maxInventoryEntries bounds the entry count a file may declare,
+	// mirroring the implausibility guards of the checkpoint readers.
+	maxInventoryEntries = 1 << 28
+)
+
+// InventoryMagicError reports bytes that are not a GPSV inventory at all,
+// or a GPSV version this reader does not speak.
+type InventoryMagicError struct {
+	// Found is the magic encountered; Version is the declared version
+	// when the magic matched (0 otherwise).
+	Found   string
+	Version uint8
+}
+
+func (e *InventoryMagicError) Error() string {
+	if e.Found != stateInventoryMagic {
+		return fmt.Sprintf("shard: bad inventory magic %q, want %q", e.Found, stateInventoryMagic)
+	}
+	return fmt.Sprintf("shard: unsupported inventory version %d, want %d (version-1 files predate the serving fields and must be rewritten)",
+		e.Version, stateInventoryVersion)
+}
+
+// InventoryTruncatedError reports an inventory cut short mid-stream: the
+// header or an entry ended before its declared size was read.
+type InventoryTruncatedError struct {
+	// Entry is the 0-based index of the entry being decoded, or -1 when
+	// the header itself was short.
+	Entry int
+	Err   error
+}
+
+func (e *InventoryTruncatedError) Error() string {
+	if e.Entry < 0 {
+		return fmt.Sprintf("shard: truncated inventory header: %v", e.Err)
+	}
+	return fmt.Sprintf("shard: truncated inventory at entry %d: %v", e.Entry, e.Err)
+}
+
+func (e *InventoryTruncatedError) Unwrap() error { return e.Err }
 
 // WriteInventory serializes a merged continuous inventory canonically:
-// the sorted (IP, port) key set, each key followed by its entry's
-// FirstSeen/LastSeen/Stale counters. Two coordinators that tracked the
-// same services through the same epochs produce byte-identical output
-// whatever their shard layout or transport — the determinism contract the
-// distributed CI gate diffs.
+// the sorted (IP, port) key set, each key followed by its entry's record
+// fields and FirstSeen/LastSeen/Stale counters. Two coordinators that
+// tracked the same services through the same epochs produce
+// byte-identical output whatever their shard layout or transport — the
+// determinism contract the distributed CI gate diffs.
 func WriteInventory(w io.Writer, inv map[netmodel.Key]*continuous.Entry) error {
 	keys := make([]netmodel.Key, 0, len(inv))
 	for k := range inv {
@@ -30,6 +89,7 @@ func WriteInventory(w io.Writer, inv map[netmodel.Key]*continuous.Entry) error {
 
 	bw := bufio.NewWriter(w)
 	bw.WriteString(stateInventoryMagic)
+	bw.WriteByte(stateInventoryVersion)
 	var hdr [8]byte
 	binary.BigEndian.PutUint64(hdr[:], uint64(len(keys)))
 	bw.Write(hdr[:])
@@ -39,9 +99,84 @@ func WriteInventory(w io.Writer, inv map[netmodel.Key]*continuous.Entry) error {
 		binary.BigEndian.PutUint16(kb[4:6], k.Port)
 		bw.Write(kb[:])
 		e := inv[k]
+		writeUvarint(bw, uint64(e.Rec.Proto))
+		writeUvarint(bw, uint64(e.Rec.ASN))
+		writeUvarint(bw, uint64(e.Rec.TTL))
 		writeUvarint(bw, uint64(e.FirstSeen))
 		writeUvarint(bw, uint64(e.LastSeen))
 		writeUvarint(bw, uint64(e.Stale))
 	}
 	return bw.Flush()
+}
+
+// ReadInventory parses WriteInventory output back into a merged
+// inventory. The reconstructed entries carry the key, the serving fields
+// (protocol, ASN, TTL), and the observation counters; application-layer
+// features are not part of the format and come back empty. Errors are
+// typed: *InventoryMagicError for foreign or wrong-version bytes,
+// *InventoryTruncatedError for a stream cut short; other corruption (an
+// implausible entry count, trailing bytes) returns a plain error.
+func ReadInventory(r io.Reader) (map[netmodel.Key]*continuous.Entry, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, 4+1+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, &InventoryTruncatedError{Entry: -1, Err: err}
+	}
+	if string(hdr[:4]) != stateInventoryMagic {
+		return nil, &InventoryMagicError{Found: string(hdr[:4])}
+	}
+	if hdr[4] != stateInventoryVersion {
+		return nil, &InventoryMagicError{Found: stateInventoryMagic, Version: hdr[4]}
+	}
+	n := binary.BigEndian.Uint64(hdr[5:])
+	if n > maxInventoryEntries {
+		return nil, fmt.Errorf("shard: implausible inventory entry count %d", n)
+	}
+
+	// The capacity hint trusts the header only up to a point: a crafted
+	// 13-byte file may declare any count under the cap, and the bytes
+	// backing real entries are only proven to exist as the loop reads
+	// them — so a short file must fail with a truncation error, not an
+	// up-front multi-gigabyte allocation.
+	hint := n
+	if hint > 1<<20 {
+		hint = 1 << 20
+	}
+	inv := make(map[netmodel.Key]*continuous.Entry, hint)
+	var kb [6]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, kb[:]); err != nil {
+			return nil, &InventoryTruncatedError{Entry: int(i), Err: err}
+		}
+		k := netmodel.Key{
+			IP:   asndb.IP(binary.BigEndian.Uint32(kb[:4])),
+			Port: binary.BigEndian.Uint16(kb[4:6]),
+		}
+		var vals [6]uint64
+		for j := range vals {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					err = io.ErrUnexpectedEOF
+				}
+				return nil, &InventoryTruncatedError{Entry: int(i), Err: err}
+			}
+			vals[j] = v
+		}
+		inv[k] = &continuous.Entry{
+			Rec: dataset.Record{
+				IP: k.IP, Port: k.Port,
+				Proto: features.Protocol(vals[0]),
+				ASN:   asndb.ASN(vals[1]),
+				TTL:   uint8(vals[2]),
+			},
+			FirstSeen: int(vals[3]),
+			LastSeen:  int(vals[4]),
+			Stale:     int(vals[5]),
+		}
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("shard: trailing data after %d inventory entries", n)
+	}
+	return inv, nil
 }

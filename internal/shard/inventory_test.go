@@ -1,0 +1,133 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"gps/internal/asndb"
+	"gps/internal/continuous"
+	"gps/internal/dataset"
+	"gps/internal/features"
+	"gps/internal/netmodel"
+)
+
+// TestInventoryRoundTrip pins the write→read contract: everything the
+// GPSV format carries (key, proto, ASN, TTL, observation counters) comes
+// back exactly, and re-serializing the parsed inventory reproduces the
+// input bytes — so a served file is as authoritative as the run that
+// wrote it.
+func TestInventoryRoundTrip(t *testing.T) {
+	states := rebalanceStates(t, 2)
+	inv, _ := MergeInventories(states)
+	if len(inv) == 0 {
+		t.Fatal("empty test inventory")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteInventory(&buf, inv); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+
+	got, err := ReadInventory(bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(inv) {
+		t.Fatalf("round trip returned %d entries; want %d", len(got), len(inv))
+	}
+	for k, e := range inv {
+		g, ok := got[k]
+		if !ok {
+			t.Fatalf("round trip lost %v", k)
+		}
+		if g.FirstSeen != e.FirstSeen || g.LastSeen != e.LastSeen || g.Stale != e.Stale {
+			t.Errorf("%v counters: got %d/%d/%d, want %d/%d/%d",
+				k, g.FirstSeen, g.LastSeen, g.Stale, e.FirstSeen, e.LastSeen, e.Stale)
+		}
+		if g.Rec.IP != k.IP || g.Rec.Port != k.Port ||
+			g.Rec.Proto != e.Rec.Proto || g.Rec.ASN != e.Rec.ASN || g.Rec.TTL != e.Rec.TTL {
+			t.Errorf("%v serving fields: got %v/%v/%d, want %v/%v/%d",
+				k, g.Rec.Proto, g.Rec.ASN, g.Rec.TTL, e.Rec.Proto, e.Rec.ASN, e.Rec.TTL)
+		}
+	}
+
+	var again bytes.Buffer
+	if err := WriteInventory(&again, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire, again.Bytes()) {
+		t.Error("re-serializing the parsed inventory changed the bytes")
+	}
+}
+
+func TestReadInventoryEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteInventory(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	inv, err := ReadInventory(&buf)
+	if err != nil || len(inv) != 0 {
+		t.Fatalf("empty inventory round trip: %d entries, %v", len(inv), err)
+	}
+}
+
+func TestReadInventoryTypedErrors(t *testing.T) {
+	// A small hand-built inventory: the truncation sweep below parses a
+	// prefix of the wire for every cut point, so the file must stay tiny
+	// for the test to stay O(bytes²)-cheap.
+	inv := make(map[netmodel.Key]*continuous.Entry)
+	for i := 0; i < 4; i++ {
+		ip := asndb.IP(0x0a000001 + uint32(i))
+		inv[netmodel.Key{IP: ip, Port: 443}] = &continuous.Entry{
+			Rec:       dataset.Record{IP: ip, Port: 443, Proto: features.ProtocolTLS, ASN: 64500, TTL: 64},
+			FirstSeen: 1, LastSeen: 2 + i, Stale: i % 2,
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteInventory(&buf, inv); err != nil {
+		t.Fatal(err)
+	}
+	wire := buf.Bytes()
+
+	// Foreign bytes: a magic error naming what was found.
+	var magicErr *InventoryMagicError
+	_, err := ReadInventory(bytes.NewReader([]byte("GPSXxxxxxxxxxxxx")))
+	if !errors.As(err, &magicErr) || magicErr.Found != "GPSX" {
+		t.Errorf("foreign magic: %v; want *InventoryMagicError{Found: GPSX}", err)
+	}
+
+	// A version-1 file (no version byte: the count's high 0x00 byte lands
+	// where the version lives) must fail loudly, not misparse.
+	v1 := append([]byte(stateInventoryMagic), make([]byte, 9)...)
+	_, err = ReadInventory(bytes.NewReader(v1))
+	if !errors.As(err, &magicErr) || magicErr.Found != stateInventoryMagic || magicErr.Version == stateInventoryVersion {
+		t.Errorf("version-1 bytes: %v; want a version mismatch", err)
+	}
+
+	// Every possible truncation point yields a typed truncation error
+	// (never a silent short inventory, never a panic).
+	for cut := 0; cut < len(wire); cut++ {
+		_, err := ReadInventory(bytes.NewReader(wire[:cut]))
+		var truncErr *InventoryTruncatedError
+		if cut < 5+8 {
+			if !errors.As(err, &truncErr) || truncErr.Entry != -1 {
+				t.Fatalf("cut at %d: %v; want header truncation", cut, err)
+			}
+			continue
+		}
+		if !errors.As(err, &truncErr) {
+			t.Fatalf("cut at %d: %v; want *InventoryTruncatedError", cut, err)
+		}
+		if truncErr.Entry < 0 || truncErr.Entry >= len(inv) {
+			t.Fatalf("cut at %d: entry index %d out of range", cut, truncErr.Entry)
+		}
+	}
+
+	// Trailing garbage after the declared entries is corruption too.
+	_, err = ReadInventory(bytes.NewReader(append(append([]byte{}, wire...), 0xFF)))
+	if err == nil {
+		t.Error("trailing data accepted")
+	}
+}

@@ -105,6 +105,7 @@ type Coordinator struct {
 	inited  []bool // shard is initialized on its currently assigned worker
 	states  []*continuous.State
 	budgets []uint64
+	hook    shard.CommitHook
 
 	failures []*WorkerError
 }
@@ -416,6 +417,13 @@ func (c *Coordinator) Epoch() (continuous.EpochStats, error) {
 			stats = append(stats, st.History[len(st.History)-1])
 		}
 	}
+	if c.hook != nil {
+		// The commit is all-or-nothing (above), so the hook only ever
+		// observes a fully consistent post-epoch layout — exactly like
+		// the in-process coordinator's.
+		inv, _ := shard.MergeInventories(c.states)
+		c.hook(epoch, inv)
+	}
 	return shard.MergeStats(stats), nil
 }
 
@@ -465,6 +473,12 @@ func indexOf(xs []int, x int) int {
 
 // Shards returns the partition count.
 func (c *Coordinator) Shards() int { return c.cfg.Shards }
+
+// SetCommitHook registers the hook Epoch invokes after each all-or-
+// nothing state commit, mirroring the in-process coordinator; nil
+// unregisters. Call it before the epoch loop starts, not concurrently
+// with Epoch.
+func (c *Coordinator) SetCommitHook(h shard.CommitHook) { c.hook = h }
 
 // EpochNumber returns the last completed epoch (shards advance in
 // lockstep).

@@ -177,6 +177,15 @@ func TestTransportDistributedMatchesInProcess(t *testing.T) {
 	}
 	defer c.Close()
 
+	// The serving layer hangs off this hook; it must observe every
+	// committed epoch in order with the post-commit merged inventory.
+	var hookEpochs []int
+	var hookInv map[netmodel.Key]*continuous.Entry
+	c.SetCommitHook(func(epoch int, inv map[netmodel.Key]*continuous.Entry) {
+		hookEpochs = append(hookEpochs, epoch)
+		hookInv = inv
+	})
+
 	_, seedSet := testSeed(worldSeed)
 	if err := c.Seed(seedSet); err != nil {
 		t.Fatal(err)
@@ -190,6 +199,16 @@ func TestTransportDistributedMatchesInProcess(t *testing.T) {
 		if stats.Epoch != e || c.EpochNumber() != e {
 			t.Errorf("epoch counters %d/%d; want %d", stats.Epoch, c.EpochNumber(), e)
 		}
+	}
+	if len(hookEpochs) != epochs || hookEpochs[0] != 1 || hookEpochs[epochs-1] != epochs {
+		t.Errorf("commit hook saw epochs %v; want 1..%d", hookEpochs, epochs)
+	}
+	var hookBytes bytes.Buffer
+	if err := shard.WriteInventory(&hookBytes, hookInv); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(hookBytes.Bytes(), inventoryBytes(t, c.States())) {
+		t.Error("final commit-hook inventory differs from the merged states")
 	}
 
 	if !bytes.Equal(stateBytes(t, c.States()), stateBytes(t, ref)) {

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Distributed end-to-end gate: a 1-coordinator + 3-worker gpsd fleet over
 # a small universe must produce a merged inventory byte-identical to the
-# single-process 4-shard run, and a split+join re-balance of the
-# distributed checkpoint must round-trip byte-identically (no rescan).
+# single-process 4-shard run, a split+join re-balance of the distributed
+# checkpoint must round-trip byte-identically (no rescan), and the
+# inventory query API must serve identical answers from the single
+# process, the distributed coordinator, and a standalone GPSV file —
+# totals matching the merged inventory exactly.
 #
 # CI runs this under `timeout 300` so a wedged worker fails the job
 # instead of hanging it; everything the run produces lands in $DIR, which
@@ -18,28 +21,106 @@ mkdir -p "$DIR"
 COMMON=(-seed 7 -prefixes 8 -density 0.02 -seed-fraction 0.05
         -epochs 3 -budget 60000 -shards 4 -parallelism 1 -exact-counts)
 
-echo "== single-process reference (4 in-process shards)"
-"$BIN" "${COMMON[@]}" -checkpoint "$DIR/single.ckpt" -inventory "$DIR/single.inv" \
-    > "$DIR/single.log" 2>&1
-
-echo "== starting 3 workers"
 pids=()
 cleanup() { kill "${pids[@]}" 2>/dev/null || true; }
 trap cleanup EXIT
+
+# wait_stats URL EPOCH: poll until the served stats report the epoch.
+wait_stats() {
+  for _ in $(seq 1 150); do
+    if curl -fsS "$1/v1/stats" 2>/dev/null | grep -q "\"epoch\":$2,"; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "server at $1 never served epoch $2" >&2
+  return 1
+}
+
+# wait_healthy URL: poll until /v1/healthz answers ok.
+wait_healthy() {
+  for _ in $(seq 1 150); do
+    if curl -fsS "$1/v1/healthz" 2>/dev/null | grep -q '"status":"ok"'; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "server at $1 never became healthy" >&2
+  return 1
+}
+
+# snapshot_queries URL PREFIX: capture the query set the gate diffs.
+# List bodies carry no epoch (it travels in the ETag), so equal
+# inventories must serve equal bytes whatever process answers.
+snapshot_queries() {
+  curl -fsS "$1/v1/stats" > "$DIR/$2.stats.json"
+  curl -fsS "$1/v1/ports" > "$DIR/$2.ports.json"
+  local port
+  port=$(grep -o '"port":[0-9]*' "$DIR/$2.ports.json" | head -1 | cut -d: -f2)
+  echo "$port" > "$DIR/$2.port"
+  curl -fsS "$1/v1/port/$port?limit=50" > "$DIR/$2.port.json"
+}
+
+echo "== single-process reference (4 in-process shards, serving on :7471)"
+"$BIN" "${COMMON[@]}" -checkpoint "$DIR/single.ckpt" -inventory "$DIR/single.inv" \
+    -serve 127.0.0.1:7471 > "$DIR/single.log" 2>&1 &
+single_pid=$!
+pids+=($single_pid)
+wait_stats http://127.0.0.1:7471 3
+snapshot_queries http://127.0.0.1:7471 single
+# SIGTERM must flush the final checkpoint + inventory and exit 0: the
+# .inv the rest of the gate diffs only exists if clean shutdown works.
+kill -TERM $single_pid
+wait $single_pid
+test -s "$DIR/single.inv"
+
+echo "== starting 3 workers"
 ports=(7461 7462 7463)
 for p in "${ports[@]}"; do
   "$BIN" -worker -listen "127.0.0.1:$p" > "$DIR/worker-$p.log" 2>&1 &
   pids+=($!)
 done
 
-echo "== distributed run (coordinator + 3 workers, 4 shards)"
+echo "== distributed run (coordinator + 3 workers, 4 shards, serving on :7472)"
 workers=$(IFS=,; echo "${ports[*]/#/127.0.0.1:}")
 "$BIN" "${COMMON[@]}" -coordinator -workers "$workers" \
     -checkpoint "$DIR/dist.ckpt" -shard-checkpoints "$DIR/shards" \
-    -inventory "$DIR/dist.inv" > "$DIR/coordinator.log" 2>&1
+    -inventory "$DIR/dist.inv" -serve 127.0.0.1:7472 > "$DIR/coordinator.log" 2>&1 &
+coord_pid=$!
+pids+=($coord_pid)
+wait_stats http://127.0.0.1:7472 3
+snapshot_queries http://127.0.0.1:7472 dist
+kill -TERM $coord_pid
+wait $coord_pid
 
 echo "== diffing merged inventories"
 cmp "$DIR/single.inv" "$DIR/dist.inv"
+
+echo "== diffing served queries: distributed == single-process"
+cmp "$DIR/single.stats.json" "$DIR/dist.stats.json"
+cmp "$DIR/single.ports.json" "$DIR/dist.ports.json"
+cmp "$DIR/single.port.json"  "$DIR/dist.port.json"
+
+echo "== standalone file server over the merged inventory (:7473)"
+"$BIN" -serve 127.0.0.1:7473 -serve-file "$DIR/single.inv" > "$DIR/servefile.log" 2>&1 &
+file_pid=$!
+pids+=($file_pid)
+wait_healthy http://127.0.0.1:7473
+snapshot_queries http://127.0.0.1:7473 file
+kill -TERM $file_pid
+wait $file_pid
+
+# The file server derives its epoch from the inventory, so list bodies
+# must match byte for byte and the stats totals must agree with the live
+# daemons' (the aggregates are pure functions of the merged inventory).
+cmp "$DIR/single.ports.json" "$DIR/file.ports.json"
+cmp "$DIR/single.port.json"  "$DIR/file.port.json"
+live_totals=$(grep -o '"services":[0-9]*,"hosts":[0-9]*,"ports":[0-9]*' "$DIR/single.stats.json")
+file_totals=$(grep -o '"services":[0-9]*,"hosts":[0-9]*,"ports":[0-9]*' "$DIR/file.stats.json")
+if [ -z "$live_totals" ] || [ "$live_totals" != "$file_totals" ]; then
+  echo "served totals diverge: live [$live_totals] vs file [$file_totals]" >&2
+  exit 1
+fi
 
 echo "== re-balance round trip (4 -> 8 -> 4 shards, no rescan)"
 cp "$DIR/dist.ckpt" "$DIR/rebalance.ckpt"
@@ -47,4 +128,4 @@ cp "$DIR/dist.ckpt" "$DIR/rebalance.ckpt"
 "$BIN" -rebalance join  -checkpoint "$DIR/rebalance.ckpt" >> "$DIR/coordinator.log"
 cmp "$DIR/dist.ckpt" "$DIR/rebalance.ckpt"
 
-echo "PASS: distributed inventory byte-identical to single-process; re-balance round-trips"
+echo "PASS: distributed inventory byte-identical to single-process; served queries identical across single, distributed, and file modes; re-balance round-trips"
