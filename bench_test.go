@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -563,5 +564,57 @@ func BenchmarkPredictionThroughput(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = predict.Predict(m, mpf, anchors, nil, engine.Config{})
+	}
+}
+
+// BenchmarkPartitionedWorldBuild measures what a shard worker pays to
+// hold its world: full-universe build vs a 1-of-4 partition build, with
+// retained heap reported per variant (the acceptance criterion is
+// partitioned heap ≲ 1/N + ε of full). heap-bytes is measured once per
+// run on a GC-settled heap; build time is the benchmark's own metric.
+func BenchmarkPartitionedWorldBuild(b *testing.B) {
+	const shards = 4
+	params := func(part *gps.UniversePartition) gps.UniverseParams {
+		p := gps.DemoUniverseParams(7, 16, 0.03)
+		p.Partition = part
+		return p
+	}
+	heapAfter := func(build func() *gps.Universe) (u *gps.Universe, retained uint64) {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		u = build()
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		return u, after.HeapAlloc - min(after.HeapAlloc, before.HeapAlloc)
+	}
+	for _, bench := range []struct {
+		name string
+		part *gps.UniversePartition
+	}{
+		{"full", nil},
+		{"partitioned-1of4", &gps.UniversePartition{Count: shards, Owned: []int{0}}},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			u, retained := heapAfter(func() *gps.Universe {
+				v, err := gps.NewUniverse(params(bench.part))
+				if err != nil {
+					b.Fatal(err)
+				}
+				return v
+			})
+			runtime.KeepAlive(u)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v, err := gps.NewUniverse(params(bench.part))
+				if err != nil {
+					b.Fatal(err)
+				}
+				runtime.KeepAlive(v)
+			}
+			// After ResetTimer, which deletes user metrics.
+			b.ReportMetric(float64(retained), "heap-bytes")
+			b.ReportMetric(float64(u.NumHosts()), "hosts")
+		})
 	}
 }

@@ -37,7 +37,11 @@ func main() {
 	fmt.Printf("generating universe (seed=%d, %d /16s, density %.1f%%)...\n",
 		*seed, *prefixes, 100**density)
 	start := time.Now()
-	u := gps.GenerateUniverse(params)
+	u, err := gps.NewUniverse(params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gps: invalid universe flags:", err)
+		os.Exit(2)
+	}
 	fmt.Printf("  %d hosts, %d services, %d addresses (%.0fms)\n",
 		u.NumHosts(), u.NumServices(), u.SpaceSize(),
 		float64(time.Since(start).Microseconds())/1000)

@@ -115,7 +115,7 @@ func TestCheckpointWorldMismatch(t *testing.T) {
 // self-diagnosing.
 func TestCheckpointStaleMagicHint(t *testing.T) {
 	dir := t.TempDir()
-	for _, stale := range []string{"GPSD", "GPS2"} {
+	for _, stale := range []string{"GPSD", "GPS2", "GPS3"} {
 		path := filepath.Join(dir, stale+".ckpt")
 		data := append([]byte(stale), make([]byte, 64)...)
 		if err := os.WriteFile(path, data, 0o644); err != nil {

@@ -70,7 +70,11 @@ func runCoordinator(f daemonFlags) int {
 	if !resumed {
 		fmt.Printf("gpsd: generating universe (seed=%d, %d /16s, density %.1f%%) for seeding\n",
 			f.seed, f.prefixes, 100*f.density)
-		u := gps.GenerateUniverse(gps.DemoUniverseParams(f.seed, f.prefixes, f.density))
+		u, err := gps.NewUniverse(gps.DemoUniverseParams(f.seed, f.prefixes, f.density))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpsd: invalid universe flags:", err)
+			return 2
+		}
 		if err := coord.Seed(collectSeedSet(u, f)); err != nil {
 			fmt.Fprintln(os.Stderr, "gpsd:", err)
 			return 1

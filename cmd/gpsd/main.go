@@ -238,7 +238,11 @@ func runDaemon(f daemonFlags) int {
 
 	fmt.Printf("gpsd: generating universe (seed=%d, %d /16s, density %.1f%%)\n",
 		f.seed, f.prefixes, 100*f.density)
-	u := gps.GenerateUniverse(params)
+	u, err := gps.NewUniverse(params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpsd: invalid universe flags:", err)
+		return 2
+	}
 	fmt.Printf("gpsd: %d hosts, %d services, %d addresses", u.NumHosts(), u.NumServices(), u.SpaceSize())
 	if f.shards > 1 {
 		fmt.Printf("; %d shards", f.shards)

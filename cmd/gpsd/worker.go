@@ -5,48 +5,152 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"gps"
 )
 
 // demoWorld is the worker-side replica of gpsd's simulated universe. The
-// coordinator broadcasts its 36-byte world header as the transport's
-// world spec; every worker rebuilds the identical deterministic universe
-// from it and steps churn forward epoch by epoch with the same seed+epoch
-// recipe the in-process daemon uses — which is what makes a distributed
-// run byte-identical to a single-process one.
+// coordinator broadcasts its 36-byte world header wrapped in the
+// transport's partition envelope (the total shard count plus this
+// worker's owned shards); the worker rebuilds only the owned partition
+// of the deterministic universe — ~owned/N of the full-world memory —
+// and steps churn forward epoch by epoch with the same seed+epoch recipe
+// the in-process daemon uses. Partitioned generation and churn are
+// subset-stable (every host is a pure function of seed and identity), so
+// the distributed run stays byte-identical to a single-process one.
 type demoWorld struct {
 	id    worldID
+	part  *gps.UniversePartition
 	epoch int
+	base  *gps.Universe // epoch-0 universe, cached so rewinds replay churn only
 	u     *gps.Universe
+	gens  int // universe generations performed, observed by tests
 }
 
-// newDemoWorld is the worker's gps.ShardWorldFactory.
-func newDemoWorld(spec []byte) (gps.ShardWorld, error) {
-	id, err := parseWorldHeader(spec)
+// parseWorkerSpec unwraps the partition envelope and the world header,
+// cross-checking the two shard counts.
+func parseWorkerSpec(spec []byte) (worldID, *gps.UniversePartition, error) {
+	base, shards, owned, err := gps.SplitShardWorldSpec(spec)
 	if err != nil {
-		return nil, fmt.Errorf("world spec: %v", err)
+		return worldID{}, nil, fmt.Errorf("world spec: %v", err)
 	}
-	fmt.Printf("gpsd: worker building universe (seed=%d, %d /16s, density %.1f%%)\n",
-		id.Seed, id.Prefixes, 100*id.Density)
-	u := gps.GenerateUniverse(gps.DemoUniverseParams(id.Seed, id.Prefixes, id.Density))
-	return &demoWorld{id: id, u: u}, nil
+	id, err := parseWorldHeader(base)
+	if err != nil {
+		return worldID{}, nil, fmt.Errorf("world spec: %v", err)
+	}
+	if shards != id.Shards {
+		return worldID{}, nil, fmt.Errorf("world spec: envelope says %d shards, header says %d", shards, id.Shards)
+	}
+	return id, &gps.UniversePartition{Count: shards, Owned: owned}, nil
+}
+
+// newDemoWorld is the worker's gps.ShardWorldFactory. Universe
+// parameters arrive from the network, so they are validated
+// (gps.NewUniverse), never trusted: a corrupt or crafted spec must
+// surface as a `world spec rejected` RPC error, not crash the worker.
+func newDemoWorld(spec []byte) (gps.ShardWorld, error) {
+	id, part, err := parseWorkerSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	w := &demoWorld{id: id, part: part}
+	base, err := w.generate(part)
+	if err != nil {
+		return nil, err
+	}
+	w.base, w.u = base, base
+	w.logBuilt("built")
+	return w, nil
+}
+
+// generate materializes one partition of the world at epoch 0.
+func (w *demoWorld) generate(part *gps.UniversePartition) (*gps.Universe, error) {
+	w.gens++
+	p := gps.DemoUniverseParams(w.id.Seed, w.id.Prefixes, w.id.Density)
+	p.Partition = part
+	return gps.NewUniverse(p)
+}
+
+// logBuilt reports the world the worker now holds, including live heap —
+// the line scripts/distributed_e2e.sh collects to track per-worker
+// memory for partitioned vs full worlds.
+func (w *demoWorld) logBuilt(how string) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Printf("gpsd: worker %s universe (seed=%d, %d /16s, density %.1f%%): owns %d/%d shards, %d hosts, heap %.1f MB\n",
+		how, w.id.Seed, w.id.Prefixes, 100*w.id.Density,
+		len(w.part.Owned), w.part.Count, w.u.NumHosts(), float64(ms.HeapAlloc)/(1<<20))
 }
 
 // UniverseAt returns the universe as of the given epoch. Epochs normally
-// only move forward; a re-queued shard may rewind, in which case the base
-// universe is regenerated and churn replayed (both deterministic).
+// only move forward; a re-queued shard may rewind, in which case churn
+// replays from the cached epoch-0 base — the generator never runs again
+// for a world the worker already built.
 func (w *demoWorld) UniverseAt(e int) (*gps.Universe, error) {
 	if e < w.epoch {
-		w.u = gps.GenerateUniverse(gps.DemoUniverseParams(w.id.Seed, w.id.Prefixes, w.id.Density))
-		w.epoch = 0
+		w.u, w.epoch = w.base, 0
 	}
 	for w.epoch < e {
 		w.epoch++
 		w.u = gps.ApplyChurn(w.u, gps.DefaultChurn(w.id.Seed+int64(w.epoch)))
 	}
 	return w.u, nil
+}
+
+// Extend adopts a revised spec in place: same world, a grown owned-shard
+// set — the shape a re-queued shard from a dead peer arrives in. Only
+// the newly owned shards are generated (at epoch 0) and churn-replayed
+// to the current epoch, then merged into the held universes; the
+// partition the worker already holds is never regenerated. Any other
+// revision (different world, shrunk ownership) returns an error and the
+// transport falls back to a fresh factory build.
+func (w *demoWorld) Extend(spec []byte) error {
+	id, part, err := parseWorkerSpec(spec)
+	if err != nil {
+		return err
+	}
+	if id != w.id || part.Count != w.part.Count {
+		return fmt.Errorf("world spec describes a different world (%+v, %d shards); holding (%+v, %d shards)",
+			id, part.Count, w.id, w.part.Count)
+	}
+	var delta []int
+	for _, s := range part.Owned {
+		if !w.part.Contains(s) {
+			delta = append(delta, s)
+		}
+	}
+	if len(part.Owned) != len(w.part.Owned)+len(delta) {
+		return fmt.Errorf("world spec shrinks the owned-shard set %v to %v", w.part.Owned, part.Owned)
+	}
+	if len(delta) == 0 {
+		w.part = part
+		return nil
+	}
+	dbase, err := w.generate(&gps.UniversePartition{Count: part.Count, Owned: delta})
+	if err != nil {
+		return err
+	}
+	base, err := gps.MergeUniverses(w.base, dbase)
+	if err != nil {
+		return err
+	}
+	// Churn is partition-stable, so replaying the delta partition alone
+	// lands on exactly the hosts the full replay would.
+	du := dbase
+	for e := 1; e <= w.epoch; e++ {
+		du = gps.ApplyChurn(du, gps.DefaultChurn(w.id.Seed+int64(e)))
+	}
+	u := base
+	if w.epoch > 0 {
+		if u, err = gps.MergeUniverses(w.u, du); err != nil {
+			return err
+		}
+	}
+	w.base, w.u, w.part = base, u, part
+	w.logBuilt(fmt.Sprintf("extended (+%d shards)", len(delta)))
+	return nil
 }
 
 // runWorker serves shard epochs until SIGINT/SIGTERM. The world comes

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"gps"
+)
+
+// testWorkerSpec builds the enveloped spec a coordinator would deliver
+// to a worker owning the given shards of testWorldID(n)'s world.
+func testWorkerSpec(t *testing.T, shards int, owned ...int) []byte {
+	t.Helper()
+	return gps.PartitionShardWorldSpec(testWorldID(shards).header(), shards, owned)
+}
+
+func buildDemoWorld(t *testing.T, shards int, owned ...int) *demoWorld {
+	t.Helper()
+	w, err := newDemoWorld(testWorkerSpec(t, shards, owned...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.(*demoWorld)
+}
+
+// TestDemoWorldRewindUsesCachedBase: a re-queued shard may ask for an
+// epoch the world already stepped past; the rewind must replay churn
+// from the cached base, not regenerate the universe.
+func TestDemoWorldRewindUsesCachedBase(t *testing.T) {
+	w := buildDemoWorld(t, 2, 0)
+	if w.gens != 1 {
+		t.Fatalf("world build ran the generator %d times; want 1", w.gens)
+	}
+	u3, err := w.UniverseAt(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1, err := w.UniverseAt(1) // rewind
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.gens != 1 {
+		t.Fatalf("rewinding ran the generator again (%d invocations); want churn replay only", w.gens)
+	}
+	u3b, err := w.UniverseAt(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1.NumHosts() <= u3.NumHosts() {
+		t.Errorf("churn did not shrink hosts: epoch 1 %d, epoch 3 %d", u1.NumHosts(), u3.NumHosts())
+	}
+	if u3b.NumHosts() != u3.NumHosts() || u3b.NumServices() != u3.NumServices() {
+		t.Errorf("replayed epoch 3 differs: %d/%d hosts, %d/%d services",
+			u3b.NumHosts(), u3.NumHosts(), u3b.NumServices(), u3.NumServices())
+	}
+}
+
+// TestDemoWorldPartitioned: the worker materializes only the owned
+// partition, and it matches the full world restricted.
+func TestDemoWorldPartitioned(t *testing.T) {
+	full := buildDemoWorld(t, 4, 0, 1, 2, 3)
+	sub := buildDemoWorld(t, 4, 1)
+	if sub.u.NumHosts() >= full.u.NumHosts()/2 {
+		t.Fatalf("1-of-4 partition holds %d of %d hosts; want ~1/4", sub.u.NumHosts(), full.u.NumHosts())
+	}
+	for _, h := range sub.u.Hosts() {
+		fh, ok := full.u.HostAt(h.IP)
+		if !ok || fh.NumServices() != h.NumServices() {
+			t.Fatalf("partitioned host %v differs from full world", h.IP)
+		}
+	}
+}
+
+// TestDemoWorldExtend: a grown owned-shard set (a re-queued shard from a
+// dead peer) must extend the held partition in place — generating only
+// the delta — and land on exactly the world a fresh build of the grown
+// set would hold, at the current epoch.
+func TestDemoWorldExtend(t *testing.T) {
+	w := buildDemoWorld(t, 4, 0)
+	if _, err := w.UniverseAt(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Extend(testWorkerSpec(t, 4, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if w.gens != 2 {
+		t.Errorf("extend ran the generator %d times total; want 2 (base + delta only)", w.gens)
+	}
+
+	want := buildDemoWorld(t, 4, 0, 2)
+	wantU, err := want.UniverseAt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.u.NumHosts() != wantU.NumHosts() || w.u.NumServices() != wantU.NumServices() {
+		t.Fatalf("extended world holds %d hosts / %d services at epoch 2; fresh {0,2} build holds %d / %d",
+			w.u.NumHosts(), w.u.NumServices(), wantU.NumHosts(), wantU.NumServices())
+	}
+	for _, h := range wantU.Hosts() {
+		if _, ok := w.u.HostAt(h.IP); !ok {
+			t.Fatalf("extended world missing host %v", h.IP)
+		}
+	}
+	// The rewind cache must cover the extension too.
+	u1, err := w.UniverseAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want1, _ := want.UniverseAt(1)
+	if w.gens != 2 || u1.NumHosts() != want1.NumHosts() {
+		t.Errorf("post-extend rewind: gens %d (want 2), hosts %d (want %d)", w.gens, u1.NumHosts(), want1.NumHosts())
+	}
+
+	// Revisions Extend cannot adopt in place must error (the transport
+	// then rebuilds via the factory).
+	if err := w.Extend(testWorkerSpec(t, 4, 0)); err == nil {
+		t.Error("Extend accepted a shrunk owned-shard set")
+	}
+	other := gps.PartitionShardWorldSpec(worldID{Seed: 99, Prefixes: 16, Density: 0.03, Shards: 4}.header(), 4, []int{0, 1})
+	if err := w.Extend(other); err == nil {
+		t.Error("Extend accepted a different world's spec")
+	}
+}
+
+// TestNewDemoWorldRejectsBadSpecs: a crafted or corrupt spec must come
+// back as an error (which the transport turns into a `world spec
+// rejected` frame), never a panic that kills the worker process.
+func TestNewDemoWorldRejectsBadSpecs(t *testing.T) {
+	nanDensity := testWorldID(2)
+	nanDensity.Density = math.NaN()
+	hugePrefixes := testWorldID(2)
+	hugePrefixes.Prefixes = 1 << 30
+
+	cases := []struct {
+		name string
+		spec []byte
+	}{
+		{"empty", nil},
+		{"garbage", []byte("not a spec at all")},
+		{"raw header without envelope", testWorldID(2).header()},
+		{"truncated envelope", testWorkerSpec(t, 2, 0)[:6]},
+		{"stale header magic", gps.PartitionShardWorldSpec(append([]byte("GPS3"), testWorldID(2).header()[4:]...), 2, []int{0})},
+		{"shard count mismatch", gps.PartitionShardWorldSpec(testWorldID(3).header(), 2, []int{0})},
+		{"owned shard out of range", gps.PartitionShardWorldSpec(testWorldID(2).header(), 2, []int{5})},
+		{"NaN density", gps.PartitionShardWorldSpec(nanDensity.header(), 2, []int{0})},
+		{"implausible prefix count", gps.PartitionShardWorldSpec(hugePrefixes.header(), 2, []int{0})},
+	}
+	for _, c := range cases {
+		w, err := newDemoWorld(c.spec)
+		if err == nil {
+			t.Errorf("%s: newDemoWorld accepted the spec (world %v)", c.name, w)
+		}
+	}
+}
+
+// TestWorkerSpecRoundTrip pins the envelope + header composition the
+// coordinator and worker agree on.
+func TestWorkerSpecRoundTrip(t *testing.T) {
+	id, part, err := parseWorkerSpec(testWorkerSpec(t, 4, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != testWorldID(4) {
+		t.Errorf("world id = %+v; want %+v", id, testWorldID(4))
+	}
+	if part.Count != 4 || len(part.Owned) != 2 || part.Owned[0] != 0 || part.Owned[1] != 2 {
+		t.Errorf("partition = %+v; want {Count: 4, Owned: [0 2]} (canonicalized ascending)", part)
+	}
+}
+
+// TestWorkerSpecErrorNamesMagic: a worker handed an old-format world
+// header must name the stale magic so the operator knows which side to
+// upgrade.
+func TestWorkerSpecErrorNamesMagic(t *testing.T) {
+	old := append([]byte("GPS3"), make([]byte, 32)...)
+	binary.BigEndian.PutUint64(old[4:], 3)
+	_, _, err := parseWorkerSpec(gps.PartitionShardWorldSpec(old, 2, []int{0}))
+	if err == nil || !strings.Contains(err.Error(), "GPS3") || !strings.Contains(err.Error(), checkpointMagic) {
+		t.Errorf("stale-magic spec error %q does not name found and expected magic", err)
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sort"
 
 	"gps/internal/dataset"
@@ -34,7 +35,11 @@ func main() {
 	p.NumASes = maxInt(4, *prefixes/2)
 	p.HostDensity = *density
 	p.NumVendorModels = *vendors
-	u := netmodel.Generate(p)
+	u, err := netmodel.GenerateChecked(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpsgen: invalid universe flags:", err)
+		os.Exit(2)
+	}
 
 	fmt.Printf("universe seed=%d\n", u.Seed())
 	fmt.Printf("  address space: %d addresses across %d /16 blocks\n", u.SpaceSize(), len(u.Prefixes()))

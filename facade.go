@@ -41,6 +41,12 @@ type Universe = netmodel.Universe
 // UniverseParams configures universe generation.
 type UniverseParams = netmodel.Params
 
+// UniversePartition restricts universe generation to the owned subset of
+// an n-way hash split (ShardOf): only owned addresses materialize hosts,
+// each byte-identical to the full universe's. Shard workers use this to
+// hold ~1/N of the world.
+type UniversePartition = netmodel.Partition
+
 // ServiceKey identifies one service as an (IP, port) pair.
 type ServiceKey = netmodel.Key
 
@@ -81,8 +87,21 @@ type Curve = metrics.Curve
 // Rate models a scanning link rate for wall-time estimates.
 type Rate = scanner.Rate
 
-// GenerateUniverse builds a deterministic synthetic Internet.
+// GenerateUniverse builds a deterministic synthetic Internet. It panics
+// on invalid parameters; NewUniverse returns the error instead.
 func GenerateUniverse(p UniverseParams) *Universe { return netmodel.Generate(p) }
+
+// NewUniverse builds a deterministic synthetic Internet, validating the
+// parameters (including any UniversePartition) instead of panicking.
+// Use it wherever the parameters crossed a trust boundary — e.g. a shard
+// worker rebuilding a world from a coordinator's spec.
+func NewUniverse(p UniverseParams) (*Universe, error) { return netmodel.GenerateChecked(p) }
+
+// MergeUniverses combines two universes generated (and churned)
+// identically except for disjoint owned partitions into one universe
+// owning the union; the worker-side cheap path for adopting a re-queued
+// shard without regenerating the world.
+func MergeUniverses(a, b *Universe) (*Universe, error) { return netmodel.Merge(a, b) }
 
 // DefaultUniverseParams returns a mid-sized universe configuration.
 func DefaultUniverseParams(seed int64) UniverseParams { return netmodel.DefaultParams(seed) }
@@ -334,9 +353,16 @@ func NewInventoryServer(pub *InventoryPublisher) *InventoryServer {
 // advanced epoch by epoch.
 type ShardWorld = transport.World
 
-// ShardWorldFactory builds a ShardWorld from the coordinator's opaque
-// world-spec blob.
+// ShardWorldFactory builds a ShardWorld from the coordinator's
+// world-spec blob (the caller's base spec wrapped in the partition
+// envelope; unwrap with SplitShardWorldSpec).
 type ShardWorldFactory = transport.WorldFactory
+
+// ShardExtendableWorld is an optional ShardWorld extension: a
+// partitioned world that can adopt a grown owned-shard set in place
+// (materializing just the newly owned partition) when a re-queued shard
+// arrives, instead of being rebuilt from scratch.
+type ShardExtendableWorld = transport.ExtendableWorld
 
 // ShardWorkerOptions tunes ServeShardWorker.
 type ShardWorkerOptions = transport.WorkerOptions
@@ -361,9 +387,28 @@ func ServeShardWorker(lis net.Listener, factory ShardWorldFactory, opts *ShardWo
 }
 
 // DialShardWorkers connects a distributed coordinator to a worker fleet.
-// Seed or Resume it, then drive Epoch in a loop.
+// Seed or Resume it, then drive Epoch in a loop. worldSpec is the base
+// world description; each worker receives it wrapped with its own
+// owned-shard set (PartitionShardWorldSpec), so workers materialize only
+// the partition they scan.
 func DialShardWorkers(addrs []string, cfg ShardConfig, worldSpec []byte, opts *DistributedOptions) (*DistributedCoordinator, error) {
 	return transport.Dial(addrs, cfg, worldSpec, opts)
+}
+
+// PartitionShardWorldSpec wraps a base world spec with the transport's
+// partition envelope: the total shard count plus the owned shard
+// indexes. The distributed coordinator applies it automatically; it is
+// exported for tests and custom coordinators.
+func PartitionShardWorldSpec(base []byte, shards int, owned []int) []byte {
+	return transport.EncodeWorldSpec(base, shards, owned)
+}
+
+// SplitShardWorldSpec unwraps PartitionShardWorldSpec output into the
+// base spec, the total shard count, and the owned shard indexes
+// (ascending). ShardWorldFactory implementations call this on the spec
+// the coordinator delivers.
+func SplitShardWorldSpec(spec []byte) (base []byte, shards int, owned []int, err error) {
+	return transport.DecodeWorldSpec(spec)
 }
 
 // Evaluate replays a result's discovery log against a held-out test set

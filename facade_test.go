@@ -57,7 +57,9 @@ var (
 	_ *gps.ShardCoordinator = (*gps.ShardCoordinator)(nil)
 	_ *gps.ShardMerged      = (*gps.ShardMerged)(nil)
 
+	_ *gps.UniversePartition      = (*gps.UniversePartition)(nil)
 	_ gps.ShardWorld              = gps.ShardWorld(nil)
+	_ gps.ShardExtendableWorld    = gps.ShardExtendableWorld(nil)
 	_ gps.ShardWorldFactory       = gps.ShardWorldFactory(nil)
 	_ gps.ShardWorkerOptions      = gps.ShardWorkerOptions{}
 	_ gps.DistributedOptions      = gps.DistributedOptions{}
@@ -92,6 +94,54 @@ func TestFacadeEndToEnd(t *testing.T) {
 	u := gps.GenerateUniverse(gps.SmallUniverseParams(seed))
 	if u.NumHosts() == 0 || u.SpaceSize() == 0 {
 		t.Fatal("empty universe")
+	}
+
+	// Partitioned generation: checked construction, restriction, merge.
+	if _, err := gps.NewUniverse(gps.UniverseParams{}); err == nil {
+		t.Error("NewUniverse accepted zero params")
+	}
+	partParams := func(owned ...int) gps.UniverseParams {
+		p := gps.SmallUniverseParams(seed)
+		p.Partition = &gps.UniversePartition{Count: 4, Owned: owned}
+		return p
+	}
+	sub0, err := gps.NewUniverse(partParams(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub1, err := gps.NewUniverse(partParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub0.NumHosts() >= u.NumHosts() || sub0.Partition() == nil {
+		t.Error("partitioned universe did not restrict hosts")
+	}
+	for _, h := range sub0.Hosts()[:10] {
+		if gps.ShardOf(h.IP, 4) != 0 {
+			t.Fatalf("partition {0} materialized host %v of shard %d", h.IP, gps.ShardOf(h.IP, 4))
+		}
+	}
+	mergedU, err := gps.MergeUniverses(sub0, sub1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mergedU.NumHosts() != sub0.NumHosts()+sub1.NumHosts() {
+		t.Error("MergeUniverses lost hosts")
+	}
+	if _, err := gps.MergeUniverses(sub0, sub0); err == nil {
+		t.Error("MergeUniverses accepted overlapping partitions")
+	}
+
+	// The transport's world-spec partition envelope.
+	base := []byte("demo world header")
+	spec := gps.PartitionShardWorldSpec(base, 4, []int{2, 0})
+	gotBase, shards, owned, err := gps.SplitShardWorldSpec(spec)
+	if err != nil || string(gotBase) != string(base) || shards != 4 ||
+		len(owned) != 2 || owned[0] != 0 || owned[1] != 2 {
+		t.Errorf("world spec round trip = (%q, %d, %v, %v)", gotBase, shards, owned, err)
+	}
+	if _, _, _, err := gps.SplitShardWorldSpec([]byte("junk")); err == nil {
+		t.Error("SplitShardWorldSpec accepted junk")
 	}
 
 	// Snapshots and splits.

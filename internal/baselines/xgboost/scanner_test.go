@@ -9,7 +9,7 @@ import (
 
 func setup(t *testing.T) (*netmodel.Universe, *dataset.Dataset, *dataset.Dataset) {
 	t.Helper()
-	u := netmodel.Generate(netmodel.TestParams(11))
+	u := netmodel.Generate(netmodel.TestParams(23))
 	full := dataset.SnapshotCensys(u, 100)
 	seed, test := full.Split(0.03, 12)
 	return u, seed, test

@@ -1,8 +1,6 @@
 package netmodel
 
 import (
-	"math/rand"
-
 	"gps/internal/asndb"
 )
 
@@ -30,23 +28,31 @@ func DefaultChurn(seed int64) ChurnParams {
 // Churn returns a new universe derived from u with services and hosts
 // removed per the parameters. The input universe is not modified; hosts
 // that survive unchanged are shared between the two universes.
+//
+// Churn is partition-stable: every host draws its coin flips from its
+// own (churn seed, IP) sub-seed, never from a stream shared across
+// hosts, so churning a partitioned universe yields exactly the full
+// universe's churn restricted to the owned addresses. This is what lets
+// a shard worker replay churn over only the hosts it holds and still
+// agree byte-for-byte with the full-world run.
 func Churn(u *Universe, p ChurnParams) *Universe {
-	rng := rand.New(rand.NewSource(p.Seed))
 	out := &Universe{
 		ases:     u.ases,
 		routes:   u.routes,
 		prefixes: u.prefixes,
 		hosts:    make(map[asndb.IP]*Host, len(u.hosts)),
 		seed:     u.seed,
+		part:     u.part,
 	}
 	for _, h := range u.hostList {
+		rng := newRNG(p.Seed, "churn", uint64(h.IP))
 		if rng.Float64() < p.HostLoss {
 			continue
 		}
 		var drop []uint16
 		// Walk services in sorted port order: ranging over the map here
-		// would consume the rng's coin flips in a different order every
-		// run, making churn nondeterministic for a fixed seed.
+		// would consume the host rng's coin flips in a different order
+		// every run, making churn nondeterministic for a fixed seed.
 		for _, port := range h.Ports() {
 			svc := h.services[port]
 			loss := p.ServiceLoss

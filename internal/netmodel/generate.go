@@ -3,7 +3,7 @@ package netmodel
 import (
 	"fmt"
 	"hash/fnv"
-	"math/rand"
+	"sort"
 
 	"gps/internal/asndb"
 	"gps/internal/features"
@@ -35,6 +35,47 @@ type Params struct {
 	// VariantsPerFleet is how many firmware variants each fleet's
 	// variant-scoped feature values spread over.
 	VariantsPerFleet int
+	// Partition restricts generation to the owned subset of an n-way
+	// hash split: only owned addresses materialize hosts, but every
+	// materialized host is byte-identical to the full run's (the global
+	// structure — ASes, prefixes, routes, placement claims — is always
+	// computed in full, so a partitioned universe costs ~|owned|/n of
+	// the host memory, not of the placement work). nil owns everything.
+	Partition *Partition
+}
+
+// maxPrefix16 bounds NumPrefix16 far below the ~56K /16 blocks the
+// unicast draw pool holds, so prefix allocation always terminates.
+const maxPrefix16 = 4096
+
+// validFraction accepts fractions in [0, 1] and rejects NaN.
+func validFraction(f float64) bool { return f >= 0 && f <= 1 }
+
+// Validate reports whether the parameters describe a generatable
+// universe. Generation panics on invalid parameters (a programming
+// error in-process); callers handed untrusted parameters — a worker
+// rebuilding a world from a coordinator's spec — use GenerateChecked,
+// which turns the same conditions into errors.
+func (p Params) Validate() error {
+	if p.NumPrefix16 <= 0 || p.NumPrefix16 > maxPrefix16 {
+		return fmt.Errorf("netmodel: NumPrefix16 %d out of range [1, %d]", p.NumPrefix16, maxPrefix16)
+	}
+	if p.NumASes <= 0 {
+		return fmt.Errorf("netmodel: NumASes %d; want >= 1", p.NumASes)
+	}
+	if !validFraction(p.HostDensity) {
+		return fmt.Errorf("netmodel: HostDensity %v out of range [0, 1]", p.HostDensity)
+	}
+	if !validFraction(p.PseudoHostFraction) {
+		return fmt.Errorf("netmodel: PseudoHostFraction %v out of range [0, 1]", p.PseudoHostFraction)
+	}
+	if !validFraction(p.MiddleboxFraction) {
+		return fmt.Errorf("netmodel: MiddleboxFraction %v out of range [0, 1]", p.MiddleboxFraction)
+	}
+	if err := p.Partition.Validate(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // DefaultParams returns a mid-sized universe suitable for experiments:
@@ -74,22 +115,42 @@ var asTypeWeights = [numASTypes]float64{
 }
 
 // Generate builds a deterministic universe from the parameters. The same
-// Params always produce the same universe.
+// Params always produce the same universe, and the same Params restricted
+// by a Partition produce exactly the full universe's owned hosts: every
+// random decision draws from a sub-seed derived per entity (AS layout,
+// /16 pool, host, pseudo host, middlebox), never from a shared stream,
+// so skipping an entity changes nothing else. Generate panics on invalid
+// Params; GenerateChecked returns the error instead.
 func Generate(p Params) *Universe {
-	if p.NumPrefix16 <= 0 || p.NumASes <= 0 {
-		panic("netmodel: Params must set NumPrefix16 and NumASes; use DefaultParams")
+	u, err := GenerateChecked(p)
+	if err != nil {
+		panic(err.Error())
+	}
+	return u
+}
+
+// GenerateChecked is Generate with parameter validation: invalid Params
+// (including a malformed Partition) return an error instead of
+// panicking. This is the entry point for parameters that crossed a
+// trust boundary, e.g. a shard worker rebuilding a universe from a
+// coordinator's world spec.
+func GenerateChecked(p Params) (*Universe, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
 	if p.VariantsPerFleet <= 0 {
 		p.VariantsPerFleet = 5
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
+	part := p.Partition.clone()
 	u := &Universe{
 		routes: &asndb.Table{},
 		hosts:  make(map[asndb.IP]*Host),
 		seed:   p.Seed,
+		part:   part,
 	}
-	g := &generator{p: p, u: u, rng: rng}
+	g := &generator{p: p, u: u, part: part}
 	g.allocateASes()
+	g.claims = make([]uint64, (u.SpaceSize()+63)/64)
 	profiles := p.Profiles
 	if profiles == nil {
 		profiles = DefaultProfiles(p.NumVendorModels, p.Seed^0x5eed)
@@ -98,13 +159,24 @@ func Generate(p Params) *Universe {
 	g.injectPseudoHosts()
 	g.injectMiddleboxes()
 	u.finalize()
-	return u
+	return u, nil
 }
 
 type generator struct {
-	p   Params
-	u   *Universe
-	rng *rand.Rand
+	p    Params
+	u    *Universe
+	part *Partition
+	// claims holds one bit per scannable address (dense AddrAt index):
+	// set when some entity — host, pseudo host, middlebox, whether owned
+	// or not — placed itself there. Placement runs over the full
+	// universe even under a Partition (it is cheap: a few rng draws per
+	// entity), so collision outcomes never depend on which subset is
+	// materialized; only service population is skipped for unowned
+	// addresses.
+	claims []uint64
+	// placed counts every successful claim. Pseudo-host and middlebox
+	// counts scale from it, so they too are subset-independent.
+	placed int
 	// pools maps each announced /16 to the /20 blocks (0..15) that hold
 	// its hosts. Pools are a property of the network, not the device
 	// fleet: an ISP assigns all customers into the same DHCP ranges, so
@@ -113,7 +185,26 @@ type generator struct {
 	pools map[asndb.IP][]uint16
 }
 
-// poolsFor lazily picks 2-4 dense /20 blocks for a /16.
+// owns reports whether the configured partition owns ip.
+func (g *generator) owns(ip asndb.IP) bool { return g.part.Owns(ip) }
+
+// claim marks ip as occupied; false means someone already lives there.
+func (g *generator) claim(ip asndb.IP) bool {
+	idx, ok := g.u.IndexOf(ip)
+	if !ok {
+		return false
+	}
+	w, bit := idx/64, uint64(1)<<(idx%64)
+	if g.claims[w]&bit != 0 {
+		return false
+	}
+	g.claims[w] |= bit
+	g.placed++
+	return true
+}
+
+// poolsFor lazily picks 2-4 dense /20 blocks for a /16, from the
+// prefix's own sub-seed.
 func (g *generator) poolsFor(addr asndb.IP) []uint16 {
 	if g.pools == nil {
 		g.pools = make(map[asndb.IP][]uint16)
@@ -121,8 +212,9 @@ func (g *generator) poolsFor(addr asndb.IP) []uint16 {
 	if p, ok := g.pools[addr]; ok {
 		return p
 	}
-	n := 2 + g.rng.Intn(3)
-	perm := g.rng.Perm(16)
+	rng := newRNG(g.p.Seed, "pools", uint64(addr))
+	n := 2 + rng.Intn(3)
+	perm := rng.Perm(16)
 	p := make([]uint16, n)
 	for i := 0; i < n; i++ {
 		p[i] = uint16(perm[i])
@@ -132,17 +224,20 @@ func (g *generator) poolsFor(addr asndb.IP) []uint16 {
 }
 
 // allocateASes carves the routable space into ASes of varied sizes and
-// registers their prefixes in the routing table.
+// registers their prefixes in the routing table. The whole network
+// layout draws from one "ases" sub-seed: it is global structure every
+// partition needs identically (routing, prefix census, AS types).
 func (g *generator) allocateASes() {
+	rng := newRNG(g.p.Seed, "ases")
 	// Draw distinct /16 network addresses from the unicast range.
 	used := make(map[asndb.IP]bool)
 	prefixes := make([]asndb.Prefix, 0, g.p.NumPrefix16)
 	for len(prefixes) < g.p.NumPrefix16 {
-		a := 1 + g.rng.Intn(223)
+		a := 1 + rng.Intn(223)
 		if a == 10 || a == 127 { // skip loopback and RFC1918 /8
 			continue
 		}
-		b := g.rng.Intn(256)
+		b := rng.Intn(256)
 		addr := asndb.IP(uint32(a)<<24 | uint32(b)<<16)
 		if used[addr] {
 			continue
@@ -163,7 +258,7 @@ func (g *generator) allocateASes() {
 	for len(types) < g.p.NumASes {
 		types = append(types, ASResidential)
 	}
-	g.rng.Shuffle(len(types), func(i, j int) { types[i], types[j] = types[j], types[i] })
+	rng.Shuffle(len(types), func(i, j int) { types[i], types[j] = types[j], types[i] })
 
 	ases := make([]ASInfo, g.p.NumASes)
 	for i := range ases {
@@ -187,7 +282,7 @@ func (g *generator) allocateASes() {
 		wsum += w
 	}
 	for _, pfx := range prefixes {
-		r := g.rng.Intn(wsum)
+		r := rng.Intn(wsum)
 		idx := 0
 		for i, w := range weights {
 			if r < w {
@@ -205,6 +300,10 @@ func (g *generator) allocateASes() {
 	}
 	g.u.ases = ases
 	g.u.prefixes = prefixes
+	// Later passes index the claims bitmap through IndexOf and draw
+	// free addresses by prefix position, so the canonical sorted order
+	// must hold from here on (finalize's re-sort is then a no-op).
+	sort.Slice(g.u.prefixes, func(i, j int) bool { return g.u.prefixes[i].Addr < g.u.prefixes[j].Addr })
 }
 
 // placeHosts creates the device population profile by profile.
@@ -215,17 +314,17 @@ func (g *generator) placeHosts(profiles []Profile) {
 	for _, pr := range profiles {
 		wsum += pr.Weight
 	}
-	for _, pr := range profiles {
+	for pi, pr := range profiles {
 		n := int(float64(totalHosts) * pr.Weight / wsum)
 		if n == 0 {
 			n = 1
 		}
-		g.placeProfile(pr, n)
+		g.placeProfile(pi, pr, n)
 	}
 }
 
 // eligiblePrefixes returns the /16 blocks a profile may occupy.
-func (g *generator) eligiblePrefixes(pr Profile) []asndb.Prefix {
+func (g *generator) eligiblePrefixes(pr Profile, rng *rng) []asndb.Prefix {
 	wantType := make(map[ASType]bool, len(pr.ASTypes))
 	for _, t := range pr.ASTypes {
 		wantType[t] = true
@@ -242,7 +341,7 @@ func (g *generator) eligiblePrefixes(pr Profile) []asndb.Prefix {
 		return g.u.prefixes
 	}
 	if pr.SingleAS {
-		a := candidates[g.rng.Intn(len(candidates))]
+		a := candidates[rng.Intn(len(candidates))]
 		return a.Prefixes
 	}
 	var out []asndb.Prefix
@@ -252,8 +351,14 @@ func (g *generator) eligiblePrefixes(pr Profile) []asndb.Prefix {
 	return out
 }
 
-func (g *generator) placeProfile(pr Profile, n int) {
-	eligible := g.eligiblePrefixes(pr)
+// placeProfile places profile pi's n hosts. Profile-level draws (which
+// /16s the fleet clusters in) come from the profile's sub-seed; each
+// host then draws placement and services from its own (profile, index)
+// sub-seed, so a host is identical whether or not its neighbors are
+// materialized.
+func (g *generator) placeProfile(pi int, pr Profile, n int) {
+	prng := newRNG(g.p.Seed, "profile", uint64(pi))
+	eligible := g.eligiblePrefixes(pr, prng)
 	k := int(float64(len(eligible))*pr.Concentration + 0.5)
 	if k < 1 {
 		k = 1
@@ -261,7 +366,7 @@ func (g *generator) placeProfile(pr Profile, n int) {
 	if k > len(eligible) {
 		k = len(eligible)
 	}
-	perm := g.rng.Perm(len(eligible))
+	perm := prng.Perm(len(eligible))
 	// Within each chosen /16, hosts land only in the network's dense /20
 	// pools (DHCP ranges, rack allocations); the rest of the block stays
 	// dark. See poolsFor.
@@ -270,25 +375,30 @@ func (g *generator) placeProfile(pr Profile, n int) {
 		chosen[i] = eligible[perm[i]]
 	}
 	for i := 0; i < n; i++ {
-		pfx := chosen[g.rng.Intn(k)]
+		hrng := newRNG(g.p.Seed, "host", uint64(pi), uint64(i))
+		pfx := chosen[hrng.Intn(k)]
 		pools := g.poolsFor(pfx.Addr)
-		pool := pools[g.rng.Intn(len(pools))]
+		pool := pools[hrng.Intn(len(pools))]
 		var ip asndb.IP
 		placed := false
 		for try := 0; try < 6; try++ {
-			off := uint32(pool)<<12 | uint32(g.rng.Intn(4096))
+			off := uint32(pool)<<12 | uint32(hrng.Intn(4096))
 			ip = pfx.Addr + asndb.IP(off)
-			if _, occupied := g.u.hosts[ip]; !occupied {
+			// The claim decides occupancy at placement time, service
+			// roll or not: whether a host's services all roll absent is
+			// unknowable for unowned hosts, so an all-absent host still
+			// occupies its address (it just never enters the host map).
+			if g.claim(ip) {
 				placed = true
 				break
 			}
 		}
-		if !placed {
+		if !placed || !g.owns(ip) {
 			continue
 		}
 		asn, _ := g.u.routes.Lookup(ip)
 		h := NewHost(ip, asn, pr.Name)
-		g.populateHost(h, pr)
+		g.populateHost(h, pr, hrng)
 		if len(h.services) == 0 {
 			continue // all probabilistic services rolled absent
 		}
@@ -296,14 +406,15 @@ func (g *generator) placeProfile(pr Profile, n int) {
 	}
 }
 
-// populateHost instantiates a profile's service templates on one host.
-func (g *generator) populateHost(h *Host, pr Profile) {
+// populateHost instantiates a profile's service templates on one host,
+// drawing from the host's own rng stream.
+func (g *generator) populateHost(h *Host, pr Profile, rng *rng) {
 	// One firmware variant per host: all variant-scoped features on the
 	// host share it, as a real firmware image would.
-	hostVariant := g.rng.Intn(g.p.VariantsPerFleet)
-	baseTTL := uint8(40 + g.rng.Intn(25))
+	hostVariant := rng.Intn(g.p.VariantsPerFleet)
+	baseTTL := uint8(40 + rng.Intn(25))
 	for _, st := range pr.Services {
-		if st.Prob < 1 && g.rng.Float64() >= st.Prob {
+		if st.Prob < 1 && rng.Float64() >= st.Prob {
 			continue
 		}
 		port := uint16(0)
@@ -313,9 +424,9 @@ func (g *generator) populateHost(h *Host, pr Profile) {
 			if min < 1024 {
 				min = 1024
 			}
-			port = uint16(min + g.rng.Intn(65536-min))
+			port = uint16(min + rng.Intn(65536-min))
 		case st.PickOne:
-			port = st.Ports[g.rng.Intn(len(st.Ports))]
+			port = st.Ports[rng.Intn(len(st.Ports))]
 		default:
 			// Non-PickOne templates with several ports open all of
 			// them; handled by looping below.
@@ -333,7 +444,7 @@ func (g *generator) populateHost(h *Host, pr Profile) {
 			}
 			if st.Forwarded {
 				// A forwarded service traverses the NAT hop.
-				svc.TTL = baseTTL - 1 - uint8(g.rng.Intn(3))
+				svc.TTL = baseTTL - 1 - uint8(rng.Intn(3))
 			}
 			if len(st.Feats) > 0 {
 				svc.Feats = make(features.Set, len(st.Feats)+1)
@@ -381,18 +492,21 @@ func hostHash(ip asndb.IP, key features.Key, seed int64) uint32 {
 }
 
 // injectPseudoHosts places hosts that serve identical pseudo services on
-// 1,000+ contiguous ports (Appendix B).
+// 1,000+ contiguous ports (Appendix B). The count scales from the
+// placement census (not the materialized host list), so it is identical
+// under any partition.
 func (g *generator) injectPseudoHosts() {
-	n := int(float64(len(g.u.hostList)) * g.p.PseudoHostFraction)
+	n := int(float64(g.placed) * g.p.PseudoHostFraction)
 	for i := 0; i < n; i++ {
-		ip := g.randomFreeIP()
-		if ip == 0 {
+		rng := newRNG(g.p.Seed, "pseudo", uint64(i))
+		ip := g.claimFreeIP(rng)
+		if ip == 0 || !g.owns(ip) {
 			continue
 		}
 		asn, _ := g.u.routes.Lookup(ip)
 		h := NewHost(ip, asn, "pseudo-block")
-		lo := uint16(1000 + g.rng.Intn(50000))
-		span := uint16(1000 + g.rng.Intn(2000))
+		lo := uint16(1000 + rng.Intn(50000))
+		span := uint16(1000 + rng.Intn(2000))
 		hi := lo + span
 		if hi < lo { // wrapped
 			hi = 65535
@@ -404,7 +518,7 @@ func (g *generator) injectPseudoHosts() {
 				features.KeyHTTPServer:   "pseudo-frontend",
 				features.KeyHTTPBodyHash: "no-service-here",
 			},
-			TTL:    uint8(40 + g.rng.Intn(25)),
+			TTL:    uint8(40 + rng.Intn(25)),
 			Pseudo: true,
 		}
 		h.SetPseudoBlock(lo, hi, tmpl)
@@ -422,10 +536,11 @@ func (g *generator) injectPseudoHosts() {
 // injectMiddleboxes places hosts that complete a SYN handshake on every
 // port but never speak a protocol; LZR's fingerprinting discards them.
 func (g *generator) injectMiddleboxes() {
-	n := int(float64(len(g.u.hostList)) * g.p.MiddleboxFraction)
+	n := int(float64(g.placed) * g.p.MiddleboxFraction)
 	for i := 0; i < n; i++ {
-		ip := g.randomFreeIP()
-		if ip == 0 {
+		rng := newRNG(g.p.Seed, "middlebox", uint64(i))
+		ip := g.claimFreeIP(rng)
+		if ip == 0 || !g.owns(ip) {
 			continue
 		}
 		asn, _ := g.u.routes.Lookup(ip)
@@ -435,11 +550,13 @@ func (g *generator) injectMiddleboxes() {
 	}
 }
 
-func (g *generator) randomFreeIP() asndb.IP {
+// claimFreeIP draws candidate addresses from rng until one claims, up to
+// 16 tries; 0 means every try was already occupied.
+func (g *generator) claimFreeIP(rng *rng) asndb.IP {
 	for try := 0; try < 16; try++ {
-		pfx := g.u.prefixes[g.rng.Intn(len(g.u.prefixes))]
-		ip := pfx.Addr + asndb.IP(g.rng.Intn(65536))
-		if _, occupied := g.u.hosts[ip]; !occupied {
+		pfx := g.u.prefixes[rng.Intn(len(g.u.prefixes))]
+		ip := pfx.Addr + asndb.IP(rng.Intn(65536))
+		if g.claim(ip) {
 			return ip
 		}
 	}

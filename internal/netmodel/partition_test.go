@@ -1,0 +1,267 @@
+package netmodel
+
+import (
+	"testing"
+
+	"gps/internal/asndb"
+)
+
+// hostsEqual deep-compares two hosts: identity, explicit services with
+// every feature value, pseudo block, middlebox flag.
+func hostsEqual(t *testing.T, a, b *Host) bool {
+	t.Helper()
+	if a.IP != b.IP || a.ASN != b.ASN || a.Profile != b.Profile || a.Middlebox != b.Middlebox {
+		return false
+	}
+	if a.pseudoLo != b.pseudoLo || a.pseudoHi != b.pseudoHi ||
+		(a.pseudoTmpl == nil) != (b.pseudoTmpl == nil) {
+		return false
+	}
+	if len(a.services) != len(b.services) {
+		return false
+	}
+	for port, sa := range a.services {
+		sb, ok := b.services[port]
+		if !ok {
+			return false
+		}
+		if sa.Proto != sb.Proto || sa.TTL != sb.TTL || sa.Forwarded != sb.Forwarded || sa.Pseudo != sb.Pseudo {
+			return false
+		}
+		if len(sa.Feats) != len(sb.Feats) {
+			return false
+		}
+		for k, v := range sa.Feats {
+			if sb.Feats[k] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// requireRestriction asserts sub == full restricted to the addresses
+// part owns, host by host and service by service.
+func requireRestriction(t *testing.T, full, sub *Universe, part *Partition) {
+	t.Helper()
+	owned := 0
+	for _, h := range full.Hosts() {
+		if !part.Owns(h.IP) {
+			if _, leak := sub.HostAt(h.IP); leak {
+				t.Fatalf("partitioned universe materialized unowned host %v", h.IP)
+			}
+			continue
+		}
+		owned++
+		sh, ok := sub.HostAt(h.IP)
+		if !ok {
+			t.Fatalf("partitioned universe missing owned host %v", h.IP)
+		}
+		if !hostsEqual(t, h, sh) {
+			t.Fatalf("owned host %v differs between full and partitioned generation", h.IP)
+		}
+	}
+	if sub.NumHosts() != owned {
+		t.Fatalf("partitioned universe holds %d hosts; full restricted to owned holds %d", sub.NumHosts(), owned)
+	}
+}
+
+// TestPartitionedEqualsFullRestricted is the tentpole contract: for each
+// shard of a 4-way split, generating only that partition yields exactly
+// the full universe's hosts restricted to the owned addresses — and the
+// equality survives three churn epochs, because churn is per-host
+// sub-seeded too.
+func TestPartitionedEqualsFullRestricted(t *testing.T) {
+	const n = 4
+	p := TestParams(5)
+	full := Generate(p)
+
+	for s := 0; s < n; s++ {
+		part := &Partition{Count: n, Owned: []int{s}}
+		pp := p
+		pp.Partition = part
+		sub := Generate(pp)
+		if sub.SpaceSize() != full.SpaceSize() || len(sub.Prefixes()) != len(full.Prefixes()) {
+			t.Fatalf("shard %d: partitioned universe lost global structure", s)
+		}
+		if sub.NumHosts() >= full.NumHosts() {
+			t.Fatalf("shard %d: partitioned universe holds %d of %d hosts; expected ~1/%d",
+				s, sub.NumHosts(), full.NumHosts(), n)
+		}
+		requireRestriction(t, full, sub, part)
+
+		fu, su := full, sub
+		for e := 1; e <= 3; e++ {
+			cp := DefaultChurn(p.Seed + int64(e))
+			fu, su = Churn(fu, cp), Churn(su, cp)
+			requireRestriction(t, fu, su, part)
+		}
+	}
+}
+
+// TestPartitionMultiShardAndMerge: a partition owning {0, 2} equals the
+// merge of the {0} and {2} partitions, and both equal the full universe
+// restricted.
+func TestPartitionMultiShardAndMerge(t *testing.T) {
+	const n = 4
+	p := TestParams(11)
+	full := Generate(p)
+
+	both := p
+	both.Partition = &Partition{Count: n, Owned: []int{0, 2}}
+	direct := Generate(both)
+	requireRestriction(t, full, direct, both.Partition)
+
+	gen := func(owned ...int) *Universe {
+		pp := p
+		pp.Partition = &Partition{Count: n, Owned: owned}
+		return Generate(pp)
+	}
+	merged, err := Merge(gen(0), gen(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumHosts() != direct.NumHosts() || merged.NumServices() != direct.NumServices() {
+		t.Fatalf("merged {0}+{2} holds %d hosts / %d services; direct {0,2} holds %d / %d",
+			merged.NumHosts(), merged.NumServices(), direct.NumHosts(), direct.NumServices())
+	}
+	for _, h := range direct.Hosts() {
+		mh, ok := merged.HostAt(h.IP)
+		if !ok || !hostsEqual(t, h, mh) {
+			t.Fatalf("host %v differs between direct and merged generation", h.IP)
+		}
+	}
+	if part := merged.Partition(); part == nil || part.Count != n || len(part.Owned) != 2 ||
+		part.Owned[0] != 0 || part.Owned[1] != 2 {
+		t.Errorf("merged partition = %+v; want {Count: 4, Owned: [0 2]}", merged.Partition())
+	}
+
+	// Merging overlapping partitions must refuse.
+	if _, err := Merge(gen(0), gen(0, 2)); err == nil {
+		t.Error("merging overlapping partitions succeeded")
+	}
+	// Merging different worlds must refuse.
+	q := TestParams(12)
+	q.Partition = &Partition{Count: n, Owned: []int{1}}
+	if _, err := Merge(gen(0), Generate(q)); err == nil {
+		t.Error("merging universes from different seeds succeeded")
+	}
+}
+
+// TestPartitionMergeAfterChurn models the worker extend path: a {0}
+// partition churned two epochs, merged with a {1} partition churned the
+// same two epochs, equals the {0,1} partition churned two epochs.
+func TestPartitionMergeAfterChurn(t *testing.T) {
+	const n = 4
+	p := TestParams(21)
+	churn2 := func(u *Universe) *Universe {
+		for e := 1; e <= 2; e++ {
+			u = Churn(u, DefaultChurn(p.Seed+int64(e)))
+		}
+		return u
+	}
+	gen := func(owned ...int) *Universe {
+		pp := p
+		pp.Partition = &Partition{Count: n, Owned: owned}
+		return Generate(pp)
+	}
+	merged, err := Merge(churn2(gen(0)), churn2(gen(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := churn2(gen(0, 1))
+	if merged.NumHosts() != want.NumHosts() || merged.NumServices() != want.NumServices() {
+		t.Fatalf("churned merge holds %d hosts / %d services; want %d / %d",
+			merged.NumHosts(), merged.NumServices(), want.NumHosts(), want.NumServices())
+	}
+	for _, h := range want.Hosts() {
+		mh, ok := merged.HostAt(h.IP)
+		if !ok || !hostsEqual(t, h, mh) {
+			t.Fatalf("host %v differs between churn-then-merge and merge-then-churn", h.IP)
+		}
+	}
+}
+
+// TestGenerateCheckedRejects: parameters that cross a trust boundary
+// (a worker's world spec) must error, not panic.
+func TestGenerateCheckedRejects(t *testing.T) {
+	nan := 0.0
+	nan /= nan
+	cases := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"zero prefixes", func(p *Params) { p.NumPrefix16 = 0 }},
+		{"huge prefixes", func(p *Params) { p.NumPrefix16 = 1 << 20 }},
+		{"zero ases", func(p *Params) { p.NumASes = 0 }},
+		{"negative density", func(p *Params) { p.HostDensity = -0.5 }},
+		{"density above 1", func(p *Params) { p.HostDensity = 40 }},
+		{"NaN density", func(p *Params) { p.HostDensity = nan }},
+		{"NaN pseudo fraction", func(p *Params) { p.PseudoHostFraction = nan }},
+		{"partition owns nothing", func(p *Params) { p.Partition = &Partition{Count: 4} }},
+		{"partition index out of range", func(p *Params) { p.Partition = &Partition{Count: 4, Owned: []int{4}} }},
+		{"partition duplicate index", func(p *Params) { p.Partition = &Partition{Count: 4, Owned: []int{1, 1}} }},
+		{"partition negative count", func(p *Params) { p.Partition = &Partition{Count: -1, Owned: []int{0}} }},
+	}
+	for _, c := range cases {
+		p := TestParams(5)
+		c.mut(&p)
+		if _, err := GenerateChecked(p); err == nil {
+			t.Errorf("%s: GenerateChecked accepted invalid params", c.name)
+		}
+	}
+	if _, err := GenerateChecked(TestParams(5)); err != nil {
+		t.Errorf("GenerateChecked rejected valid params: %v", err)
+	}
+}
+
+// TestPartitionOwns pins the ownership predicate to asndb.ShardOf.
+func TestPartitionOwns(t *testing.T) {
+	part := &Partition{Count: 4, Owned: []int{1, 3}}
+	for ip := asndb.IP(0); ip < 4096; ip += 97 {
+		s := asndb.ShardOf(ip, 4)
+		if got, want := part.Owns(ip), s == 1 || s == 3; got != want {
+			t.Fatalf("Owns(%v) = %v; ShardOf says shard %d", ip, got, s)
+		}
+	}
+	var full *Partition
+	if !full.Owns(1234) || !full.Full() {
+		t.Error("nil partition must own everything")
+	}
+	if (&Partition{Count: 1}).Full() != true {
+		t.Error("count-1 partition must be full")
+	}
+}
+
+// TestPartitionedFeatureScopes: scoped feature values (per-host hashes,
+// variants) must not depend on partitioning — spot-checked over the
+// fritzbox fleet like TestFeatureScopes does for the full universe.
+func TestPartitionedFeatureScopes(t *testing.T) {
+	p := TestParams(5)
+	full := Generate(p)
+	pp := p
+	pp.Partition = &Partition{Count: 2, Owned: []int{1}}
+	sub := Generate(pp)
+	checked := 0
+	for _, h := range sub.Hosts() {
+		fh, ok := full.HostAt(h.IP)
+		if !ok {
+			t.Fatalf("partitioned host %v missing from full universe", h.IP)
+		}
+		for port, svc := range h.Services() {
+			fsvc, ok := fh.ServiceAt(port)
+			if !ok {
+				t.Fatalf("partitioned service %v:%d missing from full universe", h.IP, port)
+			}
+			for k, v := range svc.Feats {
+				if fsvc.Feats[k] != v {
+					t.Fatalf("feature %v of %v:%d = %q partitioned, %q full", k, h.IP, port, v, fsvc.Feats[k])
+				}
+				checked++
+			}
+		}
+	}
+	if checked < 1000 {
+		t.Fatalf("only %d feature values compared; universe too small to trust", checked)
+	}
+}

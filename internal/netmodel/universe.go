@@ -1,6 +1,7 @@
 package netmodel
 
 import (
+	"fmt"
 	"sort"
 
 	"gps/internal/asndb"
@@ -47,6 +48,11 @@ func (t ASType) String() string {
 //
 // A Universe is immutable after generation except through Churn, and is
 // safe for concurrent reads.
+//
+// A partitioned universe (generated with Params.Partition) carries the
+// full global structure — ASes, routes, prefixes, space size — but holds
+// hosts only at owned addresses; every host it holds is byte-identical
+// to the full universe's.
 type Universe struct {
 	ases     []ASInfo
 	routes   *asndb.Table
@@ -54,10 +60,15 @@ type Universe struct {
 	hosts    map[asndb.IP]*Host
 	hostList []*Host // sorted by IP
 	seed     int64
+	part     *Partition // nil = full universe
 }
 
 // Seed returns the generator seed that produced this universe.
 func (u *Universe) Seed() int64 { return u.seed }
+
+// Partition returns the ownership restriction this universe was
+// generated under; nil means the full universe.
+func (u *Universe) Partition() *Partition { return u.part }
 
 // ASes returns the autonomous systems of the universe.
 func (u *Universe) ASes() []ASInfo { return u.ases }
@@ -219,6 +230,53 @@ func (u *Universe) PortPopulation() []int {
 		}
 	}
 	return pop
+}
+
+// Merge combines two partitioned universes generated (and churned)
+// identically except for disjoint owned-shard sets into one universe
+// owning the union: the hosts are pooled, the shared global structure is
+// taken from a. Both universes must come from the same Params (same
+// seed, same prefix census) and the same churn history — Merge validates
+// what it can (seed, prefix census, partition compatibility, host
+// disjointness) and trusts the caller for the rest. Inputs are not
+// modified; hosts are shared with the inputs.
+func Merge(a, b *Universe) (*Universe, error) {
+	if a.seed != b.seed {
+		return nil, fmt.Errorf("netmodel: merging universes from different seeds (%d vs %d)", a.seed, b.seed)
+	}
+	if len(a.prefixes) != len(b.prefixes) {
+		return nil, fmt.Errorf("netmodel: merging universes with different prefix censuses (%d vs %d /16s)",
+			len(a.prefixes), len(b.prefixes))
+	}
+	for i := range a.prefixes {
+		if a.prefixes[i] != b.prefixes[i] {
+			return nil, fmt.Errorf("netmodel: merging universes with different prefix censuses (%v vs %v)",
+				a.prefixes[i], b.prefixes[i])
+		}
+	}
+	part, err := a.part.union(b.part)
+	if err != nil {
+		return nil, err
+	}
+	out := &Universe{
+		ases:     a.ases,
+		routes:   a.routes,
+		prefixes: a.prefixes,
+		hosts:    make(map[asndb.IP]*Host, len(a.hosts)+len(b.hosts)),
+		seed:     a.seed,
+		part:     part,
+	}
+	for _, h := range a.hostList {
+		out.insertHost(h)
+	}
+	for _, h := range b.hostList {
+		if _, dup := out.hosts[h.IP]; dup {
+			return nil, fmt.Errorf("netmodel: host %v exists in both universes being merged; partitions must be disjoint", h.IP)
+		}
+		out.insertHost(h)
+	}
+	out.finalize()
+	return out, nil
 }
 
 // insertHost registers a host; used by the generator and churn.

@@ -371,3 +371,55 @@ func TestQueryCache(t *testing.T) {
 		t.Error("stale-epoch get wiped the current epoch's cache")
 	}
 }
+
+// TestMatchesETag pins If-None-Match comparison to RFC 9110 §13.1.2's
+// weak comparison: a weak validator (`W/"..."`) — the form caches and
+// proxies hand back after weakening a response in transit — must match
+// its strong original, lists must match any member, and `*` matches
+// everything. Before the fix a client echoing W/"gps-epoch-7" was denied
+// its 304 forever.
+func TestMatchesETag(t *testing.T) {
+	etag := epochETag(7) // `"gps-epoch-7"`
+	cases := []struct {
+		name        string
+		ifNoneMatch string
+		want        bool
+	}{
+		{"strong match", `"gps-epoch-7"`, true},
+		{"weak validator matches strong", `W/"gps-epoch-7"`, true},
+		{"star matches anything", `*`, true},
+		{"star with spaces", `  *  `, true},
+		{"stale strong", `"gps-epoch-6"`, false},
+		{"stale weak", `W/"gps-epoch-6"`, false},
+		{"list with match", `"gps-epoch-5", "gps-epoch-7"`, true},
+		{"list with weak match", `"gps-epoch-5", W/"gps-epoch-7"`, true},
+		{"list without match", `"gps-epoch-5", W/"gps-epoch-6"`, false},
+		{"unquoted is not a validator", `gps-epoch-7`, false},
+		{"lowercase w is not a weak prefix", `w/"gps-epoch-7"`, false},
+		{"empty candidate", ``, false},
+	}
+	for _, c := range cases {
+		if got := matchesETag(c.ifNoneMatch, etag); got != c.want {
+			t.Errorf("%s: matchesETag(%q, %q) = %v; want %v", c.name, c.ifNoneMatch, etag, got, c.want)
+		}
+	}
+}
+
+// TestServerWeakETagRevalidation drives the weak-comparison fix through
+// the HTTP layer: a proxy-weakened validator earns the 304.
+func TestServerWeakETagRevalidation(t *testing.T) {
+	var pub Publisher
+	h := NewServer(&pub).Handler()
+	pub.Publish(NewSnapshot(7, testInventory(10, 7)))
+
+	rr, _ := get(t, h, "/v1/stats", map[string]string{"If-None-Match": `W/"gps-epoch-7"`})
+	if rr.Code != http.StatusNotModified {
+		t.Errorf("weak If-None-Match: %d; want 304", rr.Code)
+	}
+	if rr, _ := get(t, h, "/v1/stats", map[string]string{"If-None-Match": `W/"gps-epoch-6"`}); rr.Code != http.StatusOK {
+		t.Errorf("stale weak If-None-Match: %d; want 200", rr.Code)
+	}
+	if rr, _ := get(t, h, "/v1/stats", map[string]string{"If-None-Match": `*`}); rr.Code != http.StatusNotModified {
+		t.Errorf("If-None-Match *: %d; want 304", rr.Code)
+	}
+}

@@ -141,12 +141,20 @@ func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) (*Snapshot, bo
 // the epoch, so the epoch alone identifies the response bytes.
 func epochETag(epoch int) string { return fmt.Sprintf("%q", "gps-epoch-"+strconv.Itoa(epoch)) }
 
+// matchesETag implements If-None-Match per RFC 9110 §13.1.2: weak
+// comparison, so a candidate's `W/` prefix is ignored. Caches and
+// proxies routinely weaken validators in transit (nginx does on gzip),
+// and a client echoing `W/"gps-epoch-7"` back means "I hold epoch 7" as
+// surely as the strong form — denying it the 304 would re-send the full
+// body forever.
 func matchesETag(ifNoneMatch, etag string) bool {
 	if strings.TrimSpace(ifNoneMatch) == "*" {
 		return true
 	}
 	for _, c := range strings.Split(ifNoneMatch, ",") {
-		if strings.TrimSpace(c) == etag {
+		c = strings.TrimSpace(c)
+		c = strings.TrimPrefix(c, "W/")
+		if c == strings.TrimPrefix(etag, "W/") {
 			return true
 		}
 	}

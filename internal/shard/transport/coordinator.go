@@ -97,7 +97,7 @@ func (w *workerLink) rpc(timeout time.Duration, typ uint8, payload []byte, want 
 // The coordinator is not safe for concurrent use.
 type Coordinator struct {
 	cfg       shard.Config
-	worldSpec []byte
+	worldSpec []byte // caller's base spec; wrapped per worker by specFor
 	opts      *Options
 
 	workers []*workerLink
@@ -115,6 +115,12 @@ type Coordinator struct {
 // that never appears fails the whole Dial (start with the fleet you mean
 // to run — shards re-balance onto survivors only after a worker that did
 // join dies).
+//
+// worldSpec is the caller's base world description. The coordinator
+// never broadcasts it raw: every Init wraps it with the receiving
+// worker's current owned-shard set (EncodeWorldSpec), so a worker can
+// materialize only the partition of the world its shards scan. Worker
+// factories unwrap with DecodeWorldSpec.
 func Dial(addrs []string, cfg shard.Config, worldSpec []byte, opts *Options) (*Coordinator, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("transport: no worker addresses")
@@ -194,6 +200,21 @@ func (c *Coordinator) shardCfg(s int) continuous.Config {
 	return sc
 }
 
+// specFor wraps the base world spec with worker wi's current owned-shard
+// set. The set is read from the live assignment, so a shard re-queued
+// off a dead worker changes the survivor's spec — the worker notices the
+// new bytes on the shard's Init and extends (or rebuilds) its partition
+// to cover the adopted shard.
+func (c *Coordinator) specFor(wi int) []byte {
+	var owned []int
+	for s, w := range c.assign {
+		if w == wi {
+			owned = append(owned, s)
+		}
+	}
+	return EncodeWorldSpec(c.worldSpec, c.cfg.Shards, owned)
+}
+
 // Seed initializes every shard from one broadcast seed set, exactly like
 // the in-process coordinator: the full set is sent to every worker once
 // (msgSeed), and each shard's Init then references it — the worker's
@@ -263,7 +284,7 @@ func (c *Coordinator) initAll(payload func(s int) (mode uint8, blob []byte)) err
 				return err
 			}
 			mode, blob := payload(s)
-			m := initMsg{Shard: s, Cfg: c.shardCfg(s), WorldSpec: c.worldSpec, Mode: mode, Blob: blob}
+			m := initMsg{Shard: s, Cfg: c.shardCfg(s), WorldSpec: c.specFor(c.assign[s]), Mode: mode, Blob: blob}
 			if _, err := w.rpc(c.opts.timeout(), msgInit, encodeInit(m), msgInitOK); err != nil {
 				if fatalRPC(err) {
 					return fmt.Errorf("transport: init shard %d on %s: %w", s, w.addr, err)
@@ -435,7 +456,7 @@ func (c *Coordinator) runShardEpoch(w *workerLink, s, epoch int) (*continuous.St
 		if err := continuous.WriteCheckpoint(&buf, c.states[s]); err != nil {
 			return nil, fmt.Errorf("encoding shard %d state: %w", s, err)
 		}
-		m := initMsg{Shard: s, Cfg: c.shardCfg(s), WorldSpec: c.worldSpec, Mode: initResume, Blob: buf.Bytes()}
+		m := initMsg{Shard: s, Cfg: c.shardCfg(s), WorldSpec: c.specFor(c.assign[s]), Mode: initResume, Blob: buf.Bytes()}
 		if _, err := w.rpc(c.opts.timeout(), msgInit, encodeInit(m), msgInitOK); err != nil {
 			return nil, err
 		}

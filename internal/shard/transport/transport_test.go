@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,22 +20,39 @@ import (
 
 // simWorld is the test World: a deterministic universe from TestParams,
 // with epoch e's churn seeded seed+e — the exact recipe the in-process
-// reference below uses, so both sides scan identical worlds.
+// reference below uses, so both sides scan identical worlds. It builds
+// only the partition the coordinator's spec envelope says this worker
+// owns: the in-process reference runs against the full universe, so the
+// byte-identical gates below also prove partitioned == full-restricted
+// end to end.
 type simWorld struct {
 	seed  int64
 	epoch int
+	base  *netmodel.Universe // epoch-0 universe, cached for rewinds
 	u     *netmodel.Universe
 }
 
 func newSimWorld(spec []byte) (World, error) {
-	seed := int64(binary.BigEndian.Uint64(spec))
-	return &simWorld{seed: seed, u: netmodel.Generate(netmodel.TestParams(seed))}, nil
+	base, shards, owned, err := DecodeWorldSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(base) != 8 {
+		return nil, fmt.Errorf("sim world spec is %d bytes, want 8", len(base))
+	}
+	seed := int64(binary.BigEndian.Uint64(base))
+	p := netmodel.TestParams(seed)
+	p.Partition = &netmodel.Partition{Count: shards, Owned: owned}
+	u, err := netmodel.GenerateChecked(p)
+	if err != nil {
+		return nil, err
+	}
+	return &simWorld{seed: seed, base: u, u: u}, nil
 }
 
 func (w *simWorld) UniverseAt(e int) (*netmodel.Universe, error) {
 	if e < w.epoch {
-		w.u = netmodel.Generate(netmodel.TestParams(w.seed))
-		w.epoch = 0
+		w.u, w.epoch = w.base, 0
 	}
 	for w.epoch < e {
 		w.epoch++
@@ -341,6 +360,181 @@ func TestTransportRemoteRejectionDoesNotCascade(t *testing.T) {
 	}
 	if c.AliveWorkers() != 1 {
 		t.Errorf("AliveWorkers = %d after a request-level rejection; the healthy worker was torn down", c.AliveWorkers())
+	}
+}
+
+// TestTransportBadWorldSpecRejected: a crafted or corrupt world spec
+// must surface as a typed `world spec rejected` RemoteError — and the
+// worker must survive to serve a good spec afterwards, not die mid-init.
+func TestTransportBadWorldSpecRejected(t *testing.T) {
+	w := startWorker(t)
+	_, seedSet := testSeed(21)
+
+	for _, bad := range [][]byte{
+		[]byte("bogus"),   // not even 8 bytes of seed
+		make([]byte, 3),   // truncated
+		make([]byte, 100), // wrong length entirely
+	} {
+		c, err := Dial([]string{w.addr()}, testConfig(2), bad, testOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = c.Seed(seedSet)
+		var re *RemoteError
+		if !errors.As(err, &re) {
+			t.Fatalf("Seed with bad spec %q returned %v; want *RemoteError", bad, err)
+		}
+		if !bytes.Contains([]byte(re.Msg), []byte("world spec rejected")) {
+			t.Errorf("rejection %q does not say 'world spec rejected'", re.Msg)
+		}
+		c.Close()
+	}
+
+	// The worker process must still be alive and fully functional.
+	c, err := Dial([]string{w.addr()}, testConfig(2), worldSpec(21), testOptions())
+	if err != nil {
+		t.Fatalf("worker did not survive bad specs: %v", err)
+	}
+	defer c.Close()
+	if err := c.Seed(seedSet); err != nil {
+		t.Fatalf("good seed after bad specs: %v", err)
+	}
+	if _, err := c.Epoch(); err != nil {
+		t.Fatalf("epoch after bad specs: %v", err)
+	}
+}
+
+// TestTransportFactoryPanicContained: a factory that panics on a spec
+// (the old netmodel.Generate behavior on invalid params) must produce a
+// reject frame, not a dead worker process.
+func TestTransportFactoryPanicContained(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var calls atomic.Int32
+	go func() {
+		defer close(done)
+		Serve(lis, func(spec []byte) (World, error) {
+			if calls.Add(1) == 1 {
+				panic("corrupt spec blew up the generator")
+			}
+			return newSimWorld(spec)
+		}, nil)
+	}()
+	defer func() {
+		lis.Close()
+		<-done
+	}()
+
+	c, err := Dial([]string{lis.Addr().String()}, testConfig(1), worldSpec(21), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, seedSet := testSeed(21)
+	err = c.Seed(seedSet)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("Seed against a panicking factory returned %v; want *RemoteError", err)
+	}
+	c.Close()
+
+	// Second session: the worker survived the panic and serves normally.
+	c2, err := Dial([]string{lis.Addr().String()}, testConfig(1), worldSpec(21), testOptions())
+	if err != nil {
+		t.Fatalf("worker did not survive the factory panic: %v", err)
+	}
+	defer c2.Close()
+	if err := c2.Seed(seedSet); err != nil {
+		t.Fatalf("seed after factory panic: %v", err)
+	}
+}
+
+// extSimWorld is a simWorld that adopts grown specs in place, counting
+// how it was asked to change.
+type extSimWorld struct {
+	*simWorld
+	extends *atomic.Int32
+}
+
+func (w *extSimWorld) Extend(spec []byte) error {
+	base, shards, owned, err := DecodeWorldSpec(spec)
+	if err != nil {
+		return err
+	}
+	if len(base) != 8 || int64(binary.BigEndian.Uint64(base)) != w.seed {
+		return errors.New("different world")
+	}
+	p := netmodel.TestParams(w.seed)
+	p.Partition = &netmodel.Partition{Count: shards, Owned: owned}
+	u, err := netmodel.GenerateChecked(p)
+	if err != nil {
+		return err
+	}
+	w.base, w.u, w.epoch = u, u, 0
+	w.extends.Add(1)
+	return nil
+}
+
+// TestTransportRequeueExtendsWorld: when a dead worker's shards land on
+// a survivor, the survivor's session sees a grown spec; a world
+// implementing ExtendableWorld must be extended in place — the factory
+// runs once per session, not once per re-queue — and the result must
+// still match the in-process run byte for byte.
+func TestTransportRequeueExtendsWorld(t *testing.T) {
+	const worldSeed, n, epochs = 21, 4, 2
+
+	var builds, extends atomic.Int32
+	factory := func(spec []byte) (World, error) {
+		w, err := newSimWorld(spec)
+		if err != nil {
+			return nil, err
+		}
+		builds.Add(1)
+		return &extSimWorld{simWorld: w.(*simWorld), extends: &extends}, nil
+	}
+	start := func() *testWorker {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tw := &testWorker{lis: lis, done: make(chan struct{})}
+		go func() {
+			defer close(tw.done)
+			Serve(&trackingListener{Listener: lis, tw: tw}, factory, nil)
+		}()
+		t.Cleanup(func() { tw.kill() })
+		return tw
+	}
+
+	w0, w1 := start(), start()
+	c, err := Dial([]string{w0.addr(), w1.addr()}, testConfig(n), worldSpec(worldSeed), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, seedSet := testSeed(worldSeed)
+	if err := c.Seed(seedSet); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Epoch(); err != nil {
+		t.Fatalf("epoch 1: %v", err)
+	}
+	w0.kill()
+	if _, err := c.Epoch(); err != nil {
+		t.Fatalf("epoch 2 after worker death: %v", err)
+	}
+
+	if got := builds.Load(); got != 2 {
+		t.Errorf("factory built %d worlds; want 2 (one per worker session, re-queues extend instead)", got)
+	}
+	if extends.Load() == 0 {
+		t.Error("re-queued shards never extended the survivor's world")
+	}
+	ref := inProcessRun(t, worldSeed, n, epochs)
+	if !bytes.Equal(inventoryBytes(t, c.States()), inventoryBytes(t, ref)) {
+		t.Error("post-extend inventory differs from the in-process run")
 	}
 }
 

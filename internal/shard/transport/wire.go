@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"gps/internal/continuous"
 	"gps/internal/features"
@@ -413,4 +414,76 @@ func decodeShardAck(payload []byte) (int, error) {
 	d := newDec(payload)
 	shard := int(d.varint())
 	return shard, d.err
+}
+
+// World-spec partition envelope. The coordinator never sends a caller's
+// world spec raw: it wraps it with the receiving worker's owned-shard
+// set ("GPSP" + shard count + owned shard indexes + the base spec), so
+// a worker can build only the partition of the world its shards scan —
+// ~1/N of the full-world memory — instead of replicating the entire
+// universe. The owned set is per worker and grows when a re-queued
+// shard lands (the worker sees a changed spec and extends its world;
+// see ExtendableWorld in worker.go).
+const specMagic = "GPSP"
+
+// maxSpecShards bounds the envelope's shard count against corrupt or
+// hostile specs; matches the checkpoint readers' implausibility guard.
+const maxSpecShards = 1 << 16
+
+// EncodeWorldSpec wraps a base world spec with the partition envelope:
+// the total shard count and the owned shard indexes (canonicalized to
+// ascending order, so equal ownership always yields equal bytes).
+func EncodeWorldSpec(base []byte, shards int, owned []int) []byte {
+	sorted := make([]int, len(owned))
+	copy(sorted, owned)
+	sort.Ints(sorted)
+	var e enc
+	e.buf.WriteString(specMagic)
+	e.uvarint(uint64(shards))
+	e.uvarint(uint64(len(sorted)))
+	for _, s := range sorted {
+		e.uvarint(uint64(s))
+	}
+	e.bytes(base)
+	return e.payload()
+}
+
+// DecodeWorldSpec unwraps EncodeWorldSpec output into the base spec, the
+// total shard count, and the owned shard indexes (ascending). Every
+// malformed input — wrong magic, implausible counts, out-of-range or
+// unsorted indexes, truncation — returns a typed or descriptive error,
+// never a misparse.
+func DecodeWorldSpec(spec []byte) (base []byte, shards int, owned []int, err error) {
+	if len(spec) < len(specMagic) || string(spec[:len(specMagic)]) != specMagic {
+		got := spec
+		if len(got) > len(specMagic) {
+			got = got[:len(specMagic)]
+		}
+		return nil, 0, nil, &MagicError{Got: got}
+	}
+	d := newDec(spec[len(specMagic):])
+	n := d.uvarint()
+	if d.err == nil && (n < 1 || n > maxSpecShards) {
+		return nil, 0, nil, fmt.Errorf("transport: world spec declares %d shards, limit %d", n, maxSpecShards)
+	}
+	k := d.uvarint()
+	if d.err == nil && k > n {
+		return nil, 0, nil, fmt.Errorf("transport: world spec owns %d of %d shards", k, n)
+	}
+	owned = make([]int, 0, k)
+	for i := uint64(0); i < k && d.err == nil; i++ {
+		s := d.uvarint()
+		if s >= n {
+			return nil, 0, nil, fmt.Errorf("transport: world spec owns shard %d of %d", s, n)
+		}
+		if len(owned) > 0 && int(s) <= owned[len(owned)-1] {
+			return nil, 0, nil, fmt.Errorf("transport: world spec owned-shard list not strictly ascending")
+		}
+		owned = append(owned, int(s))
+	}
+	base = d.bytes()
+	if d.err != nil {
+		return nil, 0, nil, d.err
+	}
+	return base, int(n), owned, nil
 }

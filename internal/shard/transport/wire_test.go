@@ -204,3 +204,54 @@ func TestWireInitTruncatedPayload(t *testing.T) {
 		t.Errorf("full init payload = (%+v, %v)", got, err)
 	}
 }
+
+// TestWireWorldSpecEnvelope round-trips the partition envelope and pins
+// its canonicalization: equal ownership must yield equal bytes whatever
+// order the owned set was listed in, because the worker session decides
+// "same world?" by comparing spec bytes.
+func TestWireWorldSpecEnvelope(t *testing.T) {
+	base := []byte("opaque base spec")
+	spec := EncodeWorldSpec(base, 8, []int{5, 1, 3})
+	gotBase, shards, owned, err := DecodeWorldSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBase, base) || shards != 8 {
+		t.Fatalf("DecodeWorldSpec = (%q, %d); want (%q, 8)", gotBase, shards, base)
+	}
+	if len(owned) != 3 || owned[0] != 1 || owned[1] != 3 || owned[2] != 5 {
+		t.Fatalf("owned = %v; want [1 3 5] ascending", owned)
+	}
+	if !bytes.Equal(spec, EncodeWorldSpec(base, 8, []int{1, 3, 5})) {
+		t.Error("ownership order changed the spec bytes; envelope must canonicalize")
+	}
+	// An empty base (no inner spec) still round-trips.
+	if _, _, _, err := DecodeWorldSpec(EncodeWorldSpec(nil, 2, []int{0})); err != nil {
+		t.Errorf("empty base spec failed to round-trip: %v", err)
+	}
+}
+
+// TestWireWorldSpecEnvelopeRejects: every malformed envelope maps to an
+// error, never a misparse.
+func TestWireWorldSpecEnvelopeRejects(t *testing.T) {
+	good := EncodeWorldSpec([]byte("base"), 4, []int{0, 2})
+	cases := map[string][]byte{
+		"empty":            nil,
+		"bad magic":        []byte("GPSX rest"),
+		"raw base":         []byte("base"),
+		"truncated":        good[:len(good)-3],
+		"zero shards":      EncodeWorldSpec([]byte("b"), 0, nil),
+		"out-of-range own": append(append([]byte{}, "GPSP"...), 4, 1, 9, 1, 'b'),
+		"descending owned": append(append([]byte{}, "GPSP"...), 4, 2, 2, 0, 1, 'b'),
+		"owns more than n": append(append([]byte{}, "GPSP"...), 2, 3, 0, 1, 1, 1, 'b'),
+	}
+	for name, spec := range cases {
+		if _, _, _, err := DecodeWorldSpec(spec); err == nil {
+			t.Errorf("%s: DecodeWorldSpec accepted %q", name, spec)
+		}
+	}
+	var me *MagicError
+	if _, _, _, err := DecodeWorldSpec([]byte("nope-not-a-spec")); !errors.As(err, &me) {
+		t.Errorf("foreign bytes returned %v; want *MagicError", err)
+	}
+}

@@ -25,12 +25,30 @@ type World interface {
 	UniverseAt(epoch int) (*netmodel.Universe, error)
 }
 
-// WorldFactory builds a World from the coordinator's opaque spec blob.
-// The factory owns the spec format; cmd/gpsd uses its checkpoint world
-// header, tests encode whatever their generator needs. Returning an error
-// rejects the coordinator's Init (e.g. a spec for a world this worker
-// cannot or will not simulate).
+// WorldFactory builds a World from the coordinator's spec blob. The
+// coordinator always delivers the caller's base spec wrapped in the
+// partition envelope (EncodeWorldSpec: total shard count + this worker's
+// owned shards); factories unwrap with DecodeWorldSpec and may build
+// only the owned partition of the world. The base spec format is the
+// caller's own — cmd/gpsd uses its checkpoint world header, tests encode
+// whatever their generator needs. Returning an error rejects the
+// coordinator's Init (e.g. a spec for a world this worker cannot or will
+// not simulate); a panic inside the factory is contained and rejected
+// the same way, so a corrupt spec can never take the worker process
+// down.
 type WorldFactory func(spec []byte) (World, error)
+
+// ExtendableWorld is an optional World extension for partitioned
+// worlds: when a session's spec changes — typically because a shard
+// re-queued off a dead worker landed here and the owned-shard set grew —
+// the session first offers the new spec to the existing world's Extend.
+// A nil return adopts the spec in place (the world materializes just the
+// newly owned partition instead of being rebuilt from scratch); an error
+// falls back to a fresh factory build.
+type ExtendableWorld interface {
+	World
+	Extend(spec []byte) error
+}
 
 // WorkerOptions tunes Serve.
 type WorkerOptions struct {
@@ -132,6 +150,31 @@ func (s *session) reject(conn net.Conn, cause error) error {
 	return writeFrame(conn, msgError, e.payload())
 }
 
+// buildWorld resolves a changed world spec: an existing extendable world
+// gets first refusal (the cheap path — a re-queued shard only grows the
+// owned partition), then the factory builds fresh. Both paths contain
+// panics: a crafted or corrupt spec must surface as a reject frame, not
+// kill the worker process.
+func (s *session) buildWorld(spec []byte) (w World, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			w, err = nil, fmt.Errorf("world build panicked: %v", r)
+		}
+	}()
+	if ew, ok := s.world.(ExtendableWorld); ok {
+		extErr := ew.Extend(spec)
+		if extErr == nil {
+			return ew, nil
+		}
+		// The world could not adopt the spec in place (different base
+		// world, shrunk ownership): rebuild from scratch below. An
+		// unexpected refusal here means paying a full-world rebuild the
+		// extend path exists to avoid, so the reason must not vanish.
+		s.opts.logf("transport: world declined to extend (%v); rebuilding via factory", extErr)
+	}
+	return s.factory(spec)
+}
+
 // handleSeed stores the session's broadcast seed set: it arrives once
 // per worker, however many of the worker's shards later reference it.
 func (s *session) handleSeed(conn net.Conn, payload []byte) error {
@@ -154,7 +197,7 @@ func (s *session) handleInit(conn net.Conn, payload []byte) error {
 		return s.reject(conn, err)
 	}
 	if s.world == nil || !bytes.Equal(s.worldSpec, m.WorldSpec) {
-		w, err := s.factory(m.WorldSpec)
+		w, err := s.buildWorld(m.WorldSpec)
 		if err != nil {
 			return s.reject(conn, fmt.Errorf("world spec rejected: %w", err))
 		}

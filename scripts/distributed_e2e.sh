@@ -93,6 +93,18 @@ snapshot_queries http://127.0.0.1:7472 dist
 kill -TERM $coord_pid
 wait $coord_pid
 
+echo "== per-worker world memory (partitioned universes)"
+# Each worker logs one "built universe ... heap X MB" line with its
+# runtime.MemStats heap and owned-shard count: workers materialize only
+# their partition of the world, so these figures are the ~1/N memory
+# claim made observable per run (and preserved in the uploaded logs).
+worker_lines=$(grep -h 'universe (seed=' "$DIR"/worker-*.log || true)
+if [ -z "$worker_lines" ]; then
+  echo "no worker universe-build log lines found" >&2
+  exit 1
+fi
+echo "$worker_lines"
+
 echo "== diffing merged inventories"
 cmp "$DIR/single.inv" "$DIR/dist.inv"
 
