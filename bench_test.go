@@ -225,6 +225,31 @@ func BenchmarkContinuousEpoch(b *testing.B) {
 	b.ReportMetric(stats.Freshness.AliveFrac(), "alive-frac")
 }
 
+// BenchmarkTelemetryOverhead runs the same continuous epoch with the
+// telemetry registry recording and with it disabled, so the two
+// sub-benchmark times bound the cost of instrumentation on the hottest
+// composite path. The registry's hot paths are single atomics, so the
+// delta should be noise (<5% is the CI expectation).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	s := setupBench(b)
+	seedSet, _ := experiments.SplitEval(s.LZR, s.Scale.SeedMid, true, 91)
+	world := netmodel.Churn(s.Universe, netmodel.DefaultChurn(91))
+	cfg := gps.ContinuousConfig{Budget: 20 * s.Universe.SpaceSize()}
+	epoch := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gps.NewContinuous(seedSet, cfg).Epoch(world); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("instrumented", epoch)
+	b.Run("disabled", func(b *testing.B) {
+		gps.Telemetry().SetEnabled(false)
+		defer gps.Telemetry().SetEnabled(true)
+		epoch(b)
+	})
+}
+
 // --- Shard scale-out ---------------------------------------------------------
 
 // BenchmarkShardPipeline measures ONE shard's share of a batch run at

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+
+	"gps"
+)
+
+// startDebugServer exposes the operational side channel every gpsd mode
+// shares: /v1/metricz (Prometheus text) and /debug/pprof. It binds
+// before mode dispatch so a worker, coordinator, or single-process
+// daemon all answer the same scrape. The server is fire-and-forget —
+// debugging must never take the daemon down, so a bind failure warns
+// and the process continues.
+func startDebugServer(addr string) {
+	if addr == "" {
+		return
+	}
+	registerProcessMetrics()
+	mux := http.NewServeMux()
+	mux.Handle("/v1/metricz", gps.Telemetry().Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpsd: debug server:", err)
+		return
+	}
+	srv := gps.NewHTTPServer("", mux)
+	// CPU profiles stream for ?seconds=N; the serving layer's write bound
+	// would truncate them.
+	srv.WriteTimeout = 0
+	go func() {
+		if err := srv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "gpsd: debug server:", err)
+		}
+	}()
+	fmt.Printf("gpsd: debug server on http://%s (/v1/metricz, /debug/pprof)\n", lis.Addr())
+}
+
+// registerProcessMetrics adds the process-level gauges sampled at scrape
+// time. Heap via GaugeFunc replaces the MemStats figure the worker used
+// to print in its world-built log line.
+func registerProcessMetrics() {
+	gps.Telemetry().GaugeFunc("gps_process_heap_bytes",
+		"live heap allocation (runtime.MemStats.HeapAlloc)",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	gps.Telemetry().GaugeFunc("gps_process_goroutines",
+		"current goroutine count",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+}

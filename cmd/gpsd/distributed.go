@@ -75,6 +75,10 @@ func runCoordinator(f daemonFlags) int {
 			fmt.Fprintln(os.Stderr, "gpsd: invalid universe flags:", err)
 			return 2
 		}
+		// The coordinator holds the full seeding universe, so its world
+		// gauges describe the whole world — the total the per-worker
+		// partition gauges must sum to (the e2e script asserts this).
+		setWorldGauges(u.NumHosts(), f.shards, f.shards)
 		if err := coord.Seed(collectSeedSet(u, f)); err != nil {
 			fmt.Fprintln(os.Stderr, "gpsd:", err)
 			return 1
@@ -112,14 +116,19 @@ func runCoordinator(f daemonFlags) int {
 			fmt.Fprintln(os.Stderr, "gpsd:", err)
 			return 1
 		}
-		logEpoch(stats, time.Since(start))
+		elapsed := time.Since(start)
+		logEpoch(stats, elapsed)
 
+		var ckpt time.Duration
 		if f.checkpoint != "" {
+			ckptStart := time.Now()
 			topo := topology{Workers: len(addrs), Assign: coord.Assignment()}
 			if err := saveCheckpoint(f.checkpoint, world, topo, coord.States()); err != nil {
 				fmt.Fprintln(os.Stderr, "gpsd: checkpoint:", err)
 				return 1
 			}
+			ckpt = time.Since(ckptStart)
+			checkpointSeconds.Observe(ckpt.Seconds())
 		}
 		if f.shardCkpts != "" {
 			if err := saveShardCheckpoints(f.shardCkpts, coord.States()); err != nil {
@@ -127,6 +136,7 @@ func runCoordinator(f daemonFlags) int {
 				return 1
 			}
 		}
+		logEpochJSON(stats, elapsed, ckpt)
 		if f.interval > 0 && !stopped {
 			select {
 			case s := <-sig:

@@ -57,6 +57,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -95,6 +96,7 @@ type daemonFlags struct {
 	rebalance   string
 	serve       string
 	serveFile   string
+	debugAddr   string
 }
 
 func main() {
@@ -123,11 +125,13 @@ func main() {
 	flag.StringVar(&f.rebalance, "rebalance", "", "transform -checkpoint: 'split' doubles the shard count, 'join' halves it; no scanning")
 	flag.StringVar(&f.serve, "serve", "", "serve the inventory query API on this address (e.g. 127.0.0.1:7080) alongside the daemon")
 	flag.StringVar(&f.serveFile, "serve-file", "", "standalone read path: serve this GPSV inventory file on -serve and exit on SIGINT/SIGTERM")
+	flag.StringVar(&f.debugAddr, "debug-addr", "", "serve /v1/metricz and /debug/pprof on this address, in every mode")
 	flag.Parse()
 	if f.shards < 1 {
 		fmt.Fprintln(os.Stderr, "gpsd: -shards must be >= 1")
 		os.Exit(2)
 	}
+	startDebugServer(f.debugAddr)
 
 	switch {
 	case f.workerMode:
@@ -190,6 +194,58 @@ func logEpoch(stats gps.EpochStats, elapsed time.Duration) {
 		stats.Probes(), elapsed.Round(time.Millisecond))
 }
 
+// checkpointSeconds times the atomic checkpoint save, the one epoch cost
+// the phase histograms inside the scan layers cannot see.
+var checkpointSeconds = gps.Telemetry().Histogram("gps_checkpoint_seconds",
+	"time to persist the epoch checkpoint (fsync + rename)", nil)
+
+// epochSummaryJSON is the machine-readable twin of logEpoch: one JSON
+// object per line, stable field order, durations in seconds. Log
+// shippers parse this; humans read the line above.
+type epochSummaryJSON struct {
+	Event           string  `json:"event"`
+	Epoch           int     `json:"epoch"`
+	Known           int     `json:"known"`
+	Verified        int     `json:"verified"`
+	Lost            int     `json:"lost"`
+	Evicted         int     `json:"evicted"`
+	New             int     `json:"new"`
+	Refreshed       int     `json:"refreshed"`
+	TrainSize       int     `json:"train_size"`
+	ReverifyProbes  uint64  `json:"reverify_probes"`
+	DiscoveryProbes uint64  `json:"discovery_probes"`
+	AliveFrac       float64 `json:"alive_frac"`
+	StaleRate       float64 `json:"stale_rate"`
+	ReverifySec     float64 `json:"reverify_sec"`
+	RetrainSec      float64 `json:"retrain_sec"`
+	DiscoverSec     float64 `json:"discover_sec"`
+	FoldSec         float64 `json:"fold_sec"`
+	CheckpointSec   float64 `json:"checkpoint_sec"`
+	EpochSec        float64 `json:"epoch_sec"`
+}
+
+// logEpochJSON emits the structured per-epoch summary. With concurrent
+// shards the phase seconds are summed across shards (CPU-seconds);
+// epoch_sec is wall time.
+func logEpochJSON(stats gps.EpochStats, elapsed, ckpt time.Duration) {
+	body, err := json.Marshal(epochSummaryJSON{
+		Event: "epoch", Epoch: stats.Epoch, Known: stats.KnownSize,
+		Verified: stats.Verified, Lost: stats.Lost, Evicted: stats.Evicted,
+		New: stats.NewFound, Refreshed: stats.Refreshed, TrainSize: stats.TrainSize,
+		ReverifyProbes: stats.ReverifyProbes, DiscoveryProbes: stats.DiscoveryProbes,
+		AliveFrac: stats.Freshness.AliveFrac(), StaleRate: stats.Freshness.StaleRate(),
+		ReverifySec:   stats.Phases.Reverify.Seconds(),
+		RetrainSec:    stats.Phases.Retrain.Seconds(),
+		DiscoverSec:   stats.Phases.Discover.Seconds(),
+		FoldSec:       stats.Phases.Fold.Seconds(),
+		CheckpointSec: ckpt.Seconds(), EpochSec: elapsed.Seconds(),
+	})
+	if err != nil {
+		return
+	}
+	fmt.Println(string(body))
+}
+
 // writeInventoryFile dumps the merged inventory in its canonical byte
 // encoding: the artifact the distributed CI gate diffs against the
 // in-process run.
@@ -243,6 +299,7 @@ func runDaemon(f daemonFlags) int {
 		fmt.Fprintln(os.Stderr, "gpsd: invalid universe flags:", err)
 		return 2
 	}
+	setWorldGauges(u.NumHosts(), f.shards, f.shards)
 	fmt.Printf("gpsd: %d hosts, %d services, %d addresses", u.NumHosts(), u.NumServices(), u.SpaceSize())
 	if f.shards > 1 {
 		fmt.Printf("; %d shards", f.shards)
@@ -319,14 +376,20 @@ func runDaemon(f daemonFlags) int {
 			fmt.Fprintln(os.Stderr, "gpsd:", err)
 			return 1
 		}
-		logEpoch(stats, time.Since(start))
+		elapsed := time.Since(start)
+		logEpoch(stats, elapsed)
 
+		var ckpt time.Duration
 		if f.checkpoint != "" {
+			ckptStart := time.Now()
 			if err := saveCheckpoint(f.checkpoint, world, localTopology(f.shards), coord.States()); err != nil {
 				fmt.Fprintln(os.Stderr, "gpsd: checkpoint:", err)
 				return 1
 			}
+			ckpt = time.Since(ckptStart)
+			checkpointSeconds.Observe(ckpt.Seconds())
 		}
+		logEpochJSON(stats, elapsed, ckpt)
 		if f.interval > 0 && !stopped {
 			select {
 			case s := <-sig:

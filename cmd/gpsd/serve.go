@@ -35,7 +35,10 @@ func startInventoryServer(addr string) (*inventoryServer, error) {
 	is := &inventoryServer{
 		addr: lis.Addr().String(),
 		pub:  pub,
-		srv:  &http.Server{Handler: gps.NewInventoryServer(pub).Handler()},
+		// NewHTTPServer, not a bare http.Server: the read path is public,
+		// and without header/read timeouts a slow-loris client pins
+		// connections forever.
+		srv: gps.NewHTTPServer("", gps.NewInventoryServer(pub).Handler()),
 	}
 	go func() {
 		if err := is.srv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -5,7 +5,6 @@ import (
 	"net"
 	"os"
 	"os/signal"
-	"runtime"
 	"syscall"
 
 	"gps"
@@ -73,15 +72,30 @@ func (w *demoWorld) generate(part *gps.UniversePartition) (*gps.Universe, error)
 	return gps.NewUniverse(p)
 }
 
-// logBuilt reports the world the worker now holds, including live heap —
-// the line scripts/distributed_e2e.sh collects to track per-worker
-// memory for partitioned vs full worlds.
+// logBuilt reports the world the worker now holds and publishes the
+// world gauges. Heap moved to the gps_process_heap_bytes gauge on
+// -debug-addr (sampled at scrape time, not at build time);
+// scripts/distributed_e2e.sh now asserts the per-worker partition sizes
+// against the coordinator's total via /v1/metricz instead of grepping
+// this line.
 func (w *demoWorld) logBuilt(how string) {
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	fmt.Printf("gpsd: worker %s universe (seed=%d, %d /16s, density %.1f%%): owns %d/%d shards, %d hosts, heap %.1f MB\n",
+	setWorldGauges(w.u.NumHosts(), len(w.part.Owned), w.part.Count)
+	fmt.Printf("gpsd: worker %s universe (seed=%d, %d /16s, density %.1f%%): owns %d/%d shards, %d hosts\n",
 		how, w.id.Seed, w.id.Prefixes, 100*w.id.Density,
-		len(w.part.Owned), w.part.Count, w.u.NumHosts(), float64(ms.HeapAlloc)/(1<<20))
+		len(w.part.Owned), w.part.Count, w.u.NumHosts())
+}
+
+// setWorldGauges publishes the world this process materialized: how many
+// hosts it holds and which share of the shard layout that covers. The
+// single-process daemon and the seeding coordinator report the full
+// world (owned == total).
+func setWorldGauges(hosts, ownedShards, totalShards int) {
+	gps.Telemetry().Gauge("gps_world_hosts",
+		"hosts materialized in this process's universe partition").Set(float64(hosts))
+	gps.Telemetry().Gauge("gps_world_owned_shards",
+		"shards this process's universe partition covers").Set(float64(ownedShards))
+	gps.Telemetry().Gauge("gps_world_total_shards",
+		"total shards in the world's layout").Set(float64(totalShards))
 }
 
 // UniverseAt returns the universe as of the given epoch. Epochs normally

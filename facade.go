@@ -3,6 +3,7 @@ package gps
 import (
 	"io"
 	"net"
+	"net/http"
 
 	"gps/internal/asndb"
 	"gps/internal/continuous"
@@ -17,6 +18,7 @@ import (
 	"gps/internal/serve"
 	"gps/internal/shard"
 	"gps/internal/shard/transport"
+	"gps/internal/telemetry"
 )
 
 // This file re-exports the library's supporting types through the root
@@ -409,6 +411,24 @@ func PartitionShardWorldSpec(base []byte, shards int, owned []int) []byte {
 // the coordinator delivers.
 func SplitShardWorldSpec(spec []byte) (base []byte, shards int, owned []int, err error) {
 	return transport.DecodeWorldSpec(spec)
+}
+
+// TelemetryRegistry is the runtime metrics registry: atomic counters,
+// gauges, fixed-bucket histograms, and EWMA gauges with a Prometheus
+// text exposition (Handler serves it as /v1/metricz).
+type TelemetryRegistry = telemetry.Registry
+
+// Telemetry returns the process-wide default registry every GPS layer
+// instruments into. Scrape it with Telemetry().Handler(), or disable
+// recording entirely with Telemetry().SetEnabled(false) (benchmarks
+// measure instrumentation overhead this way).
+func Telemetry() *TelemetryRegistry { return telemetry.Default }
+
+// NewHTTPServer returns an http.Server with the serving layer's
+// slow-client timeout defaults applied — use it for any listener exposed
+// beyond localhost.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return serve.NewHTTPServer(addr, h)
 }
 
 // Evaluate replays a result's discovery log against a held-out test set

@@ -19,6 +19,7 @@ package continuous
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"gps/internal/asndb"
 	"gps/internal/dataset"
@@ -108,6 +109,10 @@ type EpochStats struct {
 	KnownSize int
 	// Freshness is the staleness accounting of the known set.
 	Freshness metrics.Freshness
+	// Phases is the epoch's wall-clock phase split. Observability only:
+	// it is not checkpointed (see PhaseTimes), so resumed history reads
+	// zero here.
+	Phases PhaseTimes
 }
 
 // Probes returns the epoch's total bandwidth.
@@ -137,6 +142,7 @@ type Runner struct {
 	cfg  Config
 	st   *State
 	hook CommitHook
+	tel  *runnerTelemetry
 }
 
 // New creates a runner seeded with an initial observation set (typically
@@ -153,7 +159,7 @@ func New(seed *dataset.Dataset, cfg Config) *Runner {
 			st.Known[k] = &Entry{Rec: r}
 		}
 	}
-	return &Runner{cfg: cfg, st: st}
+	return &Runner{cfg: cfg, st: st, tel: newRunnerTelemetry(cfg)}
 }
 
 // Resume creates a runner continuing from a checkpointed state.
@@ -161,7 +167,7 @@ func Resume(st *State, cfg Config) *Runner {
 	if st.Known == nil {
 		st.Known = make(map[netmodel.Key]*Entry)
 	}
-	return &Runner{cfg: cfg, st: st}
+	return &Runner{cfg: cfg, st: st, tel: newRunnerTelemetry(cfg)}
 }
 
 // State exposes the runner's state (shared, not copied): read it for
@@ -217,6 +223,7 @@ func (r *Runner) Epoch(u *netmodel.Universe) (EpochStats, error) {
 	r.st.Epoch++
 	e := r.st.Epoch
 	stats := EpochStats{Epoch: e}
+	phaseStart := time.Now()
 
 	// Phase 1: re-verify the known set, least recently seen first. One
 	// SYN per known service is the cheapest bandwidth GPS can spend —
@@ -258,11 +265,14 @@ func (r *Runner) Epoch(u *netmodel.Universe) (EpochStats, error) {
 		}
 	}
 	stats.ReverifyProbes = sc.Probes()
+	stats.Phases.Reverify = time.Since(phaseStart)
 
 	// Phase 2: re-train on the believed-live population and spend the
 	// remaining budget on discovery through the regular pipeline.
+	phaseStart = time.Now()
 	train := r.TrainingSet()
 	stats.TrainSize = train.NumServices()
+	stats.Phases.Retrain = time.Since(phaseStart)
 	discover := train.NumServices() > 0
 	pcfg := r.cfg.Pipeline
 	pcfg.ShardIndex, pcfg.ShardCount = r.cfg.ShardIndex, r.cfg.ShardCount
@@ -274,12 +284,19 @@ func (r *Runner) Epoch(u *netmodel.Universe) (EpochStats, error) {
 		}
 	}
 	if discover {
+		phaseStart = time.Now()
 		res, err := pipeline.Run(u, train, pcfg)
 		if err != nil {
 			return stats, fmt.Errorf("continuous: epoch %d discovery: %w", e, err)
 		}
+		// The pipeline re-builds the model internally; that slice of its
+		// wall time is retraining, the rest is discovery proper.
+		stats.Phases.Retrain += res.Timings.Model
+		stats.Phases.Discover = time.Since(phaseStart) - res.Timings.Model
 		stats.DiscoveryProbes = res.TotalScanProbes()
+		phaseStart = time.Now()
 		r.fold(u, res, e, &stats)
+		stats.Phases.Fold = time.Since(phaseStart)
 	}
 
 	stats.KnownSize = len(r.st.Known)
@@ -293,6 +310,7 @@ func (r *Runner) Epoch(u *netmodel.Universe) (EpochStats, error) {
 		}
 	}
 	r.st.History = append(r.st.History, stats)
+	r.tel.record(stats)
 	if r.hook != nil {
 		r.hook(e, r.st.Known)
 	}

@@ -239,7 +239,11 @@ func statesEqual(a, b *State) bool {
 		return false
 	}
 	for i := range a.History {
-		if a.History[i] != b.History[i] {
+		// Phases is wall-clock observability, deliberately excluded from
+		// checkpoints — nondeterministic, so not part of state identity.
+		ha, hb := a.History[i], b.History[i]
+		ha.Phases, hb.Phases = PhaseTimes{}, PhaseTimes{}
+		if ha != hb {
 			return false
 		}
 	}

@@ -1,0 +1,33 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+)
+
+// HTTP server timeout defaults. The read path is public: without a
+// header timeout a client that dials and then trickles bytes (or sends
+// nothing at all) pins a connection and its goroutine forever — enough
+// of them and the inventory API is down without a single malformed
+// request (slow-loris). Every response here is a small JSON body built
+// from an in-memory snapshot, so the write bound is generous.
+const (
+	DefaultReadHeaderTimeout = 5 * time.Second
+	DefaultReadTimeout       = 10 * time.Second
+	DefaultWriteTimeout      = 30 * time.Second
+	DefaultIdleTimeout       = 120 * time.Second
+)
+
+// NewHTTPServer returns an http.Server for the public read path with the
+// slow-client timeouts set. Callers that need different bounds can
+// adjust the returned server before ListenAndServe.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: DefaultReadHeaderTimeout,
+		ReadTimeout:       DefaultReadTimeout,
+		WriteTimeout:      DefaultWriteTimeout,
+		IdleTimeout:       DefaultIdleTimeout,
+	}
+}

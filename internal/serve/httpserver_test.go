@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestNewHTTPServerTimeouts(t *testing.T) {
+	srv := NewHTTPServer(":0", http.NewServeMux())
+	if srv.ReadHeaderTimeout <= 0 {
+		t.Error("ReadHeaderTimeout unset: slow-loris clients pin connections forever")
+	}
+	if srv.ReadTimeout <= 0 {
+		t.Error("ReadTimeout unset")
+	}
+	if srv.WriteTimeout <= 0 {
+		t.Error("WriteTimeout unset")
+	}
+	if srv.IdleTimeout <= 0 {
+		t.Error("IdleTimeout unset")
+	}
+}
+
+// TestSlowLorisDisconnected proves the defense end to end: a client that
+// dials and never finishes its request headers is cut off once
+// ReadHeaderTimeout elapses, instead of holding the connection open.
+func TestSlowLorisDisconnected(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewHTTPServer("", http.NewServeMux())
+	srv.ReadHeaderTimeout = 50 * time.Millisecond
+	srv.ReadTimeout = 50 * time.Millisecond
+	go srv.Serve(lis)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Half a request line, then silence: the server must hang up.
+	if _, err := conn.Write([]byte("GET /v1/heal")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 256)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return // connection closed (or reset) by the server — defended
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package serve
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Publisher is the single synchronization point between the producer loop
 // and the readers: one atomic pointer to the current Snapshot. The
@@ -32,6 +35,9 @@ func (p *Publisher) Publish(s *Snapshot) bool {
 			return false
 		}
 		if p.cur.CompareAndSwap(old, s) {
+			snapshotEpoch.Set(float64(s.epoch))
+			snapshotPublishes.Inc()
+			lastPublishNanos.Store(time.Now().UnixNano())
 			return true
 		}
 	}

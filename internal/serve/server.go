@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"gps/internal/asndb"
+	"gps/internal/telemetry"
 )
 
 // Pagination and cache bounds. The limits keep one request's work bounded
@@ -51,13 +52,14 @@ func NewServer(pub *Publisher) *Server {
 // http.Server.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/v1/ports", s.handlePorts)
-	mux.HandleFunc("/v1/host/", s.handleHost)
-	mux.HandleFunc("/v1/port/", s.handlePort)
-	mux.HandleFunc("/v1/asn/", s.handleASN)
-	mux.HandleFunc("/v1/prefix/", s.handlePrefix)
+	mux.HandleFunc("/v1/healthz", instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("/v1/stats", instrument("stats", s.handleStats))
+	mux.HandleFunc("/v1/ports", instrument("ports", s.handlePorts))
+	mux.HandleFunc("/v1/host/", instrument("host", s.handleHost))
+	mux.HandleFunc("/v1/port/", instrument("port", s.handlePort))
+	mux.HandleFunc("/v1/asn/", instrument("asn", s.handleASN))
+	mux.HandleFunc("/v1/prefix/", instrument("prefix", s.handlePrefix))
+	mux.Handle("/v1/metricz", telemetry.Handler())
 	return mux
 }
 
@@ -182,7 +184,10 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, snap *Snapshot,
 		return
 	}
 	body, ok := s.cache.get(snap.Epoch(), key)
-	if !ok {
+	if ok {
+		cacheHits.Inc()
+	} else {
+		cacheMisses.Inc()
 		var err error
 		if body, err = json.Marshal(build()); err != nil {
 			writeError(w, http.StatusInternalServerError, err.Error())

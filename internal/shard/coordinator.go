@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"gps/internal/continuous"
 	"gps/internal/dataset"
@@ -48,6 +49,7 @@ type Coordinator struct {
 	cfg     Config
 	runners []*continuous.Runner
 	hook    CommitHook
+	tel     *coordTelemetry
 }
 
 // CommitHook observes each committed coordinator epoch. It runs
@@ -65,7 +67,7 @@ type CommitHook func(epoch int, inv map[netmodel.Key]*continuous.Entry)
 func NewCoordinator(seed *dataset.Dataset, cfg Config) *Coordinator {
 	n := cfg.shards()
 	budgets := SliceBudget(cfg.Continuous.Budget, n)
-	c := &Coordinator{cfg: cfg, runners: make([]*continuous.Runner, n)}
+	c := &Coordinator{cfg: cfg, runners: make([]*continuous.Runner, n), tel: newCoordTelemetry(n)}
 	for i := range c.runners {
 		c.runners[i] = continuous.New(seed, cfg.shardConfig(i, budgets))
 	}
@@ -82,7 +84,7 @@ func ResumeCoordinator(states []*continuous.State, cfg Config) (*Coordinator, er
 		return nil, fmt.Errorf("shard: checkpoint holds %d shard states; config says %d shards", len(states), n)
 	}
 	budgets := SliceBudget(cfg.Continuous.Budget, n)
-	c := &Coordinator{cfg: cfg, runners: make([]*continuous.Runner, n)}
+	c := &Coordinator{cfg: cfg, runners: make([]*continuous.Runner, n), tel: newCoordTelemetry(n)}
 	for i := range c.runners {
 		c.runners[i] = continuous.Resume(states[i], cfg.shardConfig(i, budgets))
 	}
@@ -138,7 +140,9 @@ func (c *Coordinator) Epoch(u *netmodel.Universe) (continuous.EpochStats, error)
 		wg.Add(1)
 		go func(i int, r *continuous.Runner) {
 			defer wg.Done()
+			start := time.Now()
 			stats[i], errs[i] = r.Epoch(u)
+			c.tel.observeShard(i, time.Since(start))
 		}(i, r)
 	}
 	wg.Wait()
@@ -147,6 +151,7 @@ func (c *Coordinator) Epoch(u *netmodel.Universe) (continuous.EpochStats, error)
 			return continuous.EpochStats{}, fmt.Errorf("shard: shard %d/%d: %w", i, len(c.runners), err)
 		}
 	}
+	c.tel.commit(c.EpochNumber())
 	if c.hook != nil {
 		inv, _ := MergeInventories(c.States())
 		c.hook(c.EpochNumber(), inv)
@@ -174,6 +179,12 @@ func MergeStats(stats []continuous.EpochStats) continuous.EpochStats {
 		m.Freshness.Stale += s.Freshness.Stale
 		m.Freshness.Checked += s.Freshness.Checked
 		m.Freshness.Alive += s.Freshness.Alive
+		// Shards run concurrently, so these sums read as CPU-seconds of
+		// phase work, not wall time (see continuous.PhaseTimes).
+		m.Phases.Reverify += s.Phases.Reverify
+		m.Phases.Retrain += s.Phases.Retrain
+		m.Phases.Discover += s.Phases.Discover
+		m.Phases.Fold += s.Phases.Fold
 	}
 	return m
 }

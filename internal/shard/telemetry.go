@@ -1,0 +1,58 @@
+package shard
+
+import (
+	"strconv"
+	"time"
+
+	"gps/internal/telemetry"
+)
+
+// coordTelemetry holds the coordinator's pre-registered handles. The
+// per-shard epoch-latency histogram and its EWMA are the load signal
+// elastic shard membership (ROADMAP) will key off: a shard whose
+// smoothed epoch latency drifts above its peers is the one to split or
+// move.
+type coordTelemetry struct {
+	epochs   *telemetry.Counter
+	epoch    *telemetry.Gauge
+	shardLat []*telemetry.Histogram
+	shardEw  []*telemetry.EWMA
+}
+
+// ewmaAlpha smooths per-shard epoch latency: ~0.3 weights the last few
+// epochs without whiplashing on one slow scan.
+const ewmaAlpha = 0.3
+
+func newCoordTelemetry(shards int) *coordTelemetry {
+	r := telemetry.Default
+	t := &coordTelemetry{
+		epochs: r.Counter("gps_coordinator_epochs_total",
+			"coordinator epochs committed across all shards"),
+		epoch: r.Gauge("gps_coordinator_epoch",
+			"last committed coordinator epoch"),
+		shardLat: make([]*telemetry.Histogram, shards),
+		shardEw:  make([]*telemetry.EWMA, shards),
+	}
+	for i := range t.shardLat {
+		shard := strconv.Itoa(i)
+		t.shardLat[i] = r.Histogram("gps_shard_epoch_seconds",
+			"wall-clock time of one shard's epoch",
+			nil, "shard", shard)
+		t.shardEw[i] = r.EWMA("gps_shard_epoch_ewma_seconds",
+			"exponentially smoothed shard epoch latency (membership signal)",
+			ewmaAlpha, "shard", shard)
+	}
+	return t
+}
+
+// observeShard records one shard's epoch wall time.
+func (t *coordTelemetry) observeShard(i int, d time.Duration) {
+	t.shardLat[i].Observe(d.Seconds())
+	t.shardEw[i].Update(d.Seconds())
+}
+
+// commit records a completed coordinator epoch.
+func (t *coordTelemetry) commit(epoch int) {
+	t.epochs.Inc()
+	t.epoch.Set(float64(epoch))
+}

@@ -62,6 +62,8 @@ type workerLink struct {
 // DisconnectError.
 func (w *workerLink) rpc(timeout time.Duration, typ uint8, payload []byte, want uint8) ([]byte, error) {
 	w.conn.SetDeadline(time.Now().Add(timeout))
+	coordFramesSent.Inc()
+	coordBytesSent.Add(uint64(len(payload) + frameOverhead))
 	if err := writeFrame(w.conn, typ, payload); err != nil {
 		var fse *FrameSizeError
 		if errors.As(err, &fse) {
@@ -74,6 +76,8 @@ func (w *workerLink) rpc(timeout time.Duration, typ uint8, payload []byte, want 
 	if err != nil {
 		return nil, &DisconnectError{Addr: w.addr, Err: err}
 	}
+	coordFramesRecv.Inc()
+	coordBytesRecv.Add(uint64(len(resp) + frameOverhead))
 	if got == msgError {
 		d := newDec(resp)
 		msg := d.bytes()
@@ -106,6 +110,7 @@ type Coordinator struct {
 	states  []*continuous.State
 	budgets []uint64
 	hook    shard.CommitHook
+	tel     *rpcTelemetry
 
 	failures []*WorkerError
 }
@@ -137,6 +142,7 @@ func Dial(addrs []string, cfg shard.Config, worldSpec []byte, opts *Options) (*C
 		assign:    make([]int, n),
 		inited:    make([]bool, n),
 		budgets:   shard.SliceBudget(cfg.Continuous.Budget, n),
+		tel:       newRPCTelemetry(n),
 	}
 	for _, addr := range addrs {
 		conn, err := dialRetry(addr, opts.dialTimeout())
@@ -174,6 +180,7 @@ func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
 		if time.Now().Add(delay).After(deadline) {
 			return nil, err
 		}
+		dialRetries.Inc()
 		time.Sleep(delay)
 		if delay < time.Second {
 			delay *= 2
@@ -311,6 +318,7 @@ func (c *Coordinator) liveWorker(s int) (*workerLink, error) {
 		i := (c.assign[s] + off) % len(c.workers)
 		if c.workers[i].alive {
 			c.opts.logf("transport: re-queueing shard %d from dead %s to %s", s, w.addr, c.workers[i].addr)
+			shardRequeues.Inc()
 			c.assign[s] = i
 			c.inited[s] = false
 			return c.workers[i], nil
@@ -326,6 +334,7 @@ func (c *Coordinator) liveWorker(s int) (*workerLink, error) {
 func (c *Coordinator) workerFailed(s int, w *workerLink, err error) {
 	we := &WorkerError{Addr: w.addr, Shard: s, Err: err}
 	c.failures = append(c.failures, we)
+	workerFailures.Inc()
 	w.alive = false
 	w.conn.Close()
 	c.opts.logf("transport: %v", we)
@@ -383,7 +392,13 @@ func (c *Coordinator) Epoch() (continuous.EpochStats, error) {
 				out := &outcome{states: make(map[int]*continuous.State), failed: make(map[int]error)}
 				w := c.workers[wi]
 				for _, s := range shards {
+					start := time.Now()
 					st, err := c.runShardEpoch(w, s, epoch)
+					if err == nil {
+						d := time.Since(start).Seconds()
+						c.tel.shardLat[s].Observe(d)
+						c.tel.shardEw[s].Update(d)
+					}
 					switch {
 					case err == nil:
 						out.states[s] = st

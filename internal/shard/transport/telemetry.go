@@ -1,0 +1,78 @@
+package transport
+
+import (
+	"strconv"
+
+	"gps/internal/telemetry"
+)
+
+// Link-level counters for the GPST framed protocol, split by which side
+// of the wire this process is on. Registered at package init: the names
+// are fixed, and a registration conflict should crash at startup, not
+// mid-epoch.
+var (
+	coordFramesSent = telemetry.Default.Counter("gps_rpc_frames_total",
+		"GPST frames moved, by side and direction", "side", "coordinator", "dir", "sent")
+	coordFramesRecv = telemetry.Default.Counter("gps_rpc_frames_total",
+		"GPST frames moved, by side and direction", "side", "coordinator", "dir", "recv")
+	coordBytesSent = telemetry.Default.Counter("gps_rpc_bytes_total",
+		"GPST payload bytes moved (including the 5-byte frame header), by side and direction",
+		"side", "coordinator", "dir", "sent")
+	coordBytesRecv = telemetry.Default.Counter("gps_rpc_bytes_total",
+		"GPST payload bytes moved (including the 5-byte frame header), by side and direction",
+		"side", "coordinator", "dir", "recv")
+	workerFramesSent = telemetry.Default.Counter("gps_rpc_frames_total",
+		"GPST frames moved, by side and direction", "side", "worker", "dir", "sent")
+	workerFramesRecv = telemetry.Default.Counter("gps_rpc_frames_total",
+		"GPST frames moved, by side and direction", "side", "worker", "dir", "recv")
+	workerBytesSent = telemetry.Default.Counter("gps_rpc_bytes_total",
+		"GPST payload bytes moved (including the 5-byte frame header), by side and direction",
+		"side", "worker", "dir", "sent")
+	workerBytesRecv = telemetry.Default.Counter("gps_rpc_bytes_total",
+		"GPST payload bytes moved (including the 5-byte frame header), by side and direction",
+		"side", "worker", "dir", "recv")
+
+	dialRetries = telemetry.Default.Counter("gps_rpc_dial_retries_total",
+		"worker dials that had to be retried (worker not listening yet)")
+	workerFailures = telemetry.Default.Counter("gps_rpc_worker_failures_total",
+		"workers declared dead by the coordinator")
+	shardRequeues = telemetry.Default.Counter("gps_rpc_shard_requeues_total",
+		"shards re-queued from a dead worker to a survivor")
+
+	workerSessions = telemetry.Default.Counter("gps_worker_sessions_total",
+		"coordinator sessions accepted by this worker")
+	workerEpochs = telemetry.Default.Counter("gps_worker_epochs_total",
+		"shard epochs executed by this worker")
+	workerShardsOwned = telemetry.Default.Gauge("gps_worker_shards_owned",
+		"shards currently assigned to this worker's session")
+)
+
+// frameOverhead is the GPST frame header size added to every payload.
+const frameOverhead = 5
+
+// rpcTelemetry is the coordinator's per-shard RPC latency handles,
+// registered at Dial when the shard count is known. The RPC latency
+// includes the worker's epoch compute, so its EWMA is the remote twin of
+// shard.Coordinator's in-process membership signal.
+type rpcTelemetry struct {
+	shardLat []*telemetry.Histogram
+	shardEw  []*telemetry.EWMA
+}
+
+func newRPCTelemetry(shards int) *rpcTelemetry {
+	r := telemetry.Default
+	t := &rpcTelemetry{
+		shardLat: make([]*telemetry.Histogram, shards),
+		shardEw:  make([]*telemetry.EWMA, shards),
+	}
+	for i := range t.shardLat {
+		shard := strconv.Itoa(i)
+		t.shardLat[i] = r.Histogram("gps_rpc_shard_epoch_seconds",
+			"round-trip time of one shard's remote epoch (includes worker compute)",
+			nil, "shard", shard)
+		t.shardEw[i] = r.EWMA("gps_rpc_shard_epoch_ewma_seconds",
+			"exponentially smoothed remote shard epoch latency (membership signal)",
+			0.3, "shard", shard)
+	}
+	return t
+}

@@ -89,6 +89,7 @@ func Serve(lis net.Listener, factory WorldFactory, opts *WorkerOptions) error {
 			tc.SetKeepAlive(true)
 			tc.SetKeepAlivePeriod(30 * time.Second)
 		}
+		workerSessions.Inc()
 		s := &session{factory: factory, opts: opts, runners: make(map[int]*continuous.Runner)}
 		if err := s.serve(conn); err != nil {
 			opts.logf("transport: session from %s ended: %v", conn.RemoteAddr(), err)
@@ -124,6 +125,8 @@ func (s *session) serve(conn net.Conn) error {
 			}
 			return err
 		}
+		workerFramesRecv.Inc()
+		workerBytesRecv.Add(uint64(len(payload) + frameOverhead))
 		switch typ {
 		case msgSeed:
 			err = s.handleSeed(conn, payload)
@@ -142,12 +145,20 @@ func (s *session) serve(conn net.Conn) error {
 	}
 }
 
+// send is writeFrame plus link accounting; every session response goes
+// through it.
+func (s *session) send(conn net.Conn, typ uint8, payload []byte) error {
+	workerFramesSent.Inc()
+	workerBytesSent.Add(uint64(len(payload) + frameOverhead))
+	return writeFrame(conn, typ, payload)
+}
+
 // reject reports a request failure to the coordinator; the session
 // continues. Only a conn write failure is returned.
 func (s *session) reject(conn net.Conn, cause error) error {
 	var e enc
 	e.bytes([]byte(cause.Error()))
-	return writeFrame(conn, msgError, e.payload())
+	return s.send(conn, msgError, e.payload())
 }
 
 // buildWorld resolves a changed world spec: an existing extendable world
@@ -188,7 +199,7 @@ func (s *session) handleSeed(conn net.Conn, payload []byte) error {
 		return s.reject(conn, fmt.Errorf("decoding seed dataset: %w", err))
 	}
 	s.seed = seed
-	return writeFrame(conn, msgSeedOK, nil)
+	return s.send(conn, msgSeedOK, nil)
 }
 
 func (s *session) handleInit(conn net.Conn, payload []byte) error {
@@ -220,7 +231,8 @@ func (s *session) handleInit(conn net.Conn, payload []byte) error {
 	}
 	s.opts.logf("transport: adopted shard %d/%d (%d known services)",
 		m.Shard, m.Cfg.ShardCount, len(s.runners[m.Shard].State().Known))
-	return writeFrame(conn, msgInitOK, encodeShardAck(m.Shard))
+	workerShardsOwned.Set(float64(len(s.runners)))
+	return s.send(conn, msgInitOK, encodeShardAck(m.Shard))
 }
 
 func (s *session) handleEpoch(conn net.Conn, payload []byte) error {
@@ -243,11 +255,12 @@ func (s *session) handleEpoch(conn net.Conn, payload []byte) error {
 	if _, err := r.Epoch(u); err != nil {
 		return s.reject(conn, fmt.Errorf("epoch %d on shard %d: %w", epoch, shard, err))
 	}
+	workerEpochs.Inc()
 	var blob bytes.Buffer
 	if err := continuous.WriteCheckpoint(&blob, r.State()); err != nil {
 		return s.reject(conn, fmt.Errorf("encoding shard %d state: %w", shard, err))
 	}
-	return writeFrame(conn, msgEpochResult, encodeEpochResult(shard, blob.Bytes()))
+	return s.send(conn, msgEpochResult, encodeEpochResult(shard, blob.Bytes()))
 }
 
 // encodeSeed serializes a seed dataset for broadcast.

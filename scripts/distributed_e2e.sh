@@ -49,6 +49,18 @@ wait_healthy() {
   return 1
 }
 
+# metric_value FILE NAME: extract one sample value from a saved
+# /v1/metricz scrape (exact series match, label block included in NAME).
+metric_value() {
+  local v
+  v=$(awk -v m="$2" '$1 == m {print $2; exit}' "$1")
+  if [ -z "$v" ]; then
+    echo "metric $2 missing from $1" >&2
+    return 1
+  fi
+  echo "$v"
+}
+
 # snapshot_queries URL PREFIX: capture the query set the gate diffs.
 # List bodies carry no epoch (it travels in the ETag), so equal
 # inventories must serve equal bytes whatever process answers.
@@ -68,6 +80,7 @@ single_pid=$!
 pids+=($single_pid)
 wait_stats http://127.0.0.1:7471 3
 snapshot_queries http://127.0.0.1:7471 single
+curl -fsS http://127.0.0.1:7471/v1/metricz > "$DIR/single.metricz"
 # SIGTERM must flush the final checkpoint + inventory and exit 0: the
 # .inv the rest of the gate diffs only exists if clean shutdown works.
 kill -TERM $single_pid
@@ -77,7 +90,8 @@ test -s "$DIR/single.inv"
 echo "== starting 3 workers"
 ports=(7461 7462 7463)
 for p in "${ports[@]}"; do
-  "$BIN" -worker -listen "127.0.0.1:$p" > "$DIR/worker-$p.log" 2>&1 &
+  "$BIN" -worker -listen "127.0.0.1:$p" -debug-addr "127.0.0.1:$((p+100))" \
+      > "$DIR/worker-$p.log" 2>&1 &
   pids+=($!)
 done
 
@@ -90,20 +104,65 @@ coord_pid=$!
 pids+=($coord_pid)
 wait_stats http://127.0.0.1:7472 3
 snapshot_queries http://127.0.0.1:7472 dist
+curl -fsS http://127.0.0.1:7472/v1/metricz > "$DIR/dist.metricz"
 kill -TERM $coord_pid
 wait $coord_pid
 
-echo "== per-worker world memory (partitioned universes)"
-# Each worker logs one "built universe ... heap X MB" line with its
-# runtime.MemStats heap and owned-shard count: workers materialize only
-# their partition of the world, so these figures are the ~1/N memory
-# claim made observable per run (and preserved in the uploaded logs).
-worker_lines=$(grep -h 'universe (seed=' "$DIR"/worker-*.log || true)
-if [ -z "$worker_lines" ]; then
-  echo "no worker universe-build log lines found" >&2
+echo "== cross-mode telemetry consistency (/v1/metricz)"
+# The workers are still listening (only the coordinator exited), so their
+# debug servers answer. Each worker materialized only its partition of
+# the world: the per-worker gps_world_hosts gauges must sum exactly to
+# the full-world figure the coordinator reported from its seeding
+# universe — the ~1/N memory claim, asserted instead of grepped from a
+# free-text MemStats log line.
+for p in "${ports[@]}"; do
+  curl -fsS "http://127.0.0.1:$((p+100))/v1/metricz" > "$DIR/worker-$p.metricz"
+done
+
+coord_hosts=$(metric_value "$DIR/dist.metricz" gps_world_hosts)
+single_hosts=$(metric_value "$DIR/single.metricz" gps_world_hosts)
+worker_hosts=0
+worker_shards=0
+worker_epochs=0
+for p in "${ports[@]}"; do
+  worker_hosts=$((worker_hosts + $(metric_value "$DIR/worker-$p.metricz" gps_world_hosts)))
+  worker_shards=$((worker_shards + $(metric_value "$DIR/worker-$p.metricz" gps_world_owned_shards)))
+  worker_epochs=$((worker_epochs + $(metric_value "$DIR/worker-$p.metricz" gps_worker_epochs_total)))
+done
+echo "world hosts: single=$single_hosts coordinator=$coord_hosts workers(sum)=$worker_hosts"
+if [ "$worker_hosts" -ne "$coord_hosts" ] || [ "$single_hosts" -ne "$coord_hosts" ]; then
+  echo "per-worker world partitions do not sum to the full world" >&2
   exit 1
 fi
-echo "$worker_lines"
+# The partitions must also cover the shard layout exactly, and the fleet
+# must have executed every shard epoch: shards x epochs.
+if [ "$worker_shards" -ne 4 ]; then
+  echo "workers own $worker_shards shards, want 4" >&2
+  exit 1
+fi
+if [ "$worker_epochs" -ne 12 ]; then
+  echo "workers executed $worker_epochs shard epochs, want 4 shards x 3 epochs = 12" >&2
+  exit 1
+fi
+# Epoch counters must agree across modes: the in-process coordinator
+# counts epochs directly; the distributed one's RPC histogram counts one
+# observation per shard epoch; both serve the same snapshot epoch.
+single_epochs=$(metric_value "$DIR/single.metricz" gps_coordinator_epochs_total)
+rpc_epochs=0
+for shard in 0 1 2 3; do
+  rpc_epochs=$((rpc_epochs + $(metric_value "$DIR/dist.metricz" "gps_rpc_shard_epoch_seconds_count{shard=\"$shard\"}")))
+done
+single_snap=$(metric_value "$DIR/single.metricz" gps_snapshot_epoch)
+dist_snap=$(metric_value "$DIR/dist.metricz" gps_snapshot_epoch)
+echo "epochs: single=$single_epochs rpc(sum)=$rpc_epochs snapshots: single=$single_snap dist=$dist_snap"
+if [ "$single_epochs" -ne 3 ] || [ "$rpc_epochs" -ne 12 ]; then
+  echo "epoch counters diverge across modes" >&2
+  exit 1
+fi
+if [ "$single_snap" -ne 3 ] || [ "$dist_snap" -ne 3 ]; then
+  echo "served snapshot epochs diverge" >&2
+  exit 1
+fi
 
 echo "== diffing merged inventories"
 cmp "$DIR/single.inv" "$DIR/dist.inv"
@@ -140,4 +199,4 @@ cp "$DIR/dist.ckpt" "$DIR/rebalance.ckpt"
 "$BIN" -rebalance join  -checkpoint "$DIR/rebalance.ckpt" >> "$DIR/coordinator.log"
 cmp "$DIR/dist.ckpt" "$DIR/rebalance.ckpt"
 
-echo "PASS: distributed inventory byte-identical to single-process; served queries identical across single, distributed, and file modes; re-balance round-trips"
+echo "PASS: distributed inventory byte-identical to single-process; served queries identical across single, distributed, and file modes; telemetry consistent across modes; re-balance round-trips"
