@@ -88,7 +88,7 @@ func runCoordinator(f daemonFlags) int {
 
 	var api *inventoryServer
 	if f.serve != "" {
-		if api, err = startServing(f.serve, coord); err != nil {
+		if api, err = startServing(f, coord); err != nil {
 			fmt.Fprintln(os.Stderr, "gpsd:", err)
 			return 1
 		}

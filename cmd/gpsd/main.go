@@ -36,6 +36,18 @@
 // -serve-file FILE the daemon is pure read path: it loads a GPSV
 // inventory file (-inventory output) and serves it until SIGINT/SIGTERM.
 //
+// A serving daemon is also a replication origin: every commit is diffed
+// into a per-epoch delta (adds/updates/removes), retained in a bounded
+// history (-feed-history) behind GET /v1/watch, and — with -feed ADDR —
+// streamed to read replicas over the shard transport. A replica
+// (gpsd -replica -upstream ADDR -serve ADDR) bootstraps from a full
+// snapshot frame, applies deltas as epochs commit, and serves the whole
+// /v1 API with responses byte-identical to the origin's; it can chain
+// (-feed on a replica re-exports the stream) and re-bootstraps by itself
+// when it falls behind the origin's retained history. gpsd -watch URL is
+// the standalone feed consumer: it follows /v1/watch, folds events into
+// a local inventory, and can persist it as a GPSV file.
+//
 // Usage:
 //
 //	gpsd [-seed N] [-prefixes N] [-density F] [-seed-fraction F]
@@ -47,6 +59,9 @@
 //	     [-rpc-timeout DUR] [-shard-checkpoints DIR]
 //	gpsd -rebalance split|join -checkpoint FILE
 //	gpsd -serve ADDR -serve-file FILE
+//	gpsd [flags] -serve ADDR [-feed ADDR] [-feed-history N]
+//	gpsd -replica -upstream ADDR -serve ADDR [-feed ADDR]
+//	gpsd -watch URL [-epochs N] [-inventory FILE]
 //
 // -epochs 0 runs until SIGINT/SIGTERM; the daemon always finishes the
 // epoch in flight before exiting, then flushes a final checkpoint and
@@ -97,6 +112,12 @@ type daemonFlags struct {
 	serve       string
 	serveFile   string
 	debugAddr   string
+
+	feedAddr    string
+	feedHistory int
+	replicaMode bool
+	upstream    string
+	watchURL    string
 }
 
 func main() {
@@ -126,9 +147,19 @@ func main() {
 	flag.StringVar(&f.serve, "serve", "", "serve the inventory query API on this address (e.g. 127.0.0.1:7080) alongside the daemon")
 	flag.StringVar(&f.serveFile, "serve-file", "", "standalone read path: serve this GPSV inventory file on -serve and exit on SIGINT/SIGTERM")
 	flag.StringVar(&f.debugAddr, "debug-addr", "", "serve /v1/metricz and /debug/pprof on this address, in every mode")
+
+	flag.StringVar(&f.feedAddr, "feed", "", "serve the replication feed on this address (requires -serve); replicas subscribe here")
+	flag.IntVar(&f.feedHistory, "feed-history", 0, "epoch deltas to retain for replicas and /v1/watch (0 = default depth)")
+	flag.BoolVar(&f.replicaMode, "replica", false, "run as a stateless read replica of -upstream, serving /v1 on -serve")
+	flag.StringVar(&f.upstream, "upstream", "", "replica mode: origin feed address (the origin's -feed)")
+	flag.StringVar(&f.watchURL, "watch", "", "follow this /v1/watch URL, folding events into a local inventory (stops at -epochs; writes -inventory)")
 	flag.Parse()
 	if f.shards < 1 {
 		fmt.Fprintln(os.Stderr, "gpsd: -shards must be >= 1")
+		os.Exit(2)
+	}
+	if f.feedAddr != "" && f.serve == "" {
+		fmt.Fprintln(os.Stderr, "gpsd: -feed needs -serve ADDR (the feed streams what the query API serves)")
 		os.Exit(2)
 	}
 	startDebugServer(f.debugAddr)
@@ -138,6 +169,14 @@ func main() {
 		os.Exit(runWorker(f))
 	case f.rebalance != "":
 		os.Exit(runRebalance(f))
+	case f.watchURL != "":
+		os.Exit(runWatch(f))
+	case f.replicaMode:
+		if f.serve == "" || f.upstream == "" {
+			fmt.Fprintln(os.Stderr, "gpsd: replica mode needs -replica -upstream ADDR -serve ADDR")
+			os.Exit(2)
+		}
+		os.Exit(runReplica(f))
 	case f.serveFile != "":
 		if f.serve == "" {
 			fmt.Fprintln(os.Stderr, "gpsd: -serve-file needs -serve ADDR to listen on")
@@ -345,7 +384,7 @@ func runDaemon(f daemonFlags) int {
 	var api *inventoryServer
 	if f.serve != "" {
 		var err error
-		if api, err = startServing(f.serve, coord); err != nil {
+		if api, err = startServing(f, coord); err != nil {
 			fmt.Fprintln(os.Stderr, "gpsd:", err)
 			return 1
 		}

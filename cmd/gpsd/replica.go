@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"gps"
+)
+
+// runReplica is the stateless read-replica mode: subscribe to an origin
+// daemon's replication feed (-upstream = the origin's -feed address),
+// apply per-epoch deltas onto a local inventory, and serve the full /v1
+// API — including /v1/watch — on -serve with responses byte-identical
+// to the origin's. Nothing is persisted: a restart re-bootstraps from a
+// full snapshot frame, and a replica that falls behind the origin's
+// retained delta history re-bootstraps by itself. With -feed the
+// replica re-exports the stream, so replicas chain into a fan-out tree.
+func runReplica(f daemonFlags) int {
+	rep := gps.NewReplicaServer(f.upstream, &gps.ReplicaOptions{
+		FeedHistory: f.feedHistory,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "gpsd: "+format+"\n", args...)
+		},
+	})
+
+	lis, err := net.Listen("tcp", f.serve)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gpsd: serve:", err)
+		return 1
+	}
+	srv := gps.NewHTTPServer("",
+		gps.NewInventoryServer(rep.Publisher()).EnableWatch(rep.Feed()).Handler())
+	go func() {
+		if err := srv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "gpsd: serve:", err)
+		}
+	}()
+	fmt.Printf("gpsd: replica of %s serving inventory API on http://%s/v1/\n",
+		f.upstream, lis.Addr())
+
+	var feedLis net.Listener
+	feedDone := make(chan error, 1)
+	if f.feedAddr != "" {
+		if feedLis, err = net.Listen("tcp", f.feedAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "gpsd: feed:", err)
+			return 1
+		}
+		go func() { feedDone <- gps.ServeInventoryFeed(feedLis, rep.Feed(), nil) }()
+		fmt.Printf("gpsd: re-exporting replication feed on %s\n", feedLis.Addr())
+	}
+
+	// Run applies the feed until signalled; it keeps serving the last
+	// applied snapshot through any upstream outage, so the only exit is
+	// ours.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		s := <-notifySignals()
+		fmt.Printf("gpsd: %v — draining and stopping cleanly\n", s)
+		cancel()
+	}()
+	rep.Run(ctx)
+
+	if feedLis != nil {
+		feedLis.Close()
+		if err := <-feedDone; err != nil {
+			fmt.Fprintln(os.Stderr, "gpsd: feed:", err)
+		}
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if srv.Shutdown(sctx) != nil {
+		srv.Close()
+	}
+	fmt.Printf("gpsd: replica done at epoch %d\n", rep.Epoch())
+	return 0
+}
+
+// runWatch is the standalone change-feed consumer: follow a /v1/watch
+// stream, fold every event into a local inventory with ApplyTo, and —
+// proving the feed's central claim — persist an inventory byte-identical
+// to the origin's -inventory artifact. With -epochs N it stops cleanly
+// once epoch N is applied; otherwise it follows until signalled or the
+// origin closes the stream.
+func runWatch(f daemonFlags) int {
+	inv := make(map[gps.ServiceKey]*gps.KnownService)
+	last := -1
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		s := <-notifySignals()
+		fmt.Printf("gpsd: %v — stopping cleanly\n", s)
+		cancel()
+	}()
+
+	wc := &gps.WatchClient{URL: f.watchURL, Since: -1}
+	err := wc.Follow(ctx, func(ev gps.WatchEvent) error {
+		if err := ev.ApplyTo(inv); err != nil {
+			return err
+		}
+		last = ev.Epoch
+		fmt.Printf("gpsd: watch: %s to epoch %d (%d services)\n", ev.Event, ev.Epoch, len(inv))
+		if f.epochs > 0 && ev.Epoch >= f.epochs {
+			return gps.ErrWatchDone
+		}
+		return nil
+	})
+	if err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "gpsd:", err)
+		return 1
+	}
+	if f.inventory != "" {
+		if err := writeInventoryFile(f.inventory, inv); err != nil {
+			fmt.Fprintln(os.Stderr, "gpsd: inventory:", err)
+			return 1
+		}
+	}
+	fmt.Printf("gpsd: watch done at epoch %d; %d services held\n", last, len(inv))
+	return 0
+}

@@ -21,24 +21,35 @@ import (
 type inventoryServer struct {
 	addr string
 	pub  *gps.InventoryPublisher
+	feed *gps.InventoryFeed // change feed behind /v1/watch and -feed; nil on the -serve-file path
 	srv  *http.Server
+
+	feedLis  net.Listener
+	feedDone chan error
 }
 
 // startInventoryServer listens on addr and serves the query API in the
-// background. Queries answer 503 until the first publish.
-func startInventoryServer(addr string) (*inventoryServer, error) {
+// background. Queries answer 503 until the first publish. A non-nil feed
+// additionally mounts GET /v1/watch over it; committed epochs must then
+// flow through publish so the feed and the snapshots stay in lockstep.
+func startInventoryServer(addr string, feed *gps.InventoryFeed) (*inventoryServer, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	pub := &gps.InventoryPublisher{}
+	api := gps.NewInventoryServer(pub)
+	if feed != nil {
+		api.EnableWatch(feed)
+	}
 	is := &inventoryServer{
 		addr: lis.Addr().String(),
 		pub:  pub,
+		feed: feed,
 		// NewHTTPServer, not a bare http.Server: the read path is public,
 		// and without header/read timeouts a slow-loris client pins
 		// connections forever.
-		srv: gps.NewHTTPServer("", gps.NewInventoryServer(pub).Handler()),
+		srv: gps.NewHTTPServer("", api.Handler()),
 	}
 	go func() {
 		if err := is.srv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -50,12 +61,30 @@ func startInventoryServer(addr string) (*inventoryServer, error) {
 }
 
 // publish indexes a merged inventory and swaps it in as the served
-// snapshot.
+// snapshot; with a feed attached the epoch also commits to the change
+// feed, which diffs it into the delta replicas and watchers stream.
 func (is *inventoryServer) publish(epoch int, inv map[gps.ServiceKey]*gps.KnownService) {
 	if is == nil {
 		return
 	}
 	is.pub.Publish(gps.NewInventorySnapshot(epoch, inv))
+	if is.feed != nil {
+		is.feed.Commit(epoch, inv)
+	}
+}
+
+// exportFeed serves the replication feed on addr: the -feed listener
+// replicas dial.
+func (is *inventoryServer) exportFeed(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("feed: %w", err)
+	}
+	is.feedLis = lis
+	is.feedDone = make(chan error, 1)
+	go func() { is.feedDone <- gps.ServeInventoryFeed(lis, is.feed, nil) }()
+	fmt.Printf("gpsd: serving replication feed on %s\n", lis.Addr())
+	return nil
 }
 
 // hook returns the epoch-commit hook feeding the publisher (nil when not
@@ -72,6 +101,17 @@ func (is *inventoryServer) hook() gps.ShardCommitHook {
 func (is *inventoryServer) shutdown() {
 	if is == nil {
 		return
+	}
+	// Feed first: closing it turns every replica and watch session into a
+	// clean end-of-stream instead of a cut connection.
+	if is.feed != nil {
+		is.feed.Close()
+	}
+	if is.feedLis != nil {
+		is.feedLis.Close()
+		if err := <-is.feedDone; err != nil {
+			fmt.Fprintln(os.Stderr, "gpsd: feed:", err)
+		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -91,15 +131,23 @@ type servableCoordinator interface {
 // startServing mounts the query API next to a coordinator: the commit
 // hook publishes each epoch, and the seeded (or resumed) inventory is
 // published immediately so queries answer from the current state instead
-// of 503ing until the first commit.
-func startServing(addr string, coord servableCoordinator) (*inventoryServer, error) {
-	api, err := startInventoryServer(addr)
+// of 503ing until the first commit. A serving coordinator is always a
+// change-feed origin (/v1/watch); -feed additionally exports the feed to
+// replicas over the shard transport.
+func startServing(f daemonFlags, coord servableCoordinator) (*inventoryServer, error) {
+	api, err := startInventoryServer(f.serve, gps.NewInventoryFeed(f.feedHistory))
 	if err != nil {
 		return nil, err
 	}
 	coord.SetCommitHook(api.hook())
 	inv, _ := coord.Inventory()
 	api.publish(coord.EpochNumber(), inv)
+	if f.feedAddr != "" {
+		if err := api.exportFeed(f.feedAddr); err != nil {
+			api.shutdown()
+			return nil, err
+		}
+	}
 	return api, nil
 }
 
@@ -140,7 +188,7 @@ func runServeFile(f daemonFlags) int {
 			epoch = e.LastSeen
 		}
 	}
-	api, err := startInventoryServer(f.serve)
+	api, err := startInventoryServer(f.serve, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpsd:", err)
 		return 1

@@ -451,3 +451,126 @@ func Evaluate(res *Result, testSet *Dataset, spaceSize uint64) (metrics.Point, C
 	p := tr.Snapshot()
 	return p, tr.Curve()
 }
+
+// SnapshotDelta is one epoch transition of the merged inventory — the
+// adds, updates, and removes that turn the BaseEpoch inventory into the
+// Epoch one, sorted canonically. It is the unit of replication: origins
+// compute one per commit, replicas and /v1/watch consumers apply them.
+type SnapshotDelta = shard.Delta
+
+// SnapshotDeltaEntry is one added or updated service in a SnapshotDelta.
+type SnapshotDeltaEntry = shard.DeltaEntry
+
+// SnapshotDeltaMagicError reports bytes that are not a GPSE delta, or a
+// GPSE version this build does not speak.
+type SnapshotDeltaMagicError = shard.DeltaMagicError
+
+// SnapshotDeltaTruncatedError reports a GPSE delta cut short mid-stream.
+type SnapshotDeltaTruncatedError = shard.DeltaTruncatedError
+
+// ComputeSnapshotDelta diffs two merged inventories (only the canonical
+// GPSV serving fields participate) into the delta that advances base to
+// next.
+func ComputeSnapshotDelta(base, next map[ServiceKey]*KnownService, baseEpoch, epoch int) *SnapshotDelta {
+	return shard.ComputeDelta(base, next, baseEpoch, epoch)
+}
+
+// ApplySnapshotDelta applies d to inv in place, strictly: adding a held
+// service, or updating/removing an unheld one, errors with inv partially
+// modified (clone first — CloneShardInventory — to keep a usable view).
+func ApplySnapshotDelta(inv map[ServiceKey]*KnownService, d *SnapshotDelta) error {
+	return shard.ApplyDelta(inv, d)
+}
+
+// CloneShardInventory deep-copies a merged inventory.
+func CloneShardInventory(inv map[ServiceKey]*KnownService) map[ServiceKey]*KnownService {
+	return shard.CloneInventory(inv)
+}
+
+// WriteSnapshotDelta serializes a delta canonically (GPSE): equal deltas
+// produce byte-identical output.
+func WriteSnapshotDelta(w io.Writer, d *SnapshotDelta) error {
+	return shard.WriteDelta(w, d)
+}
+
+// ReadSnapshotDelta parses WriteSnapshotDelta output. Errors are typed
+// (*SnapshotDeltaMagicError, *SnapshotDeltaTruncatedError).
+func ReadSnapshotDelta(r io.Reader) (*SnapshotDelta, error) {
+	return shard.ReadDelta(r)
+}
+
+// InventoryFeed is the change-feed hub between an epoch-committing
+// producer and replication/watch consumers: it retains a bounded history
+// of per-epoch deltas plus the current inventory, serves them to feed
+// subscribers and GET /v1/watch, and wakes waiters on every commit.
+type InventoryFeed = serve.Feed
+
+// NewInventoryFeed returns a feed retaining up to history epoch deltas
+// (<= 0 selects the default depth). Feed each committed epoch to it via
+// Commit — typically alongside the InventoryPublisher in a commit hook.
+func NewInventoryFeed(history int) *InventoryFeed { return serve.NewFeed(history) }
+
+// InventoryFeedSource is the subscription contract ServeInventoryFeed
+// serves; *InventoryFeed satisfies it.
+type InventoryFeedSource = transport.FeedSource
+
+// InventoryFeedEvent is one received feed frame: a full snapshot (GPSV
+// bytes) or an epoch delta (GPSE bytes), tagged with the origin's head
+// epoch for lag accounting.
+type InventoryFeedEvent = transport.FeedEvent
+
+// InventoryFeedConn is one subscriber's connection to a replication feed.
+type InventoryFeedConn = transport.FeedConn
+
+// Feed event kinds.
+const (
+	InventoryFeedSnapshot = transport.FeedSnapshot
+	InventoryFeedDelta    = transport.FeedDelta
+)
+
+// ServeInventoryFeed serves a replication feed on lis until the listener
+// closes: each subscriber is bootstrapped (full snapshot) or resumed
+// (delta chain) according to the epoch it presents, then streamed one
+// delta per commit.
+func ServeInventoryFeed(lis net.Listener, src InventoryFeedSource, opts *DistributedOptions) error {
+	return transport.ServeFeed(lis, src, opts)
+}
+
+// DialInventoryFeed subscribes to a replication feed. since is the epoch
+// the caller already holds (-1 for none); the server decides snapshot
+// versus delta per event, so callers just apply what arrives.
+func DialInventoryFeed(addr string, since int, opts *DistributedOptions) (*InventoryFeedConn, error) {
+	return transport.DialFeed(addr, since, opts)
+}
+
+// ReplicaServer is a stateless read replica: it subscribes to an origin's
+// replication feed, applies epoch deltas onto a local inventory, and
+// publishes every applied epoch — a Server over its Publisher serves the
+// full /v1 API with ETags identical to the origin's, and its Feed
+// re-exports the stream to further replicas and /v1/watch.
+type ReplicaServer = serve.ReplicaServer
+
+// ReplicaOptions tunes a ReplicaServer.
+type ReplicaOptions = serve.ReplicaOptions
+
+// NewReplicaServer prepares a replica of the origin feed at upstream
+// (host:port of the origin's -feed listener); Run starts it.
+func NewReplicaServer(upstream string, opts *ReplicaOptions) *ReplicaServer {
+	return serve.NewReplicaServer(upstream, opts)
+}
+
+// WatchClient follows a GET /v1/watch NDJSON stream.
+type WatchClient = serve.WatchClient
+
+// WatchEvent is one /v1/watch stream event; ApplyTo folds it into a
+// local inventory so a consumer reconstructs the origin's view exactly.
+type WatchEvent = serve.WatchEvent
+
+// WatchEntry is one service in a watch event.
+type WatchEntry = serve.WatchEntry
+
+// WatchKey names one removed service in a watch event.
+type WatchKey = serve.WatchKey
+
+// ErrWatchDone stops WatchClient.Follow cleanly from inside its callback.
+var ErrWatchDone = serve.ErrWatchDone

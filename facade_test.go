@@ -7,6 +7,7 @@ package gps_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"net"
@@ -430,5 +431,164 @@ func TestFacadeServing(t *testing.T) {
 	var magicErr *gps.ShardInventoryMagicError
 	if _, err := gps.ReadShardInventory(bytes.NewReader([]byte("nonsense bytes"))); !errors.As(err, &magicErr) {
 		t.Errorf("foreign bytes: %v; want *gps.ShardInventoryMagicError", err)
+	}
+}
+
+// Replication facade aliases, pinned by assignability.
+var (
+	_ *gps.SnapshotDelta               = (*gps.SnapshotDelta)(nil)
+	_ gps.SnapshotDeltaEntry           = gps.SnapshotDeltaEntry{}
+	_ *gps.SnapshotDeltaMagicError     = (*gps.SnapshotDeltaMagicError)(nil)
+	_ *gps.SnapshotDeltaTruncatedError = (*gps.SnapshotDeltaTruncatedError)(nil)
+	_ *gps.InventoryFeed               = (*gps.InventoryFeed)(nil)
+	_ gps.InventoryFeedSource          = (*gps.InventoryFeed)(nil)
+	_ gps.InventoryFeedEvent           = gps.InventoryFeedEvent{}
+	_ *gps.InventoryFeedConn           = (*gps.InventoryFeedConn)(nil)
+	_ *gps.ReplicaServer               = (*gps.ReplicaServer)(nil)
+	_ gps.ReplicaOptions               = gps.ReplicaOptions{}
+	_ *gps.WatchClient                 = (*gps.WatchClient)(nil)
+	_ gps.WatchEvent                   = gps.WatchEvent{}
+	_ gps.WatchEntry                   = gps.WatchEntry{}
+	_ gps.WatchKey                     = gps.WatchKey{}
+	_ error                            = gps.ErrWatchDone
+)
+
+// TestFacadeReplication drives the replication surface end to end
+// through the root package: a coordinator commits epochs into a feed, a
+// replica follows it over a real listener, a watch client follows the
+// replica's /v1/watch, and the delta codec round-trips with typed
+// errors — all byte-compared against the origin inventory.
+func TestFacadeReplication(t *testing.T) {
+	const seed = 27
+	u := gps.GenerateUniverse(gps.SmallUniverseParams(seed))
+	seedSet := gps.CollectSeed(u, 0.05, seed^0x5eed)
+	seedSet = seedSet.FilterPorts(seedSet.EligiblePorts(2))
+	coord := gps.NewShardCoordinator(seedSet, gps.ShardConfig{
+		Shards:     2,
+		Continuous: gps.ContinuousConfig{Pipeline: gps.Config{Workers: 1, Seed: seed}},
+	})
+
+	feed := gps.NewInventoryFeed(8)
+	defer feed.Close()
+	coord.SetCommitHook(feed.Commit)
+
+	// Two committed epochs: one to bootstrap from, one to ride as a delta.
+	for e := 1; e <= 2; e++ {
+		u = gps.ApplyChurn(u, gps.DefaultChurn(seed+int64(e)))
+		if _, err := coord.Epoch(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if feed.Head() != 2 {
+		t.Fatalf("feed head %d; want 2", feed.Head())
+	}
+	originInv, _ := coord.Inventory()
+	var originWire bytes.Buffer
+	if err := gps.WriteShardInventory(&originWire, originInv); err != nil {
+		t.Fatal(err)
+	}
+
+	// The delta codec round-trips through the facade.
+	base := gps.CloneShardInventory(originInv)
+	next := gps.CloneShardInventory(originInv)
+	for k := range next {
+		delete(next, k)
+		break
+	}
+	d := gps.ComputeSnapshotDelta(base, next, 2, 3)
+	if len(d.Removes) != 1 || d.Size() != 1 {
+		t.Fatalf("delta removes %d size %d; want 1 1", len(d.Removes), d.Size())
+	}
+	var dw bytes.Buffer
+	if err := gps.WriteSnapshotDelta(&dw, d); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := gps.ReadSnapshotDelta(bytes.NewReader(dw.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gps.ApplySnapshotDelta(base, rd); err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != len(next) {
+		t.Fatalf("applied delta leaves %d services; want %d", len(base), len(next))
+	}
+	var deltaMagic *gps.SnapshotDeltaMagicError
+	if _, err := gps.ReadSnapshotDelta(bytes.NewReader([]byte("nonsense bytes"))); !errors.As(err, &deltaMagic) {
+		t.Errorf("foreign bytes: %v; want *gps.SnapshotDeltaMagicError", err)
+	}
+	var deltaTrunc *gps.SnapshotDeltaTruncatedError
+	if _, err := gps.ReadSnapshotDelta(bytes.NewReader(dw.Bytes()[:dw.Len()-1])); !errors.As(err, &deltaTrunc) {
+		t.Errorf("truncated delta: %v; want *gps.SnapshotDeltaTruncatedError", err)
+	}
+
+	// Serve the feed on a real listener; a replica follows it.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedDone := make(chan error, 1)
+	go func() {
+		feedDone <- gps.ServeInventoryFeed(lis, feed, &gps.DistributedOptions{Timeout: 5 * time.Second})
+	}()
+	defer func() {
+		lis.Close()
+		if err := <-feedDone; err != nil {
+			t.Errorf("ServeInventoryFeed: %v", err)
+		}
+	}()
+
+	// A raw subscription sees a snapshot frame first.
+	fc, err := gps.DialInventoryFeed(lis.Addr().String(), -1, &gps.DistributedOptions{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := fc.Recv()
+	fc.Close()
+	if err != nil || ev.Kind != gps.InventoryFeedSnapshot || ev.Epoch != 2 {
+		t.Fatalf("first feed event kind %v epoch %d err %v; want snapshot at 2", ev.Kind, ev.Epoch, err)
+	}
+	if !bytes.Equal(ev.Payload, originWire.Bytes()) {
+		t.Fatal("feed snapshot payload differs from the canonical origin inventory")
+	}
+
+	rep := gps.NewReplicaServer(lis.Addr().String(), &gps.ReplicaOptions{Backoff: 5 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	repDone := make(chan struct{})
+	go func() { defer close(repDone); rep.Run(ctx) }()
+	defer func() { cancel(); <-repDone }()
+	deadline := time.Now().Add(10 * time.Second)
+	for rep.Epoch() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica stuck at epoch %d", rep.Epoch())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if repEpoch, repWire := rep.Feed().Snapshot(); repEpoch != 2 || !bytes.Equal(repWire, originWire.Bytes()) {
+		t.Fatalf("replica inventory at epoch %d differs from origin", repEpoch)
+	}
+
+	// The replica serves /v1 and /v1/watch; a watch client reconstructs
+	// the inventory from its own stream.
+	srv := httptest.NewServer(gps.NewInventoryServer(rep.Publisher()).EnableWatch(rep.Feed()).Handler())
+	defer srv.Close()
+	mirror := make(map[gps.ServiceKey]*gps.KnownService)
+	wc := &gps.WatchClient{URL: srv.URL + "/v1/watch", Since: -1}
+	wctx, wcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer wcancel()
+	if err := wc.Follow(wctx, func(ev gps.WatchEvent) error {
+		if err := ev.ApplyTo(mirror); err != nil {
+			return err
+		}
+		return gps.ErrWatchDone // the snapshot event is all we need
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var mirrorWire bytes.Buffer
+	if err := gps.WriteShardInventory(&mirrorWire, mirror); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mirrorWire.Bytes(), originWire.Bytes()) {
+		t.Fatal("watch-reconstructed inventory differs from the origin")
 	}
 }

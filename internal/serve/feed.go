@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"bytes"
+	"sync"
+
+	"gps/internal/continuous"
+	"gps/internal/netmodel"
+	"gps/internal/shard"
+)
+
+// defaultFeedHistory is how many epoch deltas a feed retains when the
+// caller does not say. A replica whose subscription epoch has aged out
+// of the ring re-bootstraps from a full snapshot, so the depth is the
+// "K epochs behind" threshold: at ~9%-per-10-days churn (§3) even a
+// modest ring covers any realistic replica outage, while bounding the
+// feed's memory to history × churn.
+const defaultFeedHistory = 64
+
+// feedDelta is one retained epoch transition: the decoded delta (the
+// watch endpoint re-serializes it as JSON) and its canonical GPSE wire
+// bytes (what replica sessions stream).
+type feedDelta struct {
+	delta *shard.Delta
+	wire  []byte
+}
+
+// Feed is the change-feed hub between the commit path and the
+// replication/watch consumers. The commit hook calls Commit with each
+// epoch's merged inventory; the feed diffs it against the previous
+// epoch's retained view, keeps the delta in a bounded history ring, and
+// wakes every waiting subscriber. It implements the transport layer's
+// FeedSource contract structurally (Head/Snapshot/Delta/Wait) and backs
+// GET /v1/watch through the same history.
+//
+// All methods are safe for concurrent use.
+type Feed struct {
+	mu      sync.Mutex
+	closed  bool
+	epoch   int // last committed epoch; -1 before the first commit
+	inv     map[netmodel.Key]*continuous.Entry
+	invWire []byte // lazy canonical GPSV bytes of inv
+	hist    []feedDelta
+	history int
+	notify  chan struct{} // closed and replaced on every commit
+}
+
+// NewFeed returns a feed retaining up to history epoch deltas;
+// history <= 0 selects the default depth.
+func NewFeed(history int) *Feed {
+	if history <= 0 {
+		history = defaultFeedHistory
+	}
+	return &Feed{epoch: -1, history: history, notify: make(chan struct{})}
+}
+
+// Commit records a newly committed epoch and its merged inventory. The
+// map becomes the feed's to keep (the commit-hook contract: coordinators
+// build it fresh per commit) and must not be mutated afterwards.
+// Non-monotonic epochs are ignored, mirroring Publisher.Publish.
+func (f *Feed) Commit(epoch int, inv map[netmodel.Key]*continuous.Entry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed || epoch <= f.epoch {
+		return
+	}
+	if f.epoch >= 0 {
+		f.retain(shard.ComputeDelta(f.inv, inv, f.epoch, epoch), nil)
+	}
+	f.adopt(epoch, inv)
+}
+
+// CommitDelta records an epoch transition whose delta is already known —
+// the replica path, where the delta arrived over the wire and inv is the
+// result of applying it. Passing the original wire bytes (nil re-encodes)
+// lets a replica re-export the feed without re-serialization. Both the
+// delta and the map become the feed's to keep.
+func (f *Feed) CommitDelta(d *shard.Delta, wire []byte, inv map[netmodel.Key]*continuous.Entry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed || d.Epoch <= f.epoch {
+		return
+	}
+	if f.epoch >= 0 && d.BaseEpoch == f.epoch {
+		f.retain(d, wire)
+	}
+	f.adopt(d.Epoch, inv)
+}
+
+// retain appends one transition to the history ring. Callers hold f.mu.
+func (f *Feed) retain(d *shard.Delta, wire []byte) {
+	if wire == nil {
+		var buf bytes.Buffer
+		if err := shard.WriteDelta(&buf, d); err != nil {
+			return // never fails on an in-memory buffer; drop defensively
+		}
+		wire = buf.Bytes()
+	}
+	f.hist = append(f.hist, feedDelta{delta: d, wire: wire})
+	if len(f.hist) > f.history {
+		f.hist = f.hist[len(f.hist)-f.history:]
+	}
+}
+
+// adopt swaps in the new inventory and wakes waiters. Callers hold f.mu.
+func (f *Feed) adopt(epoch int, inv map[netmodel.Key]*continuous.Entry) {
+	f.epoch = epoch
+	f.inv = inv
+	f.invWire = nil
+	feedHeadEpoch.Set(float64(epoch))
+	feedHistoryDepth.Set(float64(len(f.hist)))
+	close(f.notify)
+	f.notify = make(chan struct{})
+}
+
+// Head returns the latest committed epoch, -1 before the first commit.
+func (f *Feed) Head() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+// Snapshot returns the current epoch and its inventory as canonical
+// GPSV bytes, serializing at most once per commit.
+func (f *Feed) Snapshot() (int, []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.invWire == nil {
+		var buf bytes.Buffer
+		if err := shard.WriteInventory(&buf, f.inv); err == nil {
+			f.invWire = buf.Bytes()
+		}
+	}
+	return f.epoch, f.invWire
+}
+
+// SnapshotInventory returns the current epoch and a reference to the
+// retained inventory. The map is as-committed and must be treated as
+// immutable; it backs the watch endpoint's bootstrap frames.
+func (f *Feed) SnapshotInventory() (int, map[netmodel.Key]*continuous.Entry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch, f.inv
+}
+
+// Delta returns the GPSE wire bytes advancing epoch from to the returned
+// next epoch, or ok=false when from has aged out of the history (the
+// subscriber must re-bootstrap from Snapshot).
+func (f *Feed) Delta(from int) ([]byte, int, bool) {
+	fd, ok := f.lookup(from)
+	if !ok {
+		return nil, 0, false
+	}
+	return fd.wire, fd.delta.Epoch, true
+}
+
+// DeltaAt is Delta for consumers that want the decoded form (the watch
+// endpoint re-serializes it as JSON). The returned delta is shared and
+// must be treated as immutable.
+func (f *Feed) DeltaAt(from int) (*shard.Delta, bool) {
+	fd, ok := f.lookup(from)
+	if !ok {
+		return nil, false
+	}
+	return fd.delta, true
+}
+
+func (f *Feed) lookup(from int) (feedDelta, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, fd := range f.hist {
+		if fd.delta.BaseEpoch == from {
+			return fd, true
+		}
+	}
+	return feedDelta{}, false
+}
+
+// Wait blocks until the head epoch exceeds epoch, cancel fires, or the
+// feed closes. It returns false only when the feed closed for good;
+// callers distinguish a cancel by checking their own channel.
+func (f *Feed) Wait(epoch int, cancel <-chan struct{}) bool {
+	f.mu.Lock()
+	for {
+		if f.closed {
+			f.mu.Unlock()
+			return false
+		}
+		if f.epoch > epoch {
+			f.mu.Unlock()
+			return true
+		}
+		ch := f.notify
+		f.mu.Unlock()
+		select {
+		case <-ch:
+		case <-cancel:
+			return true
+		}
+		f.mu.Lock()
+	}
+}
+
+// Close ends the feed: every Wait returns false and subscriber sessions
+// shut down cleanly. Further commits are ignored.
+func (f *Feed) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	close(f.notify)
+	f.notify = make(chan struct{})
+}

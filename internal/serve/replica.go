@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"gps/internal/continuous"
+	"gps/internal/netmodel"
+	"gps/internal/shard"
+	"gps/internal/shard/transport"
+)
+
+// ReplicaOptions tunes a ReplicaServer.
+type ReplicaOptions struct {
+	// FeedHistory is the depth of the replica's own re-export feed
+	// (replicas chain: a replica serves /v1/watch and can feed further
+	// replicas); 0 selects the default.
+	FeedHistory int
+	// Backoff is the initial reconnect delay after a feed failure,
+	// doubling to 16× per attempt; 0 selects 250ms.
+	Backoff time.Duration
+	// Dial carries the feed connection's timeouts; nil selects the
+	// transport defaults.
+	Dial *transport.Options
+	// Logf receives one line per replica event; nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (o *ReplicaOptions) backoff() time.Duration {
+	if o == nil || o.Backoff <= 0 {
+		return 250 * time.Millisecond
+	}
+	return o.Backoff
+}
+
+func (o *ReplicaOptions) logf(format string, args ...any) {
+	if o != nil && o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// ReplicaServer is a stateless read replica: it subscribes to an origin
+// daemon's replication feed, applies epoch deltas onto a local
+// inventory, and publishes each resulting epoch through its own
+// Publisher — so a Server over that publisher serves the full /v1 API
+// with ETags identical to the origin's (the ETag is a pure function of
+// the epoch, and the bodies are pure functions of the inventory).
+//
+// "Stateless" is literal: nothing is persisted. A replica that starts,
+// restarts, or falls behind the origin's delta history bootstraps from
+// a full snapshot frame and catches up; its subscription epoch rides
+// the feed protocol, so a live replica only ever transfers the churn.
+type ReplicaServer struct {
+	upstream string
+	opts     *ReplicaOptions
+	pub      *Publisher
+	feed     *Feed
+	epoch    atomic.Int64 // last applied epoch; -1 before bootstrap
+
+	// inv is the replica's current inventory, touched only by Run.
+	// Deltas apply to a clone, so every map ever handed to the feed or
+	// the publisher stays frozen.
+	inv map[netmodel.Key]*continuous.Entry
+}
+
+// NewReplicaServer prepares a replica of the origin feed at upstream
+// (host:port of the origin's -feed listener). Run starts it; Publisher
+// and Feed are live immediately (serving 503s until the bootstrap).
+func NewReplicaServer(upstream string, opts *ReplicaOptions) *ReplicaServer {
+	r := &ReplicaServer{
+		upstream: upstream,
+		opts:     opts,
+		pub:      &Publisher{},
+		feed:     NewFeed(opts.feedHistory()),
+	}
+	r.epoch.Store(-1)
+	return r
+}
+
+func (o *ReplicaOptions) feedHistory() int {
+	if o == nil {
+		return 0
+	}
+	return o.FeedHistory
+}
+
+// Publisher returns the replica's snapshot publisher; wrap it in a
+// Server to serve the /v1 API.
+func (r *ReplicaServer) Publisher() *Publisher { return r.pub }
+
+// Feed returns the replica's re-export feed: it carries every epoch the
+// replica applies, backing a local /v1/watch (and, chained through
+// transport.ServeFeed, further replicas).
+func (r *ReplicaServer) Feed() *Feed { return r.feed }
+
+// Epoch returns the last applied epoch, -1 before the first bootstrap.
+func (r *ReplicaServer) Epoch() int { return int(r.epoch.Load()) }
+
+// Run subscribes and applies the feed until ctx ends, redialing with
+// backoff across origin restarts and connection failures. It always
+// returns nil after ctx ends; the replica keeps serving its last
+// applied snapshot throughout any upstream outage.
+func (r *ReplicaServer) Run(ctx context.Context) error {
+	defer r.feed.Close()
+	delay := r.opts.backoff()
+	since := r.Epoch()
+	for ctx.Err() == nil {
+		fc, err := transport.DialFeed(r.upstream, since, r.opts.dialOpts())
+		if err != nil {
+			r.opts.logf("replica: dialing %s: %v", r.upstream, err)
+			if !r.sleep(ctx, delay) {
+				return nil
+			}
+			delay = r.nextDelay(delay)
+			replicaReconnects.Inc()
+			continue
+		}
+		// A dead context must unblock Recv: close the connection under it.
+		stop := context.AfterFunc(ctx, func() { fc.Close() })
+		before := r.Epoch()
+		since = r.consume(ctx, fc)
+		stop()
+		fc.Close()
+		if r.Epoch() != before {
+			// The connection made progress; don't punish the next dial
+			// for an origin restart that happened epochs later.
+			delay = r.opts.backoff()
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		if !r.sleep(ctx, delay) {
+			return nil
+		}
+		delay = r.nextDelay(delay)
+		replicaReconnects.Inc()
+	}
+	return nil
+}
+
+// consume drains one feed connection until it fails or desyncs,
+// returning the epoch the next subscription should resume from.
+func (r *ReplicaServer) consume(ctx context.Context, fc *transport.FeedConn) int {
+	for {
+		ev, err := fc.Recv()
+		if err != nil {
+			if ctx.Err() == nil {
+				r.opts.logf("replica: feed from %s ended: %v", r.upstream, err)
+			}
+			return r.Epoch()
+		}
+		switch ev.Kind {
+		case transport.FeedSnapshot:
+			inv, err := shard.ReadInventory(bytes.NewReader(ev.Payload))
+			if err != nil {
+				r.opts.logf("replica: undecodable snapshot for epoch %d: %v", ev.Epoch, err)
+				return -1 // refuse the stream; re-bootstrap from scratch
+			}
+			r.adopt(ev, inv)
+			r.feed.Commit(ev.Epoch, inv)
+			replicaBootstraps.Inc()
+			r.opts.logf("replica: bootstrapped at epoch %d (%d services)", ev.Epoch, len(inv))
+		case transport.FeedDelta:
+			d, err := shard.ReadDelta(bytes.NewReader(ev.Payload))
+			if err != nil || d.BaseEpoch != r.Epoch() {
+				if err == nil {
+					err = fmt.Errorf("delta base epoch %d does not match replica epoch %d", d.BaseEpoch, r.Epoch())
+				}
+				r.opts.logf("replica: delta for epoch %d unusable: %v", ev.Epoch, err)
+				return -1
+			}
+			next := shard.CloneInventory(r.inv)
+			if err := shard.ApplyDelta(next, d); err != nil {
+				r.opts.logf("replica: applying delta %d→%d: %v", d.BaseEpoch, d.Epoch, err)
+				return -1
+			}
+			r.adopt(ev, next)
+			r.feed.CommitDelta(d, ev.Payload, next)
+			replicaDeltasApplied.Inc()
+		}
+	}
+}
+
+// adopt installs a new inventory view and publishes its snapshot.
+func (r *ReplicaServer) adopt(ev transport.FeedEvent, inv map[netmodel.Key]*continuous.Entry) {
+	r.inv = inv
+	r.epoch.Store(int64(ev.Epoch))
+	r.pub.Publish(NewSnapshot(ev.Epoch, inv))
+	replicaLag.Set(float64(ev.Head - ev.Epoch))
+}
+
+func (r *ReplicaServer) sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func (r *ReplicaServer) nextDelay(d time.Duration) time.Duration {
+	if max := 16 * r.opts.backoff(); d >= max {
+		return max
+	}
+	return 2 * d
+}
+
+func (o *ReplicaOptions) dialOpts() *transport.Options {
+	if o == nil {
+		return nil
+	}
+	return o.Dial
+}

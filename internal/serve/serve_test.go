@@ -423,3 +423,183 @@ func TestServerWeakETagRevalidation(t *testing.T) {
 		t.Errorf("If-None-Match *: %d; want 304", rr.Code)
 	}
 }
+
+// request is get for arbitrary methods.
+func request(t *testing.T, h http.Handler, method, path string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	var body map[string]any
+	if rr.Body.Len() > 0 && rr.Header().Get("Content-Type") == "application/json" {
+		if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, path, rr.Body.String(), err)
+		}
+	}
+	return rr, body
+}
+
+// errEnvelope digs the error object out of a response body, failing the
+// test if the envelope shape is wrong.
+func errEnvelope(t *testing.T, method, path string, body map[string]any) map[string]any {
+	t.Helper()
+	e, ok := body["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("%s %s: no error envelope in %v", method, path, body)
+	}
+	if _, ok := e["code"].(string); !ok {
+		t.Fatalf("%s %s: envelope has no code: %v", method, path, e)
+	}
+	if msg, ok := e["message"].(string); !ok || msg == "" {
+		t.Fatalf("%s %s: envelope has no message: %v", method, path, e)
+	}
+	return e
+}
+
+// TestErrorEnvelope pins the structured error contract across every
+// failure class: one JSON shape, machine-readable stable codes, and the
+// status-specific extras (Retry-After on 503, a fresh cursor on 410).
+func TestErrorEnvelope(t *testing.T) {
+	var empty Publisher
+	cold := NewServer(&empty).Handler() // nothing published: 503 land
+
+	var pub Publisher
+	pub.Publish(NewSnapshot(7, testInventory(30, 7)))
+	plain := NewServer(&pub).Handler() // no feed: /v1/watch is 404
+
+	feed := NewFeed(4)
+	defer feed.Close()
+	watch := NewServer(&pub).EnableWatch(feed).Handler()
+
+	cases := []struct {
+		name     string
+		h        http.Handler
+		method   string
+		path     string
+		wantCode int
+		wantErr  string
+	}{
+		{"stats before publish", cold, "GET", "/v1/stats", 503, "no_snapshot"},
+		{"list before publish", cold, "GET", "/v1/port/80", 503, "no_snapshot"},
+		{"bad ip", plain, "GET", "/v1/host/not-an-ip", 400, "bad_ip"},
+		{"bad prefix ip", plain, "GET", "/v1/prefix/300.1.2.3", 400, "bad_ip"},
+		{"bad port text", plain, "GET", "/v1/port/garbage", 400, "bad_port"},
+		{"bad port range", plain, "GET", "/v1/port/99999", 400, "bad_port"},
+		{"bad asn", plain, "GET", "/v1/asn/x", 400, "bad_asn"},
+		{"bad offset", plain, "GET", "/v1/port/80?offset=-1", 400, "bad_page"},
+		{"bad limit", plain, "GET", "/v1/port/80?limit=x", 400, "bad_page"},
+		{"cursor with offset", plain, "GET", "/v1/port/80?cursor=abc&offset=2", 400, "bad_page"},
+		{"undecodable cursor", plain, "GET", "/v1/port/80?cursor=%21%21%21", 400, "bad_cursor"},
+		{"unknown path", plain, "GET", "/v1/nope", 404, "not_found"},
+		{"root path", plain, "GET", "/", 404, "not_found"},
+		{"watch without feed", plain, "GET", "/v1/watch", 404, "watch_unavailable"},
+		{"bad since", watch, "GET", "/v1/watch?since=x", 400, "bad_since"},
+		{"post stats", plain, "POST", "/v1/stats", 405, "method_not_allowed"},
+		{"post list", plain, "POST", "/v1/port/80", 405, "method_not_allowed"},
+		{"post watch", watch, "POST", "/v1/watch", 405, "method_not_allowed"},
+	}
+	for _, c := range cases {
+		rr, body := request(t, c.h, c.method, c.path)
+		if rr.Code != c.wantCode {
+			t.Errorf("%s: %d; want %d", c.name, rr.Code, c.wantCode)
+			continue
+		}
+		e := errEnvelope(t, c.method, c.path, body)
+		if e["code"] != c.wantErr {
+			t.Errorf("%s: code %v; want %q", c.name, e["code"], c.wantErr)
+		}
+		if c.wantCode == 503 && rr.Header().Get("Retry-After") == "" {
+			t.Errorf("%s: 503 without Retry-After", c.name)
+		}
+	}
+
+	// healthz keeps its probe-friendly body shape rather than the
+	// envelope, but matches the 503 Retry-After behavior.
+	rr, body := request(t, cold, "GET", "/v1/healthz")
+	if rr.Code != 503 || body["status"] != "starting" || rr.Header().Get("Retry-After") == "" {
+		t.Errorf("cold healthz: %d %v Retry-After %q", rr.Code, body, rr.Header().Get("Retry-After"))
+	}
+}
+
+// TestCursorPagination walks a list query page by page on the cursor and
+// pins the rotation contract: a cursor outlives its epoch as a 410 with
+// a fresh restart cursor, never as silently spliced pages.
+func TestCursorPagination(t *testing.T) {
+	var pub Publisher
+	h := NewServer(&pub).Handler()
+	pub.Publish(NewSnapshot(7, testInventory(30, 7)))
+
+	services := func(body map[string]any) []any {
+		svcs, _ := body["services"].([]any)
+		return svcs
+	}
+
+	// The full result in one shot is the oracle.
+	_, full := get(t, h, "/v1/port/80?limit=1000", nil)
+	total := int(full["total"].(float64))
+	if total < 8 {
+		t.Fatalf("need several pages; total %d", total)
+	}
+
+	var walked []any
+	path := "/v1/port/80?limit=4"
+	for hops := 0; ; hops++ {
+		if hops > total {
+			t.Fatal("cursor walk does not terminate")
+		}
+		rr, body := get(t, h, path, nil)
+		if rr.Code != http.StatusOK {
+			t.Fatalf("GET %s: %d", path, rr.Code)
+		}
+		walked = append(walked, services(body)...)
+		next, _ := body["next_cursor"].(string)
+		if next == "" {
+			break
+		}
+		path = "/v1/port/80?cursor=" + next
+	}
+	if len(walked) != total {
+		t.Fatalf("cursor walk collected %d services; want %d", len(walked), total)
+	}
+	for i, s := range services(full) {
+		a, _ := json.Marshal(s)
+		b, _ := json.Marshal(walked[i])
+		if string(a) != string(b) {
+			t.Fatalf("cursor walk diverges from offset walk at %d: %s != %s", i, a, b)
+		}
+	}
+
+	// The last page carries no cursor; neither does an exhaustive one.
+	if _, body := get(t, h, "/v1/port/80?limit=1000", nil); body["next_cursor"] != nil {
+		t.Error("exhaustive page still carries next_cursor")
+	}
+
+	// Same query by cursor and by offset serve byte-identical pages (the
+	// cache key canonicalizes the resolved window, not the spelling).
+	byCursor, _ := get(t, h, "/v1/port/80?cursor="+encodeCursor(7, 4), nil)
+	byOffset, _ := get(t, h, "/v1/port/80?offset=4", nil)
+	if byCursor.Body.String() != byOffset.Body.String() {
+		t.Errorf("cursor and offset spellings serve different bytes:\n%s\n%s",
+			byCursor.Body.String(), byOffset.Body.String())
+	}
+
+	// Rotation: the snapshot swaps, the old cursor answers 410 with a
+	// fresh first-page cursor for the new epoch.
+	stale := encodeCursor(7, 4)
+	pub.Publish(NewSnapshot(8, testInventory(33, 8)))
+	rr, body := get(t, h, "/v1/port/80?cursor="+stale, nil)
+	if rr.Code != http.StatusGone {
+		t.Fatalf("stale cursor: %d; want 410", rr.Code)
+	}
+	e := errEnvelope(t, "GET", "stale cursor", body)
+	if e["code"] != "snapshot_rotated" {
+		t.Fatalf("stale cursor code %v", e["code"])
+	}
+	fresh, _ := e["cursor"].(string)
+	if fresh == "" {
+		t.Fatal("410 carries no restart cursor")
+	}
+	if rr, _ := get(t, h, "/v1/port/80?cursor="+fresh, nil); rr.Code != http.StatusOK {
+		t.Fatalf("restart cursor: %d; want 200", rr.Code)
+	}
+}

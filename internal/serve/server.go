@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -40,12 +41,21 @@ const (
 type Server struct {
 	pub   *Publisher
 	cache *queryCache
+	feed  *Feed // change feed behind GET /v1/watch; nil disables it
 }
 
 // NewServer wraps a Publisher. Multiple servers may share one publisher;
 // each keeps its own query cache.
 func NewServer(pub *Publisher) *Server {
 	return &Server{pub: pub, cache: newQueryCache(cacheEntries)}
+}
+
+// EnableWatch attaches a change feed to the server: GET /v1/watch then
+// streams per-epoch delta JSON from it (see watch.go). Without a feed
+// the endpoint answers 404 watch_unavailable. Returns s for chaining.
+func (s *Server) EnableWatch(f *Feed) *Server {
+	s.feed = f
+	return s
 }
 
 // Handler returns the API's routing handler, ready to mount on an
@@ -59,7 +69,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/port/", instrument("port", s.handlePort))
 	mux.HandleFunc("/v1/asn/", instrument("asn", s.handleASN))
 	mux.HandleFunc("/v1/prefix/", instrument("prefix", s.handlePrefix))
+	mux.HandleFunc("/v1/watch", instrument("watch", s.handleWatch))
 	mux.Handle("/v1/metricz", telemetry.Handler())
+	// Everything else is a structured 404, not the mux's plain-text
+	// default: clients get the same error envelope on a typo'd path as
+	// on any other failure.
+	mux.HandleFunc("/", instrument("notfound", s.handleNotFound))
 	return mux
 }
 
@@ -77,11 +92,14 @@ type serviceJSON struct {
 }
 
 type listJSON struct {
-	Query    string        `json:"query"`
-	Total    int           `json:"total"`
-	Offset   int           `json:"offset"`
-	Count    int           `json:"count"`
-	Services []serviceJSON `json:"services"`
+	Query  string `json:"query"`
+	Total  int    `json:"total"`
+	Offset int    `json:"offset"`
+	Count  int    `json:"count"`
+	// NextCursor resumes the query at the next page on this same
+	// snapshot epoch; absent on the last page. See decodeCursor.
+	NextCursor string        `json:"next_cursor,omitempty"`
+	Services   []serviceJSON `json:"services"`
 }
 
 type statsJSON struct {
@@ -127,12 +145,12 @@ func toServiceJSON(svcs []Service) []serviceJSON {
 func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) (*Snapshot, bool) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		w.Header().Set("Allow", "GET, HEAD")
-		writeError(w, http.StatusMethodNotAllowed, "GET or HEAD only")
+		writeError(w, http.StatusMethodNotAllowed, errMethodNotAllowed, "GET or HEAD only")
 		return nil, false
 	}
 	snap := s.pub.Current()
 	if snap == nil {
-		writeError(w, http.StatusServiceUnavailable, "no inventory snapshot published yet")
+		writeError(w, http.StatusServiceUnavailable, errNoSnapshot, "no inventory snapshot published yet")
 		return nil, false
 	}
 	return snap, true
@@ -163,13 +181,92 @@ func matchesETag(ifNoneMatch, etag string) bool {
 	return false
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
+// Machine-readable error codes. Every non-2xx/304 response carries one
+// in the error envelope; the set is part of the v1 contract.
+const (
+	errMethodNotAllowed = "method_not_allowed" // 405
+	errNoSnapshot       = "no_snapshot"        // 503: nothing published yet
+	errNotFound         = "not_found"          // 404: no such endpoint
+	errBadIP            = "bad_ip"             // 400
+	errBadPort          = "bad_port"           // 400
+	errBadASN           = "bad_asn"            // 400
+	errBadPage          = "bad_page"           // 400: offset/limit malformed or mixed with cursor
+	errBadCursor        = "bad_cursor"         // 400: cursor undecodable
+	errBadSince         = "bad_since"          // 400: ?since= malformed
+	errSnapshotRotated  = "snapshot_rotated"   // 410: cursor's epoch was swapped out
+	errWatchUnavailable = "watch_unavailable"  // 404: server runs without a change feed
+	errInternal         = "internal"           // 500
+)
+
+// errorJSON is the stable error envelope every /v1 failure returns:
+//
+//	{"error":{"code":"bad_port","message":"...","cursor":"..."}}
+//
+// Code is machine-readable and stable; Message is for humans; Cursor is
+// only present on snapshot_rotated, carrying a fresh first-page cursor
+// for the current epoch.
+type errorJSON struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Cursor  string `json:"cursor,omitempty"`
+}
+
+func writeErrorEnvelope(w http.ResponseWriter, status int, e errorJSON) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
+	if status == http.StatusServiceUnavailable {
+		// The snapshot appears as soon as the producer commits (or the
+		// replica bootstraps); tell pollers to come back, not give up.
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
 	body, _ := json.Marshal(struct {
-		Error string `json:"error"`
-	}{msg})
+		Error errorJSON `json:"error"`
+	}{e})
 	w.Write(append(body, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeErrorEnvelope(w, status, errorJSON{Code: code, Message: msg})
+}
+
+// Cursor pagination. A cursor is an opaque resume token for one list
+// query: base64url over "v1:EPOCH:OFFSET". Binding the epoch in lets the
+// server detect a snapshot swap mid-pagination — the offsets a client
+// walked no longer mean the same rows — and answer 410 snapshot_rotated
+// (with a fresh first-page cursor) instead of silently splicing two
+// different inventories together. ?offset=&limit= remain accepted for
+// one-shot queries; cursor and offset are mutually exclusive.
+
+func encodeCursor(epoch, offset int) string {
+	return base64.RawURLEncoding.EncodeToString(
+		[]byte(fmt.Sprintf("v1:%d:%d", epoch, offset)))
+}
+
+func decodeCursor(token string) (epoch, offset int, err error) {
+	raw, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad cursor %q", token)
+	}
+	parts := strings.Split(string(raw), ":")
+	if len(parts) != 3 || parts[0] != "v1" {
+		return 0, 0, fmt.Errorf("bad cursor %q", token)
+	}
+	if epoch, err = strconv.Atoi(parts[1]); err != nil {
+		return 0, 0, fmt.Errorf("bad cursor %q", token)
+	}
+	if offset, err = strconv.Atoi(parts[2]); err != nil || offset < 0 {
+		return 0, 0, fmt.Errorf("bad cursor %q", token)
+	}
+	return epoch, offset, nil
+}
+
+// nextCursor returns the resume token for the page after [offset,
+// offset+count) of total rows, or "" on the last page.
+func nextCursor(epoch, offset, count, total int) string {
+	if offset+count >= total {
+		return ""
+	}
+	return encodeCursor(epoch, offset+count)
 }
 
 // respond finishes one validated query: ETag revalidation (free 304s for
@@ -190,7 +287,7 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, snap *Snapshot,
 		cacheMisses.Inc()
 		var err error
 		if body, err = json.Marshal(build()); err != nil {
-			writeError(w, http.StatusInternalServerError, err.Error())
+			writeError(w, http.StatusInternalServerError, errInternal, err.Error())
 			return
 		}
 		body = append(body, '\n')
@@ -221,10 +318,49 @@ func pageParams(r *http.Request) (offset, limit int, err error) {
 	return offset, limit, nil
 }
 
+// listPage resolves a list query's paging inputs — ?cursor= or
+// ?offset=&limit= — against the served snapshot. A false return means
+// the error response (bad_page, bad_cursor, or snapshot_rotated) is
+// already written.
+func (s *Server) listPage(w http.ResponseWriter, r *http.Request, snap *Snapshot) (offset, limit int, ok bool) {
+	offset, limit, err := pageParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errBadPage, err.Error())
+		return 0, 0, false
+	}
+	q := r.URL.Query()
+	token := q.Get("cursor")
+	if token == "" {
+		return offset, limit, true
+	}
+	if q.Get("offset") != "" {
+		writeError(w, http.StatusBadRequest, errBadPage, "cursor and offset are mutually exclusive")
+		return 0, 0, false
+	}
+	epoch, coff, err := decodeCursor(token)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, errBadCursor, err.Error())
+		return 0, 0, false
+	}
+	if epoch != snap.Epoch() {
+		// The inventory rotated under the client's pagination: its
+		// offsets no longer name the same rows. 410 with a fresh
+		// first-page cursor beats silently splicing two epochs.
+		writeErrorEnvelope(w, http.StatusGone, errorJSON{
+			Code: errSnapshotRotated,
+			Message: fmt.Sprintf("cursor is for epoch %d; the served snapshot is now epoch %d — restart from the attached cursor",
+				epoch, snap.Epoch()),
+			Cursor: encodeCursor(snap.Epoch(), 0),
+		})
+		return 0, 0, false
+	}
+	return coff, limit, true
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		w.Header().Set("Allow", "GET, HEAD")
-		writeError(w, http.StatusMethodNotAllowed, "GET or HEAD only")
+		writeError(w, http.StatusMethodNotAllowed, errMethodNotAllowed, "GET or HEAD only")
 		return
 	}
 	type health struct {
@@ -235,6 +371,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.pub.Current()
 	w.Header().Set("Content-Type", "application/json")
 	if snap == nil {
+		// Not the error envelope: health probes key on the status field,
+		// and "starting" is a state, not a request failure. The
+		// Retry-After matches the envelope's 503 behavior.
+		w.Header().Set("Retry-After", "1")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		body, _ := json.Marshal(health{Status: "starting"})
 		w.Write(append(body, '\n'))
@@ -242,6 +382,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	body, _ := json.Marshal(health{Status: "ok", Epoch: snap.Epoch(), Services: snap.NumServices()})
 	w.Write(append(body, '\n'))
+}
+
+// handleNotFound is the mux fallback: any path outside the API answers
+// the structured envelope instead of the default plain-text 404.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, errNotFound,
+		fmt.Sprintf("no such endpoint %q; see /v1/{healthz,stats,ports,host,port,asn,prefix,watch,metricz}", r.URL.Path))
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -283,7 +430,7 @@ func (s *Server) handleHost(w http.ResponseWriter, r *http.Request) {
 	raw := strings.TrimPrefix(r.URL.Path, "/v1/host/")
 	ip, err := asndb.ParseIP(raw)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad ip %q", raw))
+		writeError(w, http.StatusBadRequest, errBadIP, fmt.Sprintf("bad ip %q", raw))
 		return
 	}
 	s.respond(w, r, snap, "host|"+strconv.FormatUint(uint64(ip), 10), func() any {
@@ -303,12 +450,11 @@ func (s *Server) handlePort(w http.ResponseWriter, r *http.Request) {
 	raw := strings.TrimPrefix(r.URL.Path, "/v1/port/")
 	port, err := strconv.ParseUint(raw, 10, 16)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad port %q", raw))
+		writeError(w, http.StatusBadRequest, errBadPort, fmt.Sprintf("bad port %q", raw))
 		return
 	}
-	offset, limit, err := pageParams(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	offset, limit, ok := s.listPage(w, r, snap)
+	if !ok {
 		return
 	}
 	key := fmt.Sprintf("port|%d|%d|%d", port, offset, limit)
@@ -319,7 +465,9 @@ func (s *Server) handlePort(w http.ResponseWriter, r *http.Request) {
 			// must be a pure function of the cache key ("0443" and "443"
 			// share one).
 			Query: fmt.Sprintf("port %d", port), Total: total, Offset: offset,
-			Count: len(svcs), Services: toServiceJSON(svcs),
+			Count:      len(svcs),
+			NextCursor: nextCursor(snap.Epoch(), offset, len(svcs), total),
+			Services:   toServiceJSON(svcs),
 		}
 	})
 }
@@ -332,12 +480,11 @@ func (s *Server) handleASN(w http.ResponseWriter, r *http.Request) {
 	raw := strings.TrimPrefix(r.URL.Path, "/v1/asn/")
 	asn, err := strconv.ParseUint(strings.TrimPrefix(raw, "AS"), 10, 32)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad asn %q", raw))
+		writeError(w, http.StatusBadRequest, errBadASN, fmt.Sprintf("bad asn %q", raw))
 		return
 	}
-	offset, limit, err := pageParams(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	offset, limit, ok := s.listPage(w, r, snap)
+	if !ok {
 		return
 	}
 	key := fmt.Sprintf("asn|%d|%d|%d", asn, offset, limit)
@@ -345,7 +492,9 @@ func (s *Server) handleASN(w http.ResponseWriter, r *http.Request) {
 		svcs, total := snap.ASN(asndb.ASN(asn), offset, limit)
 		return listJSON{
 			Query: fmt.Sprintf("asn AS%d", asn), Total: total, Offset: offset,
-			Count: len(svcs), Services: toServiceJSON(svcs),
+			Count:      len(svcs),
+			NextCursor: nextCursor(snap.Epoch(), offset, len(svcs), total),
+			Services:   toServiceJSON(svcs),
 		}
 	})
 }
@@ -358,12 +507,11 @@ func (s *Server) handlePrefix(w http.ResponseWriter, r *http.Request) {
 	raw := strings.TrimPrefix(r.URL.Path, "/v1/prefix/")
 	ip, err := asndb.ParseIP(raw)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad prefix address %q", raw))
+		writeError(w, http.StatusBadRequest, errBadIP, fmt.Sprintf("bad prefix address %q", raw))
 		return
 	}
-	offset, limit, err := pageParams(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	offset, limit, ok := s.listPage(w, r, snap)
+	if !ok {
 		return
 	}
 	pfx := ip & asndb.Mask(16)
@@ -372,7 +520,9 @@ func (s *Server) handlePrefix(w http.ResponseWriter, r *http.Request) {
 		svcs, total := snap.Prefix16(ip, offset, limit)
 		return listJSON{
 			Query: "prefix " + asndb.Subnet16(ip), Total: total, Offset: offset,
-			Count: len(svcs), Services: toServiceJSON(svcs),
+			Count:      len(svcs),
+			NextCursor: nextCursor(snap.Epoch(), offset, len(svcs), total),
+			Services:   toServiceJSON(svcs),
 		}
 	})
 }

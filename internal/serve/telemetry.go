@@ -24,6 +24,27 @@ var (
 		"inventory snapshots accepted for serving")
 	// lastPublishNanos feeds the age gauge below; 0 = nothing published.
 	lastPublishNanos atomic.Int64
+
+	feedHeadEpoch = telemetry.Default.Gauge("gps_feed_head_epoch",
+		"latest epoch committed to the change feed (-1 before the first)")
+	feedHistoryDepth = telemetry.Default.Gauge("gps_feed_history_depth",
+		"epoch deltas currently retained by the change feed")
+
+	replicaLag = telemetry.Default.Gauge("gps_replica_lag_epochs",
+		"epochs this replica trails its upstream origin")
+	replicaDeltasApplied = telemetry.Default.Counter("gps_replica_deltas_applied_total",
+		"epoch deltas applied onto this replica's inventory")
+	replicaBootstraps = telemetry.Default.Counter("gps_replica_bootstraps_total",
+		"full-snapshot bootstraps this replica performed")
+	replicaReconnects = telemetry.Default.Counter("gps_replica_reconnects_total",
+		"times this replica re-dialed its upstream after a feed failure")
+
+	watchSessions = telemetry.Default.Gauge("gps_watch_sessions",
+		"GET /v1/watch streams currently connected")
+	watchEventsSent = telemetry.Default.Counter("gps_watch_events_total",
+		"events pushed to /v1/watch consumers", "event", "delta")
+	watchSnapshotsSent = telemetry.Default.Counter("gps_watch_events_total",
+		"events pushed to /v1/watch consumers", "event", "snapshot")
 )
 
 func init() {
@@ -82,6 +103,10 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// Flush/SetWriteDeadline — the watch stream needs both.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // instrument wraps a route handler with latency and response-code
 // accounting.

@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gps/internal/continuous"
+	"gps/internal/netmodel"
+)
+
+// TestWatchStream drives GET /v1/watch end to end over a real HTTP
+// server: a consumer starting from nothing gets a snapshot event, then
+// one delta per commit, and folding them into an empty map with ApplyTo
+// reconstructs the origin inventory byte-for-byte at every epoch.
+func TestWatchStream(t *testing.T) {
+	feed := NewFeed(8)
+	var pub Publisher
+	invs := make(map[int]map[netmodel.Key]*continuous.Entry)
+	commit := func(epoch, n int) {
+		invs[epoch] = testInventory(n, epoch)
+		pub.Publish(NewSnapshot(epoch, invs[epoch]))
+		feed.Commit(epoch, invs[epoch])
+	}
+	commit(0, 20)
+
+	ts := httptest.NewServer(NewServer(&pub).EnableWatch(feed).Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	type step struct {
+		event string
+		epoch int
+		wire  []byte // reconstructed inventory after the event
+	}
+	events := make(chan step, 16)
+	mirror := make(map[netmodel.Key]*continuous.Entry)
+	wc := &WatchClient{URL: ts.URL + "/v1/watch", Since: -1}
+	followErr := make(chan error, 1)
+	go func() {
+		followErr <- wc.Follow(ctx, func(ev WatchEvent) error {
+			if err := ev.ApplyTo(mirror); err != nil {
+				return err
+			}
+			events <- step{ev.Event, ev.Epoch, invWire(t, mirror)}
+			return nil
+		})
+	}()
+
+	next := func() step {
+		select {
+		case s := <-events:
+			return s
+		case <-time.After(10 * time.Second):
+			t.Fatal("no watch event arrived")
+			return step{}
+		}
+	}
+
+	// Bootstrap: a full snapshot of the current epoch.
+	if s := next(); s.event != "snapshot" || s.epoch != 0 || !bytes.Equal(s.wire, invWire(t, invs[0])) {
+		t.Fatalf("first event %q epoch %d; want matching snapshot of epoch 0", s.event, s.epoch)
+	}
+
+	// Each commit lands as one delta, and the folded view tracks the
+	// origin exactly — adds, updates, and removes (26 → 23 shrinks).
+	for i, n := range []int{26, 23, 30} {
+		epoch := i + 1
+		commit(epoch, n)
+		s := next()
+		if s.event != "delta" || s.epoch != epoch {
+			t.Fatalf("event %d: %q epoch %d; want delta to %d", epoch, s.event, s.epoch, epoch)
+		}
+		if !bytes.Equal(s.wire, invWire(t, invs[epoch])) {
+			t.Fatalf("after delta to %d the consumer inventory diverges", epoch)
+		}
+	}
+
+	// Closing the feed ends the stream cleanly: Follow returns nil.
+	feed.Close()
+	select {
+	case err := <-followErr:
+		if err != nil {
+			t.Fatalf("Follow: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Follow did not return after feed close")
+	}
+}
+
+// TestWatchResume pins ?since=: a consumer holding a retained epoch gets
+// deltas with no snapshot, and one holding an aged-out epoch is
+// re-bootstrapped.
+func TestWatchResume(t *testing.T) {
+	feed := NewFeed(2)
+	defer feed.Close()
+	var pub Publisher
+	var last map[netmodel.Key]*continuous.Entry
+	for e := 0; e <= 4; e++ {
+		last = testInventory(20+2*e, e)
+		pub.Publish(NewSnapshot(e, last))
+		feed.Commit(e, last)
+	}
+
+	ts := httptest.NewServer(NewServer(&pub).EnableWatch(feed).Handler())
+	defer ts.Close()
+
+	follow := func(since int) []WatchEvent {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		var got []WatchEvent
+		wc := &WatchClient{URL: ts.URL + "/v1/watch", Since: since}
+		err := wc.Follow(ctx, func(ev WatchEvent) error {
+			got = append(got, ev)
+			if ev.Epoch == 4 {
+				return ErrWatchDone
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Follow(since=%d): %v", since, err)
+		}
+		return got
+	}
+
+	// History depth 2 retains bases 2 and 3: a since=2 consumer rides
+	// deltas only.
+	got := follow(2)
+	if len(got) != 2 || got[0].Event != "delta" || got[0].Epoch != 3 || got[1].Event != "delta" || got[1].Epoch != 4 {
+		t.Fatalf("since=2 events = %+v; want deltas to 3 then 4", got)
+	}
+
+	// since=0 aged out: the stream must re-bootstrap with a snapshot.
+	got = follow(0)
+	if len(got) != 1 || got[0].Event != "snapshot" || got[0].Epoch != 4 {
+		t.Fatalf("since=0 events = %+v; want one snapshot at 4", got)
+	}
+	mirror := make(map[netmodel.Key]*continuous.Entry)
+	if err := got[0].ApplyTo(mirror); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(invWire(t, mirror), invWire(t, last)) {
+		t.Fatal("re-bootstrap snapshot does not reconstruct the head inventory")
+	}
+}

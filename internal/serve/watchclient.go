@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"gps/internal/asndb"
+	"gps/internal/continuous"
+	"gps/internal/dataset"
+	"gps/internal/features"
+	"gps/internal/netmodel"
+)
+
+// WatchEntry is one service in a watch event, mirroring the wire shape
+// (watchEntryJSON): every GPSV serving field, numerically.
+type WatchEntry struct {
+	IP        string `json:"ip"`
+	Port      uint16 `json:"port"`
+	Proto     uint8  `json:"proto"`
+	ASN       uint32 `json:"asn"`
+	TTL       uint8  `json:"ttl"`
+	FirstSeen int    `json:"first_seen"`
+	LastSeen  int    `json:"last_seen"`
+	Stale     int    `json:"stale"`
+}
+
+// WatchKey names one removed service.
+type WatchKey struct {
+	IP   string `json:"ip"`
+	Port uint16 `json:"port"`
+}
+
+// WatchEvent is one line of a /v1/watch stream: Event is "snapshot"
+// (Services holds the full inventory as of Epoch) or "delta" (Adds/
+// Updates/Removes advance BaseEpoch to Epoch).
+type WatchEvent struct {
+	Event     string       `json:"event"`
+	Epoch     int          `json:"epoch"`
+	BaseEpoch int          `json:"base_epoch"`
+	Services  []WatchEntry `json:"services"`
+	Adds      []WatchEntry `json:"adds"`
+	Updates   []WatchEntry `json:"updates"`
+	Removes   []WatchKey   `json:"removes"`
+}
+
+func (e WatchEntry) entry() (netmodel.Key, *continuous.Entry, error) {
+	k, err := ipKey(e.IP, e.Port)
+	if err != nil {
+		return netmodel.Key{}, nil, err
+	}
+	return k, &continuous.Entry{
+		Rec: dataset.Record{
+			IP: k.IP, Port: e.Port,
+			Proto: features.Protocol(e.Proto), ASN: asndb.ASN(e.ASN), TTL: e.TTL,
+		},
+		FirstSeen: e.FirstSeen, LastSeen: e.LastSeen, Stale: e.Stale,
+	}, nil
+}
+
+// ApplyTo folds the event into inv: a snapshot replaces its contents, a
+// delta applies adds/updates/removes strictly (an add that exists or an
+// update/remove that does not means inv diverged from the stream's
+// base, and errors with inv partially updated). A consumer that starts
+// from an empty map and applies every event in order holds exactly the
+// origin's inventory after each event.
+func (ev WatchEvent) ApplyTo(inv map[netmodel.Key]*continuous.Entry) error {
+	switch ev.Event {
+	case "snapshot":
+		for k := range inv {
+			delete(inv, k)
+		}
+		for _, s := range ev.Services {
+			k, e, err := s.entry()
+			if err != nil {
+				return fmt.Errorf("serve: watch snapshot: %w", err)
+			}
+			inv[k] = e
+		}
+		return nil
+	case "delta":
+		for _, a := range ev.Adds {
+			k, e, err := a.entry()
+			if err != nil {
+				return fmt.Errorf("serve: watch delta: %w", err)
+			}
+			if _, ok := inv[k]; ok {
+				return fmt.Errorf("serve: watch delta %d→%d adds %v/%d, which is already held",
+					ev.BaseEpoch, ev.Epoch, a.IP, a.Port)
+			}
+			inv[k] = e
+		}
+		for _, u := range ev.Updates {
+			k, e, err := u.entry()
+			if err != nil {
+				return fmt.Errorf("serve: watch delta: %w", err)
+			}
+			if _, ok := inv[k]; !ok {
+				return fmt.Errorf("serve: watch delta %d→%d updates %v/%d, which is not held",
+					ev.BaseEpoch, ev.Epoch, u.IP, u.Port)
+			}
+			inv[k] = e
+		}
+		for _, r := range ev.Removes {
+			k, err := ipKey(r.IP, r.Port)
+			if err != nil {
+				return fmt.Errorf("serve: watch delta: %w", err)
+			}
+			if _, ok := inv[k]; !ok {
+				return fmt.Errorf("serve: watch delta %d→%d removes %v/%d, which is not held",
+					ev.BaseEpoch, ev.Epoch, r.IP, r.Port)
+			}
+			delete(inv, k)
+		}
+		return nil
+	default:
+		return fmt.Errorf("serve: unknown watch event %q", ev.Event)
+	}
+}
+
+// ErrWatchDone stops WatchClient.Follow from inside the callback;
+// Follow returns nil.
+var ErrWatchDone = errors.New("serve: watch done")
+
+// WatchClient follows a /v1/watch stream.
+type WatchClient struct {
+	// URL is the watch endpoint, e.g. http://host:port/v1/watch.
+	URL string
+	// Since resumes after an epoch the consumer already holds; -1 (or
+	// any epoch out of the origin's history) starts with a snapshot.
+	Since int
+	// Client overrides the HTTP client; nil uses http.DefaultClient
+	// (whose zero timeout is what an endless stream needs).
+	Client *http.Client
+}
+
+// Follow connects and invokes fn for each event, in stream order, until
+// the context ends, fn returns an error (ErrWatchDone for a clean
+// stop), or the stream ends. A non-200 response is decoded into the
+// error envelope and returned as an error.
+func (c *WatchClient) Follow(ctx context.Context, fn func(WatchEvent) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.URL+"?since="+strconv.Itoa(c.Since), nil)
+	if err != nil {
+		return fmt.Errorf("serve: watch: %w", err)
+	}
+	client := c.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("serve: watch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var envelope struct {
+			Error errorJSON `json:"error"`
+		}
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&envelope) == nil && envelope.Error.Code != "" {
+			return fmt.Errorf("serve: watch: %s (%s)", envelope.Error.Message, envelope.Error.Code)
+		}
+		return fmt.Errorf("serve: watch: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	// A snapshot line carries the whole inventory; the scanner's default
+	// 64 KiB line cap would truncate it.
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<28)
+	for sc.Scan() {
+		var ev WatchEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("serve: watch: undecodable event: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			if errors.Is(err, ErrWatchDone) {
+				return nil
+			}
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return fmt.Errorf("serve: watch: %w", err)
+	}
+	return nil
+}

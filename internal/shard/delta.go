@@ -1,0 +1,352 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"gps/internal/asndb"
+	"gps/internal/continuous"
+	"gps/internal/dataset"
+	"gps/internal/features"
+	"gps/internal/netmodel"
+)
+
+// Epoch-delta format ("GPSE", version 1):
+//
+//	magic "GPSE" | version u8
+//	baseEpoch varint | epoch varint
+//	addCount uvarint    | adds    (sorted by (IP, port))
+//	updateCount uvarint | updates (sorted by (IP, port))
+//	removeCount uvarint | removes (sorted by (IP, port))
+//	per add/update entry:
+//	  IP u32 | port u16 (big-endian)
+//	  proto, asn, ttl, firstSeen, lastSeen, stale uvarints
+//	per remove:
+//	  IP u32 | port u16 (big-endian)
+//
+// A delta carries exactly the GPSV serving fields, so a chain of deltas
+// applied to a GPSV bootstrap reconstructs the origin's inventory
+// byte-identically under WriteInventory — the contract the replication
+// CI gate diffs. Churn is ~9% per 10 days (§3), so a delta is roughly an
+// order of magnitude smaller than the full snapshot it advances.
+const (
+	deltaMagic   = "GPSE"
+	deltaVersion = 1
+)
+
+// DeltaEntry is one added or updated service in a delta: the (IP, port)
+// key plus the GPSV serving fields (Entry.Rec.Feats is not part of the
+// format and stays empty).
+type DeltaEntry struct {
+	Key   netmodel.Key
+	Entry continuous.Entry
+}
+
+// Delta is the inventory difference between two committed epochs:
+// services that appeared (Adds), changed serving fields or observation
+// counters (Updates), and disappeared (Removes), each sorted by
+// (IP, port) so equal diffs always encode to equal bytes. Applying a
+// delta to the BaseEpoch inventory yields the Epoch inventory exactly.
+type Delta struct {
+	BaseEpoch int
+	Epoch     int
+	Adds      []DeltaEntry
+	Updates   []DeltaEntry
+	Removes   []netmodel.Key
+}
+
+// Size returns the number of changes the delta carries.
+func (d *Delta) Size() int { return len(d.Adds) + len(d.Updates) + len(d.Removes) }
+
+// servedEqual reports whether two entries agree on every field the GPSV
+// format (and therefore the serving layer and the replication feed)
+// carries. Application-layer features are deliberately excluded: they
+// never cross the inventory formats, so a feature-only change must not
+// produce a delta entry.
+func servedEqual(a, b *continuous.Entry) bool {
+	return a.Rec.Proto == b.Rec.Proto && a.Rec.ASN == b.Rec.ASN && a.Rec.TTL == b.Rec.TTL &&
+		a.FirstSeen == b.FirstSeen && a.LastSeen == b.LastSeen && a.Stale == b.Stale
+}
+
+// servedEntry copies the GPSV-visible fields of e for key k.
+func servedEntry(k netmodel.Key, e *continuous.Entry) continuous.Entry {
+	return continuous.Entry{
+		Rec: dataset.Record{
+			IP: k.IP, Port: k.Port,
+			Proto: e.Rec.Proto, ASN: e.Rec.ASN, TTL: e.Rec.TTL,
+		},
+		FirstSeen: e.FirstSeen, LastSeen: e.LastSeen, Stale: e.Stale,
+	}
+}
+
+// ComputeDelta diffs two merged inventories (the views MergeInventories
+// builds at consecutive epoch commits) into the canonical delta that
+// advances base to next. Neither input is retained or mutated.
+func ComputeDelta(base, next map[netmodel.Key]*continuous.Entry, baseEpoch, epoch int) *Delta {
+	d := &Delta{BaseEpoch: baseEpoch, Epoch: epoch}
+	for k, e := range next {
+		old, ok := base[k]
+		switch {
+		case !ok:
+			d.Adds = append(d.Adds, DeltaEntry{Key: k, Entry: servedEntry(k, e)})
+		case !servedEqual(old, e):
+			d.Updates = append(d.Updates, DeltaEntry{Key: k, Entry: servedEntry(k, e)})
+		}
+	}
+	for k := range base {
+		if _, ok := next[k]; !ok {
+			d.Removes = append(d.Removes, k)
+		}
+	}
+	sortDeltaEntries(d.Adds)
+	sortDeltaEntries(d.Updates)
+	sort.Slice(d.Removes, func(i, j int) bool { return keyLess(d.Removes[i], d.Removes[j]) })
+	return d
+}
+
+func sortDeltaEntries(es []DeltaEntry) {
+	sort.Slice(es, func(i, j int) bool { return keyLess(es[i].Key, es[j].Key) })
+}
+
+// ApplyDelta applies a delta to an inventory in place: adds must be new
+// keys, updates and removes must hit existing ones — a mismatch means
+// the delta was derived against a different base than inv and returns an
+// error with inv partially updated (apply to a CloneInventory copy when
+// the original must survive a failure). ApplyDelta(ComputeDelta(A, B), A)
+// reproduces B exactly on the GPSV serving fields.
+func ApplyDelta(inv map[netmodel.Key]*continuous.Entry, d *Delta) error {
+	for _, a := range d.Adds {
+		if _, ok := inv[a.Key]; ok {
+			return fmt.Errorf("shard: delta %d→%d adds %v, which the base already holds", d.BaseEpoch, d.Epoch, a.Key)
+		}
+		e := a.Entry
+		inv[a.Key] = &e
+	}
+	for _, u := range d.Updates {
+		if _, ok := inv[u.Key]; !ok {
+			return fmt.Errorf("shard: delta %d→%d updates %v, which the base does not hold", d.BaseEpoch, d.Epoch, u.Key)
+		}
+		e := u.Entry
+		inv[u.Key] = &e
+	}
+	for _, k := range d.Removes {
+		if _, ok := inv[k]; !ok {
+			return fmt.Errorf("shard: delta %d→%d removes %v, which the base does not hold", d.BaseEpoch, d.Epoch, k)
+		}
+		delete(inv, k)
+	}
+	return nil
+}
+
+// CloneInventory copies an inventory map and its entries: the copy can
+// be mutated (or handed to ApplyDelta) without touching the original.
+func CloneInventory(inv map[netmodel.Key]*continuous.Entry) map[netmodel.Key]*continuous.Entry {
+	out := make(map[netmodel.Key]*continuous.Entry, len(inv))
+	for k, e := range inv {
+		cp := *e
+		out[k] = &cp
+	}
+	return out
+}
+
+// DeltaMagicError reports bytes that are not a GPSE delta at all, or a
+// GPSE version this reader does not speak.
+type DeltaMagicError struct {
+	// Found is the magic encountered; Version is the declared version
+	// when the magic matched (0 otherwise).
+	Found   string
+	Version uint8
+}
+
+func (e *DeltaMagicError) Error() string {
+	if e.Found != deltaMagic {
+		return fmt.Sprintf("shard: bad delta magic %q, want %q", e.Found, deltaMagic)
+	}
+	return fmt.Sprintf("shard: unsupported delta version %d, want %d", e.Version, deltaVersion)
+}
+
+// DeltaTruncatedError reports a delta cut short mid-stream.
+type DeltaTruncatedError struct {
+	// Section names the part being decoded ("header", "add", "update",
+	// "remove"); Entry is the 0-based index within the section, or -1 for
+	// the header.
+	Section string
+	Entry   int
+	Err     error
+}
+
+func (e *DeltaTruncatedError) Error() string {
+	if e.Entry < 0 {
+		return fmt.Sprintf("shard: truncated delta header: %v", e.Err)
+	}
+	return fmt.Sprintf("shard: truncated delta at %s %d: %v", e.Section, e.Entry, e.Err)
+}
+
+func (e *DeltaTruncatedError) Unwrap() error { return e.Err }
+
+// WriteDelta serializes a delta canonically. Entries and removes are
+// written in their slice order; ComputeDelta output is already sorted,
+// so equal diffs produce equal bytes.
+func WriteDelta(w io.Writer, d *Delta) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(deltaMagic)
+	bw.WriteByte(deltaVersion)
+	writeVarint(bw, int64(d.BaseEpoch))
+	writeVarint(bw, int64(d.Epoch))
+	writeUvarint(bw, uint64(len(d.Adds)))
+	for _, a := range d.Adds {
+		writeDeltaEntry(bw, a)
+	}
+	writeUvarint(bw, uint64(len(d.Updates)))
+	for _, u := range d.Updates {
+		writeDeltaEntry(bw, u)
+	}
+	writeUvarint(bw, uint64(len(d.Removes)))
+	for _, k := range d.Removes {
+		writeDeltaKey(bw, k)
+	}
+	return bw.Flush()
+}
+
+func writeVarint(w *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeDeltaKey(bw *bufio.Writer, k netmodel.Key) {
+	var kb [6]byte
+	binary.BigEndian.PutUint32(kb[:4], uint32(k.IP))
+	binary.BigEndian.PutUint16(kb[4:6], k.Port)
+	bw.Write(kb[:])
+}
+
+func writeDeltaEntry(bw *bufio.Writer, de DeltaEntry) {
+	writeDeltaKey(bw, de.Key)
+	e := de.Entry
+	writeUvarint(bw, uint64(e.Rec.Proto))
+	writeUvarint(bw, uint64(e.Rec.ASN))
+	writeUvarint(bw, uint64(e.Rec.TTL))
+	writeUvarint(bw, uint64(e.FirstSeen))
+	writeUvarint(bw, uint64(e.LastSeen))
+	writeUvarint(bw, uint64(e.Stale))
+}
+
+// ReadDelta parses WriteDelta output. Errors are typed: *DeltaMagicError
+// for foreign or wrong-version bytes, *DeltaTruncatedError for a stream
+// cut short; other corruption (implausible counts, trailing bytes)
+// returns a plain error.
+func ReadDelta(r io.Reader) (*Delta, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(deltaMagic)+1)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, &DeltaTruncatedError{Section: "header", Entry: -1, Err: err}
+	}
+	if string(hdr[:len(deltaMagic)]) != deltaMagic {
+		return nil, &DeltaMagicError{Found: string(hdr[:len(deltaMagic)])}
+	}
+	if hdr[len(deltaMagic)] != deltaVersion {
+		return nil, &DeltaMagicError{Found: deltaMagic, Version: hdr[len(deltaMagic)]}
+	}
+	d := &Delta{}
+	var err error
+	if d.BaseEpoch, err = readDeltaVarint(br); err != nil {
+		return nil, &DeltaTruncatedError{Section: "header", Entry: -1, Err: err}
+	}
+	if d.Epoch, err = readDeltaVarint(br); err != nil {
+		return nil, &DeltaTruncatedError{Section: "header", Entry: -1, Err: err}
+	}
+	if d.Adds, err = readDeltaEntries(br, "add"); err != nil {
+		return nil, err
+	}
+	if d.Updates, err = readDeltaEntries(br, "update"); err != nil {
+		return nil, err
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, &DeltaTruncatedError{Section: "remove", Entry: -1, Err: eofToUnexpected(err)}
+	}
+	if n > maxInventoryEntries {
+		return nil, fmt.Errorf("shard: implausible delta remove count %d", n)
+	}
+	for i := uint64(0); i < n; i++ {
+		k, err := readDeltaKey(br)
+		if err != nil {
+			return nil, &DeltaTruncatedError{Section: "remove", Entry: int(i), Err: err}
+		}
+		d.Removes = append(d.Removes, k)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("shard: trailing data after delta %d→%d", d.BaseEpoch, d.Epoch)
+	}
+	return d, nil
+}
+
+func readDeltaEntries(br *bufio.Reader, section string) ([]DeltaEntry, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, &DeltaTruncatedError{Section: section, Entry: -1, Err: eofToUnexpected(err)}
+	}
+	if n > maxInventoryEntries {
+		return nil, fmt.Errorf("shard: implausible delta %s count %d", section, n)
+	}
+	var out []DeltaEntry
+	for i := uint64(0); i < n; i++ {
+		k, err := readDeltaKey(br)
+		if err != nil {
+			return nil, &DeltaTruncatedError{Section: section, Entry: int(i), Err: err}
+		}
+		var vals [6]uint64
+		for j := range vals {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, &DeltaTruncatedError{Section: section, Entry: int(i), Err: eofToUnexpected(err)}
+			}
+			vals[j] = v
+		}
+		out = append(out, DeltaEntry{
+			Key: k,
+			Entry: continuous.Entry{
+				Rec: dataset.Record{
+					IP: k.IP, Port: k.Port,
+					Proto: features.Protocol(vals[0]),
+					ASN:   asndb.ASN(vals[1]),
+					TTL:   uint8(vals[2]),
+				},
+				FirstSeen: int(vals[3]),
+				LastSeen:  int(vals[4]),
+				Stale:     int(vals[5]),
+			},
+		})
+	}
+	return out, nil
+}
+
+func readDeltaKey(br *bufio.Reader) (netmodel.Key, error) {
+	var kb [6]byte
+	if _, err := io.ReadFull(br, kb[:]); err != nil {
+		return netmodel.Key{}, eofToUnexpected(err)
+	}
+	return netmodel.Key{
+		IP:   asndb.IP(binary.BigEndian.Uint32(kb[:4])),
+		Port: binary.BigEndian.Uint16(kb[4:6]),
+	}, nil
+}
+
+func readDeltaVarint(br *bufio.Reader) (int, error) {
+	v, err := binary.ReadVarint(br)
+	return int(v), eofToUnexpected(err)
+}
+
+// eofToUnexpected maps a clean EOF mid-structure to ErrUnexpectedEOF:
+// inside a declared delta any end-of-stream is a truncation.
+func eofToUnexpected(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

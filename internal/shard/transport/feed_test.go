@@ -1,0 +1,314 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testFeedSource is a scripted FeedSource: epochs commit via push, each
+// carrying opaque snapshot/delta payloads the test asserts on verbatim.
+type testFeedSource struct {
+	mu     sync.Mutex
+	epoch  int
+	snap   []byte
+	deltas map[int][]byte // base epoch → delta payload
+	keep   int            // history depth; older deltas age out
+	notify chan struct{}
+	closed bool
+}
+
+func newTestFeedSource(keep int) *testFeedSource {
+	return &testFeedSource{epoch: -1, keep: keep, deltas: make(map[int][]byte), notify: make(chan struct{})}
+}
+
+func (s *testFeedSource) push(epoch int, snap, delta []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.epoch >= 0 && delta != nil {
+		s.deltas[s.epoch] = delta
+		for base := range s.deltas {
+			if base < epoch-s.keep {
+				delete(s.deltas, base)
+			}
+		}
+	}
+	s.epoch, s.snap = epoch, snap
+	close(s.notify)
+	s.notify = make(chan struct{})
+}
+
+func (s *testFeedSource) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	close(s.notify)
+	s.notify = make(chan struct{})
+}
+
+func (s *testFeedSource) Head() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+func (s *testFeedSource) Snapshot() (int, []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch, s.snap
+}
+
+func (s *testFeedSource) Delta(from int) ([]byte, int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.deltas[from]
+	return d, from + 1, ok
+}
+
+func (s *testFeedSource) Wait(epoch int, cancel <-chan struct{}) bool {
+	s.mu.Lock()
+	for {
+		if s.closed {
+			s.mu.Unlock()
+			return false
+		}
+		if s.epoch > epoch {
+			s.mu.Unlock()
+			return true
+		}
+		ch := s.notify
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-cancel:
+			return true
+		}
+		s.mu.Lock()
+	}
+}
+
+func startFeed(t *testing.T, src FeedSource) (addr string, shutdown func()) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ServeFeed(lis, src, &Options{Timeout: 5 * time.Second}) }()
+	return lis.Addr().String(), func() {
+		lis.Close()
+		if err := <-done; err != nil {
+			t.Errorf("ServeFeed: %v", err)
+		}
+	}
+}
+
+func recvEvent(t *testing.T, fc *FeedConn) FeedEvent {
+	t.Helper()
+	type result struct {
+		ev  FeedEvent
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		ev, err := fc.Recv()
+		ch <- result{ev, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			t.Fatalf("Recv: %v", r.err)
+		}
+		return r.ev
+	case <-time.After(10 * time.Second):
+		t.Fatal("Recv never returned")
+		return FeedEvent{}
+	}
+}
+
+// TestFeedBootstrapThenDeltas pins the session shape: a subscriber with
+// no epoch bootstraps from a snapshot, then rides deltas as commits
+// land, each tagged with the origin head for lag accounting.
+func TestFeedBootstrapThenDeltas(t *testing.T) {
+	src := newTestFeedSource(8)
+	src.push(0, []byte("snap0"), nil)
+	addr, shutdown := startFeed(t, src)
+	defer shutdown()
+
+	fc, err := DialFeed(addr, -1, &Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	ev := recvEvent(t, fc)
+	if ev.Kind != FeedSnapshot || ev.Epoch != 0 || ev.Head != 0 || !bytes.Equal(ev.Payload, []byte("snap0")) {
+		t.Fatalf("first event = %+v; want snapshot of epoch 0", ev)
+	}
+
+	src.push(1, []byte("snap1"), []byte("delta0to1"))
+	ev = recvEvent(t, fc)
+	if ev.Kind != FeedDelta || ev.Epoch != 1 || ev.Head != 1 || !bytes.Equal(ev.Payload, []byte("delta0to1")) {
+		t.Fatalf("second event = %+v; want delta to epoch 1", ev)
+	}
+
+	src.push(2, []byte("snap2"), []byte("delta1to2"))
+	ev = recvEvent(t, fc)
+	if ev.Kind != FeedDelta || ev.Epoch != 2 || !bytes.Equal(ev.Payload, []byte("delta1to2")) {
+		t.Fatalf("third event = %+v; want delta to epoch 2", ev)
+	}
+}
+
+// TestFeedResumeInHistory pins that a subscriber holding a retained
+// epoch gets deltas immediately — no snapshot, no full transfer.
+func TestFeedResumeInHistory(t *testing.T) {
+	src := newTestFeedSource(8)
+	src.push(0, []byte("snap0"), nil)
+	src.push(1, []byte("snap1"), []byte("delta0to1"))
+	src.push(2, []byte("snap2"), []byte("delta1to2"))
+	addr, shutdown := startFeed(t, src)
+	defer shutdown()
+
+	fc, err := DialFeed(addr, 0, &Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	for want := 1; want <= 2; want++ {
+		ev := recvEvent(t, fc)
+		if ev.Kind != FeedDelta || ev.Epoch != want {
+			t.Fatalf("resume event = %+v; want delta to epoch %d", ev, want)
+		}
+	}
+}
+
+// TestFeedRebootstrapWhenBehind pins the K-epochs-behind contract: a
+// subscriber whose epoch aged out of the origin's history is restarted
+// from a snapshot instead of a delta chain the origin no longer holds.
+func TestFeedRebootstrapWhenBehind(t *testing.T) {
+	src := newTestFeedSource(2)
+	src.push(0, []byte("snap0"), nil)
+	for e := 1; e <= 6; e++ {
+		src.push(e, []byte("snap"+string(rune('0'+e))), []byte("delta"))
+	}
+	addr, shutdown := startFeed(t, src)
+	defer shutdown()
+
+	// Epoch 1 fell out of the 2-deep history → snapshot at head.
+	fc, err := DialFeed(addr, 1, &Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	ev := recvEvent(t, fc)
+	if ev.Kind != FeedSnapshot || ev.Epoch != 6 {
+		t.Fatalf("lagged subscriber got %+v; want a snapshot at epoch 6", ev)
+	}
+}
+
+// TestFeedConcurrentSubscribers pins that sessions are independent: two
+// replicas at different epochs each get their own stream.
+func TestFeedConcurrentSubscribers(t *testing.T) {
+	src := newTestFeedSource(8)
+	src.push(0, []byte("snap0"), nil)
+	src.push(1, []byte("snap1"), []byte("delta0to1"))
+	addr, shutdown := startFeed(t, src)
+	defer shutdown()
+
+	fresh, err := DialFeed(addr, -1, &Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	caught, err := DialFeed(addr, 0, &Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer caught.Close()
+
+	if ev := recvEvent(t, fresh); ev.Kind != FeedSnapshot || ev.Epoch != 1 {
+		t.Fatalf("fresh subscriber got %+v; want snapshot at 1", ev)
+	}
+	if ev := recvEvent(t, caught); ev.Kind != FeedDelta || ev.Epoch != 1 {
+		t.Fatalf("caught-up subscriber got %+v; want delta to 1", ev)
+	}
+}
+
+// TestFeedCloseShutsDownCleanly pins the shutdown path: closing the
+// source ends every session with a clean EOF, not a cut connection.
+func TestFeedCloseShutsDownCleanly(t *testing.T) {
+	src := newTestFeedSource(8)
+	src.push(0, []byte("snap0"), nil)
+	addr, shutdown := startFeed(t, src)
+	defer shutdown()
+
+	fc, err := DialFeed(addr, -1, &Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	recvEvent(t, fc) // the bootstrap snapshot
+
+	src.close()
+	if _, err := fc.Recv(); !errors.Is(err, io.EOF) {
+		t.Fatalf("Recv after source close: %v; want io.EOF", err)
+	}
+}
+
+// TestFeedSubscriberDisconnect pins that a vanished replica does not
+// wedge the origin: its session ends and later commits still serve the
+// survivors.
+func TestFeedSubscriberDisconnect(t *testing.T) {
+	src := newTestFeedSource(8)
+	src.push(0, []byte("snap0"), nil)
+	addr, shutdown := startFeed(t, src)
+	defer shutdown()
+
+	gone, err := DialFeed(addr, -1, &Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvEvent(t, gone)
+	gone.Close()
+
+	stay, err := DialFeed(addr, 0, &Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stay.Close()
+	src.push(1, []byte("snap1"), []byte("delta0to1"))
+	if ev := recvEvent(t, stay); ev.Kind != FeedDelta || ev.Epoch != 1 {
+		t.Fatalf("survivor got %+v; want delta to 1", ev)
+	}
+}
+
+// TestFeedRejectsNonSubscribe pins the session opening contract.
+func TestFeedRejectsNonSubscribe(t *testing.T) {
+	src := newTestFeedSource(8)
+	addr, shutdown := startFeed(t, src)
+	defer shutdown()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if err := writeHandshake(conn); err != nil {
+		t.Fatal(err)
+	}
+	if err := readHandshake(conn); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, msgEpoch, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := readFrame(conn)
+	if err != nil || typ != msgError {
+		t.Fatalf("frame %d, err %v; want an msgError reply", typ, err)
+	}
+}

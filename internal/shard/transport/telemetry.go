@@ -45,6 +45,17 @@ var (
 		"shard epochs executed by this worker")
 	workerShardsOwned = telemetry.Default.Gauge("gps_worker_shards_owned",
 		"shards currently assigned to this worker's session")
+
+	feedSessions = telemetry.Default.Counter("gps_feed_sessions_total",
+		"replica subscriptions accepted by this origin's feed listener")
+	feedSubscribers = telemetry.Default.Gauge("gps_feed_subscribers",
+		"replica subscriptions currently connected to this origin")
+	feedSnapshotsSent = telemetry.Default.Counter("gps_feed_snapshots_sent_total",
+		"full-inventory bootstrap frames pushed to replicas")
+	feedDeltasSent = telemetry.Default.Counter("gps_feed_deltas_sent_total",
+		"epoch-delta frames pushed to replicas")
+	feedEventsRecv = telemetry.Default.Counter("gps_feed_events_recv_total",
+		"feed events (snapshots + deltas) received by this replica")
 )
 
 // frameOverhead is the GPST frame header size added to every payload.

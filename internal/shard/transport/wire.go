@@ -59,6 +59,13 @@ const (
 	msgError       = 6 // worker → coordinator: request failed remotely
 	msgSeed        = 7 // coordinator → worker: session seed set, sent once
 	msgSeedOK      = 8 // worker → coordinator: seed stored
+
+	// Replication feed frames (feed.go). The feed reuses the GPST
+	// preamble and framing; a replica subscribes once, then the origin
+	// pushes snapshot/delta frames for as long as the session lives.
+	msgSubscribe = 9  // replica → origin: start streaming after an epoch
+	msgSnapshot  = 10 // origin → replica: full GPSV inventory (bootstrap)
+	msgDelta     = 11 // origin → replica: one GPSE epoch delta
 )
 
 // MagicError reports a stream that did not open with the transport magic:

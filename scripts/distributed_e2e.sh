@@ -7,6 +7,13 @@
 # process, the distributed coordinator, and a standalone GPSV file —
 # totals matching the merged inventory exactly.
 #
+# The coordinator also exports its replication feed: two read replicas
+# subscribe and must serve /v1 responses byte-identical to the origin's
+# (bodies and ETags) at every epoch, one replica is killed and restarted
+# mid-run and must re-converge, and a /v1/watch consumer accumulating
+# the NDJSON change feed must reconstruct the final inventory exactly —
+# byte-identical to the coordinator's -inventory artifact.
+#
 # CI runs this under `timeout 300` so a wedged worker fails the job
 # instead of hanging it; everything the run produces lands in $DIR, which
 # CI uploads as an artifact on failure.
@@ -61,6 +68,22 @@ metric_value() {
   echo "$v"
 }
 
+# fetch_at_epoch URL PATH EPOCH OUT: fetch one document, retrying until
+# its ETag pins the wanted epoch — so a pair of captures taken from two
+# servers is known to describe the same snapshot even while epochs
+# commit underneath.
+fetch_at_epoch() {
+  for _ in $(seq 1 150); do
+    if curl -fsS -D "$4.hdr" -o "$4" "$1$2" 2>/dev/null \
+        && grep -qi "etag: \"gps-epoch-$3\"" "$4.hdr"; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "server at $1 never served $2 at epoch $3" >&2
+  return 1
+}
+
 # snapshot_queries URL PREFIX: capture the query set the gate diffs.
 # List bodies carry no epoch (it travels in the ETag), so equal
 # inventories must serve equal bytes whatever process answers.
@@ -95,18 +118,109 @@ for p in "${ports[@]}"; do
   pids+=($!)
 done
 
-echo "== distributed run (coordinator + 3 workers, 4 shards, serving on :7472)"
+echo "== distributed run (coordinator + 3 workers, 4 shards, serving on :7472, feed on :7480)"
+# -interval paces the epochs so the replica checks below can observe each
+# one; determinism is untouched (churn derives from seed+epoch, not wall
+# time).
 workers=$(IFS=,; echo "${ports[*]/#/127.0.0.1:}")
 "$BIN" "${COMMON[@]}" -coordinator -workers "$workers" \
     -checkpoint "$DIR/dist.ckpt" -shard-checkpoints "$DIR/shards" \
-    -inventory "$DIR/dist.inv" -serve 127.0.0.1:7472 > "$DIR/coordinator.log" 2>&1 &
+    -inventory "$DIR/dist.inv" -serve 127.0.0.1:7472 \
+    -feed 127.0.0.1:7480 -interval 2s > "$DIR/coordinator.log" 2>&1 &
 coord_pid=$!
 pids+=($coord_pid)
-wait_stats http://127.0.0.1:7472 3
+
+echo "== two read replicas (:7474, :7475) and a /v1/watch consumer"
+"$BIN" -replica -upstream 127.0.0.1:7480 -serve 127.0.0.1:7474 > "$DIR/replica-a.log" 2>&1 &
+replica_a=$!
+pids+=($replica_a)
+"$BIN" -replica -upstream 127.0.0.1:7480 -serve 127.0.0.1:7475 > "$DIR/replica-b.log" 2>&1 &
+replica_b=$!
+pids+=($replica_b)
+# Replicas redial their upstream until it exists; the watch client makes
+# one HTTP request, so it starts once the origin is actually serving.
+wait_healthy http://127.0.0.1:7472
+"$BIN" -watch http://127.0.0.1:7472/v1/watch -epochs 3 \
+    -inventory "$DIR/watch.inv" > "$DIR/watch.log" 2>&1 &
+watch_pid=$!
+pids+=($watch_pid)
+
+# Replica responses must be byte-identical to the origin's — bodies and
+# ETags — at every epoch. The ETag-pinned fetches make each comparison
+# race-free against the next commit.
+for epoch in 1 2 3; do
+  wait_stats http://127.0.0.1:7472 $epoch
+  wait_stats http://127.0.0.1:7474 $epoch
+  fetch_at_epoch http://127.0.0.1:7472 /v1/stats $epoch "$DIR/origin.e$epoch.stats.json"
+  fetch_at_epoch http://127.0.0.1:7472 /v1/ports $epoch "$DIR/origin.e$epoch.ports.json"
+  fetch_at_epoch http://127.0.0.1:7474 /v1/stats $epoch "$DIR/replica.e$epoch.stats.json"
+  fetch_at_epoch http://127.0.0.1:7474 /v1/ports $epoch "$DIR/replica.e$epoch.ports.json"
+  cmp "$DIR/origin.e$epoch.stats.json" "$DIR/replica.e$epoch.stats.json"
+  cmp "$DIR/origin.e$epoch.ports.json" "$DIR/replica.e$epoch.ports.json"
+  echo "   epoch $epoch: replica byte-identical to origin"
+
+  case $epoch in
+  1)
+    # Kill replica B mid-run; it misses epoch 2 entirely.
+    kill -TERM $replica_b
+    wait $replica_b
+    ;;
+  2)
+    # Restart it: a replica is stateless, so the new process must
+    # re-bootstrap from a snapshot frame and catch up on its own.
+    "$BIN" -replica -upstream 127.0.0.1:7480 -serve 127.0.0.1:7475 > "$DIR/replica-b2.log" 2>&1 &
+    replica_b=$!
+    pids+=($replica_b)
+    ;;
+  esac
+done
+
+echo "== restarted replica re-converges"
+wait_stats http://127.0.0.1:7475 3
+fetch_at_epoch http://127.0.0.1:7475 /v1/stats 3 "$DIR/replica-b.e3.stats.json"
+fetch_at_epoch http://127.0.0.1:7475 /v1/ports 3 "$DIR/replica-b.e3.ports.json"
+cmp "$DIR/origin.e3.stats.json" "$DIR/replica-b.e3.stats.json"
+cmp "$DIR/origin.e3.ports.json" "$DIR/replica-b.e3.ports.json"
+
+echo "== replica telemetry (lag, delta/bootstrap accounting)"
+curl -fsS http://127.0.0.1:7474/v1/metricz > "$DIR/replica-a.metricz"
+curl -fsS http://127.0.0.1:7475/v1/metricz > "$DIR/replica-b.metricz"
+lag_a=$(metric_value "$DIR/replica-a.metricz" gps_replica_lag_epochs)
+lag_b=$(metric_value "$DIR/replica-b.metricz" gps_replica_lag_epochs)
+deltas_a=$(metric_value "$DIR/replica-a.metricz" gps_replica_deltas_applied_total)
+boots_a=$(metric_value "$DIR/replica-a.metricz" gps_replica_bootstraps_total)
+boots_b=$(metric_value "$DIR/replica-b.metricz" gps_replica_bootstraps_total)
+echo "replica A: lag=$lag_a deltas=$deltas_a bootstraps=$boots_a; replica B (restarted): lag=$lag_b bootstraps=$boots_b"
+if [ "$lag_a" != "0" ] || [ "$lag_b" != "0" ]; then
+  echo "replicas still lag the origin after convergence" >&2
+  exit 1
+fi
+# A lived through the whole run: one bootstrap, then pure deltas. B's
+# fresh process proves the restart path took a snapshot bootstrap.
+if [ "$boots_a" -lt 1 ] || [ "$deltas_a" -lt 2 ] || [ "$boots_b" -lt 1 ]; then
+  echo "replica feed accounting inconsistent with a bootstrap+deltas run" >&2
+  exit 1
+fi
+
+echo "== watch consumer reconstructs the final inventory"
+wait $watch_pid
+test -s "$DIR/watch.inv"
+
 snapshot_queries http://127.0.0.1:7472 dist
 curl -fsS http://127.0.0.1:7472/v1/metricz > "$DIR/dist.metricz"
+feed_head=$(metric_value "$DIR/dist.metricz" gps_feed_head_epoch)
+if [ "$feed_head" != "3" ]; then
+  echo "origin feed head is $feed_head, want 3" >&2
+  exit 1
+fi
 kill -TERM $coord_pid
 wait $coord_pid
+kill -TERM $replica_a $replica_b
+wait $replica_a $replica_b 2>/dev/null || true
+
+# The watch consumer folded snapshot+delta events from an empty map; its
+# persisted inventory must equal the coordinator's artifact exactly.
+cmp "$DIR/watch.inv" "$DIR/dist.inv"
 
 echo "== cross-mode telemetry consistency (/v1/metricz)"
 # The workers are still listening (only the coordinator exited), so their
