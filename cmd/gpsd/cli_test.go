@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestSubcommandAliasEquivalence pins the CLI migration contract: every
+// deprecated mode flag and its subcommand spelling must parse to the
+// exact same daemonFlags, and only the deprecated spelling prints a
+// migration hint.
+func TestSubcommandAliasEquivalence(t *testing.T) {
+	cases := []struct {
+		name       string
+		deprecated []string
+		subcommand []string
+	}{
+		{
+			"worker",
+			[]string{"-worker", "-listen", "127.0.0.1:0"},
+			[]string{"worker", "-listen", "127.0.0.1:0"},
+		},
+		{
+			"coordinator",
+			[]string{"-coordinator", "-workers", "a:1,b:2", "-shards", "4"},
+			[]string{"coordinator", "-workers", "a:1,b:2", "-shards", "4"},
+		},
+		{
+			"replica",
+			[]string{"-replica", "-upstream", "o:9", "-serve", "127.0.0.1:0"},
+			[]string{"replica", "-upstream", "o:9", "-serve", "127.0.0.1:0"},
+		},
+		{
+			"watch",
+			[]string{"-watch", "http://o/v1/watch", "-epochs", "3"},
+			[]string{"watch", "http://o/v1/watch", "-epochs", "3"},
+		},
+		{
+			"watch operand after flags",
+			[]string{"-watch", "http://o/v1/watch", "-epochs", "3"},
+			[]string{"watch", "-epochs", "3", "http://o/v1/watch"},
+		},
+		{
+			"serve",
+			[]string{"-serve-file", "inv.gpsv", "-serve", "127.0.0.1:0"},
+			[]string{"serve", "inv.gpsv", "-serve", "127.0.0.1:0"},
+		},
+		{
+			"rebalance",
+			[]string{"-rebalance", "split", "-checkpoint", "c.ckpt"},
+			[]string{"rebalance", "split", "-checkpoint", "c.ckpt"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var oldErr, newErr bytes.Buffer
+			viaFlag, err := parseArgs(tc.deprecated, &oldErr)
+			if err != nil {
+				t.Fatalf("deprecated form: %v", err)
+			}
+			viaSub, err := parseArgs(tc.subcommand, &newErr)
+			if err != nil {
+				t.Fatalf("subcommand form: %v", err)
+			}
+			if !reflect.DeepEqual(viaFlag, viaSub) {
+				t.Errorf("parse mismatch:\n flag form: %+v\n subcommand: %+v", viaFlag, viaSub)
+			}
+			if !strings.Contains(oldErr.String(), "deprecated") {
+				t.Errorf("deprecated form printed no hint: %q", oldErr.String())
+			}
+			if newErr.String() != "" {
+				t.Errorf("subcommand form printed: %q", newErr.String())
+			}
+		})
+	}
+}
+
+func TestParseArgsClusterFlags(t *testing.T) {
+	var errBuf bytes.Buffer
+	f, err := parseArgs([]string{
+		"coordinator", "-workers", "a:1", "-cluster", "127.0.0.1:7700",
+		"-admin", "-rebalance-factor", "2.5",
+	}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.coordinator || f.cluster != "127.0.0.1:7700" || !f.admin || f.rebalFactor != 2.5 {
+		t.Errorf("cluster flags: %+v", f)
+	}
+
+	f, err = parseArgs([]string{"worker", "-join", "127.0.0.1:7700", "-name", "w4", "-leave"}, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.workerMode || f.joinAddr != "127.0.0.1:7700" || f.workerName != "w4" || !f.leave {
+		t.Errorf("join flags: %+v", f)
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	var errBuf bytes.Buffer
+	if _, err := parseArgs([]string{"frobnicate"}, &errBuf); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if _, err := parseArgs([]string{"watch"}, &errBuf); err == nil {
+		t.Error("watch without URL accepted")
+	}
+	if _, err := parseArgs([]string{"rebalance"}, &errBuf); err == nil {
+		t.Error("rebalance without mode accepted")
+	}
+	if _, err := parseArgs([]string{"-no-such-flag"}, &errBuf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

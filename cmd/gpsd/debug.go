@@ -8,16 +8,48 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"sync"
 
 	"gps"
 )
 
+// processHealth is the role-specific readiness the debug server's
+// /v1/healthz reports. The mode runners fill it in after dispatch
+// (setProcessHealth), so a worker with no query API still answers a
+// structured readiness probe.
+var processHealth struct {
+	mu   sync.Mutex
+	info gps.HealthInfo
+}
+
+// setProcessHealth mutates the debug server's readiness doc in place;
+// safe from any goroutine.
+func setProcessHealth(mutate func(*gps.HealthInfo)) {
+	processHealth.mu.Lock()
+	defer processHealth.mu.Unlock()
+	mutate(&processHealth.info)
+}
+
+// processHealthInfo snapshots the readiness doc for a probe.
+func processHealthInfo() gps.HealthInfo {
+	processHealth.mu.Lock()
+	defer processHealth.mu.Unlock()
+	info := processHealth.info
+	// The worker's owned-shard count lives in a gauge the transport
+	// session maintains; read it live so migrations show up immediately.
+	if info.Role == "worker" {
+		info.ShardsOwned = int(gps.Telemetry().Gauge("gps_worker_shards_owned",
+			"shards currently assigned to this worker's session").Value())
+	}
+	return info
+}
+
 // startDebugServer exposes the operational side channel every gpsd mode
-// shares: /v1/metricz (Prometheus text) and /debug/pprof. It binds
-// before mode dispatch so a worker, coordinator, or single-process
-// daemon all answer the same scrape. The server is fire-and-forget —
-// debugging must never take the daemon down, so a bind failure warns
-// and the process continues.
+// shares: /v1/metricz (Prometheus text), /v1/healthz (role-specific
+// readiness), and /debug/pprof. It binds before mode dispatch so a
+// worker, coordinator, or single-process daemon all answer the same
+// scrape. The server is fire-and-forget — debugging must never take the
+// daemon down, so a bind failure warns and the process continues.
 func startDebugServer(addr string) {
 	if addr == "" {
 		return
@@ -25,6 +57,7 @@ func startDebugServer(addr string) {
 	registerProcessMetrics()
 	mux := http.NewServeMux()
 	mux.Handle("/v1/metricz", gps.Telemetry().Handler())
+	mux.Handle("/v1/healthz", gps.HealthHandler(gps.HealthFunc(processHealthInfo)))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -3,6 +3,7 @@ package main
 import (
 	"errors"
 	"fmt"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -24,7 +25,8 @@ func runCoordinator(f daemonFlags) int {
 	}
 	world := f.world()
 	opts := &gps.DistributedOptions{
-		Timeout: f.rpcTimeout,
+		Timeout:         f.rpcTimeout,
+		RebalanceFactor: f.rebalFactor,
 		Logf: func(format string, args ...any) {
 			fmt.Printf("gpsd: "+format+"\n", args...)
 		},
@@ -37,6 +39,23 @@ func runCoordinator(f daemonFlags) int {
 	defer coord.Close()
 	fmt.Printf("gpsd: coordinating %d shards over %d workers (%s)\n",
 		f.shards, len(addrs), f.workers)
+	setProcessHealth(func(i *gps.HealthInfo) {
+		i.Role = "coordinator"
+		i.ShardsOwned = f.shards
+	})
+
+	// The join listener makes membership elastic: workers started later
+	// with -join register here and receive live shard migrations at the
+	// next epoch boundary.
+	if f.cluster != "" {
+		lis, err := net.Listen("tcp", f.cluster)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gpsd: cluster:", err)
+			return 1
+		}
+		coord.AcceptJoins(lis)
+		fmt.Printf("gpsd: accepting joining workers on %s\n", lis.Addr())
+	}
 
 	// Resume from a checkpoint when one exists; otherwise generate the
 	// universe locally just long enough to collect the broadcast seed.
@@ -88,7 +107,17 @@ func runCoordinator(f daemonFlags) int {
 
 	var api *inventoryServer
 	if f.serve != "" {
-		if api, err = startServing(f, coord); err != nil {
+		// The serving coordinator is also the cluster control plane:
+		// GET /v1/cluster reads the membership doc straight off the
+		// coordinator, and the drain endpoint (behind -admin) feeds
+		// RequestDrain. The health doc carries the coordinator role.
+		configure := func(api *gps.InventoryServer) {
+			api.EnableCluster(coord, f.admin)
+			api.SetHealthSource(gps.HealthFunc(func() gps.HealthInfo {
+				return gps.HealthInfo{Role: "coordinator", ShardsOwned: f.shards}
+			}))
+		}
+		if api, err = startServing(f, coord, configure); err != nil {
 			fmt.Fprintln(os.Stderr, "gpsd:", err)
 			return 1
 		}

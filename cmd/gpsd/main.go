@@ -48,20 +48,37 @@
 // the standalone feed consumer: it follows /v1/watch, folds events into
 // a local inventory, and can persist it as a GPSV file.
 //
+// A coordinator started with -cluster ADDR also accepts workers that
+// join after the run began: gpsd worker -join ADDR registers with the
+// coordinator, which live-migrates shards (checkpointed state plus the
+// partitioned world spec) onto the newcomer at the next epoch boundary.
+// The same machinery runs in reverse for -leave (the worker drains its
+// shards back into the fleet before exiting) and for the optional
+// latency rebalancer (-rebalance-factor). GET /v1/cluster on the
+// coordinator's -serve API reports membership, per-shard latency, and
+// every migration; POST /v1/cluster/workers/{id}/drain (behind -admin)
+// drains a worker remotely.
+//
 // Usage:
 //
 //	gpsd [-seed N] [-prefixes N] [-density F] [-seed-fraction F]
 //	     [-epochs N] [-budget N] [-reverify F] [-max-stale N] [-shards N]
 //	     [-checkpoint FILE] [-inventory FILE] [-interval DUR]
 //	     [-parallelism N] [-exact-counts] [-serve ADDR]
-//	gpsd -worker -listen ADDR
-//	gpsd -coordinator -workers ADDR,ADDR,... [flags as above]
+//	gpsd worker -listen ADDR
+//	gpsd worker -join ADDR [-name ID] [-leave]
+//	gpsd coordinator -workers ADDR,ADDR,... [flags as above]
 //	     [-rpc-timeout DUR] [-shard-checkpoints DIR]
-//	gpsd -rebalance split|join -checkpoint FILE
-//	gpsd -serve ADDR -serve-file FILE
+//	     [-cluster ADDR] [-admin] [-rebalance-factor F]
+//	gpsd rebalance split|join -checkpoint FILE
+//	gpsd serve FILE -serve ADDR
 //	gpsd [flags] -serve ADDR [-feed ADDR] [-feed-history N]
-//	gpsd -replica -upstream ADDR -serve ADDR [-feed ADDR]
-//	gpsd -watch URL [-epochs N] [-inventory FILE]
+//	gpsd replica -upstream ADDR -serve ADDR [-feed ADDR]
+//	gpsd watch URL [-epochs N] [-inventory FILE]
+//
+// The pre-subcommand spellings (-worker, -coordinator, -replica,
+// -watch URL, -serve-file FILE, -rebalance MODE) keep working as
+// deprecated aliases; each prints a one-line migration hint.
 //
 // -epochs 0 runs until SIGINT/SIGTERM; the daemon always finishes the
 // epoch in flight before exiting, then flushes a final checkpoint and
@@ -76,8 +93,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -104,8 +123,14 @@ type daemonFlags struct {
 
 	workerMode  bool
 	listen      string
+	joinAddr    string
+	workerName  string
+	leave       bool
 	coordinator bool
 	workers     string
+	cluster     string
+	admin       bool
+	rebalFactor float64
 	rpcTimeout  time.Duration
 	shardCkpts  string
 	rebalance   string
@@ -120,40 +145,126 @@ type daemonFlags struct {
 	watchURL    string
 }
 
-func main() {
+// registerFlags binds every gpsd flag onto fs. One shared set serves
+// all modes: the subcommand (or deprecated mode flag) decides which
+// subset matters.
+func registerFlags(fs *flag.FlagSet, f *daemonFlags) {
+	fs.Int64Var(&f.seed, "seed", 42, "generator seed; also drives per-epoch churn")
+	fs.IntVar(&f.prefixes, "prefixes", 16, "announced /16 blocks in the universe")
+	fs.Float64Var(&f.density, "density", 0.03, "fraction of addresses hosting services")
+	fs.Float64Var(&f.seedFrac, "seed-fraction", 0.04, "initial seed sample as a fraction of the address space")
+	fs.IntVar(&f.epochs, "epochs", 10, "epochs to run (0 = until SIGINT)")
+	fs.Uint64Var(&f.budget, "budget", 0, "global per-epoch probe budget, split across shards (0 = unlimited)")
+	fs.Float64Var(&f.reverify, "reverify", 0.25, "fraction of each shard's budget reserved for re-verification")
+	fs.IntVar(&f.maxStale, "max-stale", 2, "consecutive failed re-verifications before eviction")
+	fs.IntVar(&f.shards, "shards", 1, "partition the scan into N hash-split shards")
+	fs.StringVar(&f.checkpoint, "checkpoint", "", "checkpoint file; written after every epoch, resumed on start")
+	fs.StringVar(&f.inventory, "inventory", "", "write the final merged inventory (canonical bytes) to this file")
+	fs.DurationVar(&f.interval, "interval", 0, "wall-clock pause between epochs")
+	fs.IntVar(&f.parallel, "parallelism", 0, "per-shard compute parallelism (0 = all cores; 1 = fully deterministic)")
+	fs.BoolVar(&f.exact, "exact-counts", false, "account exact per-shard prefix-scan probe counts instead of the ideal 1/N share")
+
+	fs.BoolVar(&f.workerMode, "worker", false, "deprecated alias of the 'worker' subcommand")
+	fs.StringVar(&f.listen, "listen", "127.0.0.1:7600", "worker mode: address to listen on")
+	fs.StringVar(&f.joinAddr, "join", "", "worker mode: join the running coordinator at this -cluster address instead of listening")
+	fs.StringVar(&f.workerName, "name", "", "worker mode with -join: worker id to register as (default: coordinator assigns the remote address)")
+	fs.BoolVar(&f.leave, "leave", false, "worker mode with -join: on SIGINT/SIGTERM, drain shards back to the fleet before exiting")
+	fs.BoolVar(&f.coordinator, "coordinator", false, "deprecated alias of the 'coordinator' subcommand")
+	fs.StringVar(&f.workers, "workers", "", "coordinator mode: comma-separated worker addresses")
+	fs.StringVar(&f.cluster, "cluster", "", "coordinator mode: accept joining workers on this address (gpsd worker -join)")
+	fs.BoolVar(&f.admin, "admin", false, "enable mutating /v1/cluster endpoints on -serve (default: read-only)")
+	fs.Float64Var(&f.rebalFactor, "rebalance-factor", 0, "coordinator mode: migrate a shard off a worker whose epoch-latency EWMA exceeds the cluster median by this factor (0 = off)")
+	fs.DurationVar(&f.rpcTimeout, "rpc-timeout", 2*time.Minute, "coordinator mode: per-RPC deadline (turns a wedged worker into an error)")
+	fs.StringVar(&f.shardCkpts, "shard-checkpoints", "", "coordinator mode: also write per-shard checkpoints into this directory each epoch")
+	fs.StringVar(&f.rebalance, "rebalance", "", "deprecated alias of the 'rebalance' subcommand: 'split' doubles -checkpoint's shard count, 'join' halves it")
+	fs.StringVar(&f.serve, "serve", "", "serve the inventory query API on this address (e.g. 127.0.0.1:7080) alongside the daemon")
+	fs.StringVar(&f.serveFile, "serve-file", "", "deprecated alias of the 'serve' subcommand: serve this GPSV inventory file on -serve")
+	fs.StringVar(&f.debugAddr, "debug-addr", "", "serve /v1/metricz, /v1/healthz, and /debug/pprof on this address, in every mode")
+
+	fs.StringVar(&f.feedAddr, "feed", "", "serve the replication feed on this address (requires -serve); replicas subscribe here")
+	fs.IntVar(&f.feedHistory, "feed-history", 0, "epoch deltas to retain for replicas and /v1/watch (0 = default depth)")
+	fs.BoolVar(&f.replicaMode, "replica", false, "deprecated alias of the 'replica' subcommand")
+	fs.StringVar(&f.upstream, "upstream", "", "replica mode: origin feed address (the origin's -feed)")
+	fs.StringVar(&f.watchURL, "watch", "", "deprecated alias of the 'watch' subcommand: follow this /v1/watch URL")
+}
+
+// deprecatedFlags maps each pre-subcommand mode flag to the spelling
+// that replaces it. Using one prints a single migration hint; behavior
+// is unchanged, and the alias test pins flag and subcommand to the same
+// parsed configuration.
+var deprecatedFlags = map[string]string{
+	"worker":      "gpsd worker",
+	"coordinator": "gpsd coordinator",
+	"replica":     "gpsd replica",
+	"watch":       "gpsd watch URL",
+	"serve-file":  "gpsd serve FILE",
+	"rebalance":   "gpsd rebalance split|join",
+}
+
+// parseArgs turns a gpsd command line into a daemonFlags. The first
+// argument may be a subcommand (worker, coordinator, replica, watch,
+// serve, rebalance); watch/serve/rebalance take one positional operand,
+// accepted either right after the subcommand or after the flags.
+// Everything else parses through the shared flag set, so a subcommand
+// and its deprecated flag spelling resolve to identical configurations.
+func parseArgs(args []string, stderr io.Writer) (daemonFlags, error) {
 	var f daemonFlags
-	flag.Int64Var(&f.seed, "seed", 42, "generator seed; also drives per-epoch churn")
-	flag.IntVar(&f.prefixes, "prefixes", 16, "announced /16 blocks in the universe")
-	flag.Float64Var(&f.density, "density", 0.03, "fraction of addresses hosting services")
-	flag.Float64Var(&f.seedFrac, "seed-fraction", 0.04, "initial seed sample as a fraction of the address space")
-	flag.IntVar(&f.epochs, "epochs", 10, "epochs to run (0 = until SIGINT)")
-	flag.Uint64Var(&f.budget, "budget", 0, "global per-epoch probe budget, split across shards (0 = unlimited)")
-	flag.Float64Var(&f.reverify, "reverify", 0.25, "fraction of each shard's budget reserved for re-verification")
-	flag.IntVar(&f.maxStale, "max-stale", 2, "consecutive failed re-verifications before eviction")
-	flag.IntVar(&f.shards, "shards", 1, "partition the scan into N hash-split shards")
-	flag.StringVar(&f.checkpoint, "checkpoint", "", "checkpoint file; written after every epoch, resumed on start")
-	flag.StringVar(&f.inventory, "inventory", "", "write the final merged inventory (canonical bytes) to this file")
-	flag.DurationVar(&f.interval, "interval", 0, "wall-clock pause between epochs")
-	flag.IntVar(&f.parallel, "parallelism", 0, "per-shard compute parallelism (0 = all cores; 1 = fully deterministic)")
-	flag.BoolVar(&f.exact, "exact-counts", false, "account exact per-shard prefix-scan probe counts instead of the ideal 1/N share")
+	fs := flag.NewFlagSet("gpsd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	registerFlags(fs, &f)
 
-	flag.BoolVar(&f.workerMode, "worker", false, "run as a shard worker serving epochs over the transport")
-	flag.StringVar(&f.listen, "listen", "127.0.0.1:7600", "worker mode: address to listen on")
-	flag.BoolVar(&f.coordinator, "coordinator", false, "run as a distributed coordinator over -workers")
-	flag.StringVar(&f.workers, "workers", "", "coordinator mode: comma-separated worker addresses")
-	flag.DurationVar(&f.rpcTimeout, "rpc-timeout", 2*time.Minute, "coordinator mode: per-RPC deadline (turns a wedged worker into an error)")
-	flag.StringVar(&f.shardCkpts, "shard-checkpoints", "", "coordinator mode: also write per-shard checkpoints into this directory each epoch")
-	flag.StringVar(&f.rebalance, "rebalance", "", "transform -checkpoint: 'split' doubles the shard count, 'join' halves it; no scanning")
-	flag.StringVar(&f.serve, "serve", "", "serve the inventory query API on this address (e.g. 127.0.0.1:7080) alongside the daemon")
-	flag.StringVar(&f.serveFile, "serve-file", "", "standalone read path: serve this GPSV inventory file on -serve and exit on SIGINT/SIGTERM")
-	flag.StringVar(&f.debugAddr, "debug-addr", "", "serve /v1/metricz and /debug/pprof on this address, in every mode")
+	sub := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		sub, args = args[0], args[1:]
+	}
+	switch sub {
+	case "", "worker", "coordinator", "replica", "watch", "serve", "rebalance":
+	default:
+		return f, fmt.Errorf("unknown subcommand %q (worker|coordinator|replica|watch|serve|rebalance)", sub)
+	}
+	operand := ""
+	wantsOperand := sub == "watch" || sub == "serve" || sub == "rebalance"
+	if wantsOperand && len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		operand, args = args[0], args[1:]
+	}
+	if err := fs.Parse(args); err != nil {
+		return f, err
+	}
+	if wantsOperand && operand == "" {
+		if operand = fs.Arg(0); operand == "" {
+			return f, fmt.Errorf("gpsd %s needs an operand (see gpsd -h)", sub)
+		}
+	}
+	switch sub {
+	case "worker":
+		f.workerMode = true
+	case "coordinator":
+		f.coordinator = true
+	case "replica":
+		f.replicaMode = true
+	case "watch":
+		f.watchURL = operand
+	case "serve":
+		f.serveFile = operand
+	case "rebalance":
+		f.rebalance = operand
+	}
+	fs.Visit(func(fl *flag.Flag) {
+		if repl, ok := deprecatedFlags[fl.Name]; ok {
+			fmt.Fprintf(stderr, "gpsd: note: -%s is deprecated; use `%s` (same behavior)\n", fl.Name, repl)
+		}
+	})
+	return f, nil
+}
 
-	flag.StringVar(&f.feedAddr, "feed", "", "serve the replication feed on this address (requires -serve); replicas subscribe here")
-	flag.IntVar(&f.feedHistory, "feed-history", 0, "epoch deltas to retain for replicas and /v1/watch (0 = default depth)")
-	flag.BoolVar(&f.replicaMode, "replica", false, "run as a stateless read replica of -upstream, serving /v1 on -serve")
-	flag.StringVar(&f.upstream, "upstream", "", "replica mode: origin feed address (the origin's -feed)")
-	flag.StringVar(&f.watchURL, "watch", "", "follow this /v1/watch URL, folding events into a local inventory (stops at -epochs; writes -inventory)")
-	flag.Parse()
+func main() {
+	f, err := parseArgs(os.Args[1:], os.Stderr)
+	if err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintln(os.Stderr, "gpsd:", err)
+		}
+		os.Exit(2)
+	}
 	if f.shards < 1 {
 		fmt.Fprintln(os.Stderr, "gpsd: -shards must be >= 1")
 		os.Exit(2)
@@ -173,19 +284,19 @@ func main() {
 		os.Exit(runWatch(f))
 	case f.replicaMode:
 		if f.serve == "" || f.upstream == "" {
-			fmt.Fprintln(os.Stderr, "gpsd: replica mode needs -replica -upstream ADDR -serve ADDR")
+			fmt.Fprintln(os.Stderr, "gpsd: replica mode needs -upstream ADDR and -serve ADDR")
 			os.Exit(2)
 		}
 		os.Exit(runReplica(f))
 	case f.serveFile != "":
 		if f.serve == "" {
-			fmt.Fprintln(os.Stderr, "gpsd: -serve-file needs -serve ADDR to listen on")
+			fmt.Fprintln(os.Stderr, "gpsd: gpsd serve FILE needs -serve ADDR to listen on")
 			os.Exit(2)
 		}
 		os.Exit(runServeFile(f))
 	case f.coordinator || f.workers != "":
 		if !f.coordinator || f.workers == "" {
-			fmt.Fprintln(os.Stderr, "gpsd: coordinator mode needs both -coordinator and -workers addr,addr,...")
+			fmt.Fprintln(os.Stderr, "gpsd: coordinator mode needs -workers addr,addr,... (gpsd coordinator -workers ...)")
 			os.Exit(2)
 		}
 		os.Exit(runCoordinator(f))
@@ -328,6 +439,10 @@ func notifySignals() chan os.Signal {
 // unsharded runner) driven epoch by epoch against the locally simulated
 // universe.
 func runDaemon(f daemonFlags) int {
+	setProcessHealth(func(i *gps.HealthInfo) {
+		i.Role = "origin"
+		i.ShardsOwned = f.shards
+	})
 	params := gps.DemoUniverseParams(f.seed, f.prefixes, f.density)
 	world := f.world()
 
@@ -384,7 +499,12 @@ func runDaemon(f daemonFlags) int {
 	var api *inventoryServer
 	if f.serve != "" {
 		var err error
-		if api, err = startServing(f, coord); err != nil {
+		configure := func(api *gps.InventoryServer) {
+			api.SetHealthSource(gps.HealthFunc(func() gps.HealthInfo {
+				return gps.HealthInfo{Role: "origin", ShardsOwned: f.shards}
+			}))
+		}
+		if api, err = startServing(f, coord, configure); err != nil {
 			fmt.Fprintln(os.Stderr, "gpsd:", err)
 			return 1
 		}

@@ -21,6 +21,7 @@ import (
 // retained delta history re-bootstraps by itself. With -feed the
 // replica re-exports the stream, so replicas chain into a fan-out tree.
 func runReplica(f daemonFlags) int {
+	setProcessHealth(func(i *gps.HealthInfo) { i.Role = "replica" })
 	rep := gps.NewReplicaServer(f.upstream, &gps.ReplicaOptions{
 		FeedHistory: f.feedHistory,
 		Logf: func(format string, args ...any) {
@@ -34,7 +35,10 @@ func runReplica(f daemonFlags) int {
 		return 1
 	}
 	srv := gps.NewHTTPServer("",
-		gps.NewInventoryServer(rep.Publisher()).EnableWatch(rep.Feed()).Handler())
+		gps.NewInventoryServer(rep.Publisher()).
+			EnableWatch(rep.Feed()).
+			SetHealthSource(rep).
+			Handler())
 	go func() {
 		if err := srv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fmt.Fprintln(os.Stderr, "gpsd: serve:", err)

@@ -32,7 +32,10 @@ type inventoryServer struct {
 // background. Queries answer 503 until the first publish. A non-nil feed
 // additionally mounts GET /v1/watch over it; committed epochs must then
 // flow through publish so the feed and the snapshots stay in lockstep.
-func startInventoryServer(addr string, feed *gps.InventoryFeed) (*inventoryServer, error) {
+// configure, when non-nil, runs against the server before it starts
+// accepting — the hook the modes use to attach health sources and the
+// cluster control plane.
+func startInventoryServer(addr string, feed *gps.InventoryFeed, configure func(*gps.InventoryServer)) (*inventoryServer, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
@@ -41,6 +44,9 @@ func startInventoryServer(addr string, feed *gps.InventoryFeed) (*inventoryServe
 	api := gps.NewInventoryServer(pub)
 	if feed != nil {
 		api.EnableWatch(feed)
+	}
+	if configure != nil {
+		configure(api)
 	}
 	is := &inventoryServer{
 		addr: lis.Addr().String(),
@@ -133,9 +139,10 @@ type servableCoordinator interface {
 // published immediately so queries answer from the current state instead
 // of 503ing until the first commit. A serving coordinator is always a
 // change-feed origin (/v1/watch); -feed additionally exports the feed to
-// replicas over the shard transport.
-func startServing(f daemonFlags, coord servableCoordinator) (*inventoryServer, error) {
-	api, err := startInventoryServer(f.serve, gps.NewInventoryFeed(f.feedHistory))
+// replicas over the shard transport. configure customizes the server
+// before it accepts (health source, cluster control plane).
+func startServing(f daemonFlags, coord servableCoordinator, configure func(*gps.InventoryServer)) (*inventoryServer, error) {
+	api, err := startInventoryServer(f.serve, gps.NewInventoryFeed(f.feedHistory), configure)
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +195,11 @@ func runServeFile(f daemonFlags) int {
 			epoch = e.LastSeen
 		}
 	}
-	api, err := startInventoryServer(f.serve, nil)
+	api, err := startInventoryServer(f.serve, nil, func(api *gps.InventoryServer) {
+		api.SetHealthSource(gps.HealthFunc(func() gps.HealthInfo {
+			return gps.HealthInfo{Role: "file"}
+		}))
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpsd:", err)
 		return 1

@@ -5,6 +5,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 
 	"gps"
@@ -168,9 +169,16 @@ func (w *demoWorld) Extend(spec []byte) error {
 }
 
 // runWorker serves shard epochs until SIGINT/SIGTERM. The world comes
-// from the coordinator's Init, so a worker needs no universe flags — just
-// an address.
+// from the coordinator's Init (or a migration offer), so a worker needs
+// no universe flags — just an address. With -join ADDR the worker dials
+// a running coordinator's -cluster listener instead of listening itself;
+// with -leave a signal drains its shards back into the fleet before
+// exit rather than dropping them.
 func runWorker(f daemonFlags) int {
+	setProcessHealth(func(i *gps.HealthInfo) { i.Role = "worker" })
+	if f.joinAddr != "" {
+		return runJoiningWorker(f)
+	}
 	lis, err := net.Listen("tcp", f.listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gpsd: worker:", err)
@@ -193,5 +201,49 @@ func runWorker(f daemonFlags) int {
 		fmt.Fprintln(os.Stderr, "gpsd: worker:", err)
 		return 1
 	}
+	return 0
+}
+
+// runJoiningWorker is the elastic-membership path: register with a
+// running coordinator, adopt whatever shards it migrates over, and
+// serve epochs until the coordinator shuts the session down. With
+// -leave, the first SIGINT/SIGTERM raises the draining flag — the
+// coordinator migrates this worker's shards away at the next epoch
+// boundary and then releases the session, so the exit is lossless; a
+// second signal forces an immediate exit. Without -leave a signal just
+// exits (the coordinator re-queues the shards onto survivors).
+func runJoiningWorker(f daemonFlags) int {
+	var draining atomic.Bool
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		if f.leave {
+			fmt.Printf("gpsd: worker %v — draining: handing shards back before exit\n", s)
+			draining.Store(true)
+			setProcessHealth(func(i *gps.HealthInfo) { i.Draining = true })
+			s = <-sig
+		}
+		fmt.Printf("gpsd: worker %v — exiting now\n", s)
+		os.Exit(1)
+	}()
+
+	name := f.workerName
+	if name == "" {
+		fmt.Printf("gpsd: worker joining %s\n", f.joinAddr)
+	} else {
+		fmt.Printf("gpsd: worker %q joining %s\n", name, f.joinAddr)
+	}
+	opts := &gps.ShardWorkerOptions{
+		Draining: &draining,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("gpsd: worker "+format+"\n", args...)
+		},
+	}
+	if err := gps.JoinShardWorker(f.joinAddr, name, newDemoWorld, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "gpsd: worker:", err)
+		return 1
+	}
+	fmt.Println("gpsd: worker session ended cleanly")
 	return 0
 }

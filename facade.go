@@ -388,6 +388,48 @@ func ServeShardWorker(lis net.Listener, factory ShardWorldFactory, opts *ShardWo
 	return transport.Serve(lis, factory, opts)
 }
 
+// JoinShardWorker registers this process as a new worker with a running
+// coordinator's join listener (DistributedCoordinator.AcceptJoins; gpsd
+// -cluster) and serves shard epochs over the resulting session. The
+// coordinator migrates shards to it live at the next epoch boundary. A
+// nil return means a clean shutdown — the coordinator finished, or this
+// worker drained out (opts.Draining) and its shards were handed off.
+func JoinShardWorker(addr, id string, factory ShardWorldFactory, opts *ShardWorkerOptions) error {
+	return transport.Join(addr, id, factory, opts)
+}
+
+// ClusterStatus is the live membership document a distributed
+// coordinator maintains: per-worker state and shard ownership, per-shard
+// latency summaries, and the migration history. GET /v1/cluster serves
+// it verbatim.
+type ClusterStatus = transport.ClusterStatus
+
+// ClusterWorkerStatus is one worker row of a ClusterStatus.
+type ClusterWorkerStatus = transport.WorkerStatus
+
+// ClusterShardStatus is one shard's ownership + latency row of a
+// ClusterStatus.
+type ClusterShardStatus = transport.ShardStatus
+
+// ClusterMigrationStatus is one completed (or in-flight) live shard
+// migration in a ClusterStatus.
+type ClusterMigrationStatus = transport.MigrationStatus
+
+// HealthInfo is one process's role-specific readiness, merged into the
+// /v1/healthz document (role, shards owned, draining, feed lag).
+type HealthInfo = serve.HealthInfo
+
+// HealthSource supplies live HealthInfo; attach one to an
+// InventoryServer with SetHealthSource. *ReplicaServer implements it.
+type HealthSource = serve.HealthSource
+
+// HealthFunc adapts a closure to HealthSource.
+type HealthFunc = serve.HealthFunc
+
+// HealthHandler is a standalone /v1/healthz endpoint for processes with
+// readiness but no inventory (a worker's debug mux).
+func HealthHandler(hs HealthSource) http.Handler { return serve.HealthHandler(hs) }
+
 // DialShardWorkers connects a distributed coordinator to a worker fleet.
 // Seed or Resume it, then drive Epoch in a loop. worldSpec is the base
 // world description; each worker receives it wrapped with its own

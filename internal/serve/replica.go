@@ -59,6 +59,7 @@ type ReplicaServer struct {
 	pub      *Publisher
 	feed     *Feed
 	epoch    atomic.Int64 // last applied epoch; -1 before bootstrap
+	lag      atomic.Int64 // origin head minus applied epoch, per last event
 
 	// inv is the replica's current inventory, touched only by Run.
 	// Deltas apply to a clone, so every map ever handed to the feed or
@@ -98,6 +99,17 @@ func (r *ReplicaServer) Feed() *Feed { return r.feed }
 
 // Epoch returns the last applied epoch, -1 before the first bootstrap.
 func (r *ReplicaServer) Epoch() int { return int(r.epoch.Load()) }
+
+// Health implements HealthSource: a replica is "starting" until its
+// first bootstrap frame lands, and reports how many epochs it trails
+// the origin after that.
+func (r *ReplicaServer) Health() HealthInfo {
+	return HealthInfo{
+		Role:          "replica",
+		Bootstrapping: r.Epoch() < 0,
+		FeedLag:       int(r.lag.Load()),
+	}
+}
 
 // Run subscribes and applies the feed until ctx ends, redialing with
 // backoff across origin restarts and connection failures. It always
@@ -188,6 +200,7 @@ func (r *ReplicaServer) consume(ctx context.Context, fc *transport.FeedConn) int
 func (r *ReplicaServer) adopt(ev transport.FeedEvent, inv map[netmodel.Key]*continuous.Entry) {
 	r.inv = inv
 	r.epoch.Store(int64(ev.Epoch))
+	r.lag.Store(int64(ev.Head - ev.Epoch))
 	r.pub.Publish(NewSnapshot(ev.Epoch, inv))
 	replicaLag.Set(float64(ev.Head - ev.Epoch))
 }

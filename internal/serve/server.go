@@ -39,9 +39,12 @@ const (
 // inventories serve byte-identical list responses — the distributed CI
 // gate curls a live coordinator and a standalone file server and diffs.
 type Server struct {
-	pub   *Publisher
-	cache *queryCache
-	feed  *Feed // change feed behind GET /v1/watch; nil disables it
+	pub     *Publisher
+	cache   *queryCache
+	feed    *Feed         // change feed behind GET /v1/watch; nil disables it
+	cluster ClusterSource // control plane behind /v1/cluster; nil disables it
+	admin   bool          // mutating cluster endpoints enabled
+	health  HealthSource  // role-specific readiness for /v1/healthz; nil = plain
 }
 
 // NewServer wraps a Publisher. Multiple servers may share one publisher;
@@ -70,6 +73,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/asn/", instrument("asn", s.handleASN))
 	mux.HandleFunc("/v1/prefix/", instrument("prefix", s.handlePrefix))
 	mux.HandleFunc("/v1/watch", instrument("watch", s.handleWatch))
+	mux.HandleFunc("/v1/cluster", instrument("cluster", s.handleCluster))
+	mux.HandleFunc("/v1/cluster/", instrument("cluster_op", s.handleClusterOp))
 	mux.Handle("/v1/metricz", telemetry.Handler())
 	// Everything else is a structured 404, not the mux's plain-text
 	// default: clients get the same error envelope on a typo'd path as
@@ -196,6 +201,12 @@ const (
 	errSnapshotRotated  = "snapshot_rotated"   // 410: cursor's epoch was swapped out
 	errWatchUnavailable = "watch_unavailable"  // 404: server runs without a change feed
 	errInternal         = "internal"           // 500
+
+	// Cluster control-plane codes (see cluster.go).
+	errClusterUnavailable = "cluster_unavailable" // 404: no coordinator behind this server
+	errAdminDisabled      = "admin_disabled"      // 403: mutation without -admin
+	errUnknownWorker      = "unknown_worker"      // 404: drain target not in the fleet
+	errDrainRejected      = "drain_rejected"      // 409: target already drained or dead
 )
 
 // errorJSON is the stable error envelope every /v1 failure returns:
@@ -357,38 +368,26 @@ func (s *Server) listPage(w http.ResponseWriter, r *http.Request, snap *Snapshot
 	return coff, limit, true
 }
 
+// handleHealthz is the readiness probe. Not the error envelope: health
+// checks key on the status field, and "starting"/"draining" are states,
+// not request failures. The classic fields keep their exact shape while
+// an attached HealthSource (role, shards owned, feed lag, draining)
+// extends the document; any non-"ok" status is a 503 with Retry-After.
+// See health.go for the merge and the ?format=text probe mode.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		w.Header().Set("Allow", "GET, HEAD")
 		writeError(w, http.StatusMethodNotAllowed, errMethodNotAllowed, "GET or HEAD only")
 		return
 	}
-	type health struct {
-		Status   string `json:"status"`
-		Epoch    int    `json:"epoch"`
-		Services int    `json:"services"`
-	}
-	snap := s.pub.Current()
-	w.Header().Set("Content-Type", "application/json")
-	if snap == nil {
-		// Not the error envelope: health probes key on the status field,
-		// and "starting" is a state, not a request failure. The
-		// Retry-After matches the envelope's 503 behavior.
-		w.Header().Set("Retry-After", "1")
-		w.WriteHeader(http.StatusServiceUnavailable)
-		body, _ := json.Marshal(health{Status: "starting"})
-		w.Write(append(body, '\n'))
-		return
-	}
-	body, _ := json.Marshal(health{Status: "ok", Epoch: snap.Epoch(), Services: snap.NumServices()})
-	w.Write(append(body, '\n'))
+	writeHealth(w, r, s.healthDoc())
 }
 
 // handleNotFound is the mux fallback: any path outside the API answers
 // the structured envelope instead of the default plain-text 404.
 func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusNotFound, errNotFound,
-		fmt.Sprintf("no such endpoint %q; see /v1/{healthz,stats,ports,host,port,asn,prefix,watch,metricz}", r.URL.Path))
+		fmt.Sprintf("no such endpoint %q; see /v1/{healthz,stats,ports,host,port,asn,prefix,watch,cluster,metricz}", r.URL.Path))
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

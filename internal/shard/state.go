@@ -1,0 +1,37 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+
+	"gps/internal/continuous"
+)
+
+// Per-shard state extraction. A single shard's continuous state has
+// always been serializable — the whole-file checkpoint (WriteCheckpoint)
+// is a sequence of them — but until live migration there was no reason
+// to move one shard's state on its own. These helpers make the single
+// shard the unit of serialization: EncodeState produces a standalone
+// blob (exactly one continuous checkpoint), DecodeState parses it back.
+// The transport's migration envelopes (msgState), resume inits, and
+// epoch results all ship this blob, so a migrated shard's state is
+// byte-compatible with a checkpointed one.
+
+// EncodeState serializes one shard's continuous state as a standalone
+// blob — the unit of live migration and of per-shard resume.
+func EncodeState(st *continuous.State) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := continuous.WriteCheckpoint(&buf, st); err != nil {
+		return nil, fmt.Errorf("shard: encoding state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeState parses EncodeState output.
+func DecodeState(blob []byte) (*continuous.State, error) {
+	st, err := continuous.ReadCheckpoint(bytes.NewReader(blob))
+	if err != nil {
+		return nil, fmt.Errorf("shard: decoding state: %w", err)
+	}
+	return st, nil
+}

@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"net"
@@ -24,6 +23,12 @@ type Options struct {
 	// listening (it retries with backoff, so workers may be launched
 	// concurrently with the coordinator); 0 selects 15 seconds.
 	DialTimeout time.Duration
+	// RebalanceFactor arms the telemetry-driven migration policy: when
+	// the hottest worker's summed per-shard EWMA epoch latency exceeds
+	// the cluster median by this factor, its slowest shard migrates to
+	// the least-loaded worker at the next epoch boundary. 0 (the
+	// default) disables the policy; joins and drains still migrate.
+	RebalanceFactor float64
 	// Logf receives one line per coordinator event; nil discards.
 	Logf func(format string, args ...any)
 }
@@ -42,19 +47,36 @@ func (o *Options) dialTimeout() time.Duration {
 	return o.DialTimeout
 }
 
+func (o *Options) rebalanceFactor() float64 {
+	if o == nil {
+		return 0
+	}
+	return o.RebalanceFactor
+}
+
 func (o *Options) logf(format string, args ...any) {
 	if o != nil && o.Logf != nil {
 		o.Logf(format, args...)
 	}
 }
 
-// workerLink is one dialed worker connection. RPCs on a link are strictly
-// sequential request/response; concurrency comes from running links in
-// parallel.
+// workerLink is one worker connection — dialed at startup or admitted
+// through the join listener. RPCs on a link are strictly sequential
+// request/response; concurrency comes from running links in parallel.
+// After admission a link is touched only by the epoch-loop thread.
 type workerLink struct {
-	addr  string
-	conn  net.Conn
-	alive bool
+	id     string // cluster identity: the dial address, or the joiner's -name
+	addr   string
+	conn   net.Conn
+	alive  bool
+	joined bool // arrived via AcceptJoins, not Dial
+
+	// wantsDrain is set when the worker's epoch result carries the
+	// draining flag (worker-initiated leave); draining marks a drain in
+	// progress; drained marks a clean departure.
+	wantsDrain bool
+	draining   bool
+	drained    bool
 }
 
 // rpc performs one framed round trip under the deadline. An msgError
@@ -113,6 +135,17 @@ type Coordinator struct {
 	tel     *rpcTelemetry
 
 	failures []*WorkerError
+
+	// Dynamic membership (cluster.go). Everything below mu is shared
+	// with the join listener's goroutines and HTTP handlers; the live
+	// fleet above is epoch-loop-thread only.
+	joinLis    net.Listener
+	migrations []MigrationStatus
+
+	mu       sync.Mutex
+	pending  []*workerLink // joined, admitted at the next epoch boundary
+	drainReq map[string]bool
+	status   ClusterStatus
 }
 
 // Dial connects to the worker fleet. Each address is retried with backoff
@@ -143,6 +176,7 @@ func Dial(addrs []string, cfg shard.Config, worldSpec []byte, opts *Options) (*C
 		inited:    make([]bool, n),
 		budgets:   shard.SliceBudget(cfg.Continuous.Budget, n),
 		tel:       newRPCTelemetry(n),
+		drainReq:  make(map[string]bool),
 	}
 	for _, addr := range addrs {
 		conn, err := dialRetry(addr, opts.dialTimeout())
@@ -161,11 +195,12 @@ func Dial(addrs []string, cfg shard.Config, worldSpec []byte, opts *Options) (*C
 			c.Close()
 			return nil, fmt.Errorf("transport: handshake with worker %s: %w", addr, err)
 		}
-		c.workers = append(c.workers, &workerLink{addr: addr, conn: conn, alive: true})
+		c.workers = append(c.workers, &workerLink{id: addr, addr: addr, conn: conn, alive: true})
 	}
 	for s := range c.assign {
 		c.assign[s] = s % len(c.workers)
 	}
+	c.publishStatus()
 	return c, nil
 }
 
@@ -268,11 +303,11 @@ func (c *Coordinator) Resume(states []*continuous.State) error {
 	c.states = states
 	blobs := make([][]byte, len(states))
 	for s, st := range states {
-		var buf bytes.Buffer
-		if err := continuous.WriteCheckpoint(&buf, st); err != nil {
-			return fmt.Errorf("transport: encoding shard %d state: %w", s, err)
+		blob, err := shard.EncodeState(st)
+		if err != nil {
+			return fmt.Errorf("transport: shard %d: %w", s, err)
 		}
-		blobs[s] = buf.Bytes()
+		blobs[s] = blob
 	}
 	return c.initAll(func(s int) (uint8, []byte) { return initResume, blobs[s] })
 }
@@ -308,20 +343,30 @@ func (c *Coordinator) initAll(payload func(s int) (mode uint8, blob []byte)) err
 
 // liveWorker returns shard s's assigned worker, re-assigning to the next
 // living worker (round-robin from the previous owner) if the assignment
-// is dead. With no survivors it returns the most recent failure.
+// is dead. Draining workers are passed over when any other live worker
+// exists — handing a shard to a worker on its way out just migrates it
+// twice — but taken as a last resort. With no survivors it returns the
+// most recent failure.
 func (c *Coordinator) liveWorker(s int) (*workerLink, error) {
 	w := c.workers[c.assign[s]]
 	if w.alive {
 		return w, nil
 	}
-	for off := 1; off <= len(c.workers); off++ {
-		i := (c.assign[s] + off) % len(c.workers)
-		if c.workers[i].alive {
-			c.opts.logf("transport: re-queueing shard %d from dead %s to %s", s, w.addr, c.workers[i].addr)
+	for pass := 0; pass < 2; pass++ {
+		for off := 1; off <= len(c.workers); off++ {
+			i := (c.assign[s] + off) % len(c.workers)
+			cand := c.workers[i]
+			if !cand.alive {
+				continue
+			}
+			if pass == 0 && (cand.draining || cand.wantsDrain) {
+				continue
+			}
+			c.opts.logf("transport: re-queueing shard %d from dead %s to %s", s, w.addr, cand.addr)
 			shardRequeues.Inc()
 			c.assign[s] = i
 			c.inited[s] = false
-			return c.workers[i], nil
+			return cand, nil
 		}
 	}
 	if n := len(c.failures); n > 0 {
@@ -360,6 +405,10 @@ func (c *Coordinator) Epoch() (continuous.EpochStats, error) {
 	if c.states == nil {
 		return continuous.EpochStats{}, fmt.Errorf("transport: Epoch before Seed or Resume")
 	}
+	// The epoch boundary: every queued membership change — admissions,
+	// drains, policy migrations — lands here, before any shard starts
+	// the epoch, so the fan-out below always sees a settled assignment.
+	c.maintain()
 	epoch := c.EpochNumber() + 1
 	n := c.cfg.Shards
 	completed := make(map[int]*continuous.State, n)
@@ -460,6 +509,7 @@ func (c *Coordinator) Epoch() (continuous.EpochStats, error) {
 		inv, _ := shard.MergeInventories(c.states)
 		c.hook(epoch, inv)
 	}
+	c.publishStatus()
 	return shard.MergeStats(stats), nil
 }
 
@@ -467,11 +517,11 @@ func (c *Coordinator) Epoch() (continuous.EpochStats, error) {
 // decodes the returned state.
 func (c *Coordinator) runShardEpoch(w *workerLink, s, epoch int) (*continuous.State, error) {
 	if !c.inited[s] {
-		var buf bytes.Buffer
-		if err := continuous.WriteCheckpoint(&buf, c.states[s]); err != nil {
-			return nil, fmt.Errorf("encoding shard %d state: %w", s, err)
+		blob, err := shard.EncodeState(c.states[s])
+		if err != nil {
+			return nil, err
 		}
-		m := initMsg{Shard: s, Cfg: c.shardCfg(s), WorldSpec: c.specFor(c.assign[s]), Mode: initResume, Blob: buf.Bytes()}
+		m := initMsg{Shard: s, Cfg: c.shardCfg(s), WorldSpec: c.specFor(c.assign[s]), Mode: initResume, Blob: blob}
 		if _, err := w.rpc(c.opts.timeout(), msgInit, encodeInit(m), msgInitOK); err != nil {
 			return nil, err
 		}
@@ -481,16 +531,25 @@ func (c *Coordinator) runShardEpoch(w *workerLink, s, epoch int) (*continuous.St
 	if err != nil {
 		return nil, err
 	}
-	gotShard, blob, err := decodeEpochResult(resp)
+	gotShard, blob, draining, err := decodeEpochResult(resp)
 	if err != nil {
 		return nil, err
+	}
+	if draining && !w.wantsDrain {
+		// Worker-initiated leave: the flag rides the result, the drain
+		// itself happens at the next epoch boundary (maintain). Safe to
+		// set from this worker's fan-out goroutine — each worker's link
+		// is owned by exactly one goroutine per epoch, and maintain
+		// reads it only after the fan-out joins.
+		w.wantsDrain = true
+		c.opts.logf("transport: worker %q reports draining; migrating its shards at the next boundary", w.id)
 	}
 	if gotShard != s {
 		return nil, fmt.Errorf("worker answered for shard %d, asked about %d", gotShard, s)
 	}
-	st, err := continuous.ReadCheckpoint(bytes.NewReader(blob))
+	st, err := shard.DecodeState(blob)
 	if err != nil {
-		return nil, fmt.Errorf("decoding shard %d state: %w", s, err)
+		return nil, fmt.Errorf("shard %d: %w", s, err)
 	}
 	if st.Epoch != epoch {
 		return nil, fmt.Errorf("shard %d state returned at epoch %d, want %d", s, st.Epoch, epoch)
@@ -582,10 +641,19 @@ func (c *Coordinator) AliveWorkers() int {
 // affected shards were re-queued successfully.
 func (c *Coordinator) Failures() []*WorkerError { return c.failures }
 
-// Close shuts the fleet down: a best-effort shutdown frame to each living
-// worker, then the connections.
+// Close shuts the fleet down: the join listener stops accepting, then a
+// best-effort shutdown frame goes to each living worker — including
+// joiners still waiting in the pending set, so a worker that registered
+// but was never admitted exits cleanly too — then the connections.
 func (c *Coordinator) Close() error {
-	for _, w := range c.workers {
+	if c.joinLis != nil {
+		c.joinLis.Close()
+	}
+	c.mu.Lock()
+	pending := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	for _, w := range append(pending, c.workers...) {
 		if w.alive {
 			w.conn.SetDeadline(time.Now().Add(time.Second))
 			writeFrame(w.conn, msgShutdown, nil)

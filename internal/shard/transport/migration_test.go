@@ -1,0 +1,436 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// startJoinListener arms a coordinator's cluster listener and returns
+// its address.
+func startJoinListener(t *testing.T, c *Coordinator) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AcceptJoins(lis)
+	return lis.Addr().String()
+}
+
+// waitForWorker polls the cluster document until worker id reaches the
+// wanted state.
+func waitForWorker(t *testing.T, c *Coordinator, id, state string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, w := range c.Status().Workers {
+			if w.ID == id && w.State == state {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("worker %q never reached state %q; cluster: %+v", id, state, c.Status().Workers)
+}
+
+func findWorker(t *testing.T, c *Coordinator, id string) WorkerStatus {
+	t.Helper()
+	for _, w := range c.Status().Workers {
+		if w.ID == id {
+			return w
+		}
+	}
+	t.Fatalf("worker %q not in cluster document", id)
+	return WorkerStatus{}
+}
+
+// TestMigrationJoinDrainLeaveCycle is the full elastic-membership
+// lifecycle at transport level, mirroring the e2e churn phase: a
+// 2-worker fleet gains a joiner (live migration onto it), loses a
+// dialed worker to an API drain, then loses the joiner to a
+// worker-initiated leave — and the 5-epoch result is byte-identical to
+// the in-process run, proving every migrated state arrived intact.
+func TestMigrationJoinDrainLeaveCycle(t *testing.T) {
+	const worldSeed, n, epochs = 21, 4, 5
+
+	joinBase, drainBase := migrationsJoin.Value(), migrationsDrain.Value()
+
+	w0, w1 := startWorker(t), startWorker(t)
+	c, err := Dial([]string{w0.addr(), w1.addr()}, testConfig(n), worldSpec(worldSeed), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	joinAddr := startJoinListener(t, c)
+
+	_, seedSet := testSeed(worldSeed)
+	if err := c.Seed(seedSet); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Epoch(); err != nil {
+		t.Fatalf("epoch 1: %v", err)
+	}
+
+	// Join a third worker mid-run. It must show as pending immediately,
+	// then be admitted — with shards live-migrated onto it — at the
+	// epoch-2 boundary.
+	var leaving atomic.Bool
+	joinDone := make(chan error, 1)
+	go func() {
+		joinDone <- Join(joinAddr, "w3", newSimWorld, &WorkerOptions{Draining: &leaving})
+	}()
+	waitForWorker(t, c, "w3", WorkerPending)
+
+	if _, err := c.Epoch(); err != nil {
+		t.Fatalf("epoch 2: %v", err)
+	}
+	w3 := findWorker(t, c, "w3")
+	if w3.State != WorkerAlive || !w3.Joined || w3.ShardCount == 0 {
+		t.Fatalf("after admission w3 = %+v; want alive, joined, owning shards", w3)
+	}
+	if got := migrationsJoin.Value() - joinBase; got == 0 {
+		t.Error("join admission completed no migrations")
+	}
+
+	// Drain the first dialed worker through the API path; its shards
+	// must migrate away at the epoch-3 boundary.
+	if err := c.RequestDrain(w0.addr()); err != nil {
+		t.Fatalf("RequestDrain: %v", err)
+	}
+	if _, err := c.Epoch(); err != nil {
+		t.Fatalf("epoch 3: %v", err)
+	}
+	if got := findWorker(t, c, w0.addr()); got.State != WorkerDrained {
+		t.Fatalf("after drain %s = %+v; want drained", w0.addr(), got)
+	}
+	if got := migrationsDrain.Value() - drainBase; got == 0 {
+		t.Error("drain completed no migrations")
+	}
+	for s, wi := range c.Assignment() {
+		if c.workers[wi].id == w0.addr() {
+			t.Errorf("shard %d still assigned to the drained worker", s)
+		}
+	}
+
+	// Worker-initiated leave: w3 flips its draining flag, which rides
+	// the epoch-4 results; the epoch-5 boundary migrates its shards
+	// away and shuts it down, so Join returns nil.
+	leaving.Store(true)
+	if _, err := c.Epoch(); err != nil {
+		t.Fatalf("epoch 4: %v", err)
+	}
+	if _, err := c.Epoch(); err != nil {
+		t.Fatalf("epoch 5: %v", err)
+	}
+	if got := findWorker(t, c, "w3"); got.State != WorkerDrained {
+		t.Fatalf("after leave w3 = %+v; want drained", got)
+	}
+	select {
+	case err := <-joinDone:
+		if err != nil {
+			t.Fatalf("Join returned %v after a clean leave; want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("joined worker did not exit after its drain")
+	}
+
+	// Every shard ended on w1, and the run is byte-identical to the
+	// in-process reference despite two live migrations per shard path.
+	ref := inProcessRun(t, worldSeed, n, epochs)
+	if !bytes.Equal(stateBytes(t, c.States()), stateBytes(t, ref)) {
+		t.Error("post-churn shard states differ from the in-process run")
+	}
+	if !bytes.Equal(inventoryBytes(t, c.States()), inventoryBytes(t, ref)) {
+		t.Error("post-churn merged inventory differs from the in-process run")
+	}
+	doc := c.Status()
+	if doc.Epoch != epochs || doc.Shards != n {
+		t.Errorf("document header %d/%d; want %d/%d", doc.Epoch, doc.Shards, epochs, n)
+	}
+	if len(doc.Migrations) == 0 {
+		t.Error("document retains no migration history")
+	}
+	if len(doc.ShardLatencies) != n {
+		t.Errorf("document has %d shard latency rows; want %d", len(doc.ShardLatencies), n)
+	}
+}
+
+// TestMigrationOfferRejected: a joiner whose factory refuses the world
+// spec rejects the offer; the assignment must be unchanged (the shard
+// stays on its donor), the epoch must still succeed, and the run must
+// stay byte-identical — a failed migration is invisible to the data.
+func TestMigrationOfferRejected(t *testing.T) {
+	const worldSeed, n, epochs = 21, 2, 2
+	rejectBase := migrationRejects.Value()
+
+	w0 := startWorker(t)
+	c, err := Dial([]string{w0.addr()}, testConfig(n), worldSpec(worldSeed), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	joinAddr := startJoinListener(t, c)
+
+	_, seedSet := testSeed(worldSeed)
+	if err := c.Seed(seedSet); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Epoch(); err != nil {
+		t.Fatalf("epoch 1: %v", err)
+	}
+
+	joinDone := make(chan error, 1)
+	go func() {
+		joinDone <- Join(joinAddr, "refuser", func(spec []byte) (World, error) {
+			return nil, errors.New("will not simulate this world")
+		}, nil)
+	}()
+	waitForWorker(t, c, "refuser", WorkerPending)
+
+	before := c.Assignment()
+	if _, err := c.Epoch(); err != nil {
+		t.Fatalf("epoch 2 with a refusing joiner: %v", err)
+	}
+	after := c.Assignment()
+	for s := range before {
+		if before[s] != after[s] {
+			t.Errorf("shard %d re-pointed %d → %d after a rejected offer", s, before[s], after[s])
+		}
+	}
+	if got := findWorker(t, c, "refuser"); got.ShardCount != 0 {
+		t.Errorf("refusing joiner owns %d shards; want 0", got.ShardCount)
+	}
+	if migrationRejects.Value() == rejectBase {
+		t.Error("rejected offer not counted")
+	}
+	ref := inProcessRun(t, worldSeed, n, epochs)
+	if !bytes.Equal(inventoryBytes(t, c.States()), inventoryBytes(t, ref)) {
+		t.Error("inventory diverged after a rejected migration")
+	}
+	c.Close()
+	<-joinDone
+}
+
+// TestMigrationDeathMidTransfer: a joiner that acks the offer and dies
+// before the state leg leaves the shard on its donor — the assignment
+// never re-points to a worker that did not confirm the state.
+func TestMigrationDeathMidTransfer(t *testing.T) {
+	const worldSeed, n = 21, 2
+
+	w0 := startWorker(t)
+	c, err := Dial([]string{w0.addr()}, testConfig(n), worldSpec(worldSeed), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	joinAddr := startJoinListener(t, c)
+
+	_, seedSet := testSeed(worldSeed)
+	if err := c.Seed(seedSet); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Epoch(); err != nil {
+		t.Fatalf("epoch 1: %v", err)
+	}
+
+	// A hand-rolled joiner: register, ack the offer, die before the
+	// state arrives.
+	conn, err := net.Dial("tcp", joinAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeHandshake(conn); err != nil {
+		t.Fatal(err)
+	}
+	if err := readHandshake(conn); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, msgJoin, encodeJoin(joinMsg{ID: "flaky"})); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err := readFrame(conn); err != nil || typ != msgJoinOK {
+		t.Fatalf("join reply type %d err %v; want %d", typ, err, msgJoinOK)
+	}
+	waitForWorker(t, c, "flaky", WorkerPending)
+
+	epochDone := make(chan error, 1)
+	go func() {
+		_, err := c.Epoch()
+		epochDone <- err
+	}()
+	typ, payload, err := readFrame(conn)
+	if err != nil || typ != msgOffer {
+		t.Fatalf("expected an offer, got type %d err %v", typ, err)
+	}
+	m, err := decodeOffer(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, msgAck, encodeShardAck(m.Shard)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close() // death between offer ack and state ack
+
+	if err := <-epochDone; err != nil {
+		t.Fatalf("epoch 2 after mid-transfer death: %v", err)
+	}
+	for s, wi := range c.Assignment() {
+		if c.workers[wi].id != w0.addr() {
+			t.Errorf("shard %d re-pointed off the donor despite the death", s)
+		}
+	}
+	if got := findWorker(t, c, "flaky"); got.State != WorkerDead {
+		t.Errorf("mid-transfer casualty state %q; want %q", got.State, WorkerDead)
+	}
+	// The fleet still works: another epoch on the donor.
+	if _, err := c.Epoch(); err != nil {
+		t.Fatalf("epoch 3: %v", err)
+	}
+	ref := inProcessRun(t, worldSeed, n, 3)
+	if !bytes.Equal(inventoryBytes(t, c.States()), inventoryBytes(t, ref)) {
+		t.Error("inventory diverged after a mid-transfer death")
+	}
+}
+
+// TestMigrationVersionSkewRejected covers both directions of version
+// skew on the join path: an old worker dialing a new cluster listener
+// is rejected without disturbing the listener, and a new worker dialing
+// an old coordinator surfaces a typed *VersionError from Join.
+func TestMigrationVersionSkewRejected(t *testing.T) {
+	const worldSeed = 21
+	rejectBase := clusterJoinRejects.Value()
+
+	w0 := startWorker(t)
+	c, err := Dial([]string{w0.addr()}, testConfig(1), worldSpec(worldSeed), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	joinAddr := startJoinListener(t, c)
+
+	// Old worker → new listener: speak version 1. The listener's
+	// preamble must still be ours (so the old side can build its own
+	// VersionError), and the connection must then close without a
+	// msgJoinOK.
+	conn, err := net.Dial("tcp", joinAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(append([]byte(Magic), 1)); err != nil {
+		t.Fatal(err)
+	}
+	pre := make([]byte, len(Magic)+1)
+	if _, err := io.ReadFull(conn, pre); err != nil {
+		t.Fatal(err)
+	}
+	if string(pre[:len(Magic)]) != Magic || pre[len(Magic)] != Version {
+		t.Fatalf("listener preamble %q/%d; want %q/%d", pre[:len(Magic)], pre[len(Magic)], Magic, Version)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, _, err := readFrame(conn); err == nil {
+		t.Fatal("version-skewed join was answered instead of closed")
+	}
+	conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for clusterJoinRejects.Value() == rejectBase && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if clusterJoinRejects.Value() == rejectBase {
+		t.Error("version-skewed join not counted as a rejection")
+	}
+
+	// The listener survived: a correct-version joiner still registers.
+	joinDone := make(chan error, 1)
+	go func() {
+		joinDone <- Join(joinAddr, "postskew", newSimWorld, nil)
+	}()
+	waitForWorker(t, c, "postskew", WorkerPending)
+
+	// New worker → old coordinator: a fake listener speaking version 1.
+	oldLis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oldLis.Close()
+	go func() {
+		for {
+			oc, err := oldLis.Accept()
+			if err != nil {
+				return
+			}
+			oc.Write(append([]byte(Magic), 1))
+			io.Copy(io.Discard, oc)
+			oc.Close()
+		}
+	}()
+	err = Join(oldLis.Addr().String(), "newworker", newSimWorld, &WorkerOptions{DialTimeout: 2 * time.Second})
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("Join against a v1 coordinator returned %v; want *VersionError", err)
+	}
+	if ve.Got != 1 || ve.Want != Version {
+		t.Errorf("VersionError %d/%d; want 1/%d", ve.Got, ve.Want, Version)
+	}
+
+	c.Close()
+	<-joinDone
+}
+
+// TestClusterDrainZeroShardsNoop: draining a worker that owns no shards
+// must be a clean removal — zero migrations, assignment untouched, the
+// worker disconnected — not an error and not a stall.
+func TestClusterDrainZeroShardsNoop(t *testing.T) {
+	const worldSeed, n = 21, 2
+	drainBase := migrationsDrain.Value()
+
+	// Three workers, two shards: round-robin leaves worker 2 idle.
+	w0, w1, w2 := startWorker(t), startWorker(t), startWorker(t)
+	c, err := Dial([]string{w0.addr(), w1.addr(), w2.addr()}, testConfig(n), worldSpec(worldSeed), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, seedSet := testSeed(worldSeed)
+	if err := c.Seed(seedSet); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Epoch(); err != nil {
+		t.Fatalf("epoch 1: %v", err)
+	}
+	if got := findWorker(t, c, w2.addr()); got.ShardCount != 0 {
+		t.Fatalf("worker 2 owns %d shards; want 0 for this test", got.ShardCount)
+	}
+
+	if err := c.RequestDrain(w2.addr()); err != nil {
+		t.Fatalf("RequestDrain: %v", err)
+	}
+	before := c.Assignment()
+	if _, err := c.Epoch(); err != nil {
+		t.Fatalf("epoch 2: %v", err)
+	}
+	if got := findWorker(t, c, w2.addr()); got.State != WorkerDrained {
+		t.Fatalf("idle worker state %q after drain; want %q", got.State, WorkerDrained)
+	}
+	if got := migrationsDrain.Value() - drainBase; got != 0 {
+		t.Errorf("drain of an idle worker performed %d migrations; want 0", got)
+	}
+	after := c.Assignment()
+	for s := range before {
+		if before[s] != after[s] {
+			t.Errorf("shard %d moved %d → %d during an idle drain", s, before[s], after[s])
+		}
+	}
+	if c.AliveWorkers() != 2 {
+		t.Errorf("AliveWorkers = %d; want 2", c.AliveWorkers())
+	}
+
+	// Unknown workers are typed errors, not silent no-ops.
+	if err := c.RequestDrain("no-such-worker"); err == nil {
+		t.Error("RequestDrain accepted an unknown worker id")
+	}
+}

@@ -39,12 +39,41 @@ var (
 	shardRequeues = telemetry.Default.Counter("gps_rpc_shard_requeues_total",
 		"shards re-queued from a dead worker to a survivor")
 
+	// Dynamic-membership instruments (coordinator side). Migrations are
+	// labeled by what triggered them — a worker joining, a drain, or the
+	// EWMA rebalance policy — because the three have very different
+	// operational meanings (growth, shrinkage, hotspot healing).
+	migrationsJoin = telemetry.Default.Counter("gps_shard_migrations_total",
+		"live shard migrations completed, by trigger", "reason", "join")
+	migrationsDrain = telemetry.Default.Counter("gps_shard_migrations_total",
+		"live shard migrations completed, by trigger", "reason", "drain")
+	migrationsRebalance = telemetry.Default.Counter("gps_shard_migrations_total",
+		"live shard migrations completed, by trigger", "reason", "rebalance")
+	migrationSeconds = telemetry.Default.Histogram("gps_shard_migration_seconds",
+		"duration of one live shard migration (offer through state ack)", nil)
+	migrationRejects = telemetry.Default.Counter("gps_shard_migration_rejects_total",
+		"live migrations refused or failed before the assignment re-pointed")
+	clusterJoins = telemetry.Default.Counter("gps_cluster_joins_total",
+		"workers admitted to a running coordinator via the join listener")
+	clusterJoinRejects = telemetry.Default.Counter("gps_cluster_join_rejects_total",
+		"join attempts refused (version skew, bad registration)")
+	clusterDrains = telemetry.Default.Counter("gps_cluster_drains_total",
+		"workers drained out of a running coordinator")
+	clusterWorkersAlive = telemetry.Default.Gauge("gps_cluster_workers",
+		"fleet size by state", "state", "alive")
+	clusterWorkersDraining = telemetry.Default.Gauge("gps_cluster_workers",
+		"fleet size by state", "state", "draining")
+	clusterWorkersPending = telemetry.Default.Gauge("gps_cluster_workers",
+		"fleet size by state", "state", "pending")
+
 	workerSessions = telemetry.Default.Counter("gps_worker_sessions_total",
 		"coordinator sessions accepted by this worker")
 	workerEpochs = telemetry.Default.Counter("gps_worker_epochs_total",
 		"shard epochs executed by this worker")
 	workerShardsOwned = telemetry.Default.Gauge("gps_worker_shards_owned",
 		"shards currently assigned to this worker's session")
+	workerMigrationsIn = telemetry.Default.Counter("gps_worker_migrations_in_total",
+		"shards this worker adopted through a live migration")
 
 	feedSessions = telemetry.Default.Counter("gps_feed_sessions_total",
 		"replica subscriptions accepted by this origin's feed listener")

@@ -43,7 +43,13 @@ const (
 	// Magic opens every transport stream in both directions.
 	Magic = "GPST"
 	// Version is the wire-protocol version; peers must match exactly.
-	Version = 1
+	// Version 2 added dynamic membership: the join handshake
+	// (msgJoin/msgJoinOK), the live-migration envelopes
+	// (msgOffer/msgState/msgAck), and the draining flag on epoch
+	// results. A v1 worker dialing a v2 join listener (or vice versa)
+	// gets a typed VersionError on both sides — the listener logs and
+	// keeps accepting, the worker reports and exits — never a misparse.
+	Version = 2
 	// maxFrame bounds one frame's payload; matches the checkpoint
 	// readers' implausibility guards.
 	maxFrame = 1 << 28
@@ -66,6 +72,19 @@ const (
 	msgSubscribe = 9  // replica → origin: start streaming after an epoch
 	msgSnapshot  = 10 // origin → replica: full GPSV inventory (bootstrap)
 	msgDelta     = 11 // origin → replica: one GPSE epoch delta
+
+	// Dynamic-membership frames (wire v2). A worker started with -join
+	// dials the coordinator's cluster listener and registers with
+	// msgJoin; once admitted it serves the same session protocol as a
+	// dialed worker, on the same connection. Live migration is a
+	// two-phase offer/state exchange, each leg confirmed by msgAck, and
+	// the assignment re-points only after both acks — so a rejection or
+	// death anywhere leaves the shard on its donor.
+	msgJoin   = 12 // worker → coordinator: register with the cluster
+	msgJoinOK = 13 // coordinator → worker: registered; session follows
+	msgOffer  = 14 // coordinator → worker: prepare to adopt a shard (world spec)
+	msgState  = 15 // coordinator → worker: the offered shard's current state
+	msgAck    = 16 // worker → coordinator: offer/state leg confirmed
 )
 
 // MagicError reports a stream that did not open with the transport magic:
@@ -397,18 +416,25 @@ func decodeEpochReq(payload []byte) (shard, epoch int, err error) {
 	return shard, epoch, d.err
 }
 
-func encodeEpochResult(shard int, state []byte) []byte {
+// encodeEpochResult carries a shard's post-epoch state back to the
+// coordinator. The trailing draining flag (wire v2) is how a worker
+// asks to leave: set once the process has been told to drain, it makes
+// the coordinator migrate the worker's shards away at the next epoch
+// boundary instead of waiting for the connection to die.
+func encodeEpochResult(shard int, state []byte, draining bool) []byte {
 	var e enc
 	e.varint(int64(shard))
 	e.bytes(state)
+	e.bool(draining)
 	return e.payload()
 }
 
-func decodeEpochResult(payload []byte) (shard int, state []byte, err error) {
+func decodeEpochResult(payload []byte) (shard int, state []byte, draining bool, err error) {
 	d := newDec(payload)
 	shard = int(d.varint())
 	state = d.bytes()
-	return shard, state, d.err
+	draining = d.bool()
+	return shard, state, draining, d.err
 }
 
 func encodeShardAck(shard int) []byte {
@@ -421,6 +447,71 @@ func decodeShardAck(payload []byte) (int, error) {
 	d := newDec(payload)
 	shard := int(d.varint())
 	return shard, d.err
+}
+
+// joinMsg is the decoded form of an msgJoin payload: how a -join worker
+// introduces itself on the coordinator's cluster listener.
+type joinMsg struct {
+	ID string // worker's self-chosen cluster identity (-name)
+}
+
+func encodeJoin(m joinMsg) []byte {
+	var e enc
+	e.bytes([]byte(m.ID))
+	return e.payload()
+}
+
+func decodeJoin(payload []byte) (joinMsg, error) {
+	d := newDec(payload)
+	var m joinMsg
+	m.ID = string(d.bytes())
+	return m, d.err
+}
+
+// offerMsg is the decoded form of an msgOffer payload: the first leg of
+// a live migration. It carries everything the recipient needs to
+// prepare for ownership except the state itself — the shard index, its
+// runner config, and the prospective world spec (the recipient's
+// current owned set plus the offered shard), which the recipient
+// builds or extends before acking. The state follows in msgState only
+// after the offer is confirmed, so a rejection costs no state bytes.
+type offerMsg struct {
+	Shard     int
+	Cfg       continuous.Config
+	WorldSpec []byte
+}
+
+func encodeOffer(m offerMsg) []byte {
+	var e enc
+	e.varint(int64(m.Shard))
+	encodeConfig(&e, m.Cfg)
+	e.bytes(m.WorldSpec)
+	return e.payload()
+}
+
+func decodeOffer(payload []byte) (offerMsg, error) {
+	d := newDec(payload)
+	var m offerMsg
+	m.Shard = int(d.varint())
+	m.Cfg = decodeConfig(d)
+	m.WorldSpec = d.bytes()
+	return m, d.err
+}
+
+// encodeShardState frames a shard's serialized state for msgState, the
+// second migration leg.
+func encodeShardState(shard int, state []byte) []byte {
+	var e enc
+	e.varint(int64(shard))
+	e.bytes(state)
+	return e.payload()
+}
+
+func decodeShardState(payload []byte) (shard int, state []byte, err error) {
+	d := newDec(payload)
+	shard = int(d.varint())
+	state = d.bytes()
+	return shard, state, d.err
 }
 
 // World-spec partition envelope. The coordinator never sends a caller's

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"gps/internal/continuous"
 	"gps/internal/dataset"
 	"gps/internal/netmodel"
+	gpsshard "gps/internal/shard"
 	"gps/internal/store"
 )
 
@@ -50,16 +52,37 @@ type ExtendableWorld interface {
 	Extend(spec []byte) error
 }
 
-// WorkerOptions tunes Serve.
+// WorkerOptions tunes Serve and Join.
 type WorkerOptions struct {
 	// Logf receives one line per session event; nil discards.
 	Logf func(format string, args ...any)
+	// Draining, when set and true, makes the worker leave gracefully:
+	// epoch results carry the draining flag, the coordinator migrates
+	// this worker's shards away at the next epoch boundary, and the
+	// worker refuses new shard offers meanwhile. Serve returns after
+	// the current session ends instead of waiting for the next
+	// coordinator. The caller flips the bool from its signal handler.
+	Draining *atomic.Bool
+	// DialTimeout bounds how long Join waits for the coordinator's
+	// cluster listener (retried with backoff); 0 selects 15 seconds.
+	DialTimeout time.Duration
 }
 
 func (o *WorkerOptions) logf(format string, args ...any) {
 	if o != nil && o.Logf != nil {
 		o.Logf(format, args...)
 	}
+}
+
+func (o *WorkerOptions) draining() bool {
+	return o != nil && o.Draining != nil && o.Draining.Load()
+}
+
+func (o *WorkerOptions) joinDialTimeout() time.Duration {
+	if o == nil || o.DialTimeout <= 0 {
+		return 15 * time.Second
+	}
+	return o.DialTimeout
 }
 
 // Serve runs a shard worker: it accepts coordinator sessions on lis (one
@@ -90,12 +113,78 @@ func Serve(lis net.Listener, factory WorldFactory, opts *WorkerOptions) error {
 			tc.SetKeepAlivePeriod(30 * time.Second)
 		}
 		workerSessions.Inc()
-		s := &session{factory: factory, opts: opts, runners: make(map[int]*continuous.Runner)}
+		s := newSession(factory, opts)
 		if err := s.serve(conn); err != nil {
 			opts.logf("transport: session from %s ended: %v", conn.RemoteAddr(), err)
 		}
 		conn.Close()
+		// A draining worker leaves the fleet when its session ends —
+		// waiting for another coordinator would undo the drain.
+		if opts.draining() {
+			opts.logf("transport: drained; leaving the fleet")
+			return nil
+		}
 	}
+}
+
+// Join registers with a running coordinator's cluster listener (the
+// coordinator side of -join): dial, handshake, introduce ourselves with
+// msgJoin, then serve the same session protocol a dialed worker serves,
+// on the same connection. The coordinator admits the worker at its next
+// epoch boundary and live-migrates shards onto it. Join returns nil
+// when the coordinator shuts the session down cleanly (including after
+// a drain); a version-skewed coordinator surfaces as a *VersionError,
+// a refused registration as a *RemoteError.
+func Join(addr, id string, factory WorldFactory, opts *WorkerOptions) error {
+	if factory == nil {
+		return fmt.Errorf("transport: Join needs a WorldFactory")
+	}
+	conn, err := dialRetry(addr, opts.joinDialTimeout())
+	if err != nil {
+		return fmt.Errorf("transport: joining coordinator %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(30 * time.Second)
+	}
+	conn.SetDeadline(time.Now().Add(opts.joinDialTimeout()))
+	if err := writeHandshake(conn); err != nil {
+		return &DisconnectError{Addr: addr, Err: err}
+	}
+	if err := readHandshake(conn); err != nil {
+		return fmt.Errorf("transport: handshake with coordinator %s: %w", addr, err)
+	}
+	if err := writeFrame(conn, msgJoin, encodeJoin(joinMsg{ID: id})); err != nil {
+		return &DisconnectError{Addr: addr, Err: err}
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return &DisconnectError{Addr: addr, Err: err}
+	}
+	switch typ {
+	case msgJoinOK:
+	case msgError:
+		d := newDec(payload)
+		msg := d.bytes()
+		if d.err != nil {
+			return &DisconnectError{Addr: addr, Err: d.err}
+		}
+		return &RemoteError{Msg: string(msg)}
+	default:
+		return &DisconnectError{Addr: addr, Err: fmt.Errorf("frame type %d in join reply, want %d", typ, msgJoinOK)}
+	}
+	// Registered. Idle stretches between epochs are normal, so clear
+	// the registration deadline and rely on keepalive, like Serve.
+	conn.SetDeadline(time.Time{})
+	workerSessions.Inc()
+	opts.logf("transport: joined coordinator %s as %q", addr, id)
+	s := newSession(factory, opts)
+	if err := s.loop(conn); err != nil {
+		opts.logf("transport: session with %s ended: %v", addr, err)
+		return err
+	}
+	return nil
 }
 
 // session is one coordinator's tenure on a worker: the shards it assigned
@@ -108,6 +197,16 @@ type session struct {
 	worldSpec []byte
 	seed      *dataset.Dataset // session seed set, broadcast once by msgSeed
 	runners   map[int]*continuous.Runner
+	offered   map[int]continuous.Config // migration offers awaiting their msgState
+}
+
+func newSession(factory WorldFactory, opts *WorkerOptions) *session {
+	return &session{
+		factory: factory,
+		opts:    opts,
+		runners: make(map[int]*continuous.Runner),
+		offered: make(map[int]continuous.Config),
+	}
 }
 
 func (s *session) serve(conn net.Conn) error {
@@ -117,6 +216,13 @@ func (s *session) serve(conn net.Conn) error {
 	if err := readHandshake(conn); err != nil {
 		return err
 	}
+	return s.loop(conn)
+}
+
+// loop serves framed requests until shutdown or a connection failure.
+// Join enters here directly — its handshake happened during
+// registration, on the same connection.
+func (s *session) loop(conn net.Conn) error {
 	for {
 		typ, payload, err := readFrame(conn)
 		if err != nil {
@@ -134,6 +240,10 @@ func (s *session) serve(conn net.Conn) error {
 			err = s.handleInit(conn, payload)
 		case msgEpoch:
 			err = s.handleEpoch(conn, payload)
+		case msgOffer:
+			err = s.handleOffer(conn, payload)
+		case msgState:
+			err = s.handleState(conn, payload)
 		case msgShutdown:
 			return nil
 		default:
@@ -221,9 +331,9 @@ func (s *session) handleInit(conn net.Conn, payload []byte) error {
 		}
 		s.runners[m.Shard] = continuous.New(s.seed, m.Cfg)
 	case initResume:
-		st, err := continuous.ReadCheckpoint(bytes.NewReader(m.Blob))
+		st, err := gpsshard.DecodeState(m.Blob)
 		if err != nil {
-			return s.reject(conn, fmt.Errorf("decoding shard state: %w", err))
+			return s.reject(conn, err)
 		}
 		s.runners[m.Shard] = continuous.Resume(st, m.Cfg)
 	default:
@@ -256,11 +366,64 @@ func (s *session) handleEpoch(conn net.Conn, payload []byte) error {
 		return s.reject(conn, fmt.Errorf("epoch %d on shard %d: %w", epoch, shard, err))
 	}
 	workerEpochs.Inc()
-	var blob bytes.Buffer
-	if err := continuous.WriteCheckpoint(&blob, r.State()); err != nil {
+	blob, err := gpsshard.EncodeState(r.State())
+	if err != nil {
 		return s.reject(conn, fmt.Errorf("encoding shard %d state: %w", shard, err))
 	}
-	return s.send(conn, msgEpochResult, encodeEpochResult(shard, blob.Bytes()))
+	// The draining flag rides every epoch result: it is how a worker
+	// asks the coordinator to migrate its shards away before it leaves.
+	return s.send(conn, msgEpochResult, encodeEpochResult(shard, blob, s.opts.draining()))
+}
+
+// handleOffer is the first migration leg: the coordinator proposes that
+// this worker adopt a shard, shipping the prospective world spec (our
+// current owned set plus the offered shard). We build or extend the
+// world partition now — the expensive, rejectable part — and ack; the
+// shard's state follows in msgState. A draining worker refuses: it is
+// on its way out, and accepting would migrate the shard twice.
+func (s *session) handleOffer(conn net.Conn, payload []byte) error {
+	m, err := decodeOffer(payload)
+	if err != nil {
+		return s.reject(conn, err)
+	}
+	if s.opts.draining() {
+		return s.reject(conn, fmt.Errorf("shard %d offer refused: worker is draining", m.Shard))
+	}
+	if s.world == nil || !bytes.Equal(s.worldSpec, m.WorldSpec) {
+		w, err := s.buildWorld(m.WorldSpec)
+		if err != nil {
+			return s.reject(conn, fmt.Errorf("world spec rejected: %w", err))
+		}
+		s.world, s.worldSpec = w, m.WorldSpec
+	}
+	s.offered[m.Shard] = m.Cfg
+	s.opts.logf("transport: offered shard %d/%d; world partition ready", m.Shard, m.Cfg.ShardCount)
+	return s.send(conn, msgAck, encodeShardAck(m.Shard))
+}
+
+// handleState is the second migration leg: the offered shard's current
+// state arrives, the worker resumes a runner on it, and from the ack
+// onward this worker is the shard's owner.
+func (s *session) handleState(conn net.Conn, payload []byte) error {
+	sh, blob, err := decodeShardState(payload)
+	if err != nil {
+		return s.reject(conn, err)
+	}
+	cfg, ok := s.offered[sh]
+	if !ok {
+		return s.reject(conn, fmt.Errorf("state for shard %d arrived without a prior offer", sh))
+	}
+	st, err := gpsshard.DecodeState(blob)
+	if err != nil {
+		return s.reject(conn, err)
+	}
+	delete(s.offered, sh)
+	s.runners[sh] = continuous.Resume(st, cfg)
+	workerMigrationsIn.Inc()
+	workerShardsOwned.Set(float64(len(s.runners)))
+	s.opts.logf("transport: migrated in shard %d at epoch %d (%d known services)",
+		sh, st.Epoch, len(st.Known))
+	return s.send(conn, msgAck, encodeShardAck(sh))
 }
 
 // encodeSeed serializes a seed dataset for broadcast.

@@ -309,8 +309,114 @@ fi
 
 echo "== re-balance round trip (4 -> 8 -> 4 shards, no rescan)"
 cp "$DIR/dist.ckpt" "$DIR/rebalance.ckpt"
-"$BIN" -rebalance split -checkpoint "$DIR/rebalance.ckpt" >> "$DIR/coordinator.log"
-"$BIN" -rebalance join  -checkpoint "$DIR/rebalance.ckpt" >> "$DIR/coordinator.log"
+"$BIN" rebalance split -checkpoint "$DIR/rebalance.ckpt" >> "$DIR/coordinator.log"
+"$BIN" rebalance join  -checkpoint "$DIR/rebalance.ckpt" >> "$DIR/coordinator.log"
 cmp "$DIR/dist.ckpt" "$DIR/rebalance.ckpt"
 
-echo "PASS: distributed inventory byte-identical to single-process; served queries identical across single, distributed, and file modes; telemetry consistent across modes; re-balance round-trips"
+echo "== cluster churn: join a 4th worker mid-run, drain one, leave cleanly"
+# A fresh fleet on fresh ports runs 10 paced epochs while membership
+# churns underneath it: a 4th worker joins through the coordinator's
+# -cluster listener and receives a live shard migration, one of the
+# original workers is drained over the admin API, and the joiner leaves
+# again via SIGTERM + -leave. Shard epochs are deterministic wherever
+# they execute, so the merged inventory must stay byte-identical to a
+# single-process run of the same 10 epochs.
+CHURN_COMMON=(-seed 7 -prefixes 8 -density 0.02 -seed-fraction 0.05
+              -epochs 10 -budget 60000 -shards 4 -parallelism 1 -exact-counts)
+CO=http://127.0.0.1:7476
+
+"$BIN" "${CHURN_COMMON[@]}" -inventory "$DIR/churn-single.inv" > "$DIR/churn-single.log" 2>&1
+test -s "$DIR/churn-single.inv"
+
+churn_ports=(7481 7482 7483)
+for p in "${churn_ports[@]}"; do
+  "$BIN" worker -listen "127.0.0.1:$p" > "$DIR/churn-worker-$p.log" 2>&1 &
+  pids+=($!)
+done
+churn_workers=$(IFS=,; echo "${churn_ports[*]/#/127.0.0.1:}")
+"$BIN" "${CHURN_COMMON[@]}" -coordinator -workers "$churn_workers" \
+    -cluster 127.0.0.1:7490 -admin -serve 127.0.0.1:7476 \
+    -inventory "$DIR/churn-dist.inv" -interval 1s > "$DIR/churn-coordinator.log" 2>&1 &
+churn_coord=$!
+pids+=($churn_coord)
+wait_healthy $CO
+
+# The readiness doc carries the coordinator role, and the probe-friendly
+# text mode answers with the bare status word.
+curl -fsS "$CO/v1/healthz" | grep -q '"role":"coordinator"'
+test "$(curl -fsS "$CO/v1/healthz?format=text")" = "ok"
+
+# wait_cluster PATTERN: poll GET /v1/cluster until one worker row
+# matches. Rows are captured object-by-object ("id" opens a row, "}"
+# closes it — no nested braces inside a worker row).
+wait_cluster() {
+  for _ in $(seq 1 150); do
+    if curl -fsS "$CO/v1/cluster" 2>/dev/null | grep -o '"id":[^}]*' | grep -q "$1"; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "cluster doc never matched: $1" >&2
+  curl -fsS "$CO/v1/cluster" >&2 || true
+  return 1
+}
+
+"$BIN" worker -join 127.0.0.1:7490 -name w4 -leave \
+    -debug-addr 127.0.0.1:7584 > "$DIR/churn-w4.log" 2>&1 &
+w4_pid=$!
+pids+=($w4_pid)
+
+# The joiner must be admitted and receive at least one live-migrated
+# shard at the next epoch boundary.
+wait_cluster '"id":"w4".*"state":"alive".*"shard_count":[1-9]'
+# The joiner's own readiness doc reports the worker role with live
+# shard ownership (read off the telemetry gauge, so migrations show).
+curl -fsS http://127.0.0.1:7584/v1/healthz | grep -q '"role":"worker"'
+curl -fsS http://127.0.0.1:7584/v1/healthz | grep -q '"shards_owned":[1-9]'
+echo "   w4 joined and owns shards"
+
+# Mutations are gated: without -admin this would be a 403; with it the
+# drain is accepted (202) and the worker's shards migrate away.
+drain_code=$(curl -s -o "$DIR/churn-drain.json" -w '%{http_code}' -X POST \
+    "$CO/v1/cluster/workers/127.0.0.1:7481/drain")
+if [ "$drain_code" != "202" ]; then
+  echo "drain POST answered $drain_code, want 202" >&2
+  cat "$DIR/churn-drain.json" >&2
+  exit 1
+fi
+wait_cluster '"id":"127.0.0.1:7481".*"state":"drained"'
+echo "   127.0.0.1:7481 drained via admin API"
+
+# SIGTERM + -leave: the joiner hands its shards back and exits 0.
+kill -TERM $w4_pid
+if ! wait $w4_pid; then
+  echo "leaving worker exited non-zero" >&2
+  cat "$DIR/churn-w4.log" >&2
+  exit 1
+fi
+wait_cluster '"id":"w4".*"state":"drained"'
+echo "   w4 drained and left cleanly"
+
+wait_stats $CO 10
+curl -fsS "$CO/v1/cluster" > "$DIR/churn-cluster.json"
+curl -fsS "$CO/v1/metricz" > "$DIR/churn.metricz"
+kill -TERM $churn_coord
+wait $churn_coord
+test -s "$DIR/churn-dist.inv"
+
+# Every membership change must be visible in the final doc, and the
+# migration counter must account the join, the drain, and the leave.
+grep -o '"id":"127.0.0.1:7482"[^}]*' "$DIR/churn-cluster.json" | grep -q '"state":"alive"'
+migrations=$(awk '$1 ~ /^gps_shard_migrations_total/ {s+=$2} END {print s+0}' "$DIR/churn.metricz")
+echo "   live shard migrations: $migrations"
+if [ "$migrations" -lt 3 ]; then
+  echo "expected >=3 live migrations (join + drain + leave), saw $migrations" >&2
+  exit 1
+fi
+
+# Membership churn must not perturb the scan: the merged inventory is
+# byte-identical to the single-process run of the same epochs.
+cmp "$DIR/churn-single.inv" "$DIR/churn-dist.inv"
+echo "   churned fleet inventory byte-identical to single-process run"
+
+echo "PASS: distributed inventory byte-identical to single-process; served queries identical across single, distributed, and file modes; telemetry consistent across modes; re-balance round-trips; cluster churn (join + drain + leave) preserves byte-identity"
