@@ -250,6 +250,32 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkTraceOverhead is the tracing twin of the telemetry bench: a
+// full continuous epoch (which records an epoch root plus four phase
+// spans) with the flight recorder on versus off. The disabled path must
+// reduce every instrumentation site to one atomic load and a nil
+// return, so the two sub-benches are expected to agree within noise
+// (<1% like telemetry).
+func BenchmarkTraceOverhead(b *testing.B) {
+	s := setupBench(b)
+	seedSet, _ := experiments.SplitEval(s.LZR, s.Scale.SeedMid, true, 91)
+	world := netmodel.Churn(s.Universe, netmodel.DefaultChurn(91))
+	cfg := gps.ContinuousConfig{Budget: 20 * s.Universe.SpaceSize()}
+	epoch := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := gps.NewContinuous(seedSet, cfg).Epoch(world); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("instrumented", epoch)
+	b.Run("disabled", func(b *testing.B) {
+		gps.Tracing().SetEnabled(false)
+		defer gps.Tracing().SetEnabled(true)
+		epoch(b)
+	})
+}
+
 // --- Shard scale-out ---------------------------------------------------------
 
 // BenchmarkShardPipeline measures ONE shard's share of a batch run at

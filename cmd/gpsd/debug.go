@@ -2,11 +2,10 @@ package main
 
 import (
 	"errors"
-	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
-	"os"
 	"runtime"
 	"sync"
 
@@ -44,9 +43,13 @@ func processHealthInfo() gps.HealthInfo {
 	return info
 }
 
+// debugLog tags the debug side channel's lines.
+var debugLog = gps.NewLogger("debug")
+
 // startDebugServer exposes the operational side channel every gpsd mode
 // shares: /v1/metricz (Prometheus text), /v1/healthz (role-specific
-// readiness), and /debug/pprof. It binds before mode dispatch so a
+// readiness), /v1/tracez (the flight recorder), /v1/debugz (the bug-
+// report bundle), and /debug/pprof. It binds before mode dispatch so a
 // worker, coordinator, or single-process daemon all answer the same
 // scrape. The server is fire-and-forget — debugging must never take the
 // daemon down, so a bind failure warns and the process continues.
@@ -58,6 +61,16 @@ func startDebugServer(addr string) {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/metricz", gps.Telemetry().Handler())
 	mux.Handle("/v1/healthz", gps.HealthHandler(gps.HealthFunc(processHealthInfo)))
+	mux.Handle("/v1/tracez", gps.TraceHandler())
+	mux.Handle("/v1/debugz", gps.DebugzHandler(gps.DebugzOptions{
+		Metrics: func(w io.Writer) error {
+			_, err := gps.Telemetry().WriteTo(w)
+			return err
+		},
+		HealthState: func() (string, bool) {
+			return processHealthInfo().Role, true
+		},
+	}))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -66,7 +79,7 @@ func startDebugServer(addr string) {
 
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gpsd: debug server:", err)
+		debugLog.Warnf("debug server: %v", err)
 		return
 	}
 	srv := gps.NewHTTPServer("", mux)
@@ -75,10 +88,10 @@ func startDebugServer(addr string) {
 	srv.WriteTimeout = 0
 	go func() {
 		if err := srv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "gpsd: debug server:", err)
+			debugLog.Errorf("debug server: %v", err)
 		}
 	}()
-	fmt.Printf("gpsd: debug server on http://%s (/v1/metricz, /debug/pprof)\n", lis.Addr())
+	debugLog.Infof("debug server on http://%s (/v1/metricz, /v1/tracez, /debug/pprof)", lis.Addr())
 }
 
 // registerProcessMetrics adds the process-level gauges sampled at scrape

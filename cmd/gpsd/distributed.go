@@ -19,25 +19,27 @@ import (
 // view the in-process daemon maintains, so checkpoints, inventories, and
 // log lines are interchangeable between the two modes.
 func runCoordinator(f daemonFlags) int {
+	gps.Tracing().SetProcess("coordinator")
 	addrs := strings.Split(f.workers, ",")
 	for i := range addrs {
 		addrs[i] = strings.TrimSpace(addrs[i])
 	}
 	world := f.world()
+	clusterLog := gps.NewLogger("cluster")
 	opts := &gps.DistributedOptions{
 		Timeout:         f.rpcTimeout,
 		RebalanceFactor: f.rebalFactor,
 		Logf: func(format string, args ...any) {
-			fmt.Printf("gpsd: "+format+"\n", args...)
+			clusterLog.Infof(format, args...)
 		},
 	}
 	coord, err := gps.DialShardWorkers(addrs, f.shardConfig(), world.header(), opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gpsd:", err)
+		mainLog.Errorf("%v", err)
 		return 1
 	}
 	defer coord.Close()
-	fmt.Printf("gpsd: coordinating %d shards over %d workers (%s)\n",
+	mainLog.Infof("coordinating %d shards over %d workers (%s)",
 		f.shards, len(addrs), f.workers)
 	setProcessHealth(func(i *gps.HealthInfo) {
 		i.Role = "coordinator"
@@ -50,11 +52,11 @@ func runCoordinator(f daemonFlags) int {
 	if f.cluster != "" {
 		lis, err := net.Listen("tcp", f.cluster)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gpsd: cluster:", err)
+			mainLog.Errorf("cluster: %v", err)
 			return 1
 		}
 		coord.AcceptJoins(lis)
-		fmt.Printf("gpsd: accepting joining workers on %s\n", lis.Addr())
+		mainLog.Infof("accepting joining workers on %s", lis.Addr())
 	}
 
 	// Resume from a checkpoint when one exists; otherwise generate the
@@ -66,32 +68,32 @@ func runCoordinator(f daemonFlags) int {
 		case errors.Is(err, errNoCheckpoint):
 			// Fresh start below.
 		case err != nil:
-			fmt.Fprintln(os.Stderr, "gpsd:", err)
+			mainLog.Errorf("%v", err)
 			return 1
 		default:
 			known := 0
 			for _, st := range states {
 				known += len(st.Known)
 			}
-			fmt.Printf("gpsd: resuming from %s at epoch %d (%d known services across %d shards)\n",
+			mainLog.Infof("resuming from %s at epoch %d (%d known services across %d shards)",
 				f.checkpoint, states[0].Epoch, known, len(states))
 			if topo.Workers > 0 && topo.Workers != len(addrs) {
-				fmt.Printf("gpsd: checkpoint was written by a %d-worker fleet; re-homing shards over %d workers\n",
+				mainLog.Infof("checkpoint was written by a %d-worker fleet; re-homing shards over %d workers",
 					topo.Workers, len(addrs))
 			}
 			if err := coord.Resume(states); err != nil {
-				fmt.Fprintln(os.Stderr, "gpsd:", err)
+				mainLog.Errorf("%v", err)
 				return 1
 			}
 			resumed = true
 		}
 	}
 	if !resumed {
-		fmt.Printf("gpsd: generating universe (seed=%d, %d /16s, density %.1f%%) for seeding\n",
+		mainLog.Infof("generating universe (seed=%d, %d /16s, density %.1f%%) for seeding",
 			f.seed, f.prefixes, 100*f.density)
 		u, err := gps.NewUniverse(gps.DemoUniverseParams(f.seed, f.prefixes, f.density))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gpsd: invalid universe flags:", err)
+			mainLog.Errorf("invalid universe flags: %v", err)
 			return 2
 		}
 		// The coordinator holds the full seeding universe, so its world
@@ -99,7 +101,7 @@ func runCoordinator(f daemonFlags) int {
 		// partition gauges must sum to (the e2e script asserts this).
 		setWorldGauges(u.NumHosts(), f.shards, f.shards)
 		if err := coord.Seed(collectSeedSet(u, f)); err != nil {
-			fmt.Fprintln(os.Stderr, "gpsd:", err)
+			mainLog.Errorf("%v", err)
 			return 1
 		}
 	}
@@ -118,7 +120,7 @@ func runCoordinator(f daemonFlags) int {
 			}))
 		}
 		if api, err = startServing(f, coord, configure); err != nil {
-			fmt.Fprintln(os.Stderr, "gpsd:", err)
+			mainLog.Errorf("%v", err)
 			return 1
 		}
 	}
@@ -129,7 +131,7 @@ func runCoordinator(f daemonFlags) int {
 	for epoch := coord.EpochNumber() + 1; !stopped && (f.epochs == 0 || epoch <= f.epochs); epoch++ {
 		select {
 		case s := <-sig:
-			fmt.Printf("gpsd: %v — flushing and stopping cleanly\n", s)
+			mainLog.Infof("%v — flushing and stopping cleanly", s)
 			stopped = true
 			continue
 		default:
@@ -138,11 +140,11 @@ func runCoordinator(f daemonFlags) int {
 		start := time.Now()
 		stats, err := coord.Epoch()
 		for _, we := range coord.Failures()[reported:] {
-			fmt.Fprintf(os.Stderr, "gpsd: %v — shard re-queued\n", we)
+			mainLog.Warnf("%v — shard re-queued", we)
 			reported++
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gpsd:", err)
+			mainLog.Errorf("%v", err)
 			return 1
 		}
 		elapsed := time.Since(start)
@@ -153,7 +155,7 @@ func runCoordinator(f daemonFlags) int {
 			ckptStart := time.Now()
 			topo := topology{Workers: len(addrs), Assign: coord.Assignment()}
 			if err := saveCheckpoint(f.checkpoint, world, topo, coord.States()); err != nil {
-				fmt.Fprintln(os.Stderr, "gpsd: checkpoint:", err)
+				mainLog.Errorf("checkpoint: %v", err)
 				return 1
 			}
 			ckpt = time.Since(ckptStart)
@@ -161,7 +163,7 @@ func runCoordinator(f daemonFlags) int {
 		}
 		if f.shardCkpts != "" {
 			if err := saveShardCheckpoints(f.shardCkpts, coord.States()); err != nil {
-				fmt.Fprintln(os.Stderr, "gpsd: shard checkpoints:", err)
+				mainLog.Errorf("shard checkpoints: %v", err)
 				return 1
 			}
 		}
@@ -169,7 +171,7 @@ func runCoordinator(f daemonFlags) int {
 		if f.interval > 0 && !stopped {
 			select {
 			case s := <-sig:
-				fmt.Printf("gpsd: %v — flushing and stopping cleanly\n", s)
+				mainLog.Infof("%v — flushing and stopping cleanly", s)
 				stopped = true
 			case <-time.After(f.interval):
 			}
@@ -239,18 +241,18 @@ func saveShardCheckpoints(dir string, states []*gps.ContinuousState) error {
 // join keeps the lower half's.
 func runRebalance(f daemonFlags) int {
 	if f.checkpoint == "" {
-		fmt.Fprintln(os.Stderr, "gpsd: -rebalance needs -checkpoint FILE")
+		mainLog.Errorf("-rebalance needs -checkpoint FILE")
 		return 2
 	}
 	world, topo, states, err := readCheckpointFile(f.checkpoint)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gpsd:", err)
+		mainLog.Errorf("%v", err)
 		return 1
 	}
 	switch f.rebalance {
 	case "split":
 		if states, err = gps.SplitShardStates(states); err != nil {
-			fmt.Fprintln(os.Stderr, "gpsd:", err)
+			mainLog.Errorf("%v", err)
 			return 1
 		}
 		// Both successors start where the parent lived.
@@ -258,19 +260,19 @@ func runRebalance(f daemonFlags) int {
 		world.Shards *= 2
 	case "join":
 		if states, err = gps.JoinShardStates(states); err != nil {
-			fmt.Fprintln(os.Stderr, "gpsd:", err)
+			mainLog.Errorf("%v", err)
 			return 1
 		}
 		topo.Assign = topo.Assign[:len(topo.Assign)/2]
 		world.Shards /= 2
 	default:
-		fmt.Fprintf(os.Stderr, "gpsd: -rebalance %q: want 'split' or 'join'\n", f.rebalance)
+		mainLog.Errorf("-rebalance %q: want 'split' or 'join'", f.rebalance)
 		return 2
 	}
 	if err := saveCheckpoint(f.checkpoint, world, topo, states); err != nil {
-		fmt.Fprintln(os.Stderr, "gpsd:", err)
+		mainLog.Errorf("%v", err)
 		return 1
 	}
-	fmt.Printf("gpsd: re-balanced %s to %d shards at epoch %d\n", f.checkpoint, world.Shards, states[0].Epoch)
+	mainLog.Infof("re-balanced %s to %d shards at epoch %d", f.checkpoint, world.Shards, states[0].Epoch)
 	return 0
 }

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"gps"
+)
+
+// TestLogRouting pins the structured logger's stream contract: epoch
+// progress and other info-level lines go to the stdout writer, warnings
+// (empty shards, the deprecated-flag hint) to the stderr writer, and
+// every line carries the component and level fields.
+func TestLogRouting(t *testing.T) {
+	var out, errw bytes.Buffer
+	prevOut, prevErr := gps.SetLogOutput(&out, &errw)
+	defer gps.SetLogOutput(prevOut, prevErr)
+
+	logEpoch(gps.EpochStats{Epoch: 3, KnownSize: 1200, Verified: 1100}, 42*time.Millisecond)
+	if errw.Len() != 0 {
+		t.Errorf("epoch progress leaked to stderr: %q", errw.String())
+	}
+	line := out.String()
+	for _, want := range []string{"level=info", "component=gpsd", "epoch=3", "known=1200", `msg="epoch complete"`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("epoch line missing %q: %q", want, line)
+		}
+	}
+
+	out.Reset()
+	warnEmptyShards([]int{2, 5}, false)
+	if out.Len() != 0 {
+		t.Errorf("empty-shard warning leaked to stdout: %q", out.String())
+	}
+	if w := errw.String(); !strings.Contains(w, "level=warn") || !strings.Contains(w, "[2 5]") {
+		t.Errorf("empty-shard warning = %q; want level=warn naming shards [2 5]", w)
+	}
+}
+
+// TestDeprecatedHintIsStructuredWarning: the migration hint rides the
+// structured logger at warn level, into the stderr writer parseArgs was
+// given — never the process-wide streams.
+func TestDeprecatedHintIsStructuredWarning(t *testing.T) {
+	var out, errw bytes.Buffer
+	prevOut, prevErr := gps.SetLogOutput(&out, &errw)
+	defer gps.SetLogOutput(prevOut, prevErr)
+
+	var hint bytes.Buffer
+	if _, err := parseArgs([]string{"-worker", "-listen", "127.0.0.1:0"}, &hint); err != nil {
+		t.Fatal(err)
+	}
+	h := hint.String()
+	for _, want := range []string{"level=warn", "component=gpsd", "deprecated"} {
+		if !strings.Contains(h, want) {
+			t.Errorf("hint missing %q: %q", want, h)
+		}
+	}
+	if out.Len() != 0 || errw.Len() != 0 {
+		t.Errorf("hint leaked to process-wide writers: out=%q err=%q", out.String(), errw.String())
+	}
+}
+
+// TestLogJSONFlag: -log-json switches the stream to one JSON object per
+// line, applied during parseArgs so even the first line obeys it.
+func TestLogJSONFlag(t *testing.T) {
+	defer gps.SetLogJSON(false)
+	var out, errw bytes.Buffer
+	prevOut, prevErr := gps.SetLogOutput(&out, &errw)
+	defer gps.SetLogOutput(prevOut, prevErr)
+
+	var hint bytes.Buffer
+	if _, err := parseArgs([]string{"-log-json", "-worker", "-listen", "127.0.0.1:0"}, &hint); err != nil {
+		t.Fatal(err)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(hint.Bytes(), &obj); err != nil {
+		t.Fatalf("hint is not JSON under -log-json: %q (%v)", hint.String(), err)
+	}
+	if obj["level"] != "warn" || obj["component"] != "gpsd" {
+		t.Errorf("hint JSON fields = %v", obj)
+	}
+
+	logEpoch(gps.EpochStats{Epoch: 7}, time.Millisecond)
+	if err := json.Unmarshal(out.Bytes(), &obj); err != nil {
+		t.Fatalf("epoch line is not JSON under -log-json: %q (%v)", out.String(), err)
+	}
+	if obj["epoch"] != "7" && obj["epoch"] != float64(7) {
+		t.Errorf("epoch JSON fields = %v", obj)
+	}
+}

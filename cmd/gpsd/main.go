@@ -121,6 +121,7 @@ type daemonFlags struct {
 	parallel   int
 	exact      bool
 
+	logJSON     bool
 	workerMode  bool
 	listen      string
 	joinAddr    string
@@ -164,6 +165,7 @@ func registerFlags(fs *flag.FlagSet, f *daemonFlags) {
 	fs.IntVar(&f.parallel, "parallelism", 0, "per-shard compute parallelism (0 = all cores; 1 = fully deterministic)")
 	fs.BoolVar(&f.exact, "exact-counts", false, "account exact per-shard prefix-scan probe counts instead of the ideal 1/N share")
 
+	fs.BoolVar(&f.logJSON, "log-json", false, "emit every log line as one JSON object instead of key=value text")
 	fs.BoolVar(&f.workerMode, "worker", false, "deprecated alias of the 'worker' subcommand")
 	fs.StringVar(&f.listen, "listen", "127.0.0.1:7600", "worker mode: address to listen on")
 	fs.StringVar(&f.joinAddr, "join", "", "worker mode: join the running coordinator at this -cluster address instead of listening")
@@ -187,6 +189,12 @@ func registerFlags(fs *flag.FlagSet, f *daemonFlags) {
 	fs.StringVar(&f.upstream, "upstream", "", "replica mode: origin feed address (the origin's -feed)")
 	fs.StringVar(&f.watchURL, "watch", "", "deprecated alias of the 'watch' subcommand: follow this /v1/watch URL")
 }
+
+// mainLog is the daemon's structured logger: every line carries
+// component=gpsd plus the trace id of the epoch in flight, so a slow
+// log line can be pulled up as a waterfall in /v1/tracez. Info routes
+// to stdout, warnings and errors to stderr.
+var mainLog = gps.NewLogger("gpsd")
 
 // deprecatedFlags maps each pre-subcommand mode flag to the spelling
 // that replaces it. Using one prints a single migration hint; behavior
@@ -249,9 +257,14 @@ func parseArgs(args []string, stderr io.Writer) (daemonFlags, error) {
 	case "rebalance":
 		f.rebalance = operand
 	}
+	// Structured logging is live from this point on: the JSON switch is
+	// applied before the first line (the deprecation hint below) so a
+	// log shipper never sees a mixed stream.
+	gps.SetLogJSON(f.logJSON)
+	hintLog := mainLog.Output(nil, stderr)
 	fs.Visit(func(fl *flag.Flag) {
 		if repl, ok := deprecatedFlags[fl.Name]; ok {
-			fmt.Fprintf(stderr, "gpsd: note: -%s is deprecated; use `%s` (same behavior)\n", fl.Name, repl)
+			hintLog.Warnf("-%s is deprecated; use `%s` (same behavior)", fl.Name, repl)
 		}
 	})
 	return f, nil
@@ -266,11 +279,11 @@ func main() {
 		os.Exit(2)
 	}
 	if f.shards < 1 {
-		fmt.Fprintln(os.Stderr, "gpsd: -shards must be >= 1")
+		mainLog.Errorf("-shards must be >= 1")
 		os.Exit(2)
 	}
 	if f.feedAddr != "" && f.serve == "" {
-		fmt.Fprintln(os.Stderr, "gpsd: -feed needs -serve ADDR (the feed streams what the query API serves)")
+		mainLog.Errorf("-feed needs -serve ADDR (the feed streams what the query API serves)")
 		os.Exit(2)
 	}
 	startDebugServer(f.debugAddr)
@@ -284,19 +297,19 @@ func main() {
 		os.Exit(runWatch(f))
 	case f.replicaMode:
 		if f.serve == "" || f.upstream == "" {
-			fmt.Fprintln(os.Stderr, "gpsd: replica mode needs -upstream ADDR and -serve ADDR")
+			mainLog.Errorf("replica mode needs -upstream ADDR and -serve ADDR")
 			os.Exit(2)
 		}
 		os.Exit(runReplica(f))
 	case f.serveFile != "":
 		if f.serve == "" {
-			fmt.Fprintln(os.Stderr, "gpsd: gpsd serve FILE needs -serve ADDR to listen on")
+			mainLog.Errorf("gpsd serve FILE needs -serve ADDR to listen on")
 			os.Exit(2)
 		}
 		os.Exit(runServeFile(f))
 	case f.coordinator || f.workers != "":
 		if !f.coordinator || f.workers == "" {
-			fmt.Fprintln(os.Stderr, "gpsd: coordinator mode needs -workers addr,addr,... (gpsd coordinator -workers ...)")
+			mainLog.Errorf("coordinator mode needs -workers addr,addr,... (gpsd coordinator -workers ...)")
 			os.Exit(2)
 		}
 		os.Exit(runCoordinator(f))
@@ -331,17 +344,26 @@ func (f daemonFlags) shardConfig() gps.ShardConfig {
 func collectSeedSet(u *gps.Universe, f daemonFlags) *gps.Dataset {
 	seedSet := gps.CollectSeed(u, f.seedFrac, f.seed^0x5eed)
 	seedSet = seedSet.FilterPorts(seedSet.EligiblePorts(2))
-	fmt.Printf("gpsd: seeded with %d services (%.2f%% sample, %d probes)\n",
+	mainLog.Infof("seeded with %d services (%.2f%% sample, %d probes)",
 		seedSet.NumServices(), 100*f.seedFrac, seedSet.CollectionProbes)
 	return seedSet
 }
 
-// logEpoch prints the one-line-per-epoch progress report.
+// logEpoch emits the per-epoch progress report through the structured
+// logger: the human-readable summary is the msg, the figures ride as
+// fields so both text and -log-json modes stay greppable.
 func logEpoch(stats gps.EpochStats, elapsed time.Duration) {
-	fmt.Printf("gpsd: epoch %3d  known %6d  verified %6d  lost %5d  evicted %5d  new %5d  alive %5.1f%%  stale %4.1f%%  probes %d (%v)\n",
-		stats.Epoch, stats.KnownSize, stats.Verified, stats.Lost, stats.Evicted,
-		stats.NewFound, 100*stats.Freshness.AliveFrac(), 100*stats.Freshness.StaleRate(),
-		stats.Probes(), elapsed.Round(time.Millisecond))
+	mainLog.Log(gps.LogLevelInfo, "epoch complete",
+		gps.LogInt("epoch", stats.Epoch),
+		gps.LogInt("known", stats.KnownSize),
+		gps.LogInt("verified", stats.Verified),
+		gps.LogInt("lost", stats.Lost),
+		gps.LogInt("evicted", stats.Evicted),
+		gps.LogInt("new", stats.NewFound),
+		gps.LogString("alive", fmt.Sprintf("%.1f%%", 100*stats.Freshness.AliveFrac())),
+		gps.LogString("stale", fmt.Sprintf("%.1f%%", 100*stats.Freshness.StaleRate())),
+		gps.LogString("probes", fmt.Sprintf("%d", stats.Probes())),
+		gps.LogString("took", elapsed.Round(time.Millisecond).String()))
 }
 
 // checkpointSeconds times the atomic checkpoint save, the one epoch cost
@@ -423,8 +445,7 @@ func warnEmptyShards(empty []int, resumed bool) {
 	if resumed {
 		remedy = "restart without -checkpoint (or with a new file) to re-seed under a different layout"
 	}
-	fmt.Fprintf(os.Stderr,
-		"gpsd: warning: shards %v own no services — their partitions will never be scanned; %s\n",
+	mainLog.Warnf("shards %v own no services — their partitions will never be scanned; %s",
 		empty, remedy)
 }
 
@@ -439,6 +460,7 @@ func notifySignals() chan os.Signal {
 // unsharded runner) driven epoch by epoch against the locally simulated
 // universe.
 func runDaemon(f daemonFlags) int {
+	gps.Tracing().SetProcess("daemon")
 	setProcessHealth(func(i *gps.HealthInfo) {
 		i.Role = "origin"
 		i.ShardsOwned = f.shards
@@ -446,19 +468,19 @@ func runDaemon(f daemonFlags) int {
 	params := gps.DemoUniverseParams(f.seed, f.prefixes, f.density)
 	world := f.world()
 
-	fmt.Printf("gpsd: generating universe (seed=%d, %d /16s, density %.1f%%)\n",
+	mainLog.Infof("generating universe (seed=%d, %d /16s, density %.1f%%)",
 		f.seed, f.prefixes, 100*f.density)
 	u, err := gps.NewUniverse(params)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gpsd: invalid universe flags:", err)
+		mainLog.Errorf("invalid universe flags: %v", err)
 		return 2
 	}
 	setWorldGauges(u.NumHosts(), f.shards, f.shards)
-	fmt.Printf("gpsd: %d hosts, %d services, %d addresses", u.NumHosts(), u.NumServices(), u.SpaceSize())
+	worldLine := fmt.Sprintf("%d hosts, %d services, %d addresses", u.NumHosts(), u.NumServices(), u.SpaceSize())
 	if f.shards > 1 {
-		fmt.Printf("; %d shards", f.shards)
+		worldLine += fmt.Sprintf("; %d shards", f.shards)
 	}
-	fmt.Println()
+	mainLog.Infof("%s", worldLine)
 
 	cfg := f.shardConfig()
 
@@ -472,7 +494,7 @@ func runDaemon(f daemonFlags) int {
 		case errors.Is(err, errNoCheckpoint):
 			// Fresh start below.
 		case err != nil:
-			fmt.Fprintln(os.Stderr, "gpsd:", err)
+			mainLog.Errorf("%v", err)
 			return 1
 		default:
 			// Partitions are disjoint under the hash split, so the global
@@ -482,10 +504,10 @@ func runDaemon(f daemonFlags) int {
 			for _, st := range states {
 				known += len(st.Known)
 			}
-			fmt.Printf("gpsd: resuming from %s at epoch %d (%d known services across %d shards)\n",
+			mainLog.Infof("resuming from %s at epoch %d (%d known services across %d shards)",
 				f.checkpoint, states[0].Epoch, known, len(states))
 			if coord, err = gps.ResumeShardCoordinator(states, cfg); err != nil {
-				fmt.Fprintln(os.Stderr, "gpsd:", err)
+				mainLog.Errorf("%v", err)
 				return 1
 			}
 			resumed = true
@@ -505,7 +527,7 @@ func runDaemon(f daemonFlags) int {
 			}))
 		}
 		if api, err = startServing(f, coord, configure); err != nil {
-			fmt.Fprintln(os.Stderr, "gpsd:", err)
+			mainLog.Errorf("%v", err)
 			return 1
 		}
 	}
@@ -522,7 +544,7 @@ func runDaemon(f daemonFlags) int {
 	for epoch := coord.EpochNumber() + 1; !stopped && (f.epochs == 0 || epoch <= f.epochs); epoch++ {
 		select {
 		case s := <-sig:
-			fmt.Printf("gpsd: %v — flushing and stopping cleanly\n", s)
+			mainLog.Infof("%v — flushing and stopping cleanly", s)
 			stopped = true
 			continue
 		default:
@@ -532,7 +554,7 @@ func runDaemon(f daemonFlags) int {
 		start := time.Now()
 		stats, err := coord.Epoch(u)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "gpsd:", err)
+			mainLog.Errorf("%v", err)
 			return 1
 		}
 		elapsed := time.Since(start)
@@ -542,7 +564,7 @@ func runDaemon(f daemonFlags) int {
 		if f.checkpoint != "" {
 			ckptStart := time.Now()
 			if err := saveCheckpoint(f.checkpoint, world, localTopology(f.shards), coord.States()); err != nil {
-				fmt.Fprintln(os.Stderr, "gpsd: checkpoint:", err)
+				mainLog.Errorf("checkpoint: %v", err)
 				return 1
 			}
 			ckpt = time.Since(ckptStart)
@@ -552,7 +574,7 @@ func runDaemon(f daemonFlags) int {
 		if f.interval > 0 && !stopped {
 			select {
 			case s := <-sig:
-				fmt.Printf("gpsd: %v — flushing and stopping cleanly\n", s)
+				mainLog.Infof("%v — flushing and stopping cleanly", s)
 				stopped = true
 			case <-time.After(f.interval):
 			}
@@ -578,22 +600,22 @@ func finishDaemon(f daemonFlags, world worldID, topo topology, states []*gps.Con
 	inventory func() (map[gps.ServiceKey]*gps.KnownService, int)) int {
 	if f.checkpoint != "" {
 		if err := saveCheckpoint(f.checkpoint, world, topo, states); err != nil {
-			fmt.Fprintln(os.Stderr, "gpsd: final checkpoint:", err)
+			mainLog.Errorf("final checkpoint: %v", err)
 			return 1
 		}
 	}
 	known, conflicts := inventory()
 	if f.inventory != "" {
 		if err := writeInventoryFile(f.inventory, known); err != nil {
-			fmt.Fprintln(os.Stderr, "gpsd: inventory:", err)
+			mainLog.Errorf("inventory: %v", err)
 			return 1
 		}
 	}
 	api.shutdown()
-	fmt.Printf("gpsd: done after epoch %d; %d services known%s", epoch, len(known), suffix)
+	done := fmt.Sprintf("done after epoch %d; %d services known%s", epoch, len(known), suffix)
 	if conflicts > 0 {
-		fmt.Printf(" (%d cross-shard conflicts resolved)", conflicts)
+		done += fmt.Sprintf(" (%d cross-shard conflicts resolved)", conflicts)
 	}
-	fmt.Println()
+	mainLog.Infof("%s", done)
 	return 0
 }

@@ -3,14 +3,15 @@ package main
 import (
 	"context"
 	"errors"
-	"fmt"
 	"net"
 	"net/http"
-	"os"
 	"time"
 
 	"gps"
 )
+
+// replicaLog tags the replica and watch modes' lines.
+var replicaLog = gps.NewLogger("replica")
 
 // runReplica is the stateless read-replica mode: subscribe to an origin
 // daemon's replication feed (-upstream = the origin's -feed address),
@@ -21,17 +22,18 @@ import (
 // retained delta history re-bootstraps by itself. With -feed the
 // replica re-exports the stream, so replicas chain into a fan-out tree.
 func runReplica(f daemonFlags) int {
+	gps.Tracing().SetProcess("replica")
 	setProcessHealth(func(i *gps.HealthInfo) { i.Role = "replica" })
 	rep := gps.NewReplicaServer(f.upstream, &gps.ReplicaOptions{
 		FeedHistory: f.feedHistory,
 		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "gpsd: "+format+"\n", args...)
+			replicaLog.Warnf(format, args...)
 		},
 	})
 
 	lis, err := net.Listen("tcp", f.serve)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gpsd: serve:", err)
+		replicaLog.Errorf("serve: %v", err)
 		return 1
 	}
 	srv := gps.NewHTTPServer("",
@@ -41,21 +43,21 @@ func runReplica(f daemonFlags) int {
 			Handler())
 	go func() {
 		if err := srv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "gpsd: serve:", err)
+			replicaLog.Errorf("serve: %v", err)
 		}
 	}()
-	fmt.Printf("gpsd: replica of %s serving inventory API on http://%s/v1/\n",
+	replicaLog.Infof("replica of %s serving inventory API on http://%s/v1/",
 		f.upstream, lis.Addr())
 
 	var feedLis net.Listener
 	feedDone := make(chan error, 1)
 	if f.feedAddr != "" {
 		if feedLis, err = net.Listen("tcp", f.feedAddr); err != nil {
-			fmt.Fprintln(os.Stderr, "gpsd: feed:", err)
+			replicaLog.Errorf("feed: %v", err)
 			return 1
 		}
 		go func() { feedDone <- gps.ServeInventoryFeed(feedLis, rep.Feed(), nil) }()
-		fmt.Printf("gpsd: re-exporting replication feed on %s\n", feedLis.Addr())
+		replicaLog.Infof("re-exporting replication feed on %s", feedLis.Addr())
 	}
 
 	// Run applies the feed until signalled; it keeps serving the last
@@ -64,7 +66,7 @@ func runReplica(f daemonFlags) int {
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		s := <-notifySignals()
-		fmt.Printf("gpsd: %v — draining and stopping cleanly\n", s)
+		replicaLog.Infof("%v — draining and stopping cleanly", s)
 		cancel()
 	}()
 	rep.Run(ctx)
@@ -72,7 +74,7 @@ func runReplica(f daemonFlags) int {
 	if feedLis != nil {
 		feedLis.Close()
 		if err := <-feedDone; err != nil {
-			fmt.Fprintln(os.Stderr, "gpsd: feed:", err)
+			replicaLog.Errorf("feed: %v", err)
 		}
 	}
 	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -80,7 +82,7 @@ func runReplica(f daemonFlags) int {
 	if srv.Shutdown(sctx) != nil {
 		srv.Close()
 	}
-	fmt.Printf("gpsd: replica done at epoch %d\n", rep.Epoch())
+	replicaLog.Infof("replica done at epoch %d", rep.Epoch())
 	return 0
 }
 
@@ -91,6 +93,7 @@ func runReplica(f daemonFlags) int {
 // once epoch N is applied; otherwise it follows until signalled or the
 // origin closes the stream.
 func runWatch(f daemonFlags) int {
+	gps.Tracing().SetProcess("watch")
 	inv := make(map[gps.ServiceKey]*gps.KnownService)
 	last := -1
 
@@ -98,7 +101,7 @@ func runWatch(f daemonFlags) int {
 	defer cancel()
 	go func() {
 		s := <-notifySignals()
-		fmt.Printf("gpsd: %v — stopping cleanly\n", s)
+		replicaLog.Infof("%v — stopping cleanly", s)
 		cancel()
 	}()
 
@@ -108,22 +111,22 @@ func runWatch(f daemonFlags) int {
 			return err
 		}
 		last = ev.Epoch
-		fmt.Printf("gpsd: watch: %s to epoch %d (%d services)\n", ev.Event, ev.Epoch, len(inv))
+		replicaLog.Infof("watch: %s to epoch %d (%d services)", ev.Event, ev.Epoch, len(inv))
 		if f.epochs > 0 && ev.Epoch >= f.epochs {
 			return gps.ErrWatchDone
 		}
 		return nil
 	})
 	if err != nil && ctx.Err() == nil {
-		fmt.Fprintln(os.Stderr, "gpsd:", err)
+		replicaLog.Errorf("%v", err)
 		return 1
 	}
 	if f.inventory != "" {
 		if err := writeInventoryFile(f.inventory, inv); err != nil {
-			fmt.Fprintln(os.Stderr, "gpsd: inventory:", err)
+			replicaLog.Errorf("inventory: %v", err)
 			return 1
 		}
 	}
-	fmt.Printf("gpsd: watch done at epoch %d; %d services held\n", last, len(inv))
+	replicaLog.Infof("watch done at epoch %d; %d services held", last, len(inv))
 	return 0
 }

@@ -12,6 +12,9 @@ import (
 	"gps"
 )
 
+// serveLog tags the query-API side channel's lines.
+var serveLog = gps.NewLogger("serve")
+
 // inventoryServer bundles the snapshot publisher and the HTTP server gpsd
 // runs alongside the daemon when -serve is set. The scan loop feeds it
 // through a commit hook; readers never block the loop (the publisher swap
@@ -59,10 +62,10 @@ func startInventoryServer(addr string, feed *gps.InventoryFeed, configure func(*
 	}
 	go func() {
 		if err := is.srv.Serve(lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "gpsd: serve:", err)
+			serveLog.Errorf("%v", err)
 		}
 	}()
-	fmt.Printf("gpsd: serving inventory API on http://%s/v1/\n", is.addr)
+	serveLog.Infof("serving inventory API on http://%s/v1/", is.addr)
 	return is, nil
 }
 
@@ -89,7 +92,7 @@ func (is *inventoryServer) exportFeed(addr string) error {
 	is.feedLis = lis
 	is.feedDone = make(chan error, 1)
 	go func() { is.feedDone <- gps.ServeInventoryFeed(lis, is.feed, nil) }()
-	fmt.Printf("gpsd: serving replication feed on %s\n", lis.Addr())
+	serveLog.Infof("serving replication feed on %s", lis.Addr())
 	return nil
 }
 
@@ -116,7 +119,7 @@ func (is *inventoryServer) shutdown() {
 	if is.feedLis != nil {
 		is.feedLis.Close()
 		if err := <-is.feedDone; err != nil {
-			fmt.Fprintln(os.Stderr, "gpsd: feed:", err)
+			serveLog.Errorf("feed: %v", err)
 		}
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -165,9 +168,9 @@ func serveUntilSignal(api *inventoryServer, sig chan os.Signal, stopped bool) {
 	if api == nil || stopped {
 		return
 	}
-	fmt.Printf("gpsd: epochs done; serving on %s until SIGINT/SIGTERM\n", api.addr)
+	serveLog.Infof("epochs done; serving on %s until SIGINT/SIGTERM", api.addr)
 	s := <-sig
-	fmt.Printf("gpsd: %v — flushing and stopping cleanly\n", s)
+	serveLog.Infof("%v — flushing and stopping cleanly", s)
 }
 
 // runServeFile is the standalone serving mode: load a GPSV inventory file
@@ -175,15 +178,16 @@ func serveUntilSignal(api *inventoryServer, sig chan os.Signal, stopped bool) {
 // SIGTERM — the read path with no scanner attached, for serving yesterday's
 // inventory or somebody else's.
 func runServeFile(f daemonFlags) int {
+	gps.Tracing().SetProcess("serve")
 	file, err := os.Open(f.serveFile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gpsd:", err)
+		serveLog.Errorf("%v", err)
 		return 1
 	}
 	inv, err := gps.ReadShardInventory(file)
 	file.Close()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gpsd:", err)
+		serveLog.Errorf("%v", err)
 		return 1
 	}
 	// The file records observation epochs, not the commit epoch; the
@@ -201,13 +205,13 @@ func runServeFile(f daemonFlags) int {
 		}))
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gpsd:", err)
+		serveLog.Errorf("%v", err)
 		return 1
 	}
 	api.publish(epoch, inv)
-	fmt.Printf("gpsd: serving %d services (epoch %d) from %s\n", len(inv), epoch, f.serveFile)
+	serveLog.Infof("serving %d services (epoch %d) from %s", len(inv), epoch, f.serveFile)
 	s := <-notifySignals()
-	fmt.Printf("gpsd: %v — stopping cleanly\n", s)
+	serveLog.Infof("%v — stopping cleanly", s)
 	api.shutdown()
 	return 0
 }

@@ -11,6 +11,11 @@ import (
 	"gps"
 )
 
+// workerLog tags every worker-side line; the transport session's Logf
+// feeds through it too, so migrations and drains land in the same
+// structured stream.
+var workerLog = gps.NewLogger("worker")
+
 // demoWorld is the worker-side replica of gpsd's simulated universe. The
 // coordinator broadcasts its 36-byte world header wrapped in the
 // transport's partition envelope (the total shard count plus this
@@ -81,7 +86,7 @@ func (w *demoWorld) generate(part *gps.UniversePartition) (*gps.Universe, error)
 // this line.
 func (w *demoWorld) logBuilt(how string) {
 	setWorldGauges(w.u.NumHosts(), len(w.part.Owned), w.part.Count)
-	fmt.Printf("gpsd: worker %s universe (seed=%d, %d /16s, density %.1f%%): owns %d/%d shards, %d hosts\n",
+	workerLog.Infof("%s universe (seed=%d, %d /16s, density %.1f%%): owns %d/%d shards, %d hosts",
 		how, w.id.Seed, w.id.Prefixes, 100*w.id.Density,
 		len(w.part.Owned), w.part.Count, w.u.NumHosts())
 }
@@ -175,30 +180,31 @@ func (w *demoWorld) Extend(spec []byte) error {
 // with -leave a signal drains its shards back into the fleet before
 // exit rather than dropping them.
 func runWorker(f daemonFlags) int {
+	gps.Tracing().SetProcess("worker")
 	setProcessHealth(func(i *gps.HealthInfo) { i.Role = "worker" })
 	if f.joinAddr != "" {
 		return runJoiningWorker(f)
 	}
 	lis, err := net.Listen("tcp", f.listen)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gpsd: worker:", err)
+		workerLog.Errorf("%v", err)
 		return 1
 	}
-	fmt.Printf("gpsd: worker listening on %s\n", lis.Addr())
+	workerLog.Infof("listening on %s", lis.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
-		fmt.Printf("gpsd: worker %v — stopping\n", s)
+		workerLog.Infof("%v — stopping", s)
 		lis.Close()
 	}()
 
 	logf := func(format string, args ...any) {
-		fmt.Printf("gpsd: worker "+format+"\n", args...)
+		workerLog.Infof(format, args...)
 	}
 	if err := gps.ServeShardWorker(lis, newDemoWorld, &gps.ShardWorkerOptions{Logf: logf}); err != nil {
-		fmt.Fprintln(os.Stderr, "gpsd: worker:", err)
+		workerLog.Errorf("%v", err)
 		return 1
 	}
 	return 0
@@ -213,37 +219,40 @@ func runWorker(f daemonFlags) int {
 // second signal forces an immediate exit. Without -leave a signal just
 // exits (the coordinator re-queues the shards onto survivors).
 func runJoiningWorker(f daemonFlags) int {
+	if f.workerName != "" {
+		gps.Tracing().SetProcess("worker:" + f.workerName)
+	}
 	var draining atomic.Bool
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
 		if f.leave {
-			fmt.Printf("gpsd: worker %v — draining: handing shards back before exit\n", s)
+			workerLog.Infof("%v — draining: handing shards back before exit", s)
 			draining.Store(true)
 			setProcessHealth(func(i *gps.HealthInfo) { i.Draining = true })
 			s = <-sig
 		}
-		fmt.Printf("gpsd: worker %v — exiting now\n", s)
+		workerLog.Warnf("%v — exiting now", s)
 		os.Exit(1)
 	}()
 
 	name := f.workerName
 	if name == "" {
-		fmt.Printf("gpsd: worker joining %s\n", f.joinAddr)
+		workerLog.Infof("joining %s", f.joinAddr)
 	} else {
-		fmt.Printf("gpsd: worker %q joining %s\n", name, f.joinAddr)
+		workerLog.Infof("%q joining %s", name, f.joinAddr)
 	}
 	opts := &gps.ShardWorkerOptions{
 		Draining: &draining,
 		Logf: func(format string, args ...any) {
-			fmt.Printf("gpsd: worker "+format+"\n", args...)
+			workerLog.Infof(format, args...)
 		},
 	}
 	if err := gps.JoinShardWorker(f.joinAddr, name, newDemoWorld, opts); err != nil {
-		fmt.Fprintln(os.Stderr, "gpsd: worker:", err)
+		workerLog.Errorf("%v", err)
 		return 1
 	}
-	fmt.Println("gpsd: worker session ended cleanly")
+	workerLog.Infof("session ended cleanly")
 	return 0
 }

@@ -19,6 +19,7 @@ import (
 	"gps/internal/shard"
 	"gps/internal/shard/transport"
 	"gps/internal/telemetry"
+	"gps/internal/trace"
 )
 
 // This file re-exports the library's supporting types through the root
@@ -465,6 +466,74 @@ type TelemetryRegistry = telemetry.Registry
 // recording entirely with Telemetry().SetEnabled(false) (benchmarks
 // measure instrumentation overhead this way).
 func Telemetry() *TelemetryRegistry { return telemetry.Default }
+
+// Tracer is the distributed flight recorder: finished spans land in a
+// bounded in-process ring, trace context propagates over the shard
+// transport, and worker-side spans ship back with each epoch result so
+// one coordinator trace stitches the whole fleet's work.
+type Tracer = trace.Tracer
+
+// Tracing returns the process-wide default tracer every GPS layer
+// records spans into. Disable recording with
+// Tracing().SetEnabled(false) (span starts become nil no-ops), or tag
+// this process's spans with Tracing().SetProcess("worker:a").
+func Tracing() *Tracer { return trace.Default }
+
+// TraceHandler serves /v1/tracez from the default tracer: a JSON list
+// of recent traces, ?trace=ID for one stitched tree, ?format=text for
+// a waterfall rendering.
+func TraceHandler() http.Handler { return trace.Handler() }
+
+// DebugzOptions names the sections a /v1/debugz bundle snapshots;
+// every field is optional.
+type DebugzOptions = trace.DebugzOptions
+
+// DebugzHandler serves the one-request bug-report bundle: build info,
+// metrics, cluster doc, and recent traces as NDJSON.
+func DebugzHandler(opts DebugzOptions) http.Handler { return trace.DebugzHandler(opts) }
+
+// Logger is the structured leveled logger: logfmt-style key=value
+// lines (or JSON, via SetLogJSON) tagged with a component and the
+// trace id of the epoch in flight. Debug/Info route to the stdout
+// writer, Warn/Error to the stderr writer.
+type Logger = trace.Logger
+
+// LogField is one fixed key=value field attached to a Logger.
+type LogField = trace.Attr
+
+// LogLevel is a log severity, in increasing order of urgency.
+type LogLevel = trace.Level
+
+// Log severities: Debug and Info route to the stdout writer, Warn and
+// Error to the stderr writer.
+const (
+	LogLevelDebug = trace.LevelDebug
+	LogLevelInfo  = trace.LevelInfo
+	LogLevelWarn  = trace.LevelWarn
+	LogLevelError = trace.LevelError
+)
+
+// LogString builds a string-valued LogField.
+func LogString(k, v string) LogField { return trace.String(k, v) }
+
+// LogInt builds an int-valued LogField.
+func LogInt(k string, v int) LogField { return trace.Int(k, v) }
+
+// NewLogger builds a logger for one component ("gpsd", "cluster",
+// "worker", ...) with optional fixed fields.
+func NewLogger(component string, fields ...LogField) *Logger {
+	return trace.NewLogger(component, fields...)
+}
+
+// SetLogJSON switches every logger between logfmt text (false) and
+// one-JSON-object-per-line (true); gpsd's -log-json flag.
+func SetLogJSON(on bool) { trace.SetLogJSON(on) }
+
+// SetLogOutput redirects the process-wide log destinations (nil keeps
+// one unchanged) and returns the previous pair so tests can restore.
+func SetLogOutput(out, errw io.Writer) (prevOut, prevErr io.Writer) {
+	return trace.SetLogOutput(out, errw)
+}
 
 // NewHTTPServer returns an http.Server with the serving layer's
 // slow-client timeout defaults applied — use it for any listener exposed

@@ -28,6 +28,7 @@ import (
 	"gps/internal/netmodel"
 	"gps/internal/pipeline"
 	"gps/internal/scanner"
+	"gps/internal/trace"
 	"gps/internal/zgrab"
 )
 
@@ -143,6 +144,11 @@ type Runner struct {
 	st   *State
 	hook CommitHook
 	tel  *runnerTelemetry
+	// tparent is the trace context the next Epoch's phase spans parent
+	// to. A shard coordinator (or a transport worker relaying a remote
+	// coordinator's context) sets it before each Epoch call; when unset,
+	// Epoch starts its own root span.
+	tparent trace.SpanContext
 }
 
 // New creates a runner seeded with an initial observation set (typically
@@ -178,6 +184,14 @@ func (r *Runner) State() *State { return r.st }
 // unregisters. Call it before the epoch loop starts, not concurrently
 // with Epoch.
 func (r *Runner) SetCommitHook(h CommitHook) { r.hook = h }
+
+// SetTraceParent sets the span context the next Epoch's phase spans
+// attach to — the per-shard span of a coordinator, or the RPC span id
+// extracted from a remote epoch request, so phase timing lands in the
+// coordinator's trace tree. The zero context restores standalone
+// behavior (Epoch roots its own trace). Not safe concurrently with
+// Epoch, like every Runner method.
+func (r *Runner) SetTraceParent(ctx trace.SpanContext) { r.tparent = ctx }
 
 // TrainingSet assembles the current training data: the records of every
 // known service not carrying a stale mark, in the deterministic
@@ -223,7 +237,18 @@ func (r *Runner) Epoch(u *netmodel.Universe) (EpochStats, error) {
 	r.st.Epoch++
 	e := r.st.Epoch
 	stats := EpochStats{Epoch: e}
+	// Phase spans attach under the coordinator-provided parent when one
+	// is set (so a distributed trace shows them beneath the per-shard
+	// RPC span); a standalone runner roots its own epoch trace.
+	tparent := r.tparent
+	var ownSpan *trace.Span
+	if !tparent.Valid() {
+		ownSpan = trace.StartSpan(trace.SpanContext{}, "epoch",
+			trace.Int("epoch", e), trace.Int("shard", r.cfg.ShardIndex))
+		tparent = ownSpan.Context()
+	}
 	phaseStart := time.Now()
+	phaseSpan := trace.StartSpan(tparent, "reverify", trace.Int("epoch", e))
 
 	// Phase 1: re-verify the known set, least recently seen first. One
 	// SYN per known service is the cheapest bandwidth GPS can spend —
@@ -266,13 +291,19 @@ func (r *Runner) Epoch(u *netmodel.Universe) (EpochStats, error) {
 	}
 	stats.ReverifyProbes = sc.Probes()
 	stats.Phases.Reverify = time.Since(phaseStart)
+	phaseSpan.SetAttr(trace.Int64("probes", int64(stats.ReverifyProbes)),
+		trace.Int("checked", stats.Freshness.Checked))
+	phaseSpan.Finish()
 
 	// Phase 2: re-train on the believed-live population and spend the
 	// remaining budget on discovery through the regular pipeline.
 	phaseStart = time.Now()
+	phaseSpan = trace.StartSpan(tparent, "retrain")
 	train := r.TrainingSet()
 	stats.TrainSize = train.NumServices()
 	stats.Phases.Retrain = time.Since(phaseStart)
+	phaseSpan.SetAttr(trace.Int("train_size", stats.TrainSize))
+	phaseSpan.Finish()
 	discover := train.NumServices() > 0
 	pcfg := r.cfg.Pipeline
 	pcfg.ShardIndex, pcfg.ShardCount = r.cfg.ShardIndex, r.cfg.ShardCount
@@ -285,8 +316,11 @@ func (r *Runner) Epoch(u *netmodel.Universe) (EpochStats, error) {
 	}
 	if discover {
 		phaseStart = time.Now()
+		phaseSpan = trace.StartSpan(tparent, "discover")
 		res, err := pipeline.Run(u, train, pcfg)
 		if err != nil {
+			phaseSpan.FinishErr(err)
+			ownSpan.FinishErr(err)
 			return stats, fmt.Errorf("continuous: epoch %d discovery: %w", e, err)
 		}
 		// The pipeline re-builds the model internally; that slice of its
@@ -294,9 +328,16 @@ func (r *Runner) Epoch(u *netmodel.Universe) (EpochStats, error) {
 		stats.Phases.Retrain += res.Timings.Model
 		stats.Phases.Discover = time.Since(phaseStart) - res.Timings.Model
 		stats.DiscoveryProbes = res.TotalScanProbes()
+		phaseSpan.SetAttr(trace.Int64("probes", int64(stats.DiscoveryProbes)),
+			trace.Int64("model_us", res.Timings.Model.Microseconds()))
+		phaseSpan.Finish()
 		phaseStart = time.Now()
+		phaseSpan = trace.StartSpan(tparent, "fold")
 		r.fold(u, res, e, &stats)
 		stats.Phases.Fold = time.Since(phaseStart)
+		phaseSpan.SetAttr(trace.Int("new_found", stats.NewFound),
+			trace.Int("refreshed", stats.Refreshed))
+		phaseSpan.Finish()
 	}
 
 	stats.KnownSize = len(r.st.Known)
@@ -314,6 +355,8 @@ func (r *Runner) Epoch(u *netmodel.Universe) (EpochStats, error) {
 	if r.hook != nil {
 		r.hook(e, r.st.Known)
 	}
+	ownSpan.SetAttr(trace.Int("known", stats.KnownSize))
+	ownSpan.Finish()
 	return stats, nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"gps/internal/netmodel"
 	"gps/internal/shard"
 	"gps/internal/shard/transport"
+	"gps/internal/trace"
 )
 
 // ReplicaOptions tunes a ReplicaServer.
@@ -176,22 +177,28 @@ func (r *ReplicaServer) consume(ctx context.Context, fc *transport.FeedConn) int
 			replicaBootstraps.Inc()
 			r.opts.logf("replica: bootstrapped at epoch %d (%d services)", ev.Epoch, len(inv))
 		case transport.FeedDelta:
+			applySpan := trace.StartSpan(trace.SpanContext{}, "replica.apply",
+				trace.Int("epoch", ev.Epoch), trace.Int("delta_bytes", len(ev.Payload)))
 			d, err := shard.ReadDelta(bytes.NewReader(ev.Payload))
 			if err != nil || d.BaseEpoch != r.Epoch() {
 				if err == nil {
 					err = fmt.Errorf("delta base epoch %d does not match replica epoch %d", d.BaseEpoch, r.Epoch())
 				}
+				applySpan.FinishErr(err)
 				r.opts.logf("replica: delta for epoch %d unusable: %v", ev.Epoch, err)
 				return -1
 			}
 			next := shard.CloneInventory(r.inv)
 			if err := shard.ApplyDelta(next, d); err != nil {
+				applySpan.FinishErr(err)
 				r.opts.logf("replica: applying delta %d→%d: %v", d.BaseEpoch, d.Epoch, err)
 				return -1
 			}
 			r.adopt(ev, next)
 			r.feed.CommitDelta(d, ev.Payload, next)
 			replicaDeltasApplied.Inc()
+			applySpan.SetAttr(trace.Int("services", len(next)))
+			applySpan.Finish()
 		}
 	}
 }

@@ -4,12 +4,14 @@ import (
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
 
 	"gps/internal/asndb"
 	"gps/internal/telemetry"
+	"gps/internal/trace"
 )
 
 // Pagination and cache bounds. The limits keep one request's work bounded
@@ -76,6 +78,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/cluster", instrument("cluster", s.handleCluster))
 	mux.HandleFunc("/v1/cluster/", instrument("cluster_op", s.handleClusterOp))
 	mux.Handle("/v1/metricz", telemetry.Handler())
+	mux.Handle("/v1/tracez", trace.Handler())
+	mux.Handle("/v1/debugz", trace.DebugzHandler(trace.DebugzOptions{
+		Metrics: func(w io.Writer) error { _, err := telemetry.Default.WriteTo(w); return err },
+		Cluster: func() (any, bool) {
+			if s.cluster == nil {
+				return nil, false
+			}
+			return s.cluster.Status(), true
+		},
+	}))
 	// Everything else is a structured 404, not the mux's plain-text
 	// default: clients get the same error envelope on a typo'd path as
 	// on any other failure.
@@ -387,7 +399,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // the structured envelope instead of the default plain-text 404.
 func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusNotFound, errNotFound,
-		fmt.Sprintf("no such endpoint %q; see /v1/{healthz,stats,ports,host,port,asn,prefix,watch,cluster,metricz}", r.URL.Path))
+		fmt.Sprintf("no such endpoint %q; see /v1/{healthz,stats,ports,host,port,asn,prefix,watch,cluster,metricz,tracez,debugz}", r.URL.Path))
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"gps/internal/telemetry"
+	"gps/internal/trace"
 )
 
 // Serving-layer metrics. The publisher is a zero-value type with no
@@ -109,14 +110,19 @@ func (r *statusRecorder) WriteHeader(code int) {
 func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // instrument wraps a route handler with latency and response-code
-// accounting.
+// accounting plus a per-request trace span keyed by endpoint, so a
+// slow request shows up in /v1/tracez with its path and status.
 func instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	m := newEndpointMetrics(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
+		reqSpan := trace.StartSpan(trace.SpanContext{}, "http."+endpoint,
+			trace.String("method", r.Method), trace.String("path", r.URL.Path))
 		sp := telemetry.StartSpan(m.latency)
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r)
 		sp.End()
+		reqSpan.SetAttr(trace.Int("status", rec.code))
+		reqSpan.Finish()
 		c, ok := m.byCode[rec.code]
 		if !ok {
 			c = m.codeCounter(rec.code)

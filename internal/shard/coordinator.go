@@ -8,6 +8,7 @@ import (
 	"gps/internal/continuous"
 	"gps/internal/dataset"
 	"gps/internal/netmodel"
+	"gps/internal/trace"
 )
 
 // Config parameterizes the sharded continuous coordinator.
@@ -133,6 +134,8 @@ func (c *Coordinator) States() []*continuous.State {
 // and returns the merged stats: counters summed, freshness folded. The
 // per-shard stats remain available in each shard state's History.
 func (c *Coordinator) Epoch(u *netmodel.Universe) (continuous.EpochStats, error) {
+	root := trace.StartSpan(trace.SpanContext{}, "epoch",
+		trace.Int("epoch", c.EpochNumber()+1), trace.Int("shards", len(c.runners)))
 	stats := make([]continuous.EpochStats, len(c.runners))
 	errs := make([]error, len(c.runners))
 	var wg sync.WaitGroup
@@ -140,14 +143,19 @@ func (c *Coordinator) Epoch(u *netmodel.Universe) (continuous.EpochStats, error)
 		wg.Add(1)
 		go func(i int, r *continuous.Runner) {
 			defer wg.Done()
+			ssp := trace.StartSpan(root.Context(), "shard-epoch", trace.Int("shard", i))
+			r.SetTraceParent(ssp.Context())
 			start := time.Now()
 			stats[i], errs[i] = r.Epoch(u)
 			c.tel.observeShard(i, time.Since(start))
+			r.SetTraceParent(trace.SpanContext{})
+			ssp.FinishErr(errs[i])
 		}(i, r)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
+			root.FinishErr(err)
 			return continuous.EpochStats{}, fmt.Errorf("shard: shard %d/%d: %w", i, len(c.runners), err)
 		}
 	}
@@ -156,6 +164,7 @@ func (c *Coordinator) Epoch(u *netmodel.Universe) (continuous.EpochStats, error)
 		inv, _ := MergeInventories(c.States())
 		c.hook(c.EpochNumber(), inv)
 	}
+	root.Finish()
 	return MergeStats(stats), nil
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"gps/internal/shard"
 	"gps/internal/telemetry"
+	"gps/internal/trace"
 )
 
 // Dynamic membership: the coordinator half of -join/-leave.
@@ -287,6 +288,8 @@ func (c *Coordinator) maintain() {
 	for _, w := range admitted {
 		c.workers = append(c.workers, w)
 		clusterJoins.Inc()
+		trace.StartSpan(c.epochTrace, "join",
+			trace.String("worker", w.id), trace.String("addr", w.addr)).Finish()
 		c.opts.logf("transport: admitted worker %q (%s); fleet is %d live", w.id, w.addr, c.AliveWorkers())
 	}
 	if len(admitted) > 0 {
@@ -319,6 +322,7 @@ func (c *Coordinator) drainAll() {
 			continue
 		}
 		w.draining = true
+		drainSpan := trace.StartSpan(c.epochTrace, "drain", trace.String("worker", w.id))
 		moved, kept := 0, 0
 		for s := 0; s < c.cfg.Shards; s++ {
 			if c.assign[s] != wi || !w.alive {
@@ -331,6 +335,8 @@ func (c *Coordinator) drainAll() {
 				moved++
 			}
 		}
+		drainSpan.SetAttr(trace.Int("moved", moved), trace.Int("kept", kept))
+		drainSpan.Finish()
 		if kept > 0 || !w.alive {
 			continue
 		}
@@ -503,6 +509,13 @@ func (c *Coordinator) migrate(s, to int, reason string) error {
 	w := c.workers[to]
 	from := c.assign[s]
 	start := time.Now()
+	// The migration span parents under the in-flight epoch when one is
+	// open (migrations land at epoch boundaries, inside Epoch); a
+	// boundary-less migration roots its own trace. Its context rides
+	// both handshake legs so the recipient's adopt spans join it.
+	migSpan := trace.StartSpan(c.epochTrace, "migrate",
+		trace.Int("shard", s), trace.String("from", c.workers[from].id),
+		trace.String("to", w.id), trace.String("reason", reason))
 	c.setInFlight(&MigrationStatus{
 		Shard: s, From: c.workers[from].id, To: w.id,
 		Reason: reason, Epoch: c.EpochNumber(),
@@ -514,19 +527,28 @@ func (c *Coordinator) migrate(s, to int, reason string) error {
 		if !fatalRPC(err) {
 			c.workerFailed(s, w, err)
 		}
+		migSpan.FinishErr(err)
 		return err
 	}
 	spec := EncodeWorldSpec(c.worldSpec, c.cfg.Shards, append(c.ownedBy(to), s))
-	offer := offerMsg{Shard: s, Cfg: c.shardCfg(s), WorldSpec: spec}
-	if _, err := w.rpc(c.opts.timeout(), msgOffer, encodeOffer(offer), msgAck); err != nil {
+	offer := offerMsg{Shard: s, Cfg: c.shardCfg(s), WorldSpec: spec, Trace: migSpan.Context()}
+	legSpan := trace.StartSpan(migSpan.Context(), "migrate.offer")
+	_, err := w.rpc(c.opts.timeout(), msgOffer, encodeOffer(offer), msgAck)
+	legSpan.FinishErr(err)
+	if err != nil {
 		return fail(fmt.Errorf("transport: shard %d offer to %q: %w", s, w.id, err))
 	}
 	blob, err := shard.EncodeState(c.states[s])
 	if err != nil {
 		migrationRejects.Inc()
+		migSpan.FinishErr(err)
 		return err
 	}
-	if _, err := w.rpc(c.opts.timeout(), msgState, encodeShardState(s, blob), msgAck); err != nil {
+	legSpan = trace.StartSpan(migSpan.Context(), "migrate.state",
+		trace.Int("state_bytes", len(blob)))
+	_, err = w.rpc(c.opts.timeout(), msgState, encodeShardState(s, blob, migSpan.Context()), msgAck)
+	legSpan.FinishErr(err)
+	if err != nil {
 		return fail(fmt.Errorf("transport: shard %d state to %q: %w", s, w.id, err))
 	}
 
@@ -548,6 +570,7 @@ func (c *Coordinator) migrate(s, to int, reason string) error {
 	})
 	c.opts.logf("transport: migrated shard %d from %q to %q (%s, %.3fs)",
 		s, c.workers[from].id, w.id, reason, sec)
+	migSpan.Finish()
 	return nil
 }
 

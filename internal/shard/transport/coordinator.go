@@ -11,6 +11,7 @@ import (
 	"gps/internal/dataset"
 	"gps/internal/netmodel"
 	"gps/internal/shard"
+	"gps/internal/trace"
 )
 
 // Options tunes the coordinator's client side.
@@ -135,6 +136,12 @@ type Coordinator struct {
 	tel     *rpcTelemetry
 
 	failures []*WorkerError
+
+	// epochTrace is the in-flight epoch's root span context; set for
+	// the duration of Epoch so maintain-time work (migrations, drains)
+	// parents its spans under the epoch that absorbed it. Only the
+	// epoch-loop thread touches it.
+	epochTrace trace.SpanContext
 
 	// Dynamic membership (cluster.go). Everything below mu is shared
 	// with the join listener's goroutines and HTTP handlers; the live
@@ -405,11 +412,18 @@ func (c *Coordinator) Epoch() (continuous.EpochStats, error) {
 	if c.states == nil {
 		return continuous.EpochStats{}, fmt.Errorf("transport: Epoch before Seed or Resume")
 	}
+	// The epoch root span opens before maintain so membership work —
+	// migrations, drains, admissions — shows up as children of the
+	// epoch that absorbed it.
+	root := trace.StartSpan(trace.SpanContext{}, "epoch", trace.Int("shards", c.cfg.Shards))
+	c.epochTrace = root.Context()
+	defer func() { c.epochTrace = trace.SpanContext{} }()
 	// The epoch boundary: every queued membership change — admissions,
 	// drains, policy migrations — lands here, before any shard starts
 	// the epoch, so the fan-out below always sees a settled assignment.
 	c.maintain()
 	epoch := c.EpochNumber() + 1
+	root.SetAttr(trace.Int("epoch", epoch))
 	n := c.cfg.Shards
 	completed := make(map[int]*continuous.State, n)
 	for len(completed) < n {
@@ -421,6 +435,7 @@ func (c *Coordinator) Epoch() (continuous.EpochStats, error) {
 				continue
 			}
 			if _, err := c.liveWorker(s); err != nil {
+				root.FinishErr(err)
 				return continuous.EpochStats{}, err
 			}
 			byWorker[c.assign[s]] = append(byWorker[c.assign[s]], s)
@@ -442,7 +457,7 @@ func (c *Coordinator) Epoch() (continuous.EpochStats, error) {
 				w := c.workers[wi]
 				for _, s := range shards {
 					start := time.Now()
-					st, err := c.runShardEpoch(w, s, epoch)
+					st, err := c.runShardEpoch(w, s, epoch, root.Context())
 					if err == nil {
 						d := time.Since(start).Seconds()
 						c.tel.shardLat[s].Observe(d)
@@ -490,6 +505,7 @@ func (c *Coordinator) Epoch() (continuous.EpochStats, error) {
 				for i := range c.inited {
 					c.inited[i] = false
 				}
+				root.FinishErr(out.abort)
 				return continuous.EpochStats{}, out.abort
 			}
 		}
@@ -510,12 +526,16 @@ func (c *Coordinator) Epoch() (continuous.EpochStats, error) {
 		c.hook(epoch, inv)
 	}
 	c.publishStatus()
+	root.Finish()
 	return shard.MergeStats(stats), nil
 }
 
 // runShardEpoch initializes the shard on w if needed, runs one epoch, and
-// decodes the returned state.
-func (c *Coordinator) runShardEpoch(w *workerLink, s, epoch int) (*continuous.State, error) {
+// decodes the returned state. The RPC span it opens under parent is the
+// trace context shipped to the worker, so the worker's phase spans —
+// returned on the result frame and imported below — land directly
+// beneath it in the stitched tree.
+func (c *Coordinator) runShardEpoch(w *workerLink, s, epoch int, parent trace.SpanContext) (*continuous.State, error) {
 	if !c.inited[s] {
 		blob, err := shard.EncodeState(c.states[s])
 		if err != nil {
@@ -527,11 +547,20 @@ func (c *Coordinator) runShardEpoch(w *workerLink, s, epoch int) (*continuous.St
 		}
 		c.inited[s] = true
 	}
-	resp, err := w.rpc(c.opts.timeout(), msgEpoch, encodeEpochReq(s, epoch), msgEpochResult)
+	rpcSpan := trace.StartSpan(parent, "rpc.epoch",
+		trace.Int("shard", s), trace.String("worker", w.id))
+	resp, err := w.rpc(c.opts.timeout(), msgEpoch, encodeEpochReq(s, epoch, rpcSpan.Context()), msgEpochResult)
 	if err != nil {
+		rpcSpan.FinishErr(err)
 		return nil, err
 	}
-	gotShard, blob, draining, err := decodeEpochResult(resp)
+	gotShard, blob, draining, remoteSpans, err := decodeEpochResult(resp)
+	if len(remoteSpans) > 0 {
+		if recs, derr := trace.DecodeSpans(remoteSpans); derr == nil {
+			trace.Default.Import(recs)
+		}
+	}
+	rpcSpan.FinishErr(err)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"gps/internal/trace"
+)
+
+func spanAttr(r trace.SpanRecord, key string) string {
+	for _, a := range r.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// TestTransportTraceStitching runs one distributed epoch and asserts
+// the coordinator's flight recorder holds the stitched tree: an epoch
+// root, one rpc.epoch child per shard, and under each of those the
+// phase spans the worker shipped back on the result frame.
+func TestTransportTraceStitching(t *testing.T) {
+	const worldSeed, n = 21, 2
+	trace.Default.Reset()
+	trace.SetEnabled(true)
+
+	var addrs []string
+	for i := 0; i < n; i++ {
+		addrs = append(addrs, startWorker(t).addr())
+	}
+	c, err := Dial(addrs, testConfig(n), worldSpec(worldSeed), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, seedSet := testSeed(worldSeed)
+	if err := c.Seed(seedSet); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Epoch(); err != nil {
+		t.Fatal(err)
+	}
+
+	var root trace.SpanRecord
+	roots := 0
+	for _, r := range trace.Default.Snapshot() {
+		if r.Parent == 0 && r.Name == "epoch" {
+			root, roots = r, roots+1
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("recorded %d epoch roots; want exactly 1", roots)
+	}
+
+	// The test runs worker and coordinator in one process sharing the
+	// Default recorder, so shipped-back spans appear both as the worker's
+	// local record and as the coordinator's import: dedup by span id.
+	spans := make(map[uint64]trace.SpanRecord)
+	for _, r := range trace.Default.TraceSpans(root.TraceID) {
+		spans[r.SpanID] = r
+	}
+
+	rpcShards := make(map[string]uint64) // shard attr -> span id
+	for id, r := range spans {
+		if r.Name == "rpc.epoch" && r.Parent == root.SpanID {
+			rpcShards[spanAttr(r, "shard")] = id
+		}
+	}
+	if len(rpcShards) != n {
+		t.Fatalf("epoch root has %d rpc.epoch children (%v); want one per shard (%d)",
+			len(rpcShards), rpcShards, n)
+	}
+
+	phases := make(map[string]map[string]bool) // shard -> phase names seen
+	for _, r := range spans {
+		for shard, rpcID := range rpcShards {
+			if r.Parent == rpcID {
+				if phases[shard] == nil {
+					phases[shard] = make(map[string]bool)
+				}
+				phases[shard][r.Name] = true
+			}
+		}
+	}
+	for shard, id := range rpcShards {
+		got := phases[shard]
+		for _, want := range []string{"reverify", "retrain", "discover", "fold"} {
+			if !got[want] {
+				t.Errorf("shard %s (rpc span %016x): phase %q missing from stitched tree; got %v",
+					shard, id, want, got)
+			}
+		}
+	}
+}
+
+// TestTransportTraceContextSkew pins wire compatibility with peers that
+// predate the trailing trace-context fields. GPST decoders never
+// require payload exhaustion, so the fields are compatible both ways
+// without a version bump: an old peer's shorter frames decode with a
+// zero context, and a new peer with tracing off emits byte-identical
+// old frames.
+func TestTransportTraceContextSkew(t *testing.T) {
+	// Old coordinator -> new worker: the request ends after the epoch.
+	var oldReq enc
+	oldReq.varint(3)
+	oldReq.varint(9)
+	shard, epoch, tc, err := decodeEpochReq(oldReq.payload())
+	if err != nil || shard != 3 || epoch != 9 || tc.Valid() {
+		t.Fatalf("old epoch request decoded to (%d, %d, %+v, %v); want (3, 9, zero ctx, nil)",
+			shard, epoch, tc, err)
+	}
+	// New coordinator without a trace emits exactly the old frame.
+	if !bytes.Equal(encodeEpochReq(3, 9, trace.SpanContext{}), oldReq.payload()) {
+		t.Error("untraced epoch request differs from the pre-trace wire format")
+	}
+	// With a trace the old fields stay a prefix, so an old worker's
+	// decoder reads them and ignores the tail.
+	traced := encodeEpochReq(3, 9, trace.SpanContext{TraceID: 0xabc, SpanID: 0xdef})
+	if !bytes.HasPrefix(traced, oldReq.payload()) {
+		t.Error("trace context must trail the v2 epoch-request fields")
+	}
+
+	// Old worker -> new coordinator: the result ends after the draining
+	// flag; the span batch comes back nil.
+	var oldRes enc
+	oldRes.varint(1)
+	oldRes.bytes([]byte("state"))
+	oldRes.bool(true)
+	rShard, state, draining, spans, err := decodeEpochResult(oldRes.payload())
+	if err != nil || rShard != 1 || string(state) != "state" || !draining || spans != nil {
+		t.Fatalf("old epoch result decoded to (%d, %q, %v, %v, %v)", rShard, state, draining, spans, err)
+	}
+	if !bytes.Equal(encodeEpochResult(1, []byte("state"), true, nil), oldRes.payload()) {
+		t.Error("spanless epoch result differs from the pre-trace wire format")
+	}
+
+	// Migration legs: offer and state frames without the trailing
+	// context decode to a zero context, and zero-context encodes match.
+	cfg := testConfig(1).Continuous
+	var oldOffer enc
+	oldOffer.varint(2)
+	encodeConfig(&oldOffer, cfg)
+	oldOffer.bytes([]byte("spec"))
+	m, err := decodeOffer(oldOffer.payload())
+	if err != nil || m.Shard != 2 || m.Trace.Valid() {
+		t.Fatalf("old offer decoded to (%+v, %v)", m, err)
+	}
+	if !bytes.Equal(encodeOffer(offerMsg{Shard: 2, Cfg: cfg, WorldSpec: []byte("spec")}), oldOffer.payload()) {
+		t.Error("untraced offer differs from the pre-trace wire format")
+	}
+	var oldState enc
+	oldState.varint(2)
+	oldState.bytes([]byte("blob"))
+	sShard, blob, stc, err := decodeShardState(oldState.payload())
+	if err != nil || sShard != 2 || string(blob) != "blob" || stc.Valid() {
+		t.Fatalf("old shard state decoded to (%d, %q, %+v, %v)", sShard, blob, stc, err)
+	}
+	if !bytes.Equal(encodeShardState(2, []byte("blob"), trace.SpanContext{}), oldState.payload()) {
+		t.Error("untraced shard state differs from the pre-trace wire format")
+	}
+
+	// End to end with tracing disabled the wire carries exactly the old
+	// frames: a full epoch must still run, and record nothing.
+	trace.SetEnabled(false)
+	defer trace.SetEnabled(true)
+	trace.Default.Reset()
+	w := startWorker(t)
+	c, err := Dial([]string{w.addr()}, testConfig(1), worldSpec(21), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, seedSet := testSeed(21)
+	if err := c.Seed(seedSet); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Epoch(); err != nil {
+		t.Fatalf("epoch with tracing disabled: %v", err)
+	}
+	if got := trace.Default.Snapshot(); len(got) != 0 {
+		t.Errorf("disabled tracer recorded %d spans", len(got))
+	}
+}

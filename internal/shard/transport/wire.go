@@ -37,6 +37,7 @@ import (
 	"gps/internal/continuous"
 	"gps/internal/features"
 	"gps/internal/probmodel"
+	"gps/internal/trace"
 )
 
 const (
@@ -314,6 +315,45 @@ func (d *dec) bytes() []byte {
 	return b
 }
 
+// Optional trailing trace context. Decoders in this package never
+// require payload exhaustion, so appending (trace id, span id) to the
+// END of an existing payload is wire-compatible in both directions
+// without a version bump: a pre-trace v2 peer ignores the extra bytes,
+// and a post-trace peer treats their absence as "no trace". The
+// encoder emits nothing for an invalid context, so with tracing
+// disabled the wire bytes are identical to the pre-trace protocol.
+func (e *enc) traceCtx(ctx trace.SpanContext) {
+	if !ctx.Valid() {
+		return
+	}
+	e.uvarint(ctx.TraceID)
+	e.uvarint(ctx.SpanID)
+}
+
+// traceCtx reads an optional trailing trace context. Best-effort by
+// contract: absence, truncation, or garbage all yield the zero context
+// and never poison the decoder — trace metadata must not fail a frame.
+func (d *dec) traceCtx() trace.SpanContext {
+	if d.err != nil || d.r.Len() == 0 {
+		return trace.SpanContext{}
+	}
+	tid, err1 := binary.ReadUvarint(d.r)
+	sid, err2 := binary.ReadUvarint(d.r)
+	if err1 != nil || err2 != nil {
+		return trace.SpanContext{}
+	}
+	return trace.SpanContext{TraceID: tid, SpanID: sid}
+}
+
+// optBytes reads an optional trailing length-prefixed blob, nil when
+// the payload is already exhausted (pre-trace peer).
+func (d *dec) optBytes() []byte {
+	if d.err != nil || d.r.Len() == 0 {
+		return nil
+	}
+	return d.bytes()
+}
+
 // encodeConfig serializes a per-shard continuous configuration. The field
 // order is frozen by Version.
 func encodeConfig(e *enc, c continuous.Config) {
@@ -402,18 +442,23 @@ func decodeInit(payload []byte) (initMsg, error) {
 	return m, d.err
 }
 
-func encodeEpochReq(shard, epoch int) []byte {
+// encodeEpochReq frames an epoch request; tc, when valid, is the
+// coordinator's per-shard RPC span, appended as an optional trailing
+// field so the worker can parent its phase spans under it.
+func encodeEpochReq(shard, epoch int, tc trace.SpanContext) []byte {
 	var e enc
 	e.varint(int64(shard))
 	e.varint(int64(epoch))
+	e.traceCtx(tc)
 	return e.payload()
 }
 
-func decodeEpochReq(payload []byte) (shard, epoch int, err error) {
+func decodeEpochReq(payload []byte) (shard, epoch int, tc trace.SpanContext, err error) {
 	d := newDec(payload)
 	shard = int(d.varint())
 	epoch = int(d.varint())
-	return shard, epoch, d.err
+	tc = d.traceCtx()
+	return shard, epoch, tc, d.err
 }
 
 // encodeEpochResult carries a shard's post-epoch state back to the
@@ -421,20 +466,28 @@ func decodeEpochReq(payload []byte) (shard, epoch int, err error) {
 // asks to leave: set once the process has been told to drain, it makes
 // the coordinator migrate the worker's shards away at the next epoch
 // boundary instead of waiting for the connection to die.
-func encodeEpochResult(shard int, state []byte, draining bool) []byte {
+// spans is the optional trailing span batch (trace.EncodeSpans): the
+// worker's phase spans for this epoch, shipped back so the
+// coordinator can stitch them into its own flight recorder. Only sent
+// when the request carried a trace context.
+func encodeEpochResult(shard int, state []byte, draining bool, spans []byte) []byte {
 	var e enc
 	e.varint(int64(shard))
 	e.bytes(state)
 	e.bool(draining)
+	if len(spans) > 0 {
+		e.bytes(spans)
+	}
 	return e.payload()
 }
 
-func decodeEpochResult(payload []byte) (shard int, state []byte, draining bool, err error) {
+func decodeEpochResult(payload []byte) (shard int, state []byte, draining bool, spans []byte, err error) {
 	d := newDec(payload)
 	shard = int(d.varint())
 	state = d.bytes()
 	draining = d.bool()
-	return shard, state, draining, d.err
+	spans = d.optBytes()
+	return shard, state, draining, spans, d.err
 }
 
 func encodeShardAck(shard int) []byte {
@@ -479,6 +532,10 @@ type offerMsg struct {
 	Shard     int
 	Cfg       continuous.Config
 	WorldSpec []byte
+	// Trace is the optional migration span context (trailing wire
+	// field): the recipient parents its accept/build spans under it so
+	// both sides of the handshake share one trace.
+	Trace trace.SpanContext
 }
 
 func encodeOffer(m offerMsg) []byte {
@@ -486,6 +543,7 @@ func encodeOffer(m offerMsg) []byte {
 	e.varint(int64(m.Shard))
 	encodeConfig(&e, m.Cfg)
 	e.bytes(m.WorldSpec)
+	e.traceCtx(m.Trace)
 	return e.payload()
 }
 
@@ -495,23 +553,26 @@ func decodeOffer(payload []byte) (offerMsg, error) {
 	m.Shard = int(d.varint())
 	m.Cfg = decodeConfig(d)
 	m.WorldSpec = d.bytes()
+	m.Trace = d.traceCtx()
 	return m, d.err
 }
 
 // encodeShardState frames a shard's serialized state for msgState, the
-// second migration leg.
-func encodeShardState(shard int, state []byte) []byte {
+// second migration leg. tc carries the migration span context.
+func encodeShardState(shard int, state []byte, tc trace.SpanContext) []byte {
 	var e enc
 	e.varint(int64(shard))
 	e.bytes(state)
+	e.traceCtx(tc)
 	return e.payload()
 }
 
-func decodeShardState(payload []byte) (shard int, state []byte, err error) {
+func decodeShardState(payload []byte) (shard int, state []byte, tc trace.SpanContext, err error) {
 	d := newDec(payload)
 	shard = int(d.varint())
 	state = d.bytes()
-	return shard, state, d.err
+	tc = d.traceCtx()
+	return shard, state, tc, d.err
 }
 
 // World-spec partition envelope. The coordinator never sends a caller's

@@ -12,6 +12,7 @@ import (
 	"gps/internal/continuous"
 	"gps/internal/features"
 	"gps/internal/pipeline"
+	"gps/internal/trace"
 )
 
 func TestWireFrameRoundTrip(t *testing.T) {
@@ -132,7 +133,7 @@ func TestWireMidStreamDisconnect(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := &workerLink{addr: lis.Addr().String(), conn: conn, alive: true}
-	_, err = w.rpc(5*time.Second, msgEpoch, encodeEpochReq(0, 1), msgEpochResult)
+	_, err = w.rpc(5*time.Second, msgEpoch, encodeEpochReq(0, 1, trace.SpanContext{}), msgEpochResult)
 	var de *DisconnectError
 	if !errors.As(err, &de) {
 		t.Fatalf("mid-stream disconnect returned %v; want *DisconnectError", err)

@@ -13,6 +13,7 @@ import (
 	"gps/internal/netmodel"
 	gpsshard "gps/internal/shard"
 	"gps/internal/store"
+	"gps/internal/trace"
 )
 
 // World is a worker's deterministic replica of the scanned universe.
@@ -346,7 +347,7 @@ func (s *session) handleInit(conn net.Conn, payload []byte) error {
 }
 
 func (s *session) handleEpoch(conn net.Conn, payload []byte) error {
-	shard, epoch, err := decodeEpochReq(payload)
+	shard, epoch, tc, err := decodeEpochReq(payload)
 	if err != nil {
 		return s.reject(conn, err)
 	}
@@ -362,8 +363,26 @@ func (s *session) handleEpoch(conn net.Conn, payload []byte) error {
 	if err != nil {
 		return s.reject(conn, fmt.Errorf("advancing world to epoch %d: %w", epoch, err))
 	}
-	if _, err := r.Epoch(u); err != nil {
-		return s.reject(conn, fmt.Errorf("epoch %d on shard %d: %w", epoch, shard, err))
+	// A trace context on the request is the coordinator's per-shard RPC
+	// span: parent the runner's phase spans directly under it, collect
+	// everything this trace records here, and ship the batch back on
+	// the result so the coordinator stitches one tree. Local log lines
+	// emitted meanwhile join the same trace id.
+	var col *trace.Collector
+	if tc.Valid() {
+		col = trace.Default.Collect(tc.TraceID)
+		trace.Default.SetCurrentTrace(tc.TraceID)
+		r.SetTraceParent(tc)
+	}
+	_, eerr := r.Epoch(u)
+	var spanBlob []byte
+	if tc.Valid() {
+		r.SetTraceParent(trace.SpanContext{})
+		trace.Default.SetCurrentTrace(0)
+		spanBlob = trace.EncodeSpans(col.Stop())
+	}
+	if eerr != nil {
+		return s.reject(conn, fmt.Errorf("epoch %d on shard %d: %w", epoch, shard, eerr))
 	}
 	workerEpochs.Inc()
 	blob, err := gpsshard.EncodeState(r.State())
@@ -372,7 +391,7 @@ func (s *session) handleEpoch(conn net.Conn, payload []byte) error {
 	}
 	// The draining flag rides every epoch result: it is how a worker
 	// asks the coordinator to migrate its shards away before it leaves.
-	return s.send(conn, msgEpochResult, encodeEpochResult(shard, blob, s.opts.draining()))
+	return s.send(conn, msgEpochResult, encodeEpochResult(shard, blob, s.opts.draining(), spanBlob))
 }
 
 // handleOffer is the first migration leg: the coordinator proposes that
@@ -389,14 +408,19 @@ func (s *session) handleOffer(conn net.Conn, payload []byte) error {
 	if s.opts.draining() {
 		return s.reject(conn, fmt.Errorf("shard %d offer refused: worker is draining", m.Shard))
 	}
+	// Joining the coordinator's migration trace: our accept-side span
+	// records how long the world build took on this end of the wire.
+	acceptSpan := trace.StartSpan(m.Trace, "migrate.accept", trace.Int("shard", m.Shard))
 	if s.world == nil || !bytes.Equal(s.worldSpec, m.WorldSpec) {
 		w, err := s.buildWorld(m.WorldSpec)
 		if err != nil {
+			acceptSpan.FinishErr(err)
 			return s.reject(conn, fmt.Errorf("world spec rejected: %w", err))
 		}
 		s.world, s.worldSpec = w, m.WorldSpec
 	}
 	s.offered[m.Shard] = m.Cfg
+	acceptSpan.Finish()
 	s.opts.logf("transport: offered shard %d/%d; world partition ready", m.Shard, m.Cfg.ShardCount)
 	return s.send(conn, msgAck, encodeShardAck(m.Shard))
 }
@@ -405,7 +429,7 @@ func (s *session) handleOffer(conn net.Conn, payload []byte) error {
 // state arrives, the worker resumes a runner on it, and from the ack
 // onward this worker is the shard's owner.
 func (s *session) handleState(conn net.Conn, payload []byte) error {
-	sh, blob, err := decodeShardState(payload)
+	sh, blob, tc, err := decodeShardState(payload)
 	if err != nil {
 		return s.reject(conn, err)
 	}
@@ -413,12 +437,16 @@ func (s *session) handleState(conn net.Conn, payload []byte) error {
 	if !ok {
 		return s.reject(conn, fmt.Errorf("state for shard %d arrived without a prior offer", sh))
 	}
+	adoptSpan := trace.StartSpan(tc, "migrate.adopt",
+		trace.Int("shard", sh), trace.Int("state_bytes", len(blob)))
 	st, err := gpsshard.DecodeState(blob)
 	if err != nil {
+		adoptSpan.FinishErr(err)
 		return s.reject(conn, err)
 	}
 	delete(s.offered, sh)
 	s.runners[sh] = continuous.Resume(st, cfg)
+	adoptSpan.Finish()
 	workerMigrationsIn.Inc()
 	workerShardsOwned.Set(float64(len(s.runners)))
 	s.opts.logf("transport: migrated in shard %d at epoch %d (%d known services)",

@@ -1,0 +1,304 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// HTTP exposition: /v1/tracez renders the flight recorder (JSON by
+// default, ?trace=ID for one stitched tree, ?format=text for a
+// human-readable waterfall), and /v1/debugz bundles everything a bug
+// report needs — build info, metrics, cluster doc, recent traces — as
+// one NDJSON download.
+
+// tracezNode is one span in a /v1/tracez?trace=ID tree.
+type tracezNode struct {
+	Span       string            `json:"span"`
+	Parent     string            `json:"parent,omitempty"`
+	Name       string            `json:"name"`
+	Proc       string            `json:"proc,omitempty"`
+	StartMS    float64           `json:"start_ms"` // offset from trace start
+	DurationMS float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []*tracezNode     `json:"children,omitempty"`
+}
+
+type tracezSummary struct {
+	Trace      string  `json:"trace"`
+	Root       string  `json:"root,omitempty"`
+	Proc       string  `json:"proc,omitempty"`
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+	Spans      int     `json:"spans"`
+}
+
+// Handler serves the tracer's flight recorder. GET/HEAD only.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		text := q.Get("format") == "text"
+		if id := q.Get("trace"); id != "" {
+			tid, err := strconv.ParseUint(id, 16, 64)
+			if err != nil {
+				http.Error(w, "bad trace id (expect hex)", http.StatusBadRequest)
+				return
+			}
+			spans := t.TraceSpans(tid)
+			if len(spans) == 0 {
+				http.Error(w, "trace not found (evicted or never recorded)", http.StatusNotFound)
+				return
+			}
+			if text {
+				w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+				writeWaterfall(w, tid, spans)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			roots, start, dur := buildTree(spans)
+			json.NewEncoder(w).Encode(map[string]any{
+				"trace":       TraceID(tid),
+				"start":       start.UTC().Format(time.RFC3339Nano),
+				"duration_ms": durMS(dur),
+				"span_count":  len(spans),
+				"spans":       roots,
+			})
+			return
+		}
+		limit := 64
+		if s := q.Get("limit"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				limit = n
+			}
+		}
+		sums := t.Summaries(limit)
+		if text {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintf(w, "tracez: %d recent traces (newest first); ?trace=ID&format=text for a waterfall\n", len(sums))
+			for _, s := range sums {
+				fmt.Fprintf(w, "%s  %-24s %9.2fms  %3d spans  %s\n",
+					TraceID(s.TraceID), s.Root, durMS(s.Duration), s.Spans,
+					s.Start.UTC().Format(time.RFC3339))
+			}
+			return
+		}
+		out := make([]tracezSummary, 0, len(sums))
+		for _, s := range sums {
+			out = append(out, tracezSummary{
+				Trace:      TraceID(s.TraceID),
+				Root:       s.Root,
+				Proc:       s.Proc,
+				Start:      s.Start.UTC().Format(time.RFC3339Nano),
+				DurationMS: durMS(s.Duration),
+				Spans:      s.Spans,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"traces": out})
+	})
+}
+
+// Handler serves the Default tracer's flight recorder.
+func Handler() http.Handler { return Default.Handler() }
+
+func durMS(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}
+
+// buildTree assembles flat records into parent→child trees. Spans
+// whose parent is missing (evicted, or remote and never shipped) are
+// promoted to roots so nothing recorded is hidden.
+func buildTree(spans []SpanRecord) (roots []*tracezNode, start time.Time, total time.Duration) {
+	start = spans[0].Start
+	for _, s := range spans {
+		if s.Start.Before(start) {
+			start = s.Start
+		}
+	}
+	var end time.Time
+	nodes := make(map[uint64]*tracezNode, len(spans))
+	for _, s := range spans {
+		n := &tracezNode{
+			Span:       fmt.Sprintf("%016x", s.SpanID),
+			Name:       s.Name,
+			Proc:       s.Proc,
+			StartMS:    durMS(s.Start.Sub(start)),
+			DurationMS: durMS(s.Duration),
+		}
+		if s.Parent != 0 {
+			n.Parent = fmt.Sprintf("%016x", s.Parent)
+		}
+		if len(s.Attrs) > 0 {
+			n.Attrs = make(map[string]string, len(s.Attrs))
+			for _, a := range s.Attrs {
+				n.Attrs[a.Key] = a.Value
+			}
+		}
+		nodes[s.SpanID] = n
+		if e := s.Start.Add(s.Duration); e.After(end) {
+			end = e
+		}
+	}
+	for _, s := range spans {
+		n := nodes[s.SpanID]
+		if p, ok := nodes[s.Parent]; ok && s.Parent != s.SpanID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	for _, n := range nodes {
+		sort.Slice(n.Children, func(i, j int) bool { return n.Children[i].StartMS < n.Children[j].StartMS })
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].StartMS < roots[j].StartMS })
+	return roots, start, end.Sub(start)
+}
+
+// writeWaterfall renders one trace as an indented text waterfall with
+// a proportional time bar per span.
+func writeWaterfall(w io.Writer, tid uint64, spans []SpanRecord) {
+	roots, start, total := buildTree(spans)
+	fmt.Fprintf(w, "trace %s  start=%s  duration=%.2fms  spans=%d\n",
+		TraceID(tid), start.UTC().Format(time.RFC3339Nano), durMS(total), len(spans))
+	const barWidth = 32
+	totalMS := durMS(total)
+	if totalMS <= 0 {
+		totalMS = 1e-6
+	}
+	var walk func(n *tracezNode, depth int)
+	walk = func(n *tracezNode, depth int) {
+		lead := int(float64(barWidth) * n.StartMS / totalMS)
+		fill := int(float64(barWidth) * n.DurationMS / totalMS)
+		if fill < 1 {
+			fill = 1
+		}
+		if lead+fill > barWidth {
+			fill = barWidth - lead
+			if fill < 1 {
+				lead, fill = barWidth-1, 1
+			}
+		}
+		bar := strings.Repeat(".", lead) + strings.Repeat("#", fill) +
+			strings.Repeat(".", barWidth-lead-fill)
+		label := strings.Repeat("  ", depth) + n.Name
+		attrs := make([]string, 0, len(n.Attrs))
+		for k, v := range n.Attrs {
+			attrs = append(attrs, k+"="+v)
+		}
+		sort.Strings(attrs)
+		tag := strings.Join(attrs, " ")
+		if n.Proc != "" {
+			tag = strings.TrimSpace("[" + n.Proc + "] " + tag)
+		}
+		fmt.Fprintf(w, "%10.3fms  [%s]  %-32s %9.3fms  %s\n",
+			n.StartMS, bar, label, n.DurationMS, tag)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+// DebugzOptions names the sections a /v1/debugz bundle snapshots.
+// Every field is optional; absent sections are skipped rather than
+// erroring, so the same handler serves every gpsd mode.
+type DebugzOptions struct {
+	Tracer      *Tracer                 // defaults to Default
+	Metrics     func(w io.Writer) error // Prometheus text exposition
+	Cluster     func() (any, bool)      // cluster doc, ok=false when not clustered
+	TraceLimit  int                     // recent traces to include (default 32)
+	ExtraBuild  map[string]string       // caller-supplied build facts (mode, version)
+	HealthState func() (string, bool)   // optional health status string
+}
+
+// DebugzHandler serves the one-request bug-report bundle: NDJSON, one
+// JSON object per line, each tagged with a "section" field.
+func DebugzHandler(opts DebugzOptions) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		tr := opts.Tracer
+		if tr == nil {
+			tr = Default
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("Content-Disposition", `attachment; filename="gps-debugz.ndjson"`)
+		enc := json.NewEncoder(w)
+
+		build := map[string]any{
+			"section":    "build",
+			"go":         runtime.Version(),
+			"os":         runtime.GOOS,
+			"arch":       runtime.GOARCH,
+			"pid":        os.Getpid(),
+			"goroutines": runtime.NumGoroutine(),
+			"proc":       tr.Process(),
+			"captured":   time.Now().UTC().Format(time.RFC3339Nano),
+		}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			build["module"] = bi.Main.Path
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" {
+					build["revision"] = s.Value
+				}
+			}
+		}
+		for k, v := range opts.ExtraBuild {
+			build[k] = v
+		}
+		enc.Encode(build)
+
+		if opts.HealthState != nil {
+			if status, ok := opts.HealthState(); ok {
+				enc.Encode(map[string]any{"section": "health", "status": status})
+			}
+		}
+		if opts.Metrics != nil {
+			var sb strings.Builder
+			if err := opts.Metrics(&sb); err == nil {
+				enc.Encode(map[string]any{"section": "metrics", "prometheus": sb.String()})
+			} else {
+				enc.Encode(map[string]any{"section": "metrics", "error": err.Error()})
+			}
+		}
+		if opts.Cluster != nil {
+			if doc, ok := opts.Cluster(); ok {
+				enc.Encode(map[string]any{"section": "cluster", "doc": doc})
+			}
+		}
+		limit := opts.TraceLimit
+		if limit <= 0 {
+			limit = 32
+		}
+		for _, s := range tr.Summaries(limit) {
+			roots, start, dur := buildTree(tr.TraceSpans(s.TraceID))
+			enc.Encode(map[string]any{
+				"section":     "trace",
+				"trace":       TraceID(s.TraceID),
+				"root":        s.Root,
+				"start":       start.UTC().Format(time.RFC3339Nano),
+				"duration_ms": durMS(dur),
+				"span_count":  s.Spans,
+				"spans":       roots,
+			})
+		}
+	})
+}

@@ -1,0 +1,222 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Structured logging that joins log lines to the flight recorder:
+// every line carries component/shard/... fields plus the trace id of
+// the epoch in flight (Tracer.CurrentTrace), so a slow line in the log
+// can be looked up as a waterfall in /v1/tracez.
+//
+// Routing contract (pinned by a cmd/gpsd test): Debug and Info go to
+// the stdout writer, Warn and Error to the stderr writer. Text mode
+// emits logfmt-style key=value lines; SetLogJSON(true) switches every
+// line to a single JSON object.
+
+// Level is a log severity.
+type Level int8
+
+// Severity levels, in increasing order.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name used in the level= field.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "info"
+	}
+}
+
+var (
+	logMu   sync.Mutex
+	logJSON bool
+	logOut  io.Writer = os.Stdout
+	logErr  io.Writer = os.Stderr
+)
+
+// SetLogJSON switches all loggers between logfmt text (false) and
+// one-JSON-object-per-line (true).
+func SetLogJSON(on bool) {
+	logMu.Lock()
+	logJSON = on
+	logMu.Unlock()
+}
+
+// SetLogOutput redirects the process-wide log destinations: out
+// receives Debug/Info lines, errw receives Warn/Error lines. A nil
+// writer leaves that destination unchanged. Returns the previous pair
+// so tests can restore it.
+func SetLogOutput(out, errw io.Writer) (prevOut, prevErr io.Writer) {
+	logMu.Lock()
+	prevOut, prevErr = logOut, logErr
+	if out != nil {
+		logOut = out
+	}
+	if errw != nil {
+		logErr = errw
+	}
+	logMu.Unlock()
+	return prevOut, prevErr
+}
+
+// Logger emits leveled structured lines tagged with a component and a
+// fixed field set. Loggers are cheap values; derive per-subsystem ones
+// with With.
+type Logger struct {
+	component string
+	fields    []Attr
+	out, err  io.Writer // optional per-logger override (tests, parseArgs)
+	tr        *Tracer
+}
+
+// NewLogger builds a logger for one component ("gpsd", "transport",
+// "cluster", ...) with optional fixed fields.
+func NewLogger(component string, fields ...Attr) *Logger {
+	return &Logger{component: component, fields: fields, tr: Default}
+}
+
+// With returns a copy carrying extra fixed fields (e.g. shard=3).
+func (l *Logger) With(fields ...Attr) *Logger {
+	cp := *l
+	cp.fields = append(append([]Attr(nil), l.fields...), fields...)
+	return &cp
+}
+
+// Output returns a copy writing to the given writers instead of the
+// process-wide destinations. A nil writer keeps the process-wide one.
+func (l *Logger) Output(out, errw io.Writer) *Logger {
+	cp := *l
+	cp.out, cp.err = out, errw
+	return &cp
+}
+
+// Debugf logs at debug level (stdout writer).
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+
+// Infof logs at info level (stdout writer).
+func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Warnf logs at warn level (stderr writer).
+func (l *Logger) Warnf(format string, args ...any) { l.logf(LevelWarn, format, args...) }
+
+// Errorf logs at error level (stderr writer).
+func (l *Logger) Errorf(format string, args ...any) { l.logf(LevelError, format, args...) }
+
+// Log emits a message with per-line fields appended after the fixed
+// ones.
+func (l *Logger) Log(level Level, msg string, fields ...Attr) {
+	l.emit(level, msg, fields)
+}
+
+func (l *Logger) logf(level Level, format string, args ...any) {
+	l.emit(level, fmt.Sprintf(format, args...), nil)
+}
+
+// TraceID returns the current trace id formatted for a trace= field,
+// or "" when no trace is in flight.
+func TraceID(id uint64) string {
+	if id == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x", id)
+}
+
+func (l *Logger) emit(level Level, msg string, extra []Attr) {
+	tr := l.tr
+	if tr == nil {
+		tr = Default
+	}
+	traceID := TraceID(tr.CurrentTrace())
+	now := time.Now().UTC().Format(time.RFC3339Nano)
+
+	logMu.Lock()
+	defer logMu.Unlock()
+	w := logOut
+	if level >= LevelWarn {
+		w = logErr
+	}
+	if level >= LevelWarn && l.err != nil {
+		w = l.err
+	} else if level < LevelWarn && l.out != nil {
+		w = l.out
+	}
+	if w == nil {
+		return
+	}
+	if logJSON {
+		obj := make(map[string]any, len(l.fields)+len(extra)+5)
+		for _, a := range l.fields {
+			obj[a.Key] = a.Value
+		}
+		for _, a := range extra {
+			obj[a.Key] = a.Value
+		}
+		obj["ts"] = now
+		obj["level"] = level.String()
+		obj["component"] = l.component
+		if traceID != "" {
+			obj["trace"] = traceID
+		}
+		obj["msg"] = msg
+		line, err := json.Marshal(obj)
+		if err != nil {
+			return
+		}
+		fmt.Fprintf(w, "%s\n", line)
+		return
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(now)
+	b.WriteString(" level=")
+	b.WriteString(level.String())
+	b.WriteString(" component=")
+	b.WriteString(l.component)
+	if traceID != "" {
+		b.WriteString(" trace=")
+		b.WriteString(traceID)
+	}
+	for _, a := range l.fields {
+		writeField(&b, a)
+	}
+	for _, a := range extra {
+		writeField(&b, a)
+	}
+	b.WriteString(" msg=")
+	writeValue(&b, msg)
+	b.WriteByte('\n')
+	io.WriteString(w, b.String())
+}
+
+func writeField(b *strings.Builder, a Attr) {
+	b.WriteByte(' ')
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	writeValue(b, a.Value)
+}
+
+func writeValue(b *strings.Builder, v string) {
+	if v == "" || strings.ContainsAny(v, " \t\n\"=") {
+		fmt.Fprintf(b, "%q", v)
+		return
+	}
+	b.WriteString(v)
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Wire encoding for trace context and span batches. These ride as
+// OPTIONAL TRAILING FIELDS on existing GPST frames: the transport's
+// decoders never require payload exhaustion, so a v2 peer built before
+// tracing simply ignores the extra bytes, and a new peer treats their
+// absence as "no trace". Nothing here bumps the wire version.
+
+// ErrBadSpanBatch reports a span batch that failed to decode.
+var ErrBadSpanBatch = errors.New("trace: malformed span batch")
+
+// AppendContext appends a span context to buf as two uvarints
+// (trace id, span id). Appending the zero context is allowed and
+// decodes back to zero.
+func AppendContext(buf []byte, ctx SpanContext) []byte {
+	buf = binary.AppendUvarint(buf, ctx.TraceID)
+	return binary.AppendUvarint(buf, ctx.SpanID)
+}
+
+// ReadContext decodes a span context produced by AppendContext from
+// the front of buf, returning the remainder. A short or corrupt buffer
+// yields the zero context — trace context is best-effort metadata and
+// must never fail a frame.
+func ReadContext(buf []byte) (SpanContext, []byte) {
+	tid, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return SpanContext{}, nil
+	}
+	buf = buf[n:]
+	sid, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return SpanContext{}, nil
+	}
+	return SpanContext{TraceID: tid, SpanID: sid}, buf[n:]
+}
+
+// maxWireSpans bounds a decoded batch so a corrupt length prefix
+// cannot balloon allocation. An epoch ships ~1 span per phase per
+// shard; 4096 is orders of magnitude above any honest batch.
+const maxWireSpans = 4096
+
+const maxWireString = 1 << 16
+
+// EncodeSpans serializes a span batch for shipping across the wire
+// (worker → coordinator on an epoch result). Returns nil for an empty
+// batch so callers can gate the optional field on len() != 0.
+func EncodeSpans(recs []SpanRecord) []byte {
+	if len(recs) == 0 {
+		return nil
+	}
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(len(recs)))
+	for _, r := range recs {
+		b = binary.AppendUvarint(b, r.TraceID)
+		b = binary.AppendUvarint(b, r.SpanID)
+		b = binary.AppendUvarint(b, r.Parent)
+		b = appendWireString(b, r.Name)
+		b = appendWireString(b, r.Proc)
+		b = binary.AppendVarint(b, r.Start.UnixNano())
+		b = binary.AppendUvarint(b, uint64(r.Duration))
+		b = binary.AppendUvarint(b, uint64(len(r.Attrs)))
+		for _, a := range r.Attrs {
+			b = appendWireString(b, a.Key)
+			b = appendWireString(b, a.Value)
+		}
+	}
+	return b
+}
+
+// DecodeSpans parses a batch produced by EncodeSpans.
+func DecodeSpans(buf []byte) ([]SpanRecord, error) {
+	r := bytes.NewReader(buf)
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrBadSpanBatch, err)
+	}
+	if n > maxWireSpans {
+		return nil, fmt.Errorf("%w: %d spans exceeds limit %d", ErrBadSpanBatch, n, maxWireSpans)
+	}
+	recs := make([]SpanRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var rec SpanRecord
+		if rec.TraceID, err = binary.ReadUvarint(r); err != nil {
+			return nil, fmt.Errorf("%w: span %d trace id", ErrBadSpanBatch, i)
+		}
+		if rec.SpanID, err = binary.ReadUvarint(r); err != nil {
+			return nil, fmt.Errorf("%w: span %d span id", ErrBadSpanBatch, i)
+		}
+		if rec.Parent, err = binary.ReadUvarint(r); err != nil {
+			return nil, fmt.Errorf("%w: span %d parent", ErrBadSpanBatch, i)
+		}
+		if rec.Name, err = readWireString(r); err != nil {
+			return nil, fmt.Errorf("%w: span %d name", ErrBadSpanBatch, i)
+		}
+		if rec.Proc, err = readWireString(r); err != nil {
+			return nil, fmt.Errorf("%w: span %d proc", ErrBadSpanBatch, i)
+		}
+		startNS, err := binary.ReadVarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: span %d start", ErrBadSpanBatch, i)
+		}
+		rec.Start = time.Unix(0, startNS)
+		dur, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: span %d duration", ErrBadSpanBatch, i)
+		}
+		rec.Duration = time.Duration(dur)
+		na, err := binary.ReadUvarint(r)
+		if err != nil || na > maxWireSpans {
+			return nil, fmt.Errorf("%w: span %d attr count", ErrBadSpanBatch, i)
+		}
+		if na > 0 {
+			rec.Attrs = make([]Attr, 0, na)
+			for j := uint64(0); j < na; j++ {
+				k, err := readWireString(r)
+				if err != nil {
+					return nil, fmt.Errorf("%w: span %d attr key", ErrBadSpanBatch, i)
+				}
+				v, err := readWireString(r)
+				if err != nil {
+					return nil, fmt.Errorf("%w: span %d attr value", ErrBadSpanBatch, i)
+				}
+				rec.Attrs = append(rec.Attrs, Attr{Key: k, Value: v})
+			}
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+func appendWireString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func readWireString(r *bytes.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxWireString {
+		return "", fmt.Errorf("string length %d exceeds limit", n)
+	}
+	if uint64(r.Len()) < n {
+		return "", errors.New("truncated string")
+	}
+	buf := make([]byte, n)
+	if _, err := r.Read(buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

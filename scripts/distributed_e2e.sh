@@ -400,6 +400,50 @@ echo "   w4 drained and left cleanly"
 wait_stats $CO 10
 curl -fsS "$CO/v1/cluster" > "$DIR/churn-cluster.json"
 curl -fsS "$CO/v1/metricz" > "$DIR/churn.metricz"
+
+echo "== flight recorder (/v1/tracez, /v1/debugz) holds the stitched churn traces"
+# The coordinator's ring must still hold the whole churn story. Every
+# migration lands at an epoch boundary, so its migrate span parents
+# under the epoch trace that absorbed it: walk every epoch trace's
+# waterfall and require at least one migrate span (join, drain, and
+# leave each record one) plus, in every epoch, one rpc.epoch span per
+# shard stitched out of the workers' shipped span batches. The captures
+# land in $DIR so a failing run uploads them alongside the logs.
+curl -fsS "$CO/v1/tracez?format=text&limit=4096" > "$DIR/churn-coordinator.tracez"
+epoch_traces=$(awk '$2 == "epoch" {print $1}' "$DIR/churn-coordinator.tracez")
+if [ -z "$epoch_traces" ]; then
+  echo "no epoch trace in the coordinator flight recorder" >&2
+  cat "$DIR/churn-coordinator.tracez" >&2
+  exit 1
+fi
+for tid in $epoch_traces; do
+  curl -fsS "$CO/v1/tracez?trace=$tid&format=text" >> "$DIR/churn-coordinator.tracez"
+done
+if ! grep -Eq ' migrate +' "$DIR/churn-coordinator.tracez"; then
+  echo "no migrate span in any epoch trace after churn" >&2
+  cat "$DIR/churn-coordinator.tracez" >&2
+  exit 1
+fi
+for shard in 0 1 2 3; do
+  # One grep, not a grep|grep -q pipe: -q closing the pipe early would
+  # SIGPIPE the producer and trip pipefail on a line that matched.
+  if ! grep -Eq "rpc\.epoch .*shard=$shard[^0-9]" "$DIR/churn-coordinator.tracez"; then
+    echo "no rpc.epoch span for shard $shard in the recorded epoch traces" >&2
+    cat "$DIR/churn-coordinator.tracez" >&2
+    exit 1
+  fi
+done
+echo "   flight recorder: migrate span recorded, rpc.epoch spans stitched for all 4 shards"
+# The one-request bug-report bundle must carry its build, metrics, and
+# trace sections; the .ndjson is the artifact CI uploads on failure.
+curl -fsS "$CO/v1/debugz" > "$DIR/churn-coordinator.ndjson"
+for section in build metrics trace; do
+  if ! grep -q "\"section\":\"$section\"" "$DIR/churn-coordinator.ndjson"; then
+    echo "debugz bundle is missing its $section section" >&2
+    exit 1
+  fi
+done
+
 kill -TERM $churn_coord
 wait $churn_coord
 test -s "$DIR/churn-dist.inv"
