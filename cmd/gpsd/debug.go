@@ -29,6 +29,12 @@ func setProcessHealth(mutate func(*gps.HealthInfo)) {
 	mutate(&processHealth.info)
 }
 
+// workerShardsOwned is the transport session's owned-shard gauge,
+// resolved once: processHealthInfo runs per /v1/healthz probe, which
+// must not re-enter the telemetry registry.
+var workerShardsOwned = gps.Telemetry().Gauge("gps_worker_shards_owned",
+	"shards currently assigned to this worker's session")
+
 // processHealthInfo snapshots the readiness doc for a probe.
 func processHealthInfo() gps.HealthInfo {
 	processHealth.mu.Lock()
@@ -37,8 +43,7 @@ func processHealthInfo() gps.HealthInfo {
 	// The worker's owned-shard count lives in a gauge the transport
 	// session maintains; read it live so migrations show up immediately.
 	if info.Role == "worker" {
-		info.ShardsOwned = int(gps.Telemetry().Gauge("gps_worker_shards_owned",
-			"shards currently assigned to this worker's session").Value())
+		info.ShardsOwned = int(workerShardsOwned.Value())
 	}
 	return info
 }
@@ -57,7 +62,7 @@ func startDebugServer(addr string) {
 	if addr == "" {
 		return
 	}
-	registerProcessMetrics()
+	initProcessMetrics()
 	mux := http.NewServeMux()
 	mux.Handle("/v1/metricz", gps.Telemetry().Handler())
 	mux.Handle("/v1/healthz", gps.HealthHandler(gps.HealthFunc(processHealthInfo)))
@@ -94,10 +99,10 @@ func startDebugServer(addr string) {
 	debugLog.Infof("debug server on http://%s (/v1/metricz, /v1/tracez, /debug/pprof)", lis.Addr())
 }
 
-// registerProcessMetrics adds the process-level gauges sampled at scrape
+// initProcessMetrics adds the process-level gauges sampled at scrape
 // time. Heap via GaugeFunc replaces the MemStats figure the worker used
 // to print in its world-built log line.
-func registerProcessMetrics() {
+func initProcessMetrics() {
 	gps.Telemetry().GaugeFunc("gps_process_heap_bytes",
 		"live heap allocation (runtime.MemStats.HeapAlloc)",
 		func() float64 {

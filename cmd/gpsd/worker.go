@@ -91,17 +91,26 @@ func (w *demoWorld) logBuilt(how string) {
 		len(w.part.Owned), w.part.Count, w.u.NumHosts())
 }
 
+// World gauges, resolved once at startup: setWorldGauges runs on every
+// world (re)build — including re-queue extensions and migrations — and
+// must not re-enter the telemetry registry each time.
+var (
+	worldHostsGauge = gps.Telemetry().Gauge("gps_world_hosts",
+		"hosts materialized in this process's universe partition")
+	worldOwnedShardsGauge = gps.Telemetry().Gauge("gps_world_owned_shards",
+		"shards this process's universe partition covers")
+	worldTotalShardsGauge = gps.Telemetry().Gauge("gps_world_total_shards",
+		"total shards in the world's layout")
+)
+
 // setWorldGauges publishes the world this process materialized: how many
 // hosts it holds and which share of the shard layout that covers. The
 // single-process daemon and the seeding coordinator report the full
 // world (owned == total).
 func setWorldGauges(hosts, ownedShards, totalShards int) {
-	gps.Telemetry().Gauge("gps_world_hosts",
-		"hosts materialized in this process's universe partition").Set(float64(hosts))
-	gps.Telemetry().Gauge("gps_world_owned_shards",
-		"shards this process's universe partition covers").Set(float64(ownedShards))
-	gps.Telemetry().Gauge("gps_world_total_shards",
-		"total shards in the world's layout").Set(float64(totalShards))
+	worldHostsGauge.Set(float64(hosts))
+	worldOwnedShardsGauge.Set(float64(ownedShards))
+	worldTotalShardsGauge.Set(float64(totalShards))
 }
 
 // UniverseAt returns the universe as of the given epoch. Epochs normally

@@ -1,0 +1,304 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis.Analyzer so the checks stay portable.
+type Analyzer struct {
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces; gpslint
+	// -help prints it.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// A Pass is one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Fset returns the file set positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Info returns the package's type information.
+func (p *Pass) Info() *types.Info { return p.Pkg.Info }
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// All returns the full suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Detranddet,
+		Wirehygiene,
+		Typederr,
+		Spanfinish,
+		Atomichygiene,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("" = all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to the packages and returns the surviving
+// diagnostics sorted by position. Findings silenced by an ignore pragma
+// (see suppressed) are dropped; a pragma naming an analyzer that never
+// fires on its line is itself reported, so stale suppressions cannot
+// accumulate.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		prag := collectPragmas(pkg)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &pkgDiags}
+			a.Run(pass)
+		}
+		diags = append(diags, prag.filter(pkgDiags, analyzers)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// pragmaRe matches the suppression directive:
+//
+//	//gpslint:ignore analyzer[,analyzer...] <reason>
+//
+// The reason is mandatory — a suppression without a recorded why is a
+// blanket suppression, which the ignore policy forbids.
+var pragmaRe = regexp.MustCompile(`^//gpslint:ignore\s+([a-z,]+)\s*(.*)$`)
+
+type pragma struct {
+	analyzers map[string]bool
+	reason    string
+	pos       token.Position
+	used      bool
+}
+
+type pragmaSet struct {
+	// byLine indexes pragmas by (filename, line they apply to). A
+	// pragma applies to its own line and, when it is the only thing on
+	// its line, to the line below.
+	byLine map[string]map[int]*pragma
+	all    []*pragma
+}
+
+func collectPragmas(pkg *Package) *pragmaSet {
+	ps := &pragmaSet{byLine: make(map[string]map[int]*pragma)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := pragmaRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				p := &pragma{analyzers: make(map[string]bool), reason: strings.TrimSpace(m[2]), pos: pos}
+				for _, name := range strings.Split(m[1], ",") {
+					p.analyzers[name] = true
+				}
+				lines := ps.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]*pragma)
+					ps.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = p
+				if pos.Column == 1 || isCommentOnlyLine(pkg, f, c) {
+					lines[pos.Line+1] = p
+				}
+				ps.all = append(ps.all, p)
+			}
+		}
+	}
+	return ps
+}
+
+// isCommentOnlyLine reports whether comment c starts its source line
+// (ignoring whitespace), in which case the pragma governs the next line.
+func isCommentOnlyLine(pkg *Package, f *ast.File, c *ast.Comment) bool {
+	pos := pkg.Fset.Position(c.Pos())
+	tf := pkg.Fset.File(c.Pos())
+	if tf == nil {
+		return pos.Column == 1
+	}
+	// A comment that is the first token on its line has nothing but
+	// whitespace before it: its column is low and no AST node ends on
+	// the same line before it. Approximate cheaply: treat column <= 8
+	// past the line start as leading (indented comment).
+	return pos.Column <= 8
+}
+
+// filter drops suppressed findings and appends a finding for every
+// pragma that suppressed nothing or names an unknown analyzer or lacks
+// a reason.
+func (ps *pragmaSet) filter(diags []Diagnostic, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		if lines, ok := ps.byLine[d.Pos.Filename]; ok {
+			if p := lines[d.Pos.Line]; p != nil && p.analyzers[d.Analyzer] {
+				// Either way the pragma governed a real finding, so it
+				// is not stale.
+				p.used = true
+				if p.reason == "" {
+					out = append(out, Diagnostic{Pos: p.pos, Analyzer: d.Analyzer,
+						Message: "ignore pragma without a reason; state why the rule does not apply here"})
+					out = append(out, d)
+				}
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	for _, p := range ps.all {
+		for name := range p.analyzers {
+			if known[name] && !p.used {
+				out = append(out, Diagnostic{Pos: p.pos, Analyzer: name,
+					Message: "stale ignore pragma: no " + name + " finding on the governed line"})
+			}
+		}
+	}
+	return out
+}
+
+// --- shared AST helpers ------------------------------------------------------
+
+// forEachFunc visits every function declaration in the package,
+// including methods. Function literals are visited as part of their
+// enclosing declaration: nested walks see them via ast.Inspect.
+func forEachFunc(pkg *Package, fn func(decl *ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// unparen strips parentheses. (ast.Unparen needs Go 1.22; the CI
+// matrix still builds with 1.21.)
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// nil for builtins, conversions, and indirect calls through variables.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// funcPkgPath returns the import path of the package a function belongs
+// to ("" for builtins and error.Error-style universe members).
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// pathMatches reports whether the package path is, or is under, one of
+// the listed paths.
+func pathMatches(path string, list []string) bool {
+	for _, p := range list {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// recvTypeName returns the named type a method's receiver points at
+// ("" for plain functions).
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

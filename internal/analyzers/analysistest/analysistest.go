@@ -1,0 +1,132 @@
+// Package analysistest runs an analyzer over a golden fixture package
+// and compares its findings against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repo's
+// dependency-free analysis framework.
+//
+// A fixture is a directory of .go files forming one package. Lines that
+// must produce a finding carry a trailing expectation comment:
+//
+//	for k := range m { // want `map iteration`
+//
+// The backquoted text is a regexp matched against the diagnostic
+// message. A line may carry several expectations (repeat the comment).
+// Run fails the test if any expectation goes unmatched or any
+// unexpected finding fires. Because most analyzers scope themselves by
+// import path, Run type-checks the fixture under a caller-chosen
+// masqueraded path (say, gps/internal/netmodel).
+package analysistest
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"gps/internal/analyzers"
+)
+
+// wantRe matches one expectation comment. Multiple expectations may
+// ride one line in separate comments.
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run applies one analyzer to the fixture in dir, type-checked under
+// importPath, and asserts the findings equal the fixture's `// want`
+// expectations.
+func Run(t *testing.T, a *analyzers.Analyzer, importPath, dir string) {
+	t.Helper()
+	unlock := analyzers.LockSharedLoader()
+	defer unlock()
+	loader := analyzers.SharedLoader(moduleRoot(dir))
+
+	pkg, err := loader.LoadFixture(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	want := collectExpectations(t, dir)
+	got := analyzers.Run([]*analyzers.Package{pkg}, []*analyzers.Analyzer{a})
+
+	for _, d := range got {
+		base := filepath.Base(d.Pos.Filename)
+		found := false
+		for _, w := range want {
+			if w.matched || w.file != base || w.line != d.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range want {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// collectExpectations parses the fixture's `// want` comments.
+func collectExpectations(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing fixture %s: %v", dir, err)
+	}
+	var want []*expectation
+	for _, pkg := range pkgs {
+		for filename, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", filename, m[1], err)
+						}
+						pos := fset.Position(c.Pos())
+						want = append(want, &expectation{
+							file:    filepath.Base(filename),
+							line:    pos.Line,
+							pattern: re,
+						})
+					}
+				}
+			}
+		}
+	}
+	return want
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod, so the
+// shared loader's `go list` runs inside the module whatever the test's
+// working directory.
+func moduleRoot(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	for d := abs; ; {
+		if _, err := filepath.Glob(filepath.Join(d, "go.mod")); err == nil {
+			if matches, _ := filepath.Glob(filepath.Join(d, "go.mod")); len(matches) == 1 {
+				return d
+			}
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return ""
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,126 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gps/internal/analyzers"
+	"gps/internal/analyzers/analysistest"
+)
+
+// Golden-fixture coverage: one known-clean and one known-dirty package
+// per analyzer, type-checked under the masqueraded import path each
+// analyzer scopes itself to.
+
+func TestDetranddetClean(t *testing.T) {
+	analysistest.Run(t, analyzers.Detranddet, "gps/internal/netmodel", "testdata/detranddet/clean")
+}
+
+func TestDetranddetDirty(t *testing.T) {
+	analysistest.Run(t, analyzers.Detranddet, "gps/internal/netmodel", "testdata/detranddet/dirty")
+}
+
+func TestWirehygieneClean(t *testing.T) {
+	analysistest.Run(t, analyzers.Wirehygiene, "gps/internal/shard/transport", "testdata/wirehygiene/clean")
+}
+
+func TestWirehygieneDirty(t *testing.T) {
+	analysistest.Run(t, analyzers.Wirehygiene, "gps/internal/shard/transport", "testdata/wirehygiene/dirty")
+}
+
+func TestTypederrClean(t *testing.T) {
+	analysistest.Run(t, analyzers.Typederr, "gps/internal/serve", "testdata/typederr/clean")
+}
+
+func TestTypederrDirty(t *testing.T) {
+	analysistest.Run(t, analyzers.Typederr, "gps/internal/serve", "testdata/typederr/dirty")
+}
+
+func TestSpanfinishClean(t *testing.T) {
+	analysistest.Run(t, analyzers.Spanfinish, "gps/internal/spanfixture", "testdata/spanfinish/clean")
+}
+
+func TestSpanfinishDirty(t *testing.T) {
+	analysistest.Run(t, analyzers.Spanfinish, "gps/internal/spanfixture", "testdata/spanfinish/dirty")
+}
+
+func TestAtomichygieneClean(t *testing.T) {
+	analysistest.Run(t, analyzers.Atomichygiene, "gps/internal/atomicfixture", "testdata/atomichygiene/clean")
+}
+
+func TestAtomichygieneDirty(t *testing.T) {
+	analysistest.Run(t, analyzers.Atomichygiene, "gps/internal/atomicfixture", "testdata/atomichygiene/dirty")
+}
+
+// TestPragmaSuppress proves a reasoned //gpslint:ignore silences
+// exactly its line and that a pragma silencing nothing is reported.
+func TestPragmaSuppress(t *testing.T) {
+	analysistest.Run(t, analyzers.Detranddet, "gps/internal/netmodel", "testdata/pragma/suppress")
+}
+
+// TestPragmaMissingReason proves a bare pragma re-surfaces the finding
+// it tried to silence plus a finding for the pragma itself. Checked
+// programmatically: an inline `// want` comment would become the
+// pragma's reason.
+func TestPragmaMissingReason(t *testing.T) {
+	unlock := analyzers.LockSharedLoader()
+	defer unlock()
+	loader := analyzers.SharedLoader(moduleRoot(t))
+
+	pkg, err := loader.LoadFixture("testdata/pragma/noreason", "gps/internal/netmodel")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags := analyzers.Run([]*analyzers.Package{pkg}, []*analyzers.Analyzer{analyzers.Detranddet})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2:\n%v", len(diags), diags)
+	}
+	wants := []string{
+		"ignore pragma without a reason",
+		"time.Now in deterministic package",
+	}
+	for _, want := range wants {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic matching %q in:\n%v", want, diags)
+		}
+	}
+}
+
+// TestGPSLintTreeClean is the in-repo hard gate: the full suite over
+// the whole module must be clean, so `go test ./...` fails the moment a
+// violation lands, with or without the dedicated CI job.
+func TestGPSLintTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree type-check is slow; skipped under -short")
+	}
+	unlock := analyzers.LockSharedLoader()
+	defer unlock()
+	loader := analyzers.SharedLoader(moduleRoot(t))
+
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, d := range analyzers.Run(pkgs, analyzers.All()) {
+		t.Errorf("gpslint: %s", d)
+	}
+}
+
+// moduleRoot locates the repo root from the test's working directory
+// (internal/analyzers).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatalf("resolving module root: %v", err)
+	}
+	return root
+}

@@ -1,0 +1,122 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// Atomichygiene catches mixed atomic/plain access to the same field.
+var Atomichygiene = &Analyzer{
+	Name: "atomichygiene",
+	Doc: `require fields touched by sync/atomic to be atomic everywhere
+
+A struct field passed by address to any sync/atomic function
+(atomic.AddUint64(&s.n, 1), atomic.LoadInt64(&s.v), ...) must be
+accessed through sync/atomic at every other site in the package. A
+plain read races the atomic writers — a torn read the race detector
+only surfaces under the right interleaving and load, which is exactly
+when it is hardest to debug. Plain access inside new*/make*
+constructors (pre-publication initialization) and composite literals
+is exempt. Prefer the typed atomic.Uint64/Int64/Pointer wrappers,
+which make mixed access unrepresentable; this check exists for the
+address-based style that does not.`,
+	Run: runAtomichygiene,
+}
+
+// atomicFnRe matches the address-taking sync/atomic operations.
+var atomicFnRe = regexp.MustCompile(`^(Add|Load|Store|Swap|CompareAndSwap|Or|And)`)
+
+// ctorFuncRe names functions where plain initialization of atomic
+// fields is fine: the value is not yet shared.
+var ctorFuncRe = regexp.MustCompile(`(?i)^(new|make|init)`)
+
+func runAtomichygiene(pass *Pass) {
+	info := pass.Info()
+
+	// Pass 1: every field object whose address feeds a sync/atomic call.
+	atomicFields := make(map[types.Object]string) // field -> atomic fn name seen
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || funcPkgPath(fn) != "sync/atomic" || recvTypeName(fn) != "" ||
+				!atomicFnRe.MatchString(fn.Name()) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if obj, ok := info.Uses[sel.Sel].(*types.Var); ok && obj.IsField() {
+					if _, seen := atomicFields[obj]; !seen {
+						atomicFields[obj] = "atomic." + fn.Name()
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: every other selector use of those fields must itself be
+	// under a sync/atomic call (or constructor / composite-literal
+	// initialization).
+	forEachFunc(pass.Pkg, func(decl *ast.FuncDecl) {
+		if decl.Body == nil || ctorFuncRe.MatchString(decl.Name.Name) {
+			return
+		}
+		var stack []ast.Node
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := info.Uses[sel.Sel].(*types.Var)
+			if !ok {
+				return true
+			}
+			via, tracked := atomicFields[obj]
+			if !tracked || selectorUnderAtomic(info, stack) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"plain access to field %s, which is accessed via %s elsewhere: every access must go through sync/atomic (torn-read hazard)",
+				obj.Name(), via)
+			return true
+		})
+	})
+}
+
+// selectorUnderAtomic reports whether the innermost enclosing call in
+// the ancestor stack is a sync/atomic function — i.e. the selector is
+// the &s.f argument of an atomic op.
+func selectorUnderAtomic(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.CallExpr:
+			fn := calleeFunc(info, p)
+			return fn != nil && funcPkgPath(fn) == "sync/atomic"
+		case *ast.UnaryExpr, *ast.ParenExpr, *ast.SelectorExpr:
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}

@@ -1,0 +1,203 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// detPkgs are the fully deterministic packages: everything in them must
+// be a pure function of (seed, inputs). PR 1 made churn deterministic
+// under a fixed seed and PR 5 made generation partition-stable; both
+// contracts die the moment wall-clock time or the global math/rand
+// stream leaks in.
+var detPkgs = []string{
+	"gps/internal/netmodel",
+}
+
+// encoderPkgs are the packages whose Encode*/Write*/Marshal* functions
+// feed byte-identity gates: wire frames, checkpoints, GPSV inventories,
+// GPSE deltas, Prometheus exposition. Iterating a Go map directly into
+// such an output stream is the canonical way to break the
+// distributed==in-process CI diff.
+var encoderPkgs = []string{
+	"gps/internal/netmodel",
+	"gps/internal/shard",
+	"gps/internal/shard/transport",
+	"gps/internal/continuous",
+	"gps/internal/serve",
+	"gps/internal/store",
+	"gps/internal/telemetry",
+	"gps/internal/trace",
+}
+
+// encoderFuncRe names the functions the map-range rule governs.
+var encoderFuncRe = regexp.MustCompile(`(?i)^(encode|write|marshal)`)
+
+// bannedTimeFuncs are the time package functions that read the wall
+// clock.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true, "AfterFunc": true,
+}
+
+// Detranddet enforces determinism: no wall-clock or global-rand reads
+// in deterministic packages, and no map iteration feeding encoder
+// output. See the package comment for the full story.
+var Detranddet = &Analyzer{
+	Name: "detranddet",
+	Doc: `forbid nondeterminism in deterministic packages and encoders
+
+In deterministic packages (internal/netmodel), calls to time.Now /
+time.Since / time.Until / timers and to global math/rand functions are
+flagged: generation and churn must be pure functions of the seed so a
+partition regenerates byte-identical to the full run (PR 5). Seeded
+sources (rand.New(rand.NewSource(seed))) are fine.
+
+In encoder functions (Encode*/Write*/Marshal* in wire/checkpoint/codec
+packages), ranging over a map is flagged unless the loop only collects
+(appends, assigns, counts, deletes) for a later sort — iterating a map
+straight into an output stream breaks the byte-identity contract the
+distributed CI gate diffs (PR 2/3).`,
+	Run: runDetranddet,
+}
+
+func runDetranddet(pass *Pass) {
+	path := pass.Pkg.Path
+	inDet := pathMatches(path, detPkgs)
+	inEnc := pathMatches(path, encoderPkgs)
+	if !inDet && !inEnc {
+		return
+	}
+	forEachFunc(pass.Pkg, func(decl *ast.FuncDecl) {
+		if decl.Body == nil {
+			return
+		}
+		if inDet {
+			checkClockAndRand(pass, decl)
+		}
+		if inEnc && encoderFuncRe.MatchString(decl.Name.Name) {
+			checkMapRanges(pass, decl)
+		}
+	})
+}
+
+// checkClockAndRand flags wall-clock reads and global math/rand use
+// anywhere under decl.
+func checkClockAndRand(pass *Pass, decl *ast.FuncDecl) {
+	info := pass.Info()
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		switch funcPkgPath(fn) {
+		case "time":
+			if bannedTimeFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"time.%s in deterministic package %s: generation and churn must be pure functions of the seed",
+					fn.Name(), pass.Pkg.Path)
+			}
+		case "math/rand", "math/rand/v2":
+			// Methods on a seeded *rand.Rand are deterministic;
+			// package-level functions draw from the shared global
+			// source. Constructors (New, NewSource, NewZipf) are how
+			// the deterministic path is built.
+			if recvTypeName(fn) == "" && !strings.HasPrefix(fn.Name(), "New") {
+				pass.Reportf(call.Pos(),
+					"global rand.%s in deterministic package %s: draw from a seeded *rand.Rand instead",
+					fn.Name(), pass.Pkg.Path)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRanges flags map-range statements inside an encoder function
+// unless the loop is a pure collect loop.
+func checkMapRanges(pass *Pass, decl *ast.FuncDecl) {
+	info := pass.Info()
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if collectOnlyBlock(info, rng.Body) {
+			return true
+		}
+		pass.Reportf(rng.Pos(),
+			"map iteration in encoder %s writes in nondeterministic order: collect the keys, sort, then emit",
+			decl.Name.Name)
+		return true
+	})
+}
+
+// collectOnlyBlock reports whether every statement in the block (and
+// nested control flow) only gathers data — assignments, declarations,
+// counters, appends, deletes — with no statement-level call that could
+// reach an output stream. Such loops are order-independent as long as
+// the gathered collection is sorted before use, which is the repo's
+// canonical collect-sort-emit encoder shape.
+func collectOnlyBlock(info *types.Info, block *ast.BlockStmt) bool {
+	ok := true
+	var checkStmt func(s ast.Stmt)
+	checkStmt = func(s ast.Stmt) {
+		if !ok || s == nil {
+			return
+		}
+		switch st := s.(type) {
+		case *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt,
+			*ast.BranchStmt, *ast.ReturnStmt, *ast.EmptyStmt:
+			// Gathering, counting, or bailing out: order-independent.
+		case *ast.ExprStmt:
+			// The only statement-level call a collect loop may make is
+			// the delete builtin.
+			call, isCall := st.X.(*ast.CallExpr)
+			if !isCall {
+				ok = false
+				return
+			}
+			if id, isIdent := unparen(call.Fun).(*ast.Ident); !isIdent || id.Name != "delete" ||
+				info.Uses[id] != types.Universe.Lookup("delete") {
+				ok = false
+			}
+		case *ast.IfStmt:
+			checkStmt(st.Init)
+			checkStmt(st.Body)
+			checkStmt(st.Else)
+		case *ast.BlockStmt:
+			for _, s2 := range st.List {
+				checkStmt(s2)
+			}
+		case *ast.ForStmt:
+			checkStmt(st.Init)
+			checkStmt(st.Post)
+			checkStmt(st.Body)
+		case *ast.RangeStmt:
+			checkStmt(st.Body)
+		case *ast.SwitchStmt:
+			checkStmt(st.Init)
+			for _, c := range st.Body.List {
+				for _, s2 := range c.(*ast.CaseClause).Body {
+					checkStmt(s2)
+				}
+			}
+		default:
+			ok = false
+		}
+	}
+	checkStmt(block)
+	return ok
+}

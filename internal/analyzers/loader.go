@@ -1,0 +1,312 @@
+// Package analyzers is gpslint: a suite of project-specific static
+// analyzers that turn the repo's load-bearing conventions — deterministic
+// generation, canonical wire encoders, typed transport errors, finished
+// spans, registration-at-init telemetry, coherent atomics — from review
+// folklore into a compile-time contract. The suite is dependency-free by
+// necessity and by policy: it is built on go/ast and go/types with a
+// `go list`-driven package loader, mirroring the golang.org/x/tools
+// go/analysis API shape (Analyzer, Pass, Diagnostic) without importing
+// it, so each analyzer reads like a standard vet check and could be
+// ported to a real multichecker mechanically if the dependency ever
+// lands.
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	// Path is the import path analyzers match their scope rules
+	// against. Fixture loading may set it to a masqueraded repo path.
+	Path  string
+	Name  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Target marks packages named by the load patterns (as opposed to
+	// dependencies pulled in only for type information).
+	Target bool
+}
+
+// Loader loads packages by shelling out to `go list` for file lists and
+// type-checking everything from source in dependency order. It exists
+// because the repo is dependency-free: golang.org/x/tools/go/packages is
+// not available, and the stdlib importers cannot resolve module-local
+// import paths. A Loader is safe for use from one goroutine.
+type Loader struct {
+	// Dir is the module directory `go list` runs in.
+	Dir  string
+	Fset *token.FileSet
+
+	pkgs map[string]*Package // keyed by effective import path
+	meta map[string]*listPkg
+}
+
+// NewLoader returns a Loader rooted at the module directory dir
+// (empty = current directory).
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:  dir,
+		Fset: token.NewFileSet(),
+		pkgs: make(map[string]*Package),
+		meta: make(map[string]*listPkg),
+	}
+}
+
+// goList runs `go list -json -deps` over the patterns and records the
+// metadata of every package in the transitive closure. CGO is disabled
+// so the file lists are the pure-Go build variants the type checker can
+// digest without a C toolchain.
+func (l *Loader) goList(patterns ...string) ([]*listPkg, error) {
+	args := append([]string{"list", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var ordered []*listPkg
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if prev, ok := l.meta[p.ImportPath]; ok {
+			// Seen in an earlier Load; a pattern can re-name a package
+			// that was previously dep-only.
+			if p.DepOnly {
+				p.DepOnly = prev.DepOnly
+			}
+		}
+		l.meta[p.ImportPath] = p
+		ordered = append(ordered, p)
+	}
+	return ordered, nil
+}
+
+// Load loads, parses, and type-checks the packages named by the
+// patterns plus their transitive dependencies, returning only the
+// pattern-named packages in `go list` order. Dependencies are cached
+// across calls.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	ordered, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*Package
+	// -deps output is dependency-ordered: by the time a package is
+	// checked, every import is in the cache.
+	for _, m := range ordered {
+		p, err := l.checkPackage(m)
+		if err != nil {
+			return nil, err
+		}
+		if !m.DepOnly {
+			p.Target = true
+			targets = append(targets, p)
+		}
+	}
+	return targets, nil
+}
+
+// importPkg resolves one import path during type checking, loading it
+// (and its dependencies) on demand when a fixture pulls in a package no
+// earlier Load saw.
+func (l *Loader) importPkg(path string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{Path: "unsafe", Name: "unsafe", Types: types.Unsafe}, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	m, ok := l.meta[path]
+	if !ok {
+		ordered, err := l.goList(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, dm := range ordered {
+			if _, err := l.checkPackage(dm); err != nil {
+				return nil, err
+			}
+		}
+		m = l.meta[path]
+		if m == nil {
+			return nil, fmt.Errorf("loader: go list resolved nothing for %q", path)
+		}
+	}
+	return l.checkPackage(m)
+}
+
+// checkPackage parses and type-checks one listed package, memoized.
+func (l *Loader) checkPackage(m *listPkg) (*Package, error) {
+	if p, ok := l.pkgs[m.ImportPath]; ok {
+		return p, nil
+	}
+	if m.ImportPath == "unsafe" {
+		p := &Package{Path: "unsafe", Name: "unsafe", Types: types.Unsafe}
+		l.pkgs[m.ImportPath] = p
+		return p, nil
+	}
+	var files []*ast.File
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(m.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	p, err := l.typeCheck(m.ImportPath, m.ImportMap, files)
+	if err != nil {
+		return nil, fmt.Errorf("loader: checking %s: %w", m.ImportPath, err)
+	}
+	l.pkgs[m.ImportPath] = p
+	return p, nil
+}
+
+// typeCheck runs go/types over a parsed file set under the given import
+// path, resolving imports through the loader. importMap carries `go
+// list`'s per-package remappings (std-vendored paths).
+func (l *Loader) typeCheck(path string, importMap map[string]string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: &loaderImporter{l: l, importMap: importMap},
+		Sizes:    types.SizesFor("gc", "amd64"),
+		Error:    func(error) {}, // collect the first hard error below
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	name := ""
+	if len(files) > 0 {
+		name = files[0].Name.Name
+	}
+	return &Package{
+		Path:  path,
+		Name:  name,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// LoadFixture parses the .go files under dir as a single package and
+// type-checks it under the masqueraded import path `as` — the
+// analysistest hook: testdata packages live outside the module's package
+// graph but must exercise path-scoped analyzers as if they were, say,
+// gps/internal/netmodel.
+func (l *Loader) LoadFixture(dir, as string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loader: fixture %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("loader: fixture %s holds no .go files", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("loader: parsing fixture %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	p, err := l.typeCheck(as, nil, files)
+	if err != nil {
+		return nil, fmt.Errorf("loader: checking fixture %s: %w", dir, err)
+	}
+	p.Target = true
+	return p, nil
+}
+
+// loaderImporter adapts the loader to types.Importer for one package
+// being checked.
+type loaderImporter struct {
+	l         *Loader
+	importMap map[string]string
+}
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := li.importMap[path]; ok {
+		path = mapped
+	}
+	p, err := li.l.importPkg(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+// defaultLoader serves the analysistest harness and any caller that
+// wants cross-test caching of the (expensive) stdlib type-check.
+var (
+	defaultLoader     *Loader
+	defaultLoaderOnce sync.Once
+	defaultLoaderMu   sync.Mutex
+)
+
+// SharedLoader returns a process-wide Loader rooted at dir (first call
+// wins the root; subsequent calls reuse it regardless of dir). Callers
+// must not use it concurrently; LockSharedLoader serializes access.
+func SharedLoader(dir string) *Loader {
+	defaultLoaderOnce.Do(func() { defaultLoader = NewLoader(dir) })
+	return defaultLoader
+}
+
+// LockSharedLoader takes the shared loader's lock and returns the
+// unlock func, letting parallel tests serialize fixture loads.
+func LockSharedLoader() func() {
+	defaultLoaderMu.Lock()
+	return defaultLoaderMu.Unlock
+}

@@ -1,0 +1,32 @@
+// Package fixture is the atomichygiene known-clean golden package:
+// every access to atomically-touched fields goes through sync/atomic,
+// except pre-publication initialization in a constructor.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	n     uint64
+	total int64
+}
+
+// newCounter initializes plainly before the value is shared: exempt.
+func newCounter(seed uint64) *counter {
+	c := &counter{}
+	c.n = seed
+	return c
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1)
+	atomic.AddInt64(&c.total, 1)
+}
+
+func (c *counter) snapshot() (uint64, int64) {
+	return atomic.LoadUint64(&c.n), atomic.LoadInt64(&c.total)
+}
+
+func (c *counter) reset() {
+	atomic.StoreUint64(&c.n, 0)
+	atomic.StoreInt64(&c.total, 0)
+}

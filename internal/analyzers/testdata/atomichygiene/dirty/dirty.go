@@ -1,0 +1,21 @@
+// Package fixture is the atomichygiene known-dirty golden package:
+// the field has atomic writers and plain readers — a torn-read race.
+package fixture
+
+import "sync/atomic"
+
+type gauge struct {
+	v uint64
+}
+
+func (g *gauge) bump() {
+	atomic.AddUint64(&g.v, 1)
+}
+
+func (g *gauge) read() uint64 {
+	return g.v // want `plain access to field v, which is accessed via atomic.AddUint64`
+}
+
+func (g *gauge) reset() {
+	g.v = 0 // want `plain access to field v, which is accessed via atomic.AddUint64`
+}

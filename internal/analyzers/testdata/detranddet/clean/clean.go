@@ -1,0 +1,58 @@
+// Package fixture is the detranddet known-clean golden package: every
+// construct here is the sanctioned deterministic idiom and must produce
+// zero findings when checked as gps/internal/netmodel.
+package fixture
+
+import (
+	"io"
+	"math/rand"
+	"sort"
+)
+
+// seededDraws uses a locally seeded source: deterministic, allowed.
+func seededDraws(seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, 4)
+	for i := range out {
+		out[i] = rng.Intn(100)
+	}
+	return out
+}
+
+// WriteCounts is the canonical collect-sort-emit encoder shape: the map
+// range only gathers keys, the sort pins the order, the emit loop
+// ranges a slice.
+func WriteCounts(w io.Writer, counts map[string]int) error {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := io.WriteString(w, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EncodeTotal may range the map freely: summing is done in a collect
+// loop (counters are order-independent gathering).
+func EncodeTotal(counts map[string]int) int {
+	total := 0
+	for _, v := range counts {
+		total += v
+	}
+	return total
+}
+
+// encodePrep is encoder-named yet its range only gathers: deleting
+// zero entries is order-independent, so the collect-loop exemption
+// applies.
+func encodePrep(counts map[string]int) {
+	for k, v := range counts {
+		if v == 0 {
+			delete(counts, k)
+		}
+	}
+}

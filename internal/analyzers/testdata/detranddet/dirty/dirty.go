@@ -1,0 +1,50 @@
+// Package fixture is the detranddet known-dirty golden package: each
+// marked line must be caught when checked as gps/internal/netmodel.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock inside a deterministic package.
+func stamp() int64 {
+	t := time.Now() // want `time.Now in deterministic package`
+	return t.UnixNano()
+}
+
+// age compounds it with a Since.
+func age(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want `time.Since in deterministic package`
+}
+
+// globalDraw draws from the shared global source.
+func globalDraw() int {
+	return rand.Intn(100) // want `global rand.Intn in deterministic package`
+}
+
+// shuffleHosts uses the global Shuffle.
+func shuffleHosts(hosts []string) {
+	rand.Shuffle(len(hosts), func(i, j int) { // want `global rand.Shuffle in deterministic package`
+		hosts[i], hosts[j] = hosts[j], hosts[i]
+	})
+}
+
+// EncodeCounts iterates a map straight into the output stream.
+func EncodeCounts(w io.Writer, counts map[string]int) {
+	for k, v := range counts { // want `map iteration in encoder EncodeCounts`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// WriteIndex emits through a helper call, which is just as
+// order-dependent.
+func WriteIndex(w io.Writer, idx map[int]string) {
+	for _, name := range idx { // want `map iteration in encoder WriteIndex`
+		emit(w, name)
+	}
+}
+
+func emit(w io.Writer, s string) { io.WriteString(w, s) }

@@ -1,0 +1,11 @@
+// Package fixture exercises the mandatory-reason rule: a bare
+// //gpslint:ignore both re-surfaces the silenced finding and reports
+// the pragma itself. (Checked programmatically, not via want comments —
+// the expectation comment would otherwise become the pragma's reason.)
+package fixture
+
+import "time"
+
+func clock() int64 {
+	return time.Now().UnixNano() //gpslint:ignore detranddet
+}

@@ -1,0 +1,15 @@
+// Package fixture exercises the //gpslint:ignore pragma, checked as
+// gps/internal/netmodel with detranddet: a reasoned pragma silences its
+// line, and a pragma that silences nothing is itself a finding.
+package fixture
+
+import "time"
+
+// stampSuppressed carries a justified suppression: the time.Now finding
+// on its line is dropped and the pragma is consumed.
+func stampSuppressed() int64 {
+	return time.Now().UnixNano() //gpslint:ignore detranddet fixture: proves a reasoned pragma silences exactly its line
+}
+
+//gpslint:ignore detranddet speculative suppression of a clean line // want `stale ignore pragma: no detranddet finding on the governed line`
+func pure() int { return 42 }

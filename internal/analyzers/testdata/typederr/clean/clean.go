@@ -1,0 +1,29 @@
+// Package fixture is the typederr known-clean golden package, checked
+// as gps/internal/serve: sentinels are exported, causes are wrapped
+// with %w, and function-local errors are not package API.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDrained is exported: callers can errors.Is-match it.
+var ErrDrained = errors.New("fixture: drained")
+
+// wrap keeps the cause reachable through errors.Is/As.
+func wrap(err error) error {
+	return fmt.Errorf("reading header: %w", err)
+}
+
+// plain interpolates no error values, so %w is not required.
+func plain(n int) error {
+	return fmt.Errorf("bad count %d", n)
+}
+
+// local sentinels never leave the function, so they are not part of the
+// matchable API surface.
+func local() error {
+	var errTransient = errors.New("transient")
+	return errTransient
+}

@@ -1,0 +1,23 @@
+// Package fixture is the typederr known-dirty golden package, checked
+// as gps/internal/serve.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+)
+
+// errHidden cannot be errors.Is-matched from outside the package.
+var errHidden = errors.New("fixture: hidden") // want `unexported errors.New sentinel errHidden`
+
+func wrap(err error) error {
+	return fmt.Errorf("reading header: %v", err) // want `fmt.Errorf interpolates an error without %w`
+}
+
+func wrapStringified(err error) error {
+	return fmt.Errorf("closing conn: %s", err) // want `fmt.Errorf interpolates an error without %w`
+}
+
+func use() error {
+	return errHidden
+}

@@ -88,6 +88,10 @@ func newEndpointMetrics(endpoint string) *endpointMetrics {
 }
 
 func (m *endpointMetrics) codeCounter(code int) *telemetry.Counter {
+	// The common codes are pre-registered by newEndpointMetrics; this
+	// re-enters the registry only for an uncommon status code, a
+	// documented cold-path fallback (see endpointMetrics).
+	//gpslint:ignore spanfinish cold-path fallback for uncommon status codes; common codes are pre-registered in newEndpointMetrics
 	return telemetry.Default.Counter("gps_http_responses_total",
 		"inventory API responses by endpoint and status code",
 		"endpoint", m.endpoint, "code", strconv.Itoa(code))

@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"gps/internal/shard"
-	"gps/internal/telemetry"
 	"gps/internal/trace"
 )
 
@@ -184,7 +183,7 @@ func (c *Coordinator) handleJoin(conn net.Conn) {
 		reject(fmt.Errorf("worker id %q already taken", m.ID))
 		return
 	}
-	w := &workerLink{id: m.ID, addr: addr, conn: conn, alive: true, joined: true}
+	w := newWorkerLink(m.ID, addr, conn, true)
 	c.pending = append(c.pending, w)
 	clusterWorkersPending.Set(float64(len(c.pending)))
 	c.mu.Unlock()
@@ -631,8 +630,7 @@ func (c *Coordinator) publishStatus() {
 				ws.LoadEWMASeconds += c.tel.shardEw[s].Value()
 			}
 		}
-		telemetry.Default.Gauge("gps_cluster_worker_shards",
-			"shards assigned to each worker", "worker", w.id).Set(float64(ws.ShardCount))
+		w.shardsGauge.Set(float64(ws.ShardCount))
 		doc.Workers = append(doc.Workers, ws)
 	}
 	for s := 0; s < c.cfg.Shards; s++ {

@@ -11,6 +11,7 @@ import (
 	"gps/internal/dataset"
 	"gps/internal/netmodel"
 	"gps/internal/shard"
+	"gps/internal/telemetry"
 	"gps/internal/trace"
 )
 
@@ -78,6 +79,19 @@ type workerLink struct {
 	wantsDrain bool
 	draining   bool
 	drained    bool
+
+	// shardsGauge is this worker's pre-registered
+	// gps_cluster_worker_shards handle: publishStatus runs every epoch,
+	// so the labeled lookup happens once per membership, not per epoch.
+	shardsGauge *telemetry.Gauge
+}
+
+// newWorkerLink builds a live link and registers its per-worker gauges.
+func newWorkerLink(id, addr string, conn net.Conn, joined bool) *workerLink {
+	return &workerLink{
+		id: id, addr: addr, conn: conn, alive: true, joined: joined,
+		shardsGauge: newWorkerShardsGauge(id),
+	}
 }
 
 // rpc performs one framed round trip under the deadline. An msgError
@@ -202,7 +216,7 @@ func Dial(addrs []string, cfg shard.Config, worldSpec []byte, opts *Options) (*C
 			c.Close()
 			return nil, fmt.Errorf("transport: handshake with worker %s: %w", addr, err)
 		}
-		c.workers = append(c.workers, &workerLink{id: addr, addr: addr, conn: conn, alive: true})
+		c.workers = append(c.workers, newWorkerLink(addr, addr, conn, false))
 	}
 	for s := range c.assign {
 		c.assign[s] = s % len(c.workers)

@@ -1,0 +1,74 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"gps/internal/continuous"
+	"gps/internal/trace"
+)
+
+// frameBytes builds a seed corpus entry through the package's own
+// writer, so every seed is a genuine wire frame.
+func frameBytes(tb testing.TB, typ uint8, payload []byte) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, typ, payload); err != nil {
+		tb.Fatalf("seeding frame %d: %v", typ, err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecodeFrame drives arbitrary bytes through readFrame and every
+// typed payload decoder. The invariants under test: no decoder panics
+// on any input, readFrame failures are the documented typed errors, and
+// a successfully read frame re-encodes to the exact bytes it was read
+// from (the canonical-bytes contract).
+func FuzzDecodeFrame(f *testing.F) {
+	cfg := continuous.Config{Budget: 64, ShardCount: 4}
+	spec := EncodeWorldSpec([]byte("world"), 4, []int{0, 2})
+	seeds := [][]byte{
+		frameBytes(f, msgInit, encodeInit(initMsg{Shard: 1, Cfg: cfg, WorldSpec: spec, Mode: initSeedRef})),
+		frameBytes(f, msgEpoch, encodeEpochReq(3, 17, trace.SpanContext{TraceID: 7, SpanID: 9})),
+		frameBytes(f, msgEpochResult, encodeEpochResult(3, []byte("state"), true, []byte("spans"))),
+		frameBytes(f, msgOffer, encodeOffer(offerMsg{Shard: 2, Cfg: cfg, WorldSpec: spec})),
+		frameBytes(f, msgJoin, encodeJoin(joinMsg{ID: "worker-a"})),
+		frameBytes(f, msgAck, encodeShardAck(5)),
+		frameBytes(f, msgState, encodeShardState(2, []byte("blob"), trace.SpanContext{})),
+		{},                             // clean EOF
+		{msgInit, 0, 0},                // cut mid-header
+		{0xff, 0xff, 0xff, 0xff, 0xff}, // implausible length prefix
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			var fse *FrameSizeError
+			if !errors.Is(err, ErrTruncated) && !errors.As(err, &fse) && !errors.Is(err, io.EOF) {
+				t.Fatalf("readFrame: untyped error %T: %v", err, err)
+			}
+			return
+		}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, typ, payload); err != nil {
+			t.Fatalf("re-encoding a read frame: %v", err)
+		}
+		if want := data[:5+len(payload)]; !bytes.Equal(buf.Bytes(), want) {
+			t.Fatalf("frame round-trip changed bytes:\n got %x\nwant %x", buf.Bytes(), want)
+		}
+		// Every payload decoder must tolerate every payload: errors are
+		// fine, panics and runaway allocations are not.
+		decodeInit(payload)
+		decodeEpochReq(payload)
+		decodeEpochResult(payload)
+		decodeShardAck(payload)
+		decodeShardState(payload)
+		decodeOffer(payload)
+		decodeJoin(payload)
+		DecodeWorldSpec(payload)
+	})
+}

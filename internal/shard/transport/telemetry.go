@@ -116,3 +116,11 @@ func newRPCTelemetry(shards int) *rpcTelemetry {
 	}
 	return t
 }
+
+// newWorkerShardsGauge registers the per-worker shard-count gauge once
+// per cluster membership; publishStatus then updates the cached handle
+// every epoch without re-entering the registry.
+func newWorkerShardsGauge(id string) *telemetry.Gauge {
+	return telemetry.Default.Gauge("gps_cluster_worker_shards",
+		"shards assigned to each worker", "worker", id)
+}
